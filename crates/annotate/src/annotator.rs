@@ -1,0 +1,237 @@
+//! The simulated human annotator.
+//!
+//! Walks [`EvaluationTask`]s charging the cost model's `c1` for each *newly
+//! identified* entity and `c2` for each *newly validated* triple; both are
+//! memoized, so the accumulated cost is exactly `Cost(G') = |E'|·c1 +
+//! |G'|·c2` over the distinct annotated sample `G'` no matter how draws are
+//! batched or repeated (WCS draws clusters with replacement; reservoir
+//! updates re-visit clusters — none of that may double-charge a human).
+
+use crate::cost::CostModel;
+use crate::oracle::LabelOracle;
+use crate::task::group_into_tasks;
+use kg_model::triple::TripleRef;
+use std::collections::{HashMap, HashSet};
+
+/// A simulated annotator: label source + cost accounting + memoization.
+pub struct SimulatedAnnotator<'a> {
+    oracle: &'a dyn LabelOracle,
+    cost: CostModel,
+    identified: HashSet<u32>,
+    labeled: HashMap<TripleRef, bool>,
+    seconds: f64,
+    timeline: Vec<TimelinePoint>,
+    record_timeline: bool,
+}
+
+/// One point on the cumulative annotation timeline (Fig. 1): after
+/// validating `triple`, the cumulative time was `seconds`; `new_entity` is
+/// true when this triple required identifying its entity first (the solid
+/// markers in Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// The triple just validated.
+    pub triple: TripleRef,
+    /// Cumulative seconds after validating it.
+    pub seconds: f64,
+    /// Whether entity identification was charged for this triple.
+    pub new_entity: bool,
+}
+
+impl<'a> SimulatedAnnotator<'a> {
+    /// New annotator over an oracle with a cost model.
+    pub fn new(oracle: &'a dyn LabelOracle, cost: CostModel) -> Self {
+        SimulatedAnnotator {
+            oracle,
+            cost,
+            identified: HashSet::new(),
+            labeled: HashMap::new(),
+            seconds: 0.0,
+            timeline: Vec::new(),
+            record_timeline: false,
+        }
+    }
+
+    /// Enable per-triple timeline recording (used by the Fig. 1
+    /// experiment; off by default to keep 1000-trial runs lean).
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+
+    /// Annotate a batch of sampled triples, grouped into per-entity
+    /// evaluation tasks. Returns the labels in the order of `refs`.
+    pub fn annotate(&mut self, refs: &[TripleRef]) -> Vec<bool> {
+        // Process grouped (per-entity) to model the real task flow; memoize
+        // so repeats are free.
+        for task in group_into_tasks(refs) {
+            let mut first_of_entity = self.identified.insert(task.cluster);
+            if first_of_entity {
+                self.seconds += self.cost.c1;
+            }
+            for r in task.refs() {
+                if self.labeled.contains_key(&r) {
+                    first_of_entity = false;
+                    continue;
+                }
+                let label = self.oracle.label(r);
+                self.labeled.insert(r, label);
+                self.seconds += self.cost.c2;
+                if self.record_timeline {
+                    self.timeline.push(TimelinePoint {
+                        triple: r,
+                        seconds: self.seconds,
+                        new_entity: first_of_entity,
+                    });
+                }
+                first_of_entity = false;
+            }
+        }
+        refs.iter()
+            .map(|r| *self.labeled.get(r).expect("just annotated"))
+            .collect()
+    }
+
+    /// Annotate one triple (convenience for baselines that select triples
+    /// one at a time, like KGEval).
+    pub fn annotate_one(&mut self, r: TripleRef) -> bool {
+        self.annotate(std::slice::from_ref(&r))[0]
+    }
+
+    /// Cumulative human seconds charged so far.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Cumulative human hours (the paper's reporting unit).
+    pub fn hours(&self) -> f64 {
+        self.seconds / 3600.0
+    }
+
+    /// Distinct entities identified so far (`|E'|`).
+    pub fn entities_identified(&self) -> usize {
+        self.identified.len()
+    }
+
+    /// Distinct triples validated so far (`|G'|`).
+    pub fn triples_annotated(&self) -> usize {
+        self.labeled.len()
+    }
+
+    /// The recorded timeline (empty unless enabled).
+    pub fn timeline(&self) -> &[TimelinePoint] {
+        &self.timeline
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GoldLabels;
+
+    fn oracle() -> GoldLabels {
+        GoldLabels::new(vec![
+            vec![true, false, true],  // cluster 0
+            vec![true],               // cluster 1
+            vec![false, false],       // cluster 2
+        ])
+    }
+
+    #[test]
+    fn cost_is_distinct_entities_and_triples() {
+        let o = oracle();
+        let mut a = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0));
+        let labels = a.annotate(&[
+            TripleRef::new(0, 0),
+            TripleRef::new(0, 1),
+            TripleRef::new(1, 0),
+        ]);
+        assert_eq!(labels, vec![true, false, true]);
+        assert_eq!(a.entities_identified(), 2);
+        assert_eq!(a.triples_annotated(), 3);
+        assert!((a.seconds() - (2.0 * 45.0 + 3.0 * 25.0)).abs() < 1e-9);
+        assert!((a.hours() * 3600.0 - a.seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeats_are_free() {
+        let o = oracle();
+        let mut a = SimulatedAnnotator::new(&o, CostModel::default());
+        a.annotate(&[TripleRef::new(0, 0)]);
+        let before = a.seconds();
+        let labels = a.annotate(&[TripleRef::new(0, 0), TripleRef::new(0, 0)]);
+        assert_eq!(labels, vec![true, true]);
+        assert_eq!(a.seconds(), before);
+        assert_eq!(a.triples_annotated(), 1);
+    }
+
+    #[test]
+    fn second_visit_to_entity_skips_identification() {
+        let o = oracle();
+        let mut a = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0));
+        a.annotate(&[TripleRef::new(0, 0)]);
+        a.annotate(&[TripleRef::new(0, 2)]); // same entity, later batch
+        assert_eq!(a.entities_identified(), 1);
+        assert!((a.seconds() - (45.0 + 2.0 * 25.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_invariant_to_batching_and_order() {
+        let o = oracle();
+        let all = [
+            TripleRef::new(0, 0),
+            TripleRef::new(0, 1),
+            TripleRef::new(1, 0),
+            TripleRef::new(2, 0),
+            TripleRef::new(2, 1),
+        ];
+        let mut one = SimulatedAnnotator::new(&o, CostModel::default());
+        one.annotate(&all);
+
+        let mut parts = SimulatedAnnotator::new(&o, CostModel::default());
+        let mut shuffled = all;
+        shuffled.reverse();
+        for r in shuffled {
+            parts.annotate_one(r);
+        }
+        assert_eq!(one.seconds(), parts.seconds());
+        assert_eq!(one.entities_identified(), parts.entities_identified());
+        assert_eq!(one.triples_annotated(), parts.triples_annotated());
+    }
+
+    #[test]
+    fn timeline_records_entity_boundaries() {
+        let o = oracle();
+        let mut a = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0)).with_timeline();
+        a.annotate(&[
+            TripleRef::new(0, 0),
+            TripleRef::new(0, 1),
+            TripleRef::new(1, 0),
+        ]);
+        let tl = a.timeline();
+        assert_eq!(tl.len(), 3);
+        assert!(tl[0].new_entity);
+        assert!(!tl[1].new_entity);
+        assert!(tl[2].new_entity);
+        // Cumulative times: 70, 95, 165.
+        assert!((tl[0].seconds - 70.0).abs() < 1e-9);
+        assert!((tl[1].seconds - 95.0).abs() < 1e-9);
+        assert!((tl[2].seconds - 165.0).abs() < 1e-9);
+        // Monotone.
+        assert!(tl.windows(2).all(|w| w[0].seconds < w[1].seconds));
+    }
+
+    #[test]
+    fn timeline_off_by_default() {
+        let o = oracle();
+        let mut a = SimulatedAnnotator::new(&o, CostModel::default());
+        a.annotate(&[TripleRef::new(0, 0)]);
+        assert!(a.timeline().is_empty());
+        assert_eq!(a.cost_model(), CostModel::default());
+    }
+}

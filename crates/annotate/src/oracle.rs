@@ -1,0 +1,416 @@
+//! Label oracles: the ground truth `f : t → {0, 1}` (§2.2) that a simulated
+//! annotator consults.
+//!
+//! Three oracles cover the paper's label sources:
+//!
+//! * [`GoldLabels`] — materialized per-triple labels (the MTurk annotations
+//!   of NELL/YAGO, §7.1.1).
+//! * [`RemOracle`] — the Random Error Model (§7.1.2): every triple is
+//!   correct independently with fixed probability. Procedural and
+//!   stateless: labels are a deterministic hash of `(seed, cluster,
+//!   offset)`, so a 130M-triple KG needs no label storage (Fig. 7).
+//! * [`BmmOracle`] — the Binomial Mixture Model (§7.1.2, Eq. 15): cluster
+//!   `i` has accuracy `p̂_i = sigmoid-like(M_i)` + Normal noise, and triples
+//!   within it are correct i.i.d. with probability `p̂_i`, reproducing the
+//!   size–accuracy correlation of Fig. 3.
+
+use kg_model::implicit::ClusterPopulation;
+use kg_model::triple::TripleRef;
+use std::sync::Arc;
+
+/// Ground-truth correctness labels for a clustered population.
+///
+/// Implementations must be deterministic: the same `TripleRef` always gets
+/// the same label (annotators may re-query).
+pub trait LabelOracle: Sync {
+    /// Correctness of one triple.
+    fn label(&self, t: TripleRef) -> bool;
+
+    /// Exact accuracy `μ_i = τ_i / M_i` of one cluster of known `size`.
+    ///
+    /// Default: iterate the cluster. Oracles with closed-form accuracies
+    /// may override with their *expected* accuracy only if it is exact for
+    /// their labeling (REM/BMM keep the default since their realized labels
+    /// fluctuate around the parameter).
+    fn cluster_accuracy(&self, cluster: u32, size: usize) -> f64 {
+        if size == 0 {
+            return 0.0;
+        }
+        let correct = (0..size)
+            .filter(|&o| self.label(TripleRef::new(cluster, o as u32)))
+            .count();
+        correct as f64 / size as f64
+    }
+
+    /// The *expected* accuracy of a cluster under the oracle's generative
+    /// model, used by oracle stratification (§7.2.3). Defaults to the exact
+    /// realized accuracy.
+    fn expected_cluster_accuracy(&self, cluster: u32, size: usize) -> f64 {
+        self.cluster_accuracy(cluster, size)
+    }
+}
+
+/// Exact population accuracy `μ(G)` by full enumeration — O(M), intended
+/// for tests and ground-truth columns of experiment reports.
+pub fn true_accuracy<P: ClusterPopulation + ?Sized, O: LabelOracle + ?Sized>(pop: &P, oracle: &O) -> f64 {
+    let mut correct = 0u64;
+    let mut total = 0u64;
+    for c in 0..pop.num_clusters() {
+        let size = pop.cluster_size(c);
+        total += size as u64;
+        for o in 0..size {
+            if oracle.label(TripleRef::new(c as u32, o as u32)) {
+                correct += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Exact per-cluster accuracies `μ_i` (for theoretical V(m), Eq. 10).
+pub fn cluster_accuracies<P: ClusterPopulation + ?Sized, O: LabelOracle + ?Sized>(
+    pop: &P,
+    oracle: &O,
+) -> Vec<f64> {
+    (0..pop.num_clusters())
+        .map(|c| oracle.cluster_accuracy(c as u32, pop.cluster_size(c)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic hashing (SplitMix64) for procedural labels.
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 finalizer: avalanche a 64-bit state.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic uniform in [0, 1) from a seed and two coordinates.
+#[inline]
+pub(crate) fn hash_uniform(seed: u64, a: u64, b: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(a ^ splitmix64(b)));
+    // 53 high bits → [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// ---------------------------------------------------------------------------
+// Gold labels
+// ---------------------------------------------------------------------------
+
+/// Materialized per-triple labels, cluster by cluster.
+#[derive(Debug, Clone)]
+pub struct GoldLabels {
+    labels: Vec<Box<[bool]>>,
+}
+
+impl GoldLabels {
+    /// Build from per-cluster label vectors.
+    pub fn new(labels: Vec<Vec<bool>>) -> Self {
+        GoldLabels {
+            labels: labels.into_iter().map(Vec::into_boxed_slice).collect(),
+        }
+    }
+
+    /// Materialize any oracle over a population (useful to freeze a
+    /// procedural labeling into explicit gold labels).
+    pub fn materialize<P: ClusterPopulation + ?Sized, O: LabelOracle + ?Sized>(pop: &P, oracle: &O) -> Self {
+        let labels = (0..pop.num_clusters())
+            .map(|c| {
+                (0..pop.cluster_size(c))
+                    .map(|o| oracle.label(TripleRef::new(c as u32, o as u32)))
+                    .collect::<Vec<bool>>()
+                    .into_boxed_slice()
+            })
+            .collect();
+        GoldLabels { labels }
+    }
+
+    /// Number of clusters covered.
+    pub fn num_clusters(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of correct triples `τ_i` in a cluster.
+    pub fn tau(&self, cluster: usize) -> usize {
+        self.labels[cluster].iter().filter(|&&b| b).count()
+    }
+}
+
+impl LabelOracle for GoldLabels {
+    fn label(&self, t: TripleRef) -> bool {
+        self.labels[t.cluster as usize][t.offset as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random Error Model
+// ---------------------------------------------------------------------------
+
+/// Random Error Model: triple correct with fixed probability, i.i.d.
+#[derive(Debug, Clone, Copy)]
+pub struct RemOracle {
+    accuracy: f64,
+    seed: u64,
+}
+
+impl RemOracle {
+    /// REM with overall accuracy `1 − r_ε`.
+    pub fn new(accuracy: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&accuracy),
+            "accuracy must be in [0,1], got {accuracy}"
+        );
+        RemOracle { accuracy, seed }
+    }
+
+    /// The model accuracy parameter.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+}
+
+impl LabelOracle for RemOracle {
+    fn label(&self, t: TripleRef) -> bool {
+        hash_uniform(self.seed, t.cluster as u64, t.offset as u64) < self.accuracy
+    }
+
+    fn expected_cluster_accuracy(&self, _cluster: u32, _size: usize) -> f64 {
+        self.accuracy
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binomial Mixture Model
+// ---------------------------------------------------------------------------
+
+/// Binomial Mixture Model (Eq. 15): per-cluster accuracy parameter
+///
+/// ```text
+/// p̂_i = 0.5 + ε                 if M_i < k
+/// p̂_i = 1/(1 + e^{−c(M_i−k)}) + ε   if M_i ≥ k
+/// ```
+///
+/// with `ε ~ N(0, σ²)` drawn once per cluster (deterministically from the
+/// seed) and the result clamped to `[0, 1]`. Labels within the cluster are
+/// then i.i.d. Bernoulli(`p̂_i`).
+#[derive(Debug, Clone)]
+pub struct BmmOracle {
+    sizes: Arc<Vec<u32>>,
+    k: u32,
+    c: f64,
+    sigma: f64,
+    seed: u64,
+    /// Lazily computed exact (realized) per-cluster accuracies, shared
+    /// across clones: oracle stratification and the V(m) ribbon enumerate
+    /// every cluster, which would otherwise cost O(M) hashes per caller.
+    realized: Arc<std::sync::OnceLock<Vec<f32>>>,
+}
+
+impl BmmOracle {
+    /// Paper defaults: `k = 3`, `c = 0.01`, `σ = 0.1`.
+    pub fn with_defaults(sizes: Arc<Vec<u32>>, seed: u64) -> Self {
+        Self::new(sizes, 3, 0.01, 0.1, seed)
+    }
+
+    /// Fully parameterized BMM.
+    pub fn new(sizes: Arc<Vec<u32>>, k: u32, c: f64, sigma: f64, seed: u64) -> Self {
+        assert!(c >= 0.0, "c must be non-negative");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        BmmOracle {
+            sizes,
+            k,
+            c,
+            sigma,
+            seed,
+            realized: Arc::new(std::sync::OnceLock::new()),
+        }
+    }
+
+    /// The cluster accuracy parameter `p̂_i` (Eq. 15), before realization.
+    pub fn p_hat(&self, cluster: u32) -> f64 {
+        let m = self.sizes[cluster as usize];
+        let base = if m < self.k {
+            0.5
+        } else {
+            1.0 / (1.0 + (-self.c * (m as f64 - self.k as f64)).exp())
+        };
+        // ε from two hashed uniforms via Box–Muller (deterministic/cluster).
+        let u1 = hash_uniform(self.seed ^ 0xB111, cluster as u64, 1).max(f64::MIN_POSITIVE);
+        let u2 = hash_uniform(self.seed ^ 0xB222, cluster as u64, 2);
+        let eps = self.sigma
+            * (-2.0 * u1.ln()).sqrt()
+            * (2.0 * std::f64::consts::PI * u2).cos();
+        (base + eps).clamp(0.0, 1.0)
+    }
+}
+
+impl LabelOracle for BmmOracle {
+    fn label(&self, t: TripleRef) -> bool {
+        hash_uniform(self.seed, t.cluster as u64, t.offset as u64) < self.p_hat(t.cluster)
+    }
+
+    fn cluster_accuracy(&self, cluster: u32, _size: usize) -> f64 {
+        let table = self.realized.get_or_init(|| {
+            self.sizes
+                .iter()
+                .enumerate()
+                .map(|(c, &size)| {
+                    let p = self.p_hat(c as u32);
+                    let correct = (0..size)
+                        .filter(|&o| hash_uniform(self.seed, c as u64, o as u64) < p)
+                        .count();
+                    (correct as f64 / size as f64) as f32
+                })
+                .collect()
+        });
+        table[cluster as usize] as f64
+    }
+
+    fn expected_cluster_accuracy(&self, cluster: u32, _size: usize) -> f64 {
+        self.p_hat(cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_model::implicit::ImplicitKg;
+
+    #[test]
+    fn hash_uniform_is_deterministic_and_spread() {
+        let a = hash_uniform(1, 2, 3);
+        assert_eq!(a, hash_uniform(1, 2, 3));
+        assert!((0.0..1.0).contains(&a));
+        assert_ne!(hash_uniform(1, 2, 3), hash_uniform(1, 2, 4));
+        assert_ne!(hash_uniform(1, 2, 3), hash_uniform(2, 2, 3));
+        // Mean over a grid close to 0.5.
+        let mut sum = 0.0;
+        let n = 10_000;
+        for i in 0..n {
+            sum += hash_uniform(9, i, i * 31 + 7);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gold_labels_resolve_and_count() {
+        let g = GoldLabels::new(vec![vec![true, false, true], vec![false]]);
+        assert!(g.label(TripleRef::new(0, 0)));
+        assert!(!g.label(TripleRef::new(0, 1)));
+        assert_eq!(g.tau(0), 2);
+        assert_eq!(g.tau(1), 0);
+        assert_eq!(g.num_clusters(), 2);
+        assert!((g.cluster_accuracy(0, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rem_realized_accuracy_matches_parameter() {
+        let pop = ImplicitKg::uniform(1000, 10).unwrap();
+        let oracle = RemOracle::new(0.9, 77);
+        let acc = true_accuracy(&pop, &oracle);
+        assert!((acc - 0.9).abs() < 0.01, "accuracy {acc}");
+        assert_eq!(oracle.expected_cluster_accuracy(0, 10), 0.9);
+        assert_eq!(oracle.accuracy(), 0.9);
+    }
+
+    #[test]
+    fn rem_is_deterministic() {
+        let o1 = RemOracle::new(0.5, 42);
+        let o2 = RemOracle::new(0.5, 42);
+        for c in 0..50 {
+            for off in 0..5 {
+                let t = TripleRef::new(c, off);
+                assert_eq!(o1.label(t), o2.label(t));
+            }
+        }
+    }
+
+    #[test]
+    fn rem_extremes() {
+        let all = RemOracle::new(1.0, 1);
+        let none = RemOracle::new(0.0, 1);
+        for c in 0..20 {
+            assert!(all.label(TripleRef::new(c, 0)));
+            assert!(!none.label(TripleRef::new(c, 0)));
+        }
+    }
+
+    #[test]
+    fn bmm_small_clusters_near_half_large_near_one() {
+        // sizes: 500 clusters of size 2 (< k=3 → 0.5) and 500 of size 1000
+        // (sigmoid(0.01 * 997) ≈ 1.0).
+        let mut sizes = vec![2u32; 500];
+        sizes.extend(vec![1000u32; 500]);
+        let sizes = Arc::new(sizes);
+        let oracle = BmmOracle::new(sizes.clone(), 3, 0.01, 0.0, 5);
+        let small_mean: f64 = (0..500).map(|c| oracle.p_hat(c)).sum::<f64>() / 500.0;
+        let large_mean: f64 = (500..1000).map(|c| oracle.p_hat(c)).sum::<f64>() / 500.0;
+        assert!((small_mean - 0.5).abs() < 1e-9, "small {small_mean}");
+        assert!(large_mean > 0.99, "large {large_mean}");
+    }
+
+    #[test]
+    fn bmm_noise_spreads_accuracies() {
+        let sizes = Arc::new(vec![10u32; 2000]);
+        let noisy = BmmOracle::new(sizes.clone(), 3, 0.01, 0.2, 5);
+        let ps: Vec<f64> = (0..2000).map(|c| noisy.p_hat(c)).collect();
+        let mean = ps.iter().sum::<f64>() / ps.len() as f64;
+        let var = ps.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / ps.len() as f64;
+        // σ=0.2 noise clamped to [0,1]: variance should be near 0.04.
+        assert!(var > 0.02 && var < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn bmm_realized_labels_track_p_hat() {
+        let sizes = Arc::new(vec![500u32; 20]);
+        let oracle = BmmOracle::new(sizes.clone(), 3, 0.05, 0.0, 11);
+        for c in 0..20u32 {
+            let realized = oracle.cluster_accuracy(c, 500);
+            let expect = oracle.p_hat(c);
+            assert!(
+                (realized - expect).abs() < 0.07,
+                "cluster {c}: realized {realized} vs p̂ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn materialized_oracle_agrees_with_source() {
+        let pop = ImplicitKg::new(vec![3, 5, 2]).unwrap();
+        let rem = RemOracle::new(0.6, 3);
+        let gold = GoldLabels::materialize(&pop, &rem);
+        for c in 0..3u32 {
+            for o in 0..pop.cluster_size(c as usize) as u32 {
+                let t = TripleRef::new(c, o);
+                assert_eq!(gold.label(t), rem.label(t));
+            }
+        }
+        assert_eq!(gold.num_clusters(), 3);
+        assert!((true_accuracy(&pop, &gold) - true_accuracy(&pop, &rem)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_accuracies_vector_matches_manual() {
+        let pop = ImplicitKg::new(vec![2, 2]).unwrap();
+        let gold = GoldLabels::new(vec![vec![true, true], vec![true, false]]);
+        let accs = cluster_accuracies(&pop, &gold);
+        assert_eq!(accs, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn true_accuracy_of_empty_population_is_zero() {
+        let pop = ImplicitKg::new(vec![]).unwrap();
+        let oracle = RemOracle::new(0.9, 0);
+        assert_eq!(true_accuracy(&pop, &oracle), 0.0);
+    }
+}

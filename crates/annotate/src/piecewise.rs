@@ -1,0 +1,101 @@
+//! Piecewise oracle over cluster-id segments.
+//!
+//! Evolving-KG experiments (§7.3) give the base KG and each update batch
+//! *different* accuracies (e.g. base at 90%, an update at 20%). Cluster ids
+//! of an evolved KG are assigned segment-by-segment — base clusters first,
+//! then each batch's `Δe` clusters appended — so a piecewise dispatch on
+//! cluster id composes any per-segment oracles into one oracle for `G + Δ`.
+
+use crate::oracle::LabelOracle;
+use kg_model::triple::TripleRef;
+
+/// An oracle dispatching on cluster-id segments.
+///
+/// Segment `j` covers cluster ids `starts[j] .. starts[j+1]` (the last
+/// segment is open-ended). Lookups below `starts[0]` are routed to segment
+/// 0 (only possible when `starts[0] > 0`, which [`PiecewiseOracle::new`]
+/// forbids).
+pub struct PiecewiseOracle {
+    starts: Vec<u32>,
+    oracles: Vec<Box<dyn LabelOracle + Send + Sync>>,
+}
+
+impl PiecewiseOracle {
+    /// Single-segment oracle starting at cluster 0.
+    pub fn new(first: Box<dyn LabelOracle + Send + Sync>) -> Self {
+        PiecewiseOracle {
+            starts: vec![0],
+            oracles: vec![first],
+        }
+    }
+
+    /// Append a segment starting at `start_cluster` (must be strictly
+    /// increasing across calls).
+    pub fn push_segment(&mut self, start_cluster: u32, oracle: Box<dyn LabelOracle + Send + Sync>) {
+        assert!(
+            start_cluster > *self.starts.last().expect("at least one segment"),
+            "segment starts must be strictly increasing"
+        );
+        self.starts.push(start_cluster);
+        self.oracles.push(oracle);
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.starts.len()
+    }
+
+    fn segment_of(&self, cluster: u32) -> usize {
+        // partition_point: first start > cluster; segment is that - 1.
+        self.starts.partition_point(|&s| s <= cluster) - 1
+    }
+}
+
+impl LabelOracle for PiecewiseOracle {
+    fn label(&self, t: TripleRef) -> bool {
+        self.oracles[self.segment_of(t.cluster)].label(t)
+    }
+
+    fn expected_cluster_accuracy(&self, cluster: u32, size: usize) -> f64 {
+        self.oracles[self.segment_of(cluster)].expected_cluster_accuracy(cluster, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::RemOracle;
+
+    #[test]
+    fn dispatches_by_segment() {
+        let mut o = PiecewiseOracle::new(Box::new(RemOracle::new(1.0, 1)));
+        o.push_segment(10, Box::new(RemOracle::new(0.0, 2)));
+        assert_eq!(o.num_segments(), 2);
+        for c in 0..10 {
+            assert!(o.label(TripleRef::new(c, 0)));
+        }
+        for c in 10..20 {
+            assert!(!o.label(TripleRef::new(c, 0)));
+        }
+        assert_eq!(o.expected_cluster_accuracy(5, 3), 1.0);
+        assert_eq!(o.expected_cluster_accuracy(15, 3), 0.0);
+    }
+
+    #[test]
+    fn three_segments() {
+        let mut o = PiecewiseOracle::new(Box::new(RemOracle::new(1.0, 1)));
+        o.push_segment(5, Box::new(RemOracle::new(0.0, 2)));
+        o.push_segment(8, Box::new(RemOracle::new(1.0, 3)));
+        assert!(o.label(TripleRef::new(4, 0)));
+        assert!(!o.label(TripleRef::new(7, 0)));
+        assert!(o.label(TripleRef::new(8, 0)));
+        assert!(o.label(TripleRef::new(100, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_increasing_starts() {
+        let mut o = PiecewiseOracle::new(Box::new(RemOracle::new(1.0, 1)));
+        o.push_segment(0, Box::new(RemOracle::new(0.0, 2)));
+    }
+}

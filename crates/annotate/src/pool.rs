@@ -1,0 +1,246 @@
+//! Multi-annotator evaluation: "users can specify either single evaluation
+//! or multiple evaluations (assigned to different annotators) per
+//! Evaluation Task" (§4).
+//!
+//! An [`AnnotatorPool`] assigns each evaluation task to `k` simulated
+//! annotators, each with its own speed multiplier and per-triple error
+//! rate, and resolves labels by majority vote. The total human cost is the
+//! *sum* of the annotators' costs (they all do the work); the benefit is
+//! label quality: majority voting suppresses individual annotator error,
+//! which otherwise biases the accuracy estimate directly (a worker who
+//! mislabels 10% of triples shifts μ̂ by up to 10%).
+
+use crate::cost::CostModel;
+use crate::oracle::LabelOracle;
+use crate::task::group_into_tasks;
+use kg_model::triple::TripleRef;
+use std::collections::{HashMap, HashSet};
+
+/// One pool member: relative speed and label noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnotatorProfile {
+    /// Cost multiplier (1.0 = the pool's base cost model; 0.5 = twice as
+    /// fast).
+    pub speed: f64,
+    /// Probability of flipping any one label (independent per triple and
+    /// per annotator, deterministic given the pool seed).
+    pub error_rate: f64,
+}
+
+impl AnnotatorProfile {
+    /// A careful, average-speed annotator.
+    pub fn reliable() -> Self {
+        AnnotatorProfile {
+            speed: 1.0,
+            error_rate: 0.0,
+        }
+    }
+
+    /// A fast but sloppy annotator.
+    pub fn hasty(error_rate: f64) -> Self {
+        AnnotatorProfile {
+            speed: 0.7,
+            error_rate,
+        }
+    }
+}
+
+/// A pool of simulated annotators voting on every task.
+pub struct AnnotatorPool<'a> {
+    oracle: &'a dyn LabelOracle,
+    cost: CostModel,
+    profiles: Vec<AnnotatorProfile>,
+    seed: u64,
+    /// Entities identified per annotator (identification is per person —
+    /// each must build their own mental model of the entity).
+    identified: Vec<HashSet<u32>>,
+    /// Majority-vote labels, memoized.
+    labels: HashMap<TripleRef, bool>,
+    seconds: f64,
+}
+
+impl<'a> AnnotatorPool<'a> {
+    /// Pool with the given member profiles (at least one; odd counts avoid
+    /// ties — even pools break ties toward "incorrect", the conservative
+    /// call for an accuracy audit).
+    pub fn new(
+        oracle: &'a dyn LabelOracle,
+        cost: CostModel,
+        profiles: Vec<AnnotatorProfile>,
+        seed: u64,
+    ) -> Self {
+        assert!(!profiles.is_empty(), "pool needs at least one annotator");
+        for p in &profiles {
+            assert!(
+                (0.0..=1.0).contains(&p.error_rate) && p.speed > 0.0,
+                "invalid annotator profile {p:?}"
+            );
+        }
+        let identified = vec![HashSet::new(); profiles.len()];
+        AnnotatorPool {
+            oracle,
+            cost,
+            profiles,
+            seed,
+            identified,
+            labels: HashMap::new(),
+            seconds: 0.0,
+        }
+    }
+
+    fn worker_label(&self, worker: usize, r: TripleRef) -> bool {
+        let truth = self.oracle.label(r);
+        let e = self.profiles[worker].error_rate;
+        if e == 0.0 {
+            return truth;
+        }
+        // Deterministic per-(worker, triple) flip.
+        let u = crate::oracle::hash_uniform(
+            self.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9),
+            r.cluster as u64,
+            r.offset as u64,
+        );
+        if u < e {
+            !truth
+        } else {
+            truth
+        }
+    }
+
+    /// Annotate a batch: every task goes to every pool member; labels are
+    /// resolved by majority vote (ties → incorrect). Returns labels in the
+    /// order of `refs`.
+    pub fn annotate(&mut self, refs: &[TripleRef]) -> Vec<bool> {
+        for task in group_into_tasks(refs) {
+            for (w, profile) in self.profiles.iter().enumerate() {
+                if self.identified[w].insert(task.cluster) {
+                    self.seconds += self.cost.c1 * profile.speed;
+                }
+            }
+            for r in task.refs() {
+                if self.labels.contains_key(&r) {
+                    continue;
+                }
+                let mut yes = 0usize;
+                for (w, profile) in self.profiles.iter().enumerate() {
+                    if self.worker_label(w, r) {
+                        yes += 1;
+                    }
+                    self.seconds += self.cost.c2 * profile.speed;
+                }
+                self.labels.insert(r, yes * 2 > self.profiles.len());
+            }
+        }
+        refs.iter()
+            .map(|r| *self.labels.get(r).expect("just annotated"))
+            .collect()
+    }
+
+    /// Total pool seconds (sum over members).
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Distinct triples labeled.
+    pub fn triples_annotated(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of pool members.
+    pub fn size(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::RemOracle;
+    use kg_model::implicit::ImplicitKg;
+
+    fn refs(n: u32) -> Vec<TripleRef> {
+        (0..n).map(|c| TripleRef::new(c, 0)).collect()
+    }
+
+    #[test]
+    fn single_reliable_annotator_matches_plain_annotator() {
+        let oracle = RemOracle::new(0.8, 1);
+        let mut pool = AnnotatorPool::new(
+            &oracle,
+            CostModel::default(),
+            vec![AnnotatorProfile::reliable()],
+            9,
+        );
+        let labels = pool.annotate(&refs(50));
+        let truth: Vec<bool> = refs(50).iter().map(|&r| oracle.label(r)).collect();
+        assert_eq!(labels, truth);
+        assert!((pool.seconds() - 50.0 * (45.0 + 25.0)).abs() < 1e-9);
+        assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn majority_vote_suppresses_noise() {
+        let kg = ImplicitKg::uniform(2000, 1).unwrap();
+        let oracle = RemOracle::new(1.0, 2); // all triples correct
+        let noisy = vec![AnnotatorProfile::hasty(0.2); 3];
+        let mut pool = AnnotatorPool::new(&oracle, CostModel::default(), noisy, 4);
+        let all: Vec<TripleRef> = (0..kg.sizes().len() as u32)
+            .map(|c| TripleRef::new(c, 0))
+            .collect();
+        let labels = pool.annotate(&all);
+        let acc = labels.iter().filter(|&&b| b).count() as f64 / labels.len() as f64;
+        // Individual error 20% → majority-of-3 error = 3e²(1−e)+e³ ≈ 10.4%.
+        assert!(acc > 0.87, "majority accuracy {acc}");
+        // And strictly better than a single hasty annotator would be.
+        let mut single = AnnotatorPool::new(
+            &oracle,
+            CostModel::default(),
+            vec![AnnotatorProfile::hasty(0.2)],
+            4,
+        );
+        let single_labels = single.annotate(&all);
+        let single_acc =
+            single_labels.iter().filter(|&&b| b).count() as f64 / single_labels.len() as f64;
+        assert!(acc > single_acc, "majority {acc} vs single {single_acc}");
+    }
+
+    #[test]
+    fn cost_sums_over_members_with_speed() {
+        let oracle = RemOracle::new(0.9, 3);
+        let mut pool = AnnotatorPool::new(
+            &oracle,
+            CostModel::new(40.0, 20.0),
+            vec![
+                AnnotatorProfile { speed: 1.0, error_rate: 0.0 },
+                AnnotatorProfile { speed: 0.5, error_rate: 0.0 },
+            ],
+            5,
+        );
+        pool.annotate(&[TripleRef::new(0, 0)]);
+        // (40 + 20)·1.0 + (40 + 20)·0.5 = 90.
+        assert!((pool.seconds() - 90.0).abs() < 1e-9);
+        assert_eq!(pool.triples_annotated(), 1);
+    }
+
+    #[test]
+    fn repeats_are_free_and_votes_deterministic() {
+        let oracle = RemOracle::new(0.5, 7);
+        let profiles = vec![AnnotatorProfile::hasty(0.3); 3];
+        let mut pool = AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 6);
+        let first = pool.annotate(&refs(20));
+        let cost = pool.seconds();
+        let again = pool.annotate(&refs(20));
+        assert_eq!(first, again);
+        assert_eq!(pool.seconds(), cost);
+        // Same seed → same votes in a fresh pool.
+        let mut pool2 = AnnotatorPool::new(&oracle, CostModel::default(), profiles, 6);
+        assert_eq!(pool2.annotate(&refs(20)), first);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_pool_rejected() {
+        let oracle = RemOracle::new(0.9, 1);
+        AnnotatorPool::new(&oracle, CostModel::default(), vec![], 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Evaluation tasks: sampled triples grouped by subject id (§3.1).
+//!
+//! An **Evaluation Task** is "a group of triples with the same subject id"
+//! handed to an annotator: the entity is identified once, then each triple
+//! is validated. Grouping a sample into tasks is what turns Table 1's
+//! expensive Task1 shape (all-distinct subjects) into the cheap Task2 shape.
+
+use kg_model::triple::TripleRef;
+use std::collections::HashMap;
+
+/// A group of triples sharing one subject cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvaluationTask {
+    /// The cluster (entity) the task is about.
+    pub cluster: u32,
+    /// Offsets of the triples to validate, in first-sampled order.
+    pub offsets: Vec<u32>,
+}
+
+impl EvaluationTask {
+    /// Number of triples in the task.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the task is empty (never produced by [`group_into_tasks`]).
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Iterate the task's triple references.
+    pub fn refs(&self) -> impl Iterator<Item = TripleRef> + '_ {
+        let cluster = self.cluster;
+        self.offsets.iter().map(move |&o| TripleRef::new(cluster, o))
+    }
+}
+
+/// Group sampled triple references into evaluation tasks by subject,
+/// preserving first-seen order of both clusters and offsets (so the
+/// annotation timeline is reproducible).
+pub fn group_into_tasks(refs: &[TripleRef]) -> Vec<EvaluationTask> {
+    let mut order: Vec<u32> = Vec::new();
+    let mut by_cluster: HashMap<u32, Vec<u32>> = HashMap::new();
+    for r in refs {
+        let entry = by_cluster.entry(r.cluster).or_default();
+        if entry.is_empty() {
+            order.push(r.cluster);
+        }
+        entry.push(r.offset);
+    }
+    order
+        .into_iter()
+        .map(|cluster| EvaluationTask {
+            cluster,
+            offsets: by_cluster.remove(&cluster).expect("inserted above"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_preserves_order_and_membership() {
+        let refs = vec![
+            TripleRef::new(2, 0),
+            TripleRef::new(1, 3),
+            TripleRef::new(2, 1),
+            TripleRef::new(1, 0),
+            TripleRef::new(5, 9),
+        ];
+        let tasks = group_into_tasks(&refs);
+        assert_eq!(tasks.len(), 3);
+        assert_eq!(tasks[0].cluster, 2);
+        assert_eq!(tasks[0].offsets, vec![0, 1]);
+        assert_eq!(tasks[1].cluster, 1);
+        assert_eq!(tasks[1].offsets, vec![3, 0]);
+        assert_eq!(tasks[2].cluster, 5);
+        assert_eq!(tasks[2].len(), 1);
+        assert!(!tasks[2].is_empty());
+    }
+
+    #[test]
+    fn refs_round_trip() {
+        let tasks = group_into_tasks(&[TripleRef::new(7, 1), TripleRef::new(7, 4)]);
+        let back: Vec<TripleRef> = tasks[0].refs().collect();
+        assert_eq!(back, vec![TripleRef::new(7, 1), TripleRef::new(7, 4)]);
+    }
+
+    #[test]
+    fn empty_input_gives_no_tasks() {
+        assert!(group_into_tasks(&[]).is_empty());
+    }
+
+    #[test]
+    fn task1_vs_task2_shapes() {
+        // Task1: 5 triples, 5 subjects → 5 tasks.
+        let task1: Vec<TripleRef> = (0..5).map(|c| TripleRef::new(c, 0)).collect();
+        assert_eq!(group_into_tasks(&task1).len(), 5);
+        // Task2: 5 triples, 1 subject → 1 task.
+        let task2: Vec<TripleRef> = (0..5).map(|o| TripleRef::new(0, o)).collect();
+        assert_eq!(group_into_tasks(&task2).len(), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Coupling-constraint graph over triples.
+//!
+//! Nodes are triples; weighted edges encode the dependency signals KGEval
+//! propagates along:
+//!
+//! * **entity coherence** — triples about the same subject tend to share
+//!   correctness (a mis-resolved entity poisons its whole cluster);
+//! * **type consistency** — triples sharing `(predicate, object)` support
+//!   each other (many movies "directedBy" the same director);
+//! * **functional coupling** — triples sharing `(subject, predicate)`
+//!   interact (a functional predicate with two objects flags an error).
+//!
+//! Groups larger than a cap are connected as a ring instead of a clique to
+//! keep the edge count linear — propagation quality is indistinguishable
+//! and construction stays O(M).
+
+use kg_model::graph::KnowledgeGraph;
+use kg_model::triple::{Object, TripleRef};
+use std::collections::HashMap;
+
+/// Edge weights per coupling type.
+const W_SAME_SUBJECT: f32 = 0.5;
+const W_PRED_OBJECT: f32 = 1.0;
+const W_SUBJ_PRED: f32 = 0.8;
+
+/// Clique cap: beyond this, groups become rings.
+const CLIQUE_CAP: usize = 24;
+
+/// A weighted undirected coupling graph over the KG's triples.
+#[derive(Debug)]
+pub struct CouplingGraph {
+    /// Triple handle of each node (node id = position).
+    pub nodes: Vec<TripleRef>,
+    /// Adjacency list: `(neighbor, weight)`.
+    pub adjacency: Vec<Vec<(u32, f32)>>,
+    edges: usize,
+}
+
+impl CouplingGraph {
+    /// Build the coupling graph from a materialized KG.
+    pub fn build(graph: &KnowledgeGraph) -> Self {
+        let nodes: Vec<TripleRef> = graph.iter_refs().map(|(r, _)| r).collect();
+        let node_of: HashMap<TripleRef, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u32))
+            .collect();
+        let mut adjacency = vec![Vec::new(); nodes.len()];
+        let mut edges = 0usize;
+
+        let mut add_group = |group: &[u32], weight: f32, adjacency: &mut Vec<Vec<(u32, f32)>>| {
+            if group.len() < 2 {
+                return;
+            }
+            if group.len() <= CLIQUE_CAP {
+                for (i, &a) in group.iter().enumerate() {
+                    for &b in &group[i + 1..] {
+                        adjacency[a as usize].push((b, weight));
+                        adjacency[b as usize].push((a, weight));
+                        edges += 1;
+                    }
+                }
+            } else {
+                // Ring keeps the group connected with O(k) edges.
+                for w in group.windows(2) {
+                    adjacency[w[0] as usize].push((w[1], weight));
+                    adjacency[w[1] as usize].push((w[0], weight));
+                    edges += 1;
+                }
+                adjacency[group[group.len() - 1] as usize].push((group[0], weight));
+                adjacency[group[0] as usize].push((group[group.len() - 1], weight));
+                edges += 1;
+            }
+        };
+
+        // Same-subject groups are exactly the entity clusters.
+        for (ci, cluster) in graph.clusters().iter().enumerate() {
+            let group: Vec<u32> = (0..cluster.triples.len())
+                .map(|o| node_of[&TripleRef::new(ci as u32, o as u32)])
+                .collect();
+            add_group(&group, W_SAME_SUBJECT, &mut adjacency);
+        }
+
+        // (predicate, object) and (subject, predicate) groups.
+        let mut by_pred_obj: HashMap<(u32, u64), Vec<u32>> = HashMap::new();
+        let mut by_subj_pred: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for (r, t) in graph.iter_refs() {
+            let node = node_of[&r];
+            let okey = match t.object {
+                Object::Entity(e) => (e.0 as u64) << 1,
+                Object::Literal(l) => ((l.0 as u64) << 1) | 1,
+            };
+            by_pred_obj.entry((t.predicate.0, okey)).or_default().push(node);
+            by_subj_pred
+                .entry((t.subject.0, t.predicate.0))
+                .or_default()
+                .push(node);
+        }
+        for group in by_pred_obj.values() {
+            add_group(group, W_PRED_OBJECT, &mut adjacency);
+        }
+        for group in by_subj_pred.values() {
+            add_group(group, W_SUBJ_PRED, &mut adjacency);
+        }
+
+        CouplingGraph {
+            nodes,
+            adjacency,
+            edges,
+        }
+    }
+
+    /// Number of triple nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Weighted degree of one node.
+    pub fn weighted_degree(&self, node: usize) -> f32 {
+        self.adjacency[node].iter().map(|&(_, w)| w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_model::builder::KgBuilder;
+
+    fn sample_graph() -> KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        b.add_entity_triple("mj", "bornIn", "la");
+        b.add_entity_triple("mj", "playedIn", "spacejam");
+        b.add_entity_triple("kobe", "bornIn", "la"); // shares (bornIn, la) with mj
+        b.add_literal_triple("mj", "bornIn", "1963"); // shares (mj, bornIn)
+        b.build()
+    }
+
+    #[test]
+    fn builds_expected_couplings() {
+        let g = sample_graph();
+        let cg = CouplingGraph::build(&g);
+        assert_eq!(cg.num_nodes(), 4);
+        assert!(cg.num_edges() >= 4, "edges {}", cg.num_edges());
+        // Node 0 (mj bornIn la) couples with: node 1 & 3 (same subject),
+        // node 2 (pred-obj), node 3 again (subj-pred).
+        let deg0 = cg.adjacency[0].len();
+        assert!(deg0 >= 3, "degree {deg0}");
+        assert!(cg.weighted_degree(0) > 1.5);
+    }
+
+    #[test]
+    fn singleton_groups_produce_no_edges() {
+        let mut b = KgBuilder::new();
+        b.add_entity_triple("a", "p1", "x");
+        b.add_entity_triple("b", "p2", "y");
+        let cg = CouplingGraph::build(&b.build());
+        assert_eq!(cg.num_edges(), 0);
+        assert_eq!(cg.num_nodes(), 2);
+    }
+
+    #[test]
+    fn large_groups_become_rings() {
+        // 100 triples about one subject with one predicate and distinct
+        // objects: the same-subject group (100 > cap) must be a ring, not a
+        // 4950-edge clique.
+        let mut b = KgBuilder::new();
+        for i in 0..100 {
+            b.add_literal_triple("hub", "p", &format!("v{i}"));
+        }
+        let cg = CouplingGraph::build(&b.build());
+        // same-subject ring (100) + subj-pred ring (100) = 200 edges.
+        assert!(cg.num_edges() <= 250, "edges {}", cg.num_edges());
+        // Still connected through the ring: every node has degree ≥ 2.
+        assert!(cg.adjacency.iter().all(|a| a.len() >= 2));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let cg = CouplingGraph::build(&sample_graph());
+        for (a, nbrs) in cg.adjacency.iter().enumerate() {
+            for &(b, w) in nbrs {
+                assert!(
+                    cg.adjacency[b as usize]
+                        .iter()
+                        .any(|&(x, wx)| x as usize == a && (wx - w).abs() < 1e-6),
+                    "edge {a}->{b} not mirrored"
+                );
+            }
+        }
+    }
+}

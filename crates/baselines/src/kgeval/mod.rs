@@ -1,0 +1,5 @@
+//! KGEval-style inference-based accuracy estimation.
+
+pub mod coupling;
+pub mod eval;
+pub mod inference;

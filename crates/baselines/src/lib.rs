@@ -1,0 +1,27 @@
+//! # kg-baselines — comparison evaluators
+//!
+//! The paper's Table 6 compares TWCS against **KGEval** (Ojha & Talukdar,
+//! EMNLP 2017): an inference-based method that exploits dependencies among
+//! triples — type consistency, Horn-clause coupling constraints — to
+//! *propagate* the correctness of manually evaluated triples to unevaluated
+//! ones via Probabilistic Soft Logic, selecting at each step the triple
+//! whose annotation would propagate the furthest.
+//!
+//! The original KGEval is closed research code on top of a PSL engine; this
+//! crate implements a faithful structural analogue (see `DESIGN.md`
+//! substitution #4) with the properties the comparison depends on:
+//!
+//! 1. label propagation over a coupling-constraint graph built from triple
+//!    content ([`kgeval::coupling`]);
+//! 2. an expensive next-triple selection step — its machine time per
+//!    iteration is what makes KGEval unusable beyond tiny KGs (the paper
+//!    reports >5 minutes per selection even on 2k-triple KGs);
+//! 3. estimates without statistical guarantees: propagation can be wrong,
+//!    the estimator is biased, and no CI is available (Table 8).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kgeval;
+
+pub use kgeval::eval::{KgEvalBaseline, KgEvalReport};

@@ -1,0 +1,99 @@
+//! Benchmarks of complete evaluation runs per sampling design: the machine
+//! cost of "sample generation" that Table 6 contrasts with KGEval (TWCS
+//! machine time is microseconds; KGEval's selection loop is the bottleneck).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::cost::CostModel;
+use kg_baselines::kgeval::eval::{KgEvalBaseline, KgEvalConfig};
+use kg_datagen::profile::DatasetProfile;
+use kg_eval::config::EvalConfig;
+use kg_eval::framework::Evaluator;
+use kg_sampling::PopulationIndex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_static_designs(c: &mut Criterion) {
+    let ds = DatasetProfile::nell().generate(1);
+    let index = Arc::new(PopulationIndex::from_population(&ds.population).unwrap());
+    let config = EvalConfig::default();
+    let mut group = c.benchmark_group("static_designs_nell");
+    for (name, eval) in [
+        ("srs", Evaluator::srs()),
+        ("wcs", Evaluator::wcs()),
+        ("twcs_m5", Evaluator::twcs(5)),
+        ("twcs_size_strat", Evaluator::twcs_size_stratified(5, 2)),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(
+                    eval.run_with_index(index.clone(), ds.oracle.as_ref(), &config, &mut rng)
+                        .unwrap()
+                        .estimate
+                        .mean,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_movie_scale(c: &mut Criterion) {
+    // One full TWCS evaluation over a 2.65M-triple KG: the "machine time
+    // <1 s" row of Table 6 at production scale.
+    let ds = DatasetProfile::movie().generate(2);
+    let index = Arc::new(PopulationIndex::from_population(&ds.population).unwrap());
+    let config = EvalConfig::default();
+    let mut group = c.benchmark_group("movie_scale");
+    group.sample_size(20);
+    group.bench_function("twcs_full_evaluation", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(
+                Evaluator::twcs(5)
+                    .run_with_index(index.clone(), ds.oracle.as_ref(), &config, &mut rng)
+                    .unwrap()
+                    .units,
+            )
+        })
+    });
+    group.bench_function("index_build", |b| {
+        b.iter(|| black_box(PopulationIndex::from_population(&ds.population).unwrap().num_clusters()))
+    });
+    group.finish();
+}
+
+fn bench_kgeval(c: &mut Criterion) {
+    // KGEval's select-annotate-propagate loop on a downscaled NELL: its
+    // machine time is the quantity that explodes with KG size (Table 6).
+    let mut profile = DatasetProfile::nell();
+    profile.entities = 120;
+    profile.triples = 280;
+    let (graph, gold) = profile.generate_materialized(3);
+    let mut group = c.benchmark_group("kgeval_baseline");
+    group.sample_size(10);
+    group.bench_function("nell_scaled_budget25", |b| {
+        b.iter(|| {
+            let mut annotator = SimulatedAnnotator::new(&gold, CostModel::default());
+            let config = KgEvalConfig {
+                annotation_budget: 25,
+                ..KgEvalConfig::default()
+            };
+            black_box(
+                KgEvalBaseline::with_config(config)
+                    .run(&graph, &mut annotator)
+                    .annotated,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_designs, bench_movie_scale, bench_kgeval);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! End-to-end experiment benchmarks: each paper table/figure regeneration
+//! in quick mode, so `cargo bench` exercises every reproduction code path
+//! and tracks its machine cost. (The statistical outputs themselves are
+//! produced by the `repro` binary; see EXPERIMENTS.md.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kg_bench::{run_experiment, Opts};
+
+fn quick_opts() -> Opts {
+    Opts {
+        quick: true,
+        trial_scale: 0.1,
+        ..Opts::default()
+    }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let opts = quick_opts();
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+    for id in ["fig1", "fig3", "fig4", "fig5", "fig6", "fig8", "fig9"] {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run_experiment(id, &opts).expect("known id").len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let opts = quick_opts();
+    let mut group = c.benchmark_group("tables_quick");
+    group.sample_size(10);
+    for id in ["table3", "table4", "table5", "table6", "table7", "table8"] {
+        group.bench_function(id, |b| {
+            b.iter(|| black_box(run_experiment(id, &opts).expect("known id").len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    // fig7 exercises the implicit-KG path over multi-million-triple
+    // populations; benched separately with fewer samples.
+    let opts = quick_opts();
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    group.bench_function("fig7", |b| {
+        b.iter(|| black_box(run_experiment("fig7", &opts).expect("known id").len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_tables, bench_scalability);
+criterion_main!(benches);

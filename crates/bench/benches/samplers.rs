@@ -1,0 +1,79 @@
+//! Microbenchmarks of the sampling primitives in `kg-stats`: these sit on
+//! the hot path of every experiment (millions of draws per trial batch).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kg_stats::alias::AliasTable;
+use kg_stats::distr::Zipf;
+use kg_stats::normal::normal_quantile;
+use kg_stats::reservoir::WeightedReservoir;
+use kg_stats::srswor::sample_without_replacement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_alias(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias_table");
+    for &n in &[1_000usize, 100_000, 1_000_000] {
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 100) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &weights, |b, w| {
+            b.iter(|| AliasTable::new(black_box(w)).unwrap())
+        });
+        let table = AliasTable::new(&weights).unwrap();
+        group.bench_with_input(BenchmarkId::new("sample", n), &table, |b, t| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(t.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reservoir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_reservoir");
+    for &stream in &[10_000usize, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("offer_stream", stream),
+            &stream,
+            |b, &n| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    let mut r = WeightedReservoir::new(60);
+                    for i in 0..n {
+                        r.offer(&mut rng, i, 1.0 + (i % 10) as f64);
+                    }
+                    black_box(r.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_srswor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srswor");
+    // Second-stage shape: k small, n small (per-cluster draws).
+    group.bench_function("cluster_5_of_200", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(sample_without_replacement(&mut rng, 200, 5)))
+    });
+    // SRS shape: k moderate over a huge index space.
+    group.bench_function("srs_200_of_2_6M", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(sample_without_replacement(&mut rng, 2_653_870, 200)))
+    });
+    group.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions");
+    group.bench_function("normal_quantile", |b| {
+        b.iter(|| black_box(normal_quantile(black_box(0.975)).unwrap()))
+    });
+    let zipf = Zipf::new(4000, 1.9).unwrap();
+    group.bench_function("zipf_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_alias, bench_reservoir, bench_srswor, bench_distributions);
+criterion_main!(benches);

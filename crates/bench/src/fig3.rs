@@ -1,0 +1,98 @@
+//! Figure 3: correlation between entity (cluster) accuracy and cluster
+//! size on NELL and YAGO.
+//!
+//! The paper's observation motivating stratification (§5.3): larger entity
+//! clusters tend to have higher accuracy and lower accuracy variance. We
+//! print the binned scatter (mean ± std of cluster accuracy per size bin)
+//! and the size–accuracy Pearson correlation.
+
+use crate::table::TextTable;
+use crate::Opts;
+use kg_annotate::oracle::cluster_accuracies;
+use kg_datagen::profile::DatasetProfile;
+use kg_model::implicit::ClusterPopulation;
+use kg_stats::RunningMoments;
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let mut out = String::from("Figure 3 — entity accuracy vs cluster size\n\n");
+    for profile in [DatasetProfile::nell(), DatasetProfile::yago()] {
+        let ds = profile.generate(opts.seed);
+        let accs = cluster_accuracies(&ds.population, ds.oracle.as_ref());
+        let sizes: Vec<f64> = (0..ds.population.num_clusters())
+            .map(|c| ds.population.cluster_size(c) as f64)
+            .collect();
+
+        // Bin by size.
+        let bins: &[(u64, u64, &str)] = &[
+            (1, 2, "1"),
+            (2, 3, "2"),
+            (3, 5, "3-4"),
+            (5, 9, "5-8"),
+            (9, 17, "9-16"),
+            (17, u64::MAX, "17+"),
+        ];
+        let mut t = TextTable::new(["cluster size", "clusters", "mean accuracy", "std"]);
+        for &(lo, hi, label) in bins {
+            let mut m = RunningMoments::new();
+            for (i, &s) in sizes.iter().enumerate() {
+                if (s as u64) >= lo && (s as u64) < hi {
+                    m.push(accs[i]);
+                }
+            }
+            if m.count() == 0 {
+                continue;
+            }
+            t.row([
+                label.to_string(),
+                format!("{}", m.count()),
+                format!("{:.3}", m.mean()),
+                format!("{:.3}", m.sample_std()),
+            ]);
+        }
+        let r = pearson(&sizes, &accs);
+        out.push_str(&format!(
+            "{} (gold accuracy {:.0}%): Pearson(size, accuracy) = {:+.3}\n{}\n",
+            ds.name,
+            ds.gold_accuracy * 100.0,
+            r,
+            t.render()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_is_positive_on_nell() {
+        let out = run(&Opts::default());
+        assert!(out.contains("NELL"), "{out}");
+        let r: f64 = out
+            .lines()
+            .find(|l| l.starts_with("NELL"))
+            .and_then(|l| l.split("= ").nth(1))
+            .and_then(|s| s.trim().parse().ok())
+            .expect("correlation parseable");
+        assert!(r > 0.05, "NELL correlation {r} should be positive\n{out}");
+    }
+}

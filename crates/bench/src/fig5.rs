@@ -1,0 +1,125 @@
+//! Figure 5: SRS vs TWCS across confidence levels on NELL, YAGO, MOVIE.
+//!
+//! For each KG and confidence level (90/95/99%), run both designs to a 5%
+//! MoE and report (1) sample sizes — clusters and triples — and (2)
+//! evaluation time with the TWCS cost-reduction ratio on top (the bar
+//! labels of Fig. 5-2). Expected shape: TWCS draws far fewer clusters than
+//! SRS touches entities, total triples slightly higher, net time lower by
+//! up to ~20% (less on the highly accurate YAGO, where tiny samples make
+//! the cluster overhead visible — the paper even reports a negative ratio
+//! at 90%).
+
+use crate::table::TextTable;
+use crate::trials::{pm, run_trials};
+use crate::Opts;
+use kg_datagen::profile::DatasetProfile;
+use kg_eval::config::EvalConfig;
+use kg_eval::framework::Evaluator;
+use kg_sampling::PopulationIndex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let profiles = if opts.quick {
+        vec![
+            DatasetProfile::nell(),
+            DatasetProfile::yago(),
+            DatasetProfile::movie().scaled(0.05),
+        ]
+    } else {
+        vec![
+            DatasetProfile::nell(),
+            DatasetProfile::yago(),
+            DatasetProfile::movie(),
+        ]
+    };
+    let mut out = String::from(
+        "Figure 5 — SRS vs TWCS(m=5): sample size and evaluation time vs confidence level\n\n",
+    );
+    for profile in profiles {
+        let ds = profile.generate(opts.seed);
+        let index =
+            Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
+        let trials = opts.trials(if ds.population.sizes().len() > 10_000 { 300 } else { 1000 });
+        let mut t = TextTable::new([
+            "confidence",
+            "SRS units(triples)",
+            "SRS hours",
+            "TWCS clusters",
+            "TWCS triples",
+            "TWCS hours",
+            "reduction",
+        ]);
+        for alpha in [0.10, 0.05, 0.01] {
+            let config = EvalConfig::default().with_alpha(alpha);
+            let metrics = |eval: Evaluator| {
+                let oracle = ds.oracle.clone();
+                let idx = index.clone();
+                run_trials(trials, opts.seed ^ 0xf165, 4, move |seed| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let r = eval
+                        .run_with_index(idx.clone(), oracle.as_ref(), &config, &mut rng)
+                        .expect("valid population");
+                    vec![
+                        r.units as f64,
+                        r.triples_annotated as f64,
+                        r.entities_identified as f64,
+                        r.cost_hours(),
+                    ]
+                })
+            };
+            let srs = metrics(Evaluator::srs());
+            let twcs = metrics(Evaluator::twcs(5));
+            let reduction = 1.0 - twcs[3].mean() / srs[3].mean();
+            t.row([
+                format!("{:.0}%", (1.0 - alpha) * 100.0),
+                format!("{:.0}", srs[1].mean()),
+                pm(&srs[3], 2),
+                format!("{:.0}", twcs[0].mean()),
+                format!("{:.0}", twcs[1].mean()),
+                pm(&twcs[3], 2),
+                format!("{:+.0}%", reduction * 100.0),
+            ]);
+        }
+        out.push_str(&format!(
+            "{} (gold {:.0}%, {} trials)\n{}\n",
+            ds.name,
+            ds.gold_accuracy * 100.0,
+            trials,
+            t.render()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twcs_reduces_cost_on_nell_at_95() {
+        let opts = Opts {
+            quick: true,
+            trial_scale: 0.3,
+            ..Opts::default()
+        };
+        let out = run(&opts);
+        // NELL's 95% row should show a positive reduction.
+        let nell_block: String = out
+            .lines()
+            .skip_while(|l| !l.starts_with("NELL"))
+            .take(7)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let row95 = nell_block
+            .lines()
+            .find(|l| l.starts_with("95%"))
+            .unwrap_or_else(|| panic!("no 95% row\n{out}"));
+        assert!(
+            row95.trim_end().ends_with('%') && row95.contains('+'),
+            "expected positive reduction: {row95}\n{out}"
+        );
+    }
+}

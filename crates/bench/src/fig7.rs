@@ -1,0 +1,140 @@
+//! Figure 7: TWCS scalability — evaluation cost vs KG size and vs overall
+//! accuracy on MOVIE-FULL.
+//!
+//! Expected shapes (§7.2.4): the cost is flat in KG size (26M → 130M
+//! triples, REM 90%) because the required sample size depends on the
+//! variance, not the population size; and peaked at 50% accuracy, where
+//! Bernoulli variance is maximal.
+
+use crate::table::TextTable;
+use crate::trials::{pm, run_trials};
+use crate::Opts;
+use kg_datagen::profile::DatasetProfile;
+use kg_eval::config::EvalConfig;
+use kg_eval::framework::Evaluator;
+use kg_model::implicit::ClusterPopulation;
+use kg_sampling::PopulationIndex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    // Quick mode shrinks MOVIE-FULL 50×: same code path, same flat shape.
+    let base_scale = if opts.quick { 0.02 } else { 1.0 };
+    let config = EvalConfig::default();
+    let trials = opts.trials(100);
+    let mut out = String::from("Figure 7 — TWCS(m=5) scalability on MOVIE-FULL\n\n");
+
+    // (1) Varying KG size at fixed 90% accuracy.
+    let mut t1 = TextTable::new(["triples", "clusters", "hours", "clusters sampled"]);
+    for fraction in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let profile = DatasetProfile::movie_full(0.9).scaled(fraction * base_scale);
+        let ds = profile.generate(opts.seed);
+        let index =
+            Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
+        let oracle = ds.oracle.clone();
+        let idx = index.clone();
+        let stats = run_trials(trials, opts.seed ^ 0xf171, 2, move |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Evaluator::twcs(5)
+                .run_with_index(idx.clone(), oracle.as_ref(), &config, &mut rng)
+                .expect("valid population");
+            vec![r.cost_hours(), r.units as f64]
+        });
+        t1.row([
+            format!("{:.1}M", ds.population.total_triples() as f64 / 1e6),
+            format!("{:.1}M", ds.population.num_clusters() as f64 / 1e6),
+            pm(&stats[0], 2),
+            format!("{:.0}", stats[1].mean()),
+        ]);
+    }
+    out.push_str(&format!("(1) varying KG size, REM 90% ({trials} trials)\n{}\n", t1.render()));
+
+    // (2) Varying overall accuracy at full (scaled) size.
+    let profile = DatasetProfile::movie_full(0.9).scaled(base_scale);
+    let sizes_ds = profile.generate(opts.seed); // structure reused across accuracies
+    let index =
+        Arc::new(PopulationIndex::from_population(&sizes_ds.population).expect("non-empty"));
+    let mut t2 = TextTable::new(["accuracy", "hours", "clusters sampled"]);
+    for acc in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let oracle = kg_annotate::oracle::RemOracle::new(acc, opts.seed ^ 0xacc);
+        let idx = index.clone();
+        let stats = run_trials(trials, opts.seed ^ 0xf172, 2, move |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let r = Evaluator::twcs(5)
+                .run_with_index(idx.clone(), &oracle, &config, &mut rng)
+                .expect("valid population");
+            vec![r.cost_hours(), r.units as f64]
+        });
+        t2.row([
+            format!("{:.0}%", acc * 100.0),
+            pm(&stats[0], 2),
+            format!("{:.0}", stats[1].mean()),
+        ]);
+    }
+    out.push_str(&format!(
+        "(2) varying overall accuracy at {:.1}M triples ({trials} trials)\n{}\n\
+         paper shapes: flat in size; peaked at 50% accuracy.\n",
+        sizes_ds.population.total_triples() as f64 / 1e6,
+        t2.render()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_flat_in_size_and_peaked_at_half_accuracy() {
+        let opts = Opts {
+            quick: true,
+            trial_scale: 0.3,
+            ..Opts::default()
+        };
+        let out = run(&opts);
+        // Size sweep: max/min mean hours within 50%.
+        let hours: Vec<f64> = out
+            .lines()
+            .skip_while(|l| !l.starts_with("(1)"))
+            .take_while(|l| !l.starts_with("(2)"))
+            .filter(|l| l.contains('±'))
+            .filter_map(|l| {
+                l.split_whitespace()
+                    .find(|w| w.contains('±'))?
+                    .split('±')
+                    .next()?
+                    .parse()
+                    .ok()
+            })
+            .collect();
+        assert!(hours.len() >= 5, "{out}");
+        let (lo, hi) = hours
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(a, b), &h| (a.min(h), b.max(h)));
+        assert!(hi / lo < 1.6, "size sweep not flat: {hours:?}\n{out}");
+
+        // Accuracy sweep: 50% row is the most expensive.
+        let acc_hours: Vec<(String, f64)> = out
+            .lines()
+            .skip_while(|l| !l.starts_with("(2)"))
+            .filter(|l| l.contains('±') && l.contains('%'))
+            .filter_map(|l| {
+                let acc = l.split_whitespace().next()?.to_string();
+                let h: f64 = l
+                    .split_whitespace()
+                    .find(|w| w.contains('±'))?
+                    .split('±')
+                    .next()?
+                    .parse()
+                    .ok()?;
+                Some((acc, h))
+            })
+            .collect();
+        let h50 = acc_hours.iter().find(|(a, _)| a == "50%").map(|&(_, h)| h).unwrap();
+        for (a, h) in &acc_hours {
+            assert!(h50 >= *h - 1e-9, "50% ({h50}) not the peak vs {a} ({h})\n{out}");
+        }
+    }
+}

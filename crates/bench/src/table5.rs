@@ -1,0 +1,139 @@
+//! Table 5: performance comparison of SRS / RCS / WCS / TWCS on static
+//! KGs.
+//!
+//! Reproduces the paper's headline static-evaluation table: TWCS cheapest
+//! everywhere; RCS blown up by cluster-size variance (the paper stopped
+//! annotating at 5 h on MOVIE without convergence — we apply the same
+//! cap); WCS between; all estimators unbiased.
+
+use crate::table::TextTable;
+use crate::trials::{pm, pm_pct, run_trials};
+use crate::Opts;
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::cost::CostModel;
+use kg_datagen::profile::{Dataset, DatasetProfile};
+use kg_eval::config::EvalConfig;
+use kg_sampling::design::Design;
+use kg_sampling::PopulationIndex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The paper's annotation cap for non-converging designs: 5 hours.
+const COST_CAP_SECONDS: f64 = 5.0 * 3600.0;
+
+/// Run one design with the iterative loop plus the 5-hour cost cap.
+/// Returns (hours, estimate, converged).
+fn run_capped(
+    design: &Design,
+    ds: &Dataset,
+    index: Arc<PopulationIndex>,
+    config: &EvalConfig,
+    seed: u64,
+) -> (f64, f64, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = design.instantiate(index, ds.oracle.as_ref());
+    let mut annotator = SimulatedAnnotator::new(ds.oracle.as_ref(), CostModel::default());
+    let mut converged = false;
+    loop {
+        // Unit granularity so the cost cap lands where an annotator would
+        // actually stop (a single giant cluster must not overshoot by 6x).
+        let drawn = inst.draw(&mut rng, &mut annotator, 1);
+        if drawn == 0 {
+            converged = true; // population exhausted: census
+            break;
+        }
+        let est = inst.estimate();
+        let moe = est.moe(config.alpha).expect("valid alpha");
+        if inst.units() >= config.min_units && moe <= config.target_moe {
+            converged = true;
+            break;
+        }
+        if annotator.seconds() >= COST_CAP_SECONDS {
+            break;
+        }
+    }
+    (
+        annotator.hours(),
+        inst.estimate().mean,
+        converged,
+    )
+}
+
+/// Run the experiment.
+pub fn run(opts: &Opts) -> String {
+    let movie = if opts.quick {
+        DatasetProfile::movie().scaled(0.05)
+    } else {
+        DatasetProfile::movie()
+    };
+    let mut out = String::from(
+        "Table 5 — SRS / RCS / WCS / TWCS on static KGs (5% MoE at 95%; RCS/WCS capped at 5 h like the paper)\n\n",
+    );
+    for profile in [movie, DatasetProfile::nell(), DatasetProfile::yago()] {
+        let ds = profile.generate(opts.seed);
+        let index =
+            Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
+        let trials = opts.trials(if ds.population.sizes().len() > 10_000 { 200 } else { 1000 });
+        let config = EvalConfig::default();
+        let mut t = TextTable::new(["design", "hours", "estimate", "converged"]);
+        for design in [Design::Srs, Design::Rcs, Design::Wcs, Design::Twcs { m: 5 }] {
+            let ds_ref = &ds;
+            let idx = index.clone();
+            let d = design.clone();
+            let stats = run_trials(trials, opts.seed ^ 0x7ab5, 3, move |seed| {
+                let (hours, est, conv) =
+                    run_capped(&d, ds_ref, idx.clone(), &config, seed);
+                vec![hours, est, if conv { 1.0 } else { 0.0 }]
+            });
+            t.row([
+                design.name().to_string(),
+                pm(&stats[0], 2),
+                pm_pct(&stats[1], 1),
+                format!("{:.0}%", stats[2].mean() * 100.0),
+            ]);
+        }
+        out.push_str(&format!(
+            "{} (gold {:.0}%, {} trials)\n{}\n",
+            ds.name,
+            ds.gold_accuracy * 100.0,
+            trials,
+            t.render()
+        ));
+    }
+    out.push_str(
+        "paper shapes: TWCS lowest everywhere (MOVIE 1.4 h vs SRS 3.53 h); RCS worst\n\
+         (>5 h MOVIE, ~8.25 h NELL, ~10 h YAGO); WCS ≈ TWCS on NELL/YAGO, capped on MOVIE.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hours_of(out: &str, block: &str, design: &str) -> f64 {
+        out.lines()
+            .skip_while(|l| !l.starts_with(block))
+            .find(|l| l.starts_with(design))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.split('±').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no hours for {design} in {block}\n{out}"))
+    }
+
+    #[test]
+    fn twcs_cheapest_and_rcs_most_expensive_on_nell() {
+        let opts = Opts {
+            quick: true,
+            trial_scale: 0.3,
+            ..Opts::default()
+        };
+        let out = run(&opts);
+        let srs = hours_of(&out, "NELL", "SRS");
+        let rcs = hours_of(&out, "NELL", "RCS");
+        let twcs = hours_of(&out, "NELL", "TWCS");
+        assert!(twcs < srs, "TWCS {twcs} !< SRS {srs}\n{out}");
+        assert!(rcs > twcs, "RCS {rcs} !> TWCS {twcs}\n{out}");
+    }
+}

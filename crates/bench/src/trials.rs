@@ -1,0 +1,109 @@
+//! Repeated-trial runner with per-metric aggregation.
+//!
+//! Experiments repeat each configuration over many seeded trials and
+//! report mean ± standard deviation (§7.1.5). Trials are spread across the
+//! available cores with plain scoped threads (on a single-core box this
+//! degenerates to a sequential loop).
+
+use kg_stats::RunningMoments;
+
+/// Run `trials` seeded replications of `f`, each returning a fixed-length
+/// metric vector; returns one [`RunningMoments`] per metric position.
+///
+/// Seeds are `base_seed + trial_index`, so results are deterministic and
+/// independent of thread count.
+pub fn run_trials<F>(trials: u64, base_seed: u64, metrics: usize, f: F) -> Vec<RunningMoments>
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials.max(1) as usize);
+    let chunk = trials.div_ceil(threads as u64);
+    let mut per_thread: Vec<Vec<RunningMoments>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let f = &f;
+                scope.spawn(move || {
+                    let mut acc = vec![RunningMoments::new(); metrics];
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(trials);
+                    for trial in lo..hi {
+                        let out = f(base_seed.wrapping_add(trial));
+                        assert_eq!(
+                            out.len(),
+                            metrics,
+                            "trial returned {} metrics, expected {metrics}",
+                            out.len()
+                        );
+                        for (m, v) in acc.iter_mut().zip(out) {
+                            m.push(v);
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
+    });
+    let mut total = per_thread.pop().unwrap_or_else(|| vec![RunningMoments::new(); metrics]);
+    for part in per_thread {
+        for (t, p) in total.iter_mut().zip(part) {
+            t.merge(&p);
+        }
+    }
+    total
+}
+
+/// Format `mean ± std` with the given decimals.
+pub fn pm(m: &RunningMoments, decimals: usize) -> String {
+    format!("{:.d$}±{:.d$}", m.mean(), m.sample_std(), d = decimals)
+}
+
+/// Format a mean±std pair as percentages.
+pub fn pm_pct(m: &RunningMoments, decimals: usize) -> String {
+    format!(
+        "{:.d$}%±{:.d$}%",
+        m.mean() * 100.0,
+        m.sample_std() * 100.0,
+        d = decimals
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_across_trials_deterministically() {
+        let f = |seed: u64| vec![seed as f64, 2.0 * seed as f64];
+        let a = run_trials(100, 10, 2, f);
+        let b = run_trials(100, 10, 2, f);
+        assert_eq!(a[0].count(), 100);
+        assert_eq!(a[0].mean(), b[0].mean());
+        // Seeds 10..110 → mean 59.5, second metric doubled.
+        assert!((a[0].mean() - 59.5).abs() < 1e-9);
+        assert!((a[1].mean() - 119.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn wrong_metric_arity_panics() {
+        run_trials(2, 0, 3, |_| vec![1.0]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        let m = RunningMoments::from_slice(&[0.5, 0.7]);
+        assert_eq!(pm(&m, 2), "0.60±0.14");
+        assert!(pm_pct(&m, 1).starts_with("60.0%"));
+    }
+
+    #[test]
+    fn single_trial_works() {
+        let out = run_trials(1, 7, 1, |s| vec![s as f64]);
+        assert_eq!(out[0].count(), 1);
+        assert_eq!(out[0].mean(), 7.0);
+    }
+}

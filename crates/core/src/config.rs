@@ -1,0 +1,108 @@
+//! Evaluation configuration: the user-facing statistical contract.
+
+/// Parameters of the quality-control loop (Fig. 2, step 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Significance level α; the confidence level is `1 − α`. Default 0.05.
+    pub alpha: f64,
+    /// Target margin of error ε. The loop stops when `MoE ≤ ε`.
+    /// Default 0.05 (the paper's default across §7).
+    pub target_moe: f64,
+    /// Sampling units drawn per iteration. Default 5 — small batches keep
+    /// the stop-at-MoE rule from overshooting on expensive cluster units.
+    pub batch_size: usize,
+    /// Minimum units before the stop rule may fire — the CLT rule of thumb
+    /// `n > 30` (§2.2 footnote). Plug-in variance estimates are unreliable
+    /// below this, so stopping earlier forfeits the MoE guarantee (the
+    /// paper's own YAGO runs stop at 20–30 triples and pay for it with
+    /// empirical rather than analytic intervals). Default 30.
+    pub min_units: usize,
+    /// Hard cap on drawn units, guarding against configurations whose MoE
+    /// target is unreachable (e.g. ε ≈ 0). Default 1,000,000.
+    pub max_units: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            alpha: 0.05,
+            target_moe: 0.05,
+            batch_size: 5,
+            min_units: 30,
+            max_units: 1_000_000,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Config with a different confidence level `1 − alpha`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Config with a different MoE target.
+    pub fn with_target_moe(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0, "target MoE must be positive");
+        self.target_moe = eps;
+        self
+    }
+
+    /// Config with a different per-iteration batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        assert!(batch >= 1, "batch size must be at least 1");
+        self.batch_size = batch;
+        self
+    }
+
+    /// Config with a different unit cap.
+    pub fn with_max_units(mut self, cap: usize) -> Self {
+        self.max_units = cap;
+        self
+    }
+
+    /// Config with a different minimum unit count before stopping.
+    pub fn with_min_units(mut self, min: usize) -> Self {
+        self.min_units = min;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = EvalConfig::default();
+        assert_eq!(c.alpha, 0.05);
+        assert_eq!(c.target_moe, 0.05);
+        assert_eq!(c.min_units, 30);
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let c = EvalConfig::default()
+            .with_alpha(0.01)
+            .with_target_moe(0.03)
+            .with_batch_size(5)
+            .with_max_units(99);
+        assert_eq!(c.alpha, 0.01);
+        assert_eq!(c.target_moe, 0.03);
+        assert_eq!(c.batch_size, 5);
+        assert_eq!(c.max_units, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_validated() {
+        EvalConfig::default().with_alpha(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn moe_validated() {
+        EvalConfig::default().with_target_moe(0.0);
+    }
+}

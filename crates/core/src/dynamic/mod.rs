@@ -1,0 +1,43 @@
+//! Incremental evaluation on evolving KGs (§6).
+//!
+//! Two strategies, both reusing previous annotations instead of re-running
+//! static evaluation from scratch:
+//!
+//! * [`reservoir::ReservoirEvaluator`] — Algorithm 1: a weighted reservoir
+//!   of clusters (Efraimidis–Spirakis keys `u^{1/|Δe|}`) updated in one
+//!   pass over the insertion stream; only clusters that *enter* the
+//!   reservoir need fresh annotation, bounded by `O(|R|·log(N_j/N_i))`
+//!   (Proposition 3).
+//! * [`stratified::StratifiedIncremental`] — Algorithm 2: each update batch
+//!   is a new stratum; old strata's estimates are reused verbatim and only
+//!   the newest stratum is sampled, combined by Eq. 13.
+//!
+//! [`monitor`] drives either over a sequence of update batches (§7.3.2),
+//! recording per-batch estimates and cumulative cost.
+
+pub mod monitor;
+pub mod reservoir;
+pub mod stratified;
+
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_model::update::UpdateBatch;
+use kg_stats::PointEstimate;
+use rand::RngCore;
+
+/// Common interface of the two incremental evaluators, used by the monitor.
+pub trait IncrementalEvaluator {
+    /// Ingest one update batch, re-annotate as needed, and return the new
+    /// estimate of `μ(G + Δ)` meeting the configured MoE target.
+    fn apply_update(
+        &mut self,
+        delta: &UpdateBatch,
+        annotator: &mut SimulatedAnnotator<'_>,
+        rng: &mut dyn RngCore,
+    ) -> PointEstimate;
+
+    /// Current estimate.
+    fn estimate(&self) -> PointEstimate;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,328 @@
+//! Reservoir Incremental Evaluation (§6.1, Algorithm 1).
+//!
+//! A fixed-size weighted reservoir of entity clusters is maintained as the
+//! KG grows: every insertion group `Δe` is offered with key
+//! `Rand(0,1)^{1/|Δe|}` and replaces the reservoir's minimum-key member when
+//! it wins. Only the (few) clusters that enter the reservoir need fresh
+//! annotation; evicted clusters' annotations are retired. When the
+//! post-update estimate misses the MoE target, extra weighted cluster draws
+//! from the *current* KG state top the sample up, exactly as the paper
+//! prescribes ("we again run Static Evaluation on G + Δ … iteratively
+//! until MoE is no more than ε").
+
+use crate::config::EvalConfig;
+use crate::dynamic::IncrementalEvaluator;
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_model::implicit::ImplicitKg;
+use kg_model::update::UpdateBatch;
+use kg_sampling::twcs::annotate_cluster_sized;
+use kg_stats::alias::AliasTable;
+use kg_stats::reservoir::{OfferOutcome, WeightedReservoir};
+use kg_stats::{PointEstimate, RunningMoments};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Reservoir-based incremental evaluator (RS in §7.3).
+pub struct ReservoirEvaluator {
+    m: usize,
+    config: EvalConfig,
+    reservoir: WeightedReservoir<u32>,
+    /// Second-stage accuracy of each current reservoir member.
+    member_accuracy: HashMap<u32, f64>,
+    /// Top-up accuracies drawn from the current KG state (cleared on each
+    /// update because their sampling frame becomes stale).
+    extras: Vec<f64>,
+    /// Evolving KG skeleton: sizes of all clusters seen so far.
+    sizes: Vec<u32>,
+    /// Alias table over `sizes`, rebuilt lazily when stale.
+    pps: Option<AliasTable>,
+}
+
+impl ReservoirEvaluator {
+    /// Initialize over the base KG: stream all base clusters through the
+    /// reservoir, annotate its members, and top up to the MoE target.
+    ///
+    /// `capacity` is the reservoir size `|R|` (the paper sizes it like a
+    /// static TWCS first-stage sample).
+    pub fn evaluate_base(
+        base: &ImplicitKg,
+        capacity: usize,
+        m: usize,
+        config: EvalConfig,
+        annotator: &mut SimulatedAnnotator<'_>,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        let mut reservoir = WeightedReservoir::new(capacity);
+        let sizes = base.sizes().to_vec();
+        for (c, &s) in sizes.iter().enumerate() {
+            reservoir.offer(rng, c as u32, s as f64);
+        }
+        let mut this = ReservoirEvaluator {
+            m,
+            config,
+            reservoir,
+            member_accuracy: HashMap::new(),
+            extras: Vec::new(),
+            sizes,
+            pps: None,
+        };
+        this.annotate_new_members(annotator, rng);
+        this.top_up(annotator, rng);
+        this
+    }
+
+    /// Shift every *currently annotated* accuracy by `bias` (clamped to
+    /// `[0, 1]`), emulating an unlucky initial sample whose estimate is off
+    /// by `bias` — the Fig. 9-2/9-3 fault-tolerance scenario. Future
+    /// annotations (update insertions, top-ups) are unaffected, so RS
+    /// recovers as biased members are evicted and diluted, while the same
+    /// bias frozen into a stratified evaluator's base estimate persists.
+    pub fn inject_initial_bias(&mut self, bias: f64) {
+        for acc in self.member_accuracy.values_mut() {
+            *acc = (*acc + bias).clamp(0.0, 1.0);
+        }
+        for acc in &mut self.extras {
+            *acc = (*acc + bias).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Number of reservoir replacement events so far (Proposition 3).
+    pub fn replacements(&self) -> u64 {
+        self.reservoir.replacements()
+    }
+
+    /// Reservoir capacity `|R|`.
+    pub fn capacity(&self) -> usize {
+        self.reservoir.capacity()
+    }
+
+    /// Current total triples in the evolved KG skeleton.
+    pub fn total_triples(&self) -> u64 {
+        self.sizes.iter().map(|&s| s as u64).sum()
+    }
+
+    fn annotate_new_members(&mut self, annotator: &mut SimulatedAnnotator<'_>, rng: &mut dyn RngCore) {
+        let members: Vec<u32> = self.reservoir.iter().map(|k| k.item).collect();
+        for c in members {
+            if !self.member_accuracy.contains_key(&c) {
+                let acc = annotate_cluster_sized(
+                    c,
+                    self.sizes[c as usize] as usize,
+                    self.m,
+                    rng,
+                    annotator,
+                );
+                self.member_accuracy.insert(c, acc);
+            }
+        }
+    }
+
+    fn moments(&self) -> RunningMoments {
+        self.member_accuracy
+            .values()
+            .copied()
+            .chain(self.extras.iter().copied())
+            .collect()
+    }
+
+    /// Draw additional PPS cluster samples from the current KG state until
+    /// the MoE target and the CLT minimum are met.
+    fn top_up(&mut self, annotator: &mut SimulatedAnnotator<'_>, rng: &mut dyn RngCore) {
+        loop {
+            let est = self.estimate();
+            let n = self.member_accuracy.len() + self.extras.len();
+            let moe = est.moe(self.config.alpha).expect("valid alpha");
+            if n >= self.config.min_units && moe <= self.config.target_moe {
+                break;
+            }
+            if n >= self.config.max_units {
+                break;
+            }
+            if self.pps.is_none() {
+                self.pps = Some(
+                    AliasTable::from_sizes(&self.sizes).expect("non-empty evolved KG"),
+                );
+            }
+            let table = self.pps.as_ref().expect("built above");
+            for _ in 0..self.config.batch_size {
+                let c = table.sample(rng) as u32;
+                let acc = annotate_cluster_sized(
+                    c,
+                    self.sizes[c as usize] as usize,
+                    self.m,
+                    rng,
+                    annotator,
+                );
+                self.extras.push(acc);
+            }
+        }
+    }
+}
+
+impl IncrementalEvaluator for ReservoirEvaluator {
+    fn apply_update(
+        &mut self,
+        delta: &UpdateBatch,
+        annotator: &mut SimulatedAnnotator<'_>,
+        rng: &mut dyn RngCore,
+    ) -> PointEstimate {
+        // Stale after growth: extras were drawn from the previous frame.
+        self.extras.clear();
+        self.pps = None;
+        for &dsize in delta.delta_sizes() {
+            let id = self.sizes.len() as u32;
+            self.sizes.push(dsize);
+            match self.reservoir.offer(rng, id, dsize as f64) {
+                OfferOutcome::Inserted => {
+                    let acc =
+                        annotate_cluster_sized(id, dsize as usize, self.m, rng, annotator);
+                    self.member_accuracy.insert(id, acc);
+                }
+                OfferOutcome::Replaced(evicted) => {
+                    self.member_accuracy.remove(&evicted.item);
+                    let acc =
+                        annotate_cluster_sized(id, dsize as usize, self.m, rng, annotator);
+                    self.member_accuracy.insert(id, acc);
+                }
+                OfferOutcome::Rejected => {}
+            }
+        }
+        self.top_up(annotator, rng);
+        self.estimate()
+    }
+
+    fn estimate(&self) -> PointEstimate {
+        let moments = self.moments();
+        let n = moments.count() as usize;
+        if n == 0 {
+            return PointEstimate::uninformative();
+        }
+        PointEstimate::new(
+            moments.mean(),
+            kg_sampling::twcs::floored_variance_of_mean(&moments, self.m),
+            n,
+        )
+        .expect("plug-in variance is non-negative")
+    }
+
+    fn name(&self) -> &'static str {
+        "RS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::cost::CostModel;
+    use kg_annotate::oracle::{true_accuracy, RemOracle};
+    use kg_model::implicit::ClusterPopulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_kg() -> ImplicitKg {
+        ImplicitKg::new((0..2000).map(|i| 1 + (i % 10)).collect()).unwrap()
+    }
+
+    #[test]
+    fn base_evaluation_meets_moe() {
+        let base = base_kg();
+        let oracle = RemOracle::new(0.9, 1);
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let eval = ReservoirEvaluator::evaluate_base(
+            &base,
+            60,
+            5,
+            EvalConfig::default(),
+            &mut annotator,
+            &mut rng,
+        );
+        let est = eval.estimate();
+        assert!(est.moe(0.05).unwrap() <= 0.05);
+        let truth = true_accuracy(&base, &oracle);
+        assert!((est.mean - truth).abs() < 0.08);
+        assert_eq!(eval.capacity(), 60);
+    }
+
+    #[test]
+    fn update_annotation_is_incremental() {
+        let base = base_kg();
+        let oracle = RemOracle::new(0.9, 2);
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut eval = ReservoirEvaluator::evaluate_base(
+            &base,
+            60,
+            5,
+            EvalConfig::default(),
+            &mut annotator,
+            &mut rng,
+        );
+        let cost_before = annotator.seconds();
+        // Small update (~5% of base): incremental cost should be far below
+        // the base evaluation cost.
+        let delta = UpdateBatch::from_sizes(vec![5; 100]).unwrap();
+        let est = eval.apply_update(&delta, &mut annotator, &mut rng);
+        let cost_delta = annotator.seconds() - cost_before;
+        assert!(est.moe(0.05).unwrap() <= 0.05);
+        assert!(
+            cost_delta < cost_before * 0.5,
+            "incremental {cost_delta} vs base {cost_before}"
+        );
+        assert_eq!(eval.total_triples(), base.total_triples() + 500);
+    }
+
+    #[test]
+    fn replacement_count_bounded_by_proposition_3() {
+        let base = base_kg();
+        let oracle = RemOracle::new(0.9, 3);
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut eval = ReservoirEvaluator::evaluate_base(
+            &base,
+            50,
+            5,
+            EvalConfig::default(),
+            &mut annotator,
+            &mut rng,
+        );
+        let after_base = eval.replacements();
+        // Double the cluster count: E[new replacements] ≈ |R|·ln 2 ≈ 35.
+        let delta = UpdateBatch::from_sizes(vec![5; 2000]).unwrap();
+        eval.apply_update(&delta, &mut annotator, &mut rng);
+        let growth = eval.replacements() - after_base;
+        // Generous bound: 3× the expectation.
+        assert!(
+            growth < 3 * 50,
+            "replacements grew by {growth}, expected ≈ 50·ln2 ≈ 35"
+        );
+    }
+
+    #[test]
+    fn estimate_tracks_changed_accuracy() {
+        // Base at 90%, then a large bad update (accuracy 0%) drags overall
+        // accuracy down; RS should follow.
+        use kg_annotate::piecewise::PiecewiseOracle;
+        let base = ImplicitKg::new(vec![4; 1000]).unwrap(); // 4000 triples
+        let mut oracle = PiecewiseOracle::new(Box::new(RemOracle::new(0.9, 4)));
+        oracle.push_segment(1000, Box::new(RemOracle::new(0.0, 5)));
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut eval = ReservoirEvaluator::evaluate_base(
+            &base,
+            60,
+            5,
+            EvalConfig::default(),
+            &mut annotator,
+            &mut rng,
+        );
+        // Update: 4000 more triples, all wrong → overall ≈ 45%.
+        let delta = UpdateBatch::from_sizes(vec![4; 1000]).unwrap();
+        let est = eval.apply_update(&delta, &mut annotator, &mut rng);
+        assert!(
+            (est.mean - 0.45).abs() < 0.08,
+            "estimate {} should approach 0.45",
+            est.mean
+        );
+    }
+}

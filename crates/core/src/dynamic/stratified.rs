@@ -1,0 +1,335 @@
+//! Stratified Incremental Evaluation (§6.2, Algorithm 2).
+//!
+//! Every update batch `Δ_i` becomes its own stratum. Previous strata —
+//! including the original base evaluation — are *never re-sampled*: their
+//! estimates `(μ̂_h, Var[μ̂_h])` are reused verbatim and combined with the
+//! newest stratum via Eq. 13, with weights proportional to triple counts.
+//! Only the newest stratum is sampled (TWCS) until the combined MoE meets
+//! the target.
+//!
+//! This total reuse is both SS's strength (it is the cheapest incremental
+//! strategy, 20–67% below RS in §7.3) and its weakness: a bad early
+//! estimate persists, since nothing ever refreshes old strata — the
+//! fault-tolerance trade-off of Fig. 9.
+
+use crate::config::EvalConfig;
+use crate::dynamic::IncrementalEvaluator;
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_model::implicit::{ClusterPopulation, ImplicitKg};
+use kg_model::update::UpdateBatch;
+use kg_sampling::twcs::annotate_cluster_sized;
+use kg_stats::alias::AliasTable;
+use kg_stats::{PointEstimate, RunningMoments};
+use rand::RngCore;
+
+/// One stratum: a segment of the evolving KG with its (possibly frozen)
+/// estimate.
+struct StratumEval {
+    /// Triples in the stratum (its weight numerator).
+    triples: u64,
+    /// Estimate source: frozen (reused from a previous round) or live
+    /// accumulation.
+    state: StratumState,
+}
+
+enum StratumState {
+    /// Reused verbatim; never sampled again.
+    Frozen(PointEstimate),
+    /// The stratum currently being sampled.
+    Live {
+        /// Global cluster id of the stratum's first cluster.
+        first_cluster: u32,
+        /// Cluster sizes within the stratum.
+        sizes: Vec<u32>,
+        /// PPS table over `sizes`.
+        alias: AliasTable,
+        /// Per-draw second-stage accuracies.
+        accs: RunningMoments,
+    },
+}
+
+impl StratumEval {
+    fn estimate(&self, m: usize) -> PointEstimate {
+        match &self.state {
+            StratumState::Frozen(e) => *e,
+            StratumState::Live { accs, .. } => {
+                let n = accs.count() as usize;
+                if n < 2 {
+                    // Conservative until the within-stratum variance is
+                    // estimable, mirroring `kg_sampling::stratified`.
+                    PointEstimate::new(if n == 1 { accs.mean() } else { 0.5 }, 0.25, n)
+                        .expect("constant variance is valid")
+                } else {
+                    PointEstimate::new(
+                        accs.mean(),
+                        kg_sampling::twcs::floored_variance_of_mean(accs, m),
+                        n,
+                    )
+                    .expect("plug-in variance is non-negative")
+                }
+            }
+        }
+    }
+}
+
+/// Stratified incremental evaluator (SS in §7.3).
+pub struct StratifiedIncremental {
+    m: usize,
+    config: EvalConfig,
+    strata: Vec<StratumEval>,
+    next_cluster_id: u32,
+}
+
+impl StratifiedIncremental {
+    /// Start from an already evaluated base KG: `base_estimate` is the
+    /// (μ̂, Var) produced by a previous static evaluation of `base`.
+    ///
+    /// Passing a deliberately biased estimate reproduces the Fig. 9
+    /// fault-tolerance scenario.
+    pub fn from_base(base: &ImplicitKg, base_estimate: PointEstimate, m: usize, config: EvalConfig) -> Self {
+        StratifiedIncremental {
+            m,
+            config,
+            strata: vec![StratumEval {
+                triples: base.total_triples(),
+                state: StratumState::Frozen(base_estimate),
+            }],
+            next_cluster_id: base.num_clusters() as u32,
+        }
+    }
+
+    /// Number of strata (base + one per applied update).
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Current stratum weights `W_h` (triple shares).
+    pub fn weights(&self) -> Vec<f64> {
+        let total: u64 = self.strata.iter().map(|s| s.triples).sum();
+        self.strata
+            .iter()
+            .map(|s| s.triples as f64 / total as f64)
+            .collect()
+    }
+
+    fn combined(&self) -> PointEstimate {
+        let weights = self.weights();
+        let m = self.m;
+        PointEstimate::stratified(
+            weights
+                .into_iter()
+                .zip(self.strata.iter().map(|s| s.estimate(m))),
+        )
+        .expect("weights sum to one over non-empty strata")
+    }
+}
+
+impl IncrementalEvaluator for StratifiedIncremental {
+    fn apply_update(
+        &mut self,
+        delta: &UpdateBatch,
+        annotator: &mut SimulatedAnnotator<'_>,
+        rng: &mut dyn RngCore,
+    ) -> PointEstimate {
+        // Freeze the previous live stratum (if any): Algorithm 2 reuses its
+        // estimate from now on.
+        let m = self.m;
+        if let Some(last) = self.strata.last_mut() {
+            let est = last.estimate(m);
+            if matches!(last.state, StratumState::Live { .. }) {
+                last.state = StratumState::Frozen(est);
+            }
+        }
+        let sizes = delta.delta_sizes().to_vec();
+        if sizes.is_empty() {
+            return self.combined();
+        }
+        let alias = AliasTable::from_sizes(&sizes).expect("non-empty update batch");
+        let first_cluster = self.next_cluster_id;
+        self.next_cluster_id += sizes.len() as u32;
+        self.strata.push(StratumEval {
+            triples: delta.total_triples(),
+            state: StratumState::Live {
+                first_cluster,
+                sizes,
+                alias,
+                accs: RunningMoments::new(),
+            },
+        });
+
+        // Sample the new stratum until the combined MoE meets the target.
+        // Every stratum gets at least two draws so its estimate is real —
+        // a frozen never-sampled stratum would contribute an uninformative
+        // (0.5, 0.25) forever, biasing the whole sequence.
+        let mut drawn = 0usize;
+        loop {
+            let live_units = match &self.strata.last().expect("just pushed").state {
+                StratumState::Live { accs, .. } => accs.count(),
+                StratumState::Frozen(_) => unreachable!("last stratum is live"),
+            };
+            if live_units >= 2 {
+                let est = self.combined();
+                let moe = est.moe(self.config.alpha).expect("valid alpha");
+                if moe <= self.config.target_moe || drawn >= self.config.max_units {
+                    break;
+                }
+            }
+            let live = self.strata.last_mut().expect("just pushed");
+            if let StratumState::Live {
+                first_cluster,
+                sizes,
+                alias,
+                accs,
+            } = &mut live.state
+            {
+                for _ in 0..self.config.batch_size {
+                    let local = alias.sample(rng);
+                    let cluster = *first_cluster + local as u32;
+                    let acc = annotate_cluster_sized(
+                        cluster,
+                        sizes[local] as usize,
+                        self.m,
+                        rng,
+                        annotator,
+                    );
+                    accs.push(acc);
+                    drawn += 1;
+                }
+            }
+        }
+        self.combined()
+    }
+
+    fn estimate(&self) -> PointEstimate {
+        self.combined()
+    }
+
+    fn name(&self) -> &'static str {
+        "SS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::cost::CostModel;
+    use kg_annotate::oracle::RemOracle;
+    use kg_annotate::piecewise::PiecewiseOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_kg() -> ImplicitKg {
+        ImplicitKg::new(vec![4; 1000]).unwrap() // 4000 triples
+    }
+
+    fn base_estimate(mean: f64) -> PointEstimate {
+        // A plausible converged base estimate: MoE ≈ 4% at 95%.
+        PointEstimate::new(mean, 0.0004, 60).unwrap()
+    }
+
+    #[test]
+    fn reuses_base_and_samples_only_delta() {
+        let base = base_kg();
+        let oracle = RemOracle::new(0.9, 1);
+        let mut ss = StratifiedIncremental::from_base(
+            &base,
+            base_estimate(0.9),
+            5,
+            EvalConfig::default(),
+        );
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let delta = UpdateBatch::from_sizes(vec![4; 100]).unwrap(); // 10% update
+        let est = ss.apply_update(&delta, &mut annotator, &mut rng);
+        assert!(est.moe(0.05).unwrap() <= 0.05);
+        assert_eq!(ss.num_strata(), 2);
+        // Every annotated triple belongs to the delta segment (ids ≥ 1000).
+        assert!(annotator.triples_annotated() > 0);
+        let w = ss.weights();
+        assert!((w[0] - 4000.0 / 4400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_estimate_is_weighted_mean() {
+        let base = base_kg();
+        // Base at 90%; update of equal size at ~0%: combined ≈ 45%.
+        let mut oracle = PiecewiseOracle::new(Box::new(RemOracle::new(0.9, 2)));
+        oracle.push_segment(1000, Box::new(RemOracle::new(0.0, 3)));
+        let mut ss = StratifiedIncremental::from_base(
+            &base,
+            base_estimate(0.9),
+            5,
+            EvalConfig::default(),
+        );
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        let delta = UpdateBatch::from_sizes(vec![4; 1000]).unwrap();
+        let est = ss.apply_update(&delta, &mut annotator, &mut rng);
+        assert!((est.mean - 0.45).abs() < 0.05, "estimate {}", est.mean);
+    }
+
+    #[test]
+    fn sequence_of_updates_accumulates_strata() {
+        let base = base_kg();
+        let oracle = RemOracle::new(0.9, 4);
+        let mut ss = StratifiedIncremental::from_base(
+            &base,
+            base_estimate(0.9),
+            5,
+            EvalConfig::default(),
+        );
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let delta = UpdateBatch::from_sizes(vec![4; 100]).unwrap();
+            let est = ss.apply_update(&delta, &mut annotator, &mut rng);
+            assert!(est.moe(0.05).unwrap() <= 0.05);
+        }
+        assert_eq!(ss.num_strata(), 6);
+        let wsum: f64 = ss.weights().iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_base_estimate_persists() {
+        // The fault-tolerance weakness: an over-estimated base keeps the
+        // combined estimate high even after several accurate updates.
+        let base = base_kg();
+        let oracle = RemOracle::new(0.9, 5);
+        let biased = base_estimate(0.99); // truth is 0.9
+        let mut ss =
+            StratifiedIncremental::from_base(&base, biased, 5, EvalConfig::default());
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..5 {
+            let delta = UpdateBatch::from_sizes(vec![4; 100]).unwrap();
+            ss.apply_update(&delta, &mut annotator, &mut rng);
+        }
+        // Base weight after 5 × 10% updates is 2/3; bias ≈ 0.09·(2/3) ≈ 0.06.
+        let est = ss.estimate();
+        assert!(
+            est.mean > 0.93,
+            "bias should persist, estimate {}",
+            est.mean
+        );
+    }
+
+    #[test]
+    fn empty_update_is_a_no_op() {
+        let base = base_kg();
+        let oracle = RemOracle::new(0.9, 7);
+        let mut ss = StratifiedIncremental::from_base(
+            &base,
+            base_estimate(0.9),
+            5,
+            EvalConfig::default(),
+        );
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(8);
+        let delta = UpdateBatch::from_sizes(vec![]).unwrap();
+        let est = ss.apply_update(&delta, &mut annotator, &mut rng);
+        assert_eq!(ss.num_strata(), 1);
+        assert!((est.mean - 0.9).abs() < 1e-9);
+        assert_eq!(annotator.triples_annotated(), 0);
+    }
+}

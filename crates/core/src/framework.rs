@@ -1,0 +1,202 @@
+//! One-call façade over the static evaluation loop.
+
+use crate::config::EvalConfig;
+use crate::report::EvaluationReport;
+use crate::static_eval::run_static;
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::cost::CostModel;
+use kg_annotate::oracle::LabelOracle;
+use kg_model::implicit::ClusterPopulation;
+use kg_sampling::design::Design;
+use kg_sampling::stratified::StratificationStrategy;
+use kg_sampling::PopulationIndex;
+use kg_stats::error::StatsError;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// Evaluator: a sampling design plus a cost model, runnable against any
+/// population + oracle.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    design: Design,
+    cost: CostModel,
+}
+
+impl Evaluator {
+    /// Evaluator over an explicit design.
+    pub fn new(design: Design) -> Self {
+        Evaluator {
+            design,
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Simple random sampling (§5.1).
+    pub fn srs() -> Self {
+        Self::new(Design::Srs)
+    }
+
+    /// Random cluster sampling (§5.2.1).
+    pub fn rcs() -> Self {
+        Self::new(Design::Rcs)
+    }
+
+    /// Weighted cluster sampling (§5.2.2).
+    pub fn wcs() -> Self {
+        Self::new(Design::Wcs)
+    }
+
+    /// Two-stage weighted cluster sampling with cap `m` (§5.2.3). The
+    /// paper's guideline: `m` in 3–5 is near-optimal across all KGs studied
+    /// (§7.2.2).
+    pub fn twcs(m: usize) -> Self {
+        Self::new(Design::Twcs { m })
+    }
+
+    /// TWCS with size stratification (cumulative-√F, §5.3).
+    pub fn twcs_size_stratified(m: usize, strata: usize) -> Self {
+        Self::new(Design::StratifiedTwcs {
+            m,
+            strategy: StratificationStrategy::Size { strata },
+        })
+    }
+
+    /// TWCS with oracle (accuracy) stratification — the Table 7 lower
+    /// bound; requires the oracle to reveal expected cluster accuracies.
+    pub fn twcs_oracle_stratified(m: usize, strata: usize) -> Self {
+        Self::new(Design::StratifiedTwcs {
+            m,
+            strategy: StratificationStrategy::Oracle { strata },
+        })
+    }
+
+    /// Replace the cost model (default: the paper's c1=45 s, c2=25 s).
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The underlying design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Evaluate `pop`'s accuracy against `oracle` until the config's MoE
+    /// target is met.
+    pub fn run<P: ClusterPopulation + ?Sized>(
+        &self,
+        pop: &P,
+        oracle: &dyn LabelOracle,
+        config: &EvalConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<EvaluationReport, StatsError> {
+        let index = Arc::new(PopulationIndex::from_population(pop)?);
+        self.run_with_index(index, oracle, config, rng)
+    }
+
+    /// Evaluate over a pre-built (shared) population index — avoids
+    /// rebuilding the alias table across experiment trials.
+    pub fn run_with_index(
+        &self,
+        index: Arc<PopulationIndex>,
+        oracle: &dyn LabelOracle,
+        config: &EvalConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<EvaluationReport, StatsError> {
+        let mut design = self.design.instantiate(index, oracle);
+        let mut annotator = SimulatedAnnotator::new(oracle, self.cost);
+        Ok(run_static(design.as_mut(), &mut annotator, config, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::oracle::{true_accuracy, RemOracle};
+    use kg_model::implicit::ImplicitKg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn kg() -> ImplicitKg {
+        ImplicitKg::new((0..3000).map(|i| 1 + (i % 15)).collect()).unwrap()
+    }
+
+    #[test]
+    fn all_designs_converge_and_agree() {
+        let kg = kg();
+        let oracle = RemOracle::new(0.85, 12);
+        let truth = true_accuracy(&kg, &oracle);
+        let config = EvalConfig::default();
+        for (i, eval) in [
+            Evaluator::srs(),
+            Evaluator::wcs(),
+            Evaluator::twcs(5),
+            Evaluator::twcs_size_stratified(5, 3),
+            Evaluator::twcs_oracle_stratified(5, 3),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(100 + i as u64);
+            let report = eval.run(&kg, &oracle, &config, &mut rng).unwrap();
+            assert!(report.converged, "{}", report.summary());
+            assert!(
+                (report.estimate.mean - truth).abs() < 0.08,
+                "{}: {} vs truth {}",
+                report.design,
+                report.estimate.mean,
+                truth
+            );
+        }
+    }
+
+    #[test]
+    fn twcs_costs_less_than_srs_on_clustered_kg() {
+        // Averaged over seeds, TWCS's entity-identification savings beat
+        // SRS on a KG with sizable clusters.
+        let kg = kg();
+        let oracle = RemOracle::new(0.9, 3);
+        let config = EvalConfig::default();
+        let mut srs_cost = 0.0;
+        let mut twcs_cost = 0.0;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            srs_cost += Evaluator::srs()
+                .run(&kg, &oracle, &config, &mut rng)
+                .unwrap()
+                .cost_seconds;
+            let mut rng = StdRng::seed_from_u64(seed + 999);
+            twcs_cost += Evaluator::twcs(4)
+                .run(&kg, &oracle, &config, &mut rng)
+                .unwrap()
+                .cost_seconds;
+        }
+        assert!(
+            twcs_cost < srs_cost,
+            "TWCS {twcs_cost} should beat SRS {srs_cost}"
+        );
+    }
+
+    #[test]
+    fn custom_cost_model_scales_reported_cost() {
+        let kg = kg();
+        let oracle = RemOracle::new(0.9, 3);
+        let config = EvalConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cheap = Evaluator::twcs(5)
+            .with_cost_model(CostModel::new(1.0, 1.0))
+            .run(&kg, &oracle, &config, &mut rng)
+            .unwrap();
+        let expected = cheap.entities_identified as f64 + cheap.triples_annotated as f64;
+        assert!((cheap.cost_seconds - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn design_accessor_round_trips() {
+        let e = Evaluator::twcs(7);
+        match e.design() {
+            Design::Twcs { m } => assert_eq!(*m, 7),
+            other => panic!("unexpected design {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-predicate accuracy evaluation — the paper's stated future work
+//! (§9: "extending the proposed solution to enable efficient evaluation on
+//! different granularity, such as accuracy per predicate or per entity
+//! type").
+//!
+//! Each predicate's triples form their own sub-population, still clustered
+//! by subject so the annotation cost structure is preserved; TWCS runs per
+//! predicate against the MoE target. One shared annotator serves every
+//! group, so an entity identified while auditing `wasBornIn` is free when
+//! `birthDate` later samples the same subject — cross-group identification
+//! reuse that a naive per-predicate re-evaluation forfeits.
+
+use crate::config::EvalConfig;
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::oracle::LabelOracle;
+use kg_model::graph::KnowledgeGraph;
+use kg_model::triple::{PredicateId, TripleRef};
+use kg_stats::alias::AliasTable;
+use kg_stats::srswor::sample_without_replacement;
+use kg_stats::{PointEstimate, RunningMoments};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// One predicate's sub-population: per-subject groups of triple offsets
+/// (offsets index the *original* graph, so oracles and annotators see
+/// consistent `TripleRef`s).
+struct PredicateGroup {
+    predicate: PredicateId,
+    /// `(global cluster id, offsets of this predicate's triples in it)`.
+    clusters: Vec<(u32, Vec<u32>)>,
+    total_triples: u64,
+}
+
+/// Accuracy estimate for one predicate.
+#[derive(Debug, Clone)]
+pub struct PredicateReport {
+    /// The predicate (resolve its name via the graph's interner).
+    pub predicate: PredicateId,
+    /// Triples carrying this predicate.
+    pub triples: u64,
+    /// Unbiased accuracy estimate for the predicate's triples.
+    pub estimate: PointEstimate,
+    /// Achieved margin of error.
+    pub moe: f64,
+    /// Whether the MoE target was met (small predicates may be exhausted
+    /// first — then the estimate is a census and exact).
+    pub converged: bool,
+}
+
+/// Evaluate per-predicate accuracies over a materialized KG with a shared
+/// annotator. Predicates with fewer than `min_triples` triples are censused
+/// outright (sampling machinery would oversample them anyway).
+pub fn evaluate_per_predicate(
+    graph: &KnowledgeGraph,
+    oracle: &dyn LabelOracle,
+    config: &EvalConfig,
+    m: usize,
+    min_triples: u64,
+    rng: &mut dyn RngCore,
+) -> (Vec<PredicateReport>, SimulatedAnnotatorStats) {
+    assert!(m >= 1, "second-stage size m must be at least 1");
+    // Build per-predicate subject groups.
+    let mut groups: HashMap<PredicateId, HashMap<u32, Vec<u32>>> = HashMap::new();
+    for (r, t) in graph.iter_refs() {
+        groups
+            .entry(t.predicate)
+            .or_default()
+            .entry(r.cluster)
+            .or_default()
+            .push(r.offset);
+    }
+    let mut predicate_groups: Vec<PredicateGroup> = groups
+        .into_iter()
+        .map(|(predicate, by_cluster)| {
+            let mut clusters: Vec<(u32, Vec<u32>)> = by_cluster.into_iter().collect();
+            clusters.sort_unstable_by_key(|(c, _)| *c);
+            let total_triples = clusters.iter().map(|(_, o)| o.len() as u64).sum();
+            PredicateGroup {
+                predicate,
+                clusters,
+                total_triples,
+            }
+        })
+        .collect();
+    predicate_groups.sort_unstable_by_key(|g| g.predicate);
+
+    let mut annotator = SimulatedAnnotator::new(oracle, kg_annotate::cost::CostModel::default());
+    let mut reports = Vec::with_capacity(predicate_groups.len());
+    for group in &predicate_groups {
+        let report = if group.total_triples < min_triples {
+            census(group, &mut annotator)
+        } else {
+            twcs_group(group, config, m, rng, &mut annotator)
+        };
+        reports.push(report);
+    }
+    let stats = SimulatedAnnotatorStats {
+        seconds: annotator.seconds(),
+        triples_annotated: annotator.triples_annotated(),
+        entities_identified: annotator.entities_identified(),
+    };
+    (reports, stats)
+}
+
+/// Aggregate annotation effort of a granular evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnotatorStats {
+    /// Total human seconds.
+    pub seconds: f64,
+    /// Distinct triples annotated.
+    pub triples_annotated: usize,
+    /// Distinct entities identified (shared across predicate groups).
+    pub entities_identified: usize,
+}
+
+fn census(group: &PredicateGroup, annotator: &mut SimulatedAnnotator<'_>) -> PredicateReport {
+    let refs: Vec<TripleRef> = group
+        .clusters
+        .iter()
+        .flat_map(|(c, offsets)| offsets.iter().map(move |&o| TripleRef::new(*c, o)))
+        .collect();
+    let labels = annotator.annotate(&refs);
+    let correct = labels.iter().filter(|&&b| b).count();
+    let mean = correct as f64 / labels.len().max(1) as f64;
+    let estimate = PointEstimate::new(mean, 0.0, labels.len()).expect("zero variance is valid");
+    PredicateReport {
+        predicate: group.predicate,
+        triples: group.total_triples,
+        estimate,
+        moe: 0.0,
+        converged: true,
+    }
+}
+
+fn twcs_group(
+    group: &PredicateGroup,
+    config: &EvalConfig,
+    m: usize,
+    rng: &mut dyn RngCore,
+    annotator: &mut SimulatedAnnotator<'_>,
+) -> PredicateReport {
+    // PPS over the group's per-subject triple counts.
+    let sizes: Vec<u32> = group.clusters.iter().map(|(_, o)| o.len() as u32).collect();
+    let alias = AliasTable::from_sizes(&sizes).expect("non-empty predicate group");
+    let mut accs = RunningMoments::new();
+    let mut converged = false;
+    while (accs.count() as usize) < config.max_units {
+        for _ in 0..config.batch_size {
+            let k = alias.sample(rng);
+            let (cluster, offsets) = &group.clusters[k];
+            let take = offsets.len().min(m);
+            let chosen = sample_without_replacement(rng, offsets.len(), take);
+            let refs: Vec<TripleRef> = chosen
+                .into_iter()
+                .map(|i| TripleRef::new(*cluster, offsets[i]))
+                .collect();
+            let labels = annotator.annotate(&refs);
+            let tau = labels.iter().filter(|&&b| b).count();
+            accs.push(tau as f64 / take as f64);
+        }
+        let n = accs.count() as usize;
+        let var = kg_sampling::twcs::floored_variance_of_mean(&accs, m);
+        let est = PointEstimate::new(accs.mean(), var, n).expect("valid variance");
+        if n >= config.min_units
+            && est.moe(config.alpha).expect("valid alpha") <= config.target_moe
+        {
+            converged = true;
+            break;
+        }
+    }
+    let var = kg_sampling::twcs::floored_variance_of_mean(&accs, m);
+    let estimate =
+        PointEstimate::new(accs.mean(), var, accs.count() as usize).expect("valid variance");
+    PredicateReport {
+        predicate: group.predicate,
+        triples: group.total_triples,
+        estimate,
+        moe: estimate.moe(config.alpha).expect("valid alpha"),
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::oracle::GoldLabels;
+    use kg_model::builder::KgBuilder;
+    use kg_model::implicit::ClusterPopulation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Graph with two predicates: `good` (always correct) and `bad`
+    /// (always wrong), interleaved across many subjects.
+    fn two_predicate_graph() -> (KnowledgeGraph, GoldLabels) {
+        let mut b = KgBuilder::new();
+        for i in 0..300 {
+            let s = format!("e{i}");
+            b.add_literal_triple(&s, "good", &format!("g{i}"));
+            b.add_literal_triple(&s, "bad", &format!("b{i}"));
+            if i % 3 == 0 {
+                b.add_literal_triple(&s, "good", &format!("g2_{i}"));
+            }
+        }
+        let g = b.build();
+        // Labels: predicate "good" → true, "bad" → false.
+        let good = g.predicates().get("good").unwrap();
+        let labels: Vec<Vec<bool>> = g
+            .clusters()
+            .iter()
+            .map(|c| c.triples.iter().map(|t| t.predicate.0 == good).collect())
+            .collect();
+        (g, GoldLabels::new(labels))
+    }
+
+    #[test]
+    fn per_predicate_estimates_separate_good_from_bad() {
+        let (g, gold) = two_predicate_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = EvalConfig::default();
+        let (reports, stats) = evaluate_per_predicate(&g, &gold, &config, 3, 30, &mut rng);
+        assert_eq!(reports.len(), 2);
+        let by_name: HashMap<&str, &PredicateReport> = reports
+            .iter()
+            .map(|r| (g.predicates().resolve(r.predicate.0).unwrap(), r))
+            .collect();
+        let good = by_name["good"];
+        let bad = by_name["bad"];
+        assert!(good.estimate.mean > 0.95, "good {}", good.estimate.mean);
+        assert!(bad.estimate.mean < 0.05, "bad {}", bad.estimate.mean);
+        assert!(good.converged && bad.converged);
+        assert!(good.moe <= config.target_moe);
+        assert!(stats.seconds > 0.0);
+        assert_eq!(good.triples, 400);
+        assert_eq!(bad.triples, 300);
+    }
+
+    #[test]
+    fn small_predicates_are_censused_exactly() {
+        let mut b = KgBuilder::new();
+        for i in 0..5 {
+            b.add_literal_triple(&format!("e{i}"), "rare", "x");
+        }
+        for i in 0..200 {
+            b.add_literal_triple(&format!("e{i}"), "common", "y");
+        }
+        let g = b.build();
+        // rare: 3 of 5 correct; common: all correct.
+        let rare = g.predicates().get("rare").unwrap();
+        let mut count = 0;
+        let labels: Vec<Vec<bool>> = g
+            .clusters()
+            .iter()
+            .map(|c| {
+                c.triples
+                    .iter()
+                    .map(|t| {
+                        if t.predicate.0 == rare {
+                            count += 1;
+                            count <= 3
+                        } else {
+                            true
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let gold = GoldLabels::new(labels);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (reports, _) =
+            evaluate_per_predicate(&g, &gold, &EvalConfig::default(), 5, 30, &mut rng);
+        let rare_report = reports
+            .iter()
+            .find(|r| g.predicates().resolve(r.predicate.0) == Some("rare"))
+            .unwrap();
+        assert_eq!(rare_report.moe, 0.0);
+        assert!((rare_report.estimate.mean - 0.6).abs() < 1e-12);
+        assert!(rare_report.converged);
+    }
+
+    #[test]
+    fn shared_annotator_reuses_identification_across_predicates() {
+        let (g, gold) = two_predicate_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, stats) =
+            evaluate_per_predicate(&g, &gold, &EvalConfig::default(), 3, 10, &mut rng);
+        // Entities identified must be at most the number of clusters, and
+        // strictly fewer than triples annotated (sharing across groups).
+        assert!(stats.entities_identified <= g.num_clusters());
+        assert!(stats.entities_identified < stats.triples_annotated);
+    }
+}

@@ -1,0 +1,34 @@
+//! # kg-eval — the iterative KG accuracy evaluation framework
+//!
+//! The paper's primary contribution (§4, Fig. 2): an iterative
+//! sample–annotate–estimate–check loop that stops as soon as the estimate's
+//! margin of error drops below the user's threshold ε at confidence level
+//! 1−α — no oversampling, no wasted human annotations, always an unbiased
+//! estimate with a statistical guarantee.
+//!
+//! * [`config::EvalConfig`] — ε, α, batch size, and the CLT minimum-sample
+//!   rule of thumb (n > 30).
+//! * [`static_eval::run_static`] — the Fig. 2 loop over any
+//!   [`kg_sampling::design::StaticDesign`].
+//! * [`framework::Evaluator`] — one-call façade: pick a design, hand it a
+//!   population and an oracle, get an [`report::EvaluationReport`].
+//! * [`dynamic`] — evolving-KG evaluation (§6): reservoir incremental
+//!   evaluation (Algorithm 1) and stratified incremental evaluation
+//!   (Algorithm 2), plus a monitor driving either over a sequence of
+//!   update batches (§7.3.2).
+//! * [`granular`] — per-predicate accuracy evaluation with a shared
+//!   annotator (the paper's §9 future-work direction).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod dynamic;
+pub mod framework;
+pub mod granular;
+pub mod report;
+pub mod static_eval;
+
+pub use config::EvalConfig;
+pub use framework::Evaluator;
+pub use report::EvaluationReport;

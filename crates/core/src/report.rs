@@ -1,0 +1,89 @@
+//! Evaluation reports: what the framework hands back to the user.
+
+use kg_stats::{ConfidenceInterval, PointEstimate};
+
+/// Outcome of an evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvaluationReport {
+    /// Name of the sampling design used.
+    pub design: &'static str,
+    /// The unbiased accuracy estimate with its variance.
+    pub estimate: PointEstimate,
+    /// Achieved margin of error at the configured α.
+    pub moe: f64,
+    /// The `1−α` confidence interval, clamped to `[0, 1]`.
+    pub ci: ConfidenceInterval,
+    /// Whether the MoE target was met (false only when the population was
+    /// exhausted or the unit cap was hit first).
+    pub converged: bool,
+    /// Independent sampling units drawn (triples for SRS, clusters for
+    /// cluster designs).
+    pub units: usize,
+    /// Distinct triples annotated by humans (`|G'|`).
+    pub triples_annotated: usize,
+    /// Distinct entities identified by humans (`|E'|`).
+    pub entities_identified: usize,
+    /// Total simulated human cost, in seconds (Eq. 4).
+    pub cost_seconds: f64,
+    /// Number of draw-estimate iterations executed.
+    pub batches: usize,
+}
+
+impl EvaluationReport {
+    /// Human cost in hours (the paper's reporting unit).
+    pub fn cost_hours(&self) -> f64 {
+        self.cost_seconds / 3600.0
+    }
+
+    /// One-line summary for logs and examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: accuracy {:.1}% ± {:.1}% ({}% CI), {} units, {} triples / {} entities annotated, {:.2} h{}",
+            self.design,
+            self.estimate.mean * 100.0,
+            self.moe * 100.0,
+            (self.ci.level * 100.0).round(),
+            self.units,
+            self.triples_annotated,
+            self.entities_identified,
+            self.cost_hours(),
+            if self.converged { "" } else { " [NOT CONVERGED]" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(converged: bool) -> EvaluationReport {
+        let estimate = PointEstimate::new(0.9, 0.0004, 40).unwrap();
+        EvaluationReport {
+            design: "TWCS",
+            estimate,
+            moe: 0.0392,
+            ci: estimate.ci(0.05).unwrap().clamped_to_unit(),
+            converged,
+            units: 40,
+            triples_annotated: 180,
+            entities_identified: 40,
+            cost_seconds: 6300.0,
+            batches: 4,
+        }
+    }
+
+    #[test]
+    fn hours_conversion() {
+        assert!((report(true).cost_hours() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let s = report(true).summary();
+        assert!(s.contains("TWCS"), "{s}");
+        assert!(s.contains("90.0%"), "{s}");
+        assert!(s.contains("1.75 h"), "{s}");
+        assert!(!s.contains("NOT CONVERGED"));
+        assert!(report(false).summary().contains("NOT CONVERGED"));
+    }
+}

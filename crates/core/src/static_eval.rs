@@ -1,0 +1,181 @@
+//! The static evaluation loop (Fig. 2).
+//!
+//! ```text
+//! loop:
+//!   Sample Collector  – draw one batch via the design
+//!   Sample Pool       – annotate (inside the design, via the annotator)
+//!   Estimation        – unbiased μ̂ and MoE from accumulated samples
+//!   Quality Control   – stop iff n ≥ min_units and MoE ≤ ε
+//! ```
+
+use crate::config::EvalConfig;
+use crate::report::EvaluationReport;
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_sampling::design::StaticDesign;
+use rand::RngCore;
+
+/// Run the iterative loop until the MoE target is met, the population is
+/// exhausted, or the unit cap is hit.
+pub fn run_static(
+    design: &mut dyn StaticDesign,
+    annotator: &mut SimulatedAnnotator<'_>,
+    config: &EvalConfig,
+    rng: &mut dyn RngCore,
+) -> EvaluationReport {
+    let mut batches = 0usize;
+    let mut converged = false;
+    loop {
+        let remaining_cap = config.max_units.saturating_sub(design.units());
+        if remaining_cap == 0 {
+            break;
+        }
+        let drawn = design.draw(rng, annotator, config.batch_size.min(remaining_cap));
+        batches += 1;
+        if drawn == 0 {
+            // Population exhausted: a census has zero sampling error, so
+            // the estimate is exact regardless of what the plug-in
+            // variance reports.
+            converged = true;
+            break;
+        }
+        if design.units() >= config.min_units && moe_ok(design, config) {
+            converged = true;
+            break;
+        }
+    }
+    let estimate = design.estimate();
+    let moe = estimate.moe(config.alpha).expect("alpha validated by config");
+    EvaluationReport {
+        design: design.name(),
+        estimate,
+        moe,
+        ci: estimate
+            .ci(config.alpha)
+            .expect("alpha validated by config")
+            .clamped_to_unit(),
+        converged,
+        units: design.units(),
+        triples_annotated: annotator.triples_annotated(),
+        entities_identified: annotator.entities_identified(),
+        cost_seconds: annotator.seconds(),
+        batches,
+    }
+}
+
+fn moe_ok(design: &dyn StaticDesign, config: &EvalConfig) -> bool {
+    design
+        .estimate()
+        .moe(config.alpha)
+        .map(|moe| moe <= config.target_moe)
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::cost::CostModel;
+    use kg_annotate::oracle::{true_accuracy, RemOracle};
+    use kg_model::implicit::ImplicitKg;
+    use kg_sampling::srs::SrsDesign;
+    use kg_sampling::twcs::TwcsDesign;
+    use kg_sampling::PopulationIndex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn kg() -> ImplicitKg {
+        ImplicitKg::new((0..2000).map(|i| 1 + (i % 12)).collect()).unwrap()
+    }
+
+    #[test]
+    fn loop_stops_at_moe_target() {
+        let kg = kg();
+        let oracle = RemOracle::new(0.9, 4);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut design = TwcsDesign::new(idx, 5);
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let config = EvalConfig::default();
+        let report = run_static(&mut design, &mut annotator, &config, &mut rng);
+        assert!(report.converged, "{}", report.summary());
+        assert!(report.moe <= 0.05);
+        assert!(report.units >= config.min_units);
+        let truth = true_accuracy(&kg, &oracle);
+        assert!(
+            (report.estimate.mean - truth).abs() < 0.08,
+            "estimate {} vs truth {truth}",
+            report.estimate.mean
+        );
+    }
+
+    #[test]
+    fn census_of_tiny_population_converges_exactly() {
+        let kg = ImplicitKg::new(vec![1; 40]).unwrap();
+        let oracle = RemOracle::new(1.0, 9);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut design = SrsDesign::new(idx);
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let report = run_static(&mut design, &mut annotator, &EvalConfig::default(), &mut rng);
+        // Perfectly accurate KG: p̂=1, plug-in variance 0 → MoE 0 once the
+        // sample exists; full census at the latest.
+        assert!(report.converged);
+        assert!((report.estimate.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_cap_prevents_runaway() {
+        let kg = kg();
+        let oracle = RemOracle::new(0.5, 8); // worst-case variance
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut design = TwcsDesign::new(idx, 5);
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        // Unreachable target with a tiny cap.
+        let config = EvalConfig::default()
+            .with_target_moe(0.0001)
+            .with_max_units(50);
+        let report = run_static(&mut design, &mut annotator, &config, &mut rng);
+        assert!(!report.converged);
+        assert_eq!(report.units, 50);
+    }
+
+    #[test]
+    fn min_units_enforced_even_when_moe_tiny() {
+        // A perfectly accurate KG reaches MoE 0 after the first batch, but
+        // the CLT rule still demands min_units draws.
+        let kg = ImplicitKg::new(vec![2; 500]).unwrap();
+        let oracle = RemOracle::new(1.0, 5);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut design = TwcsDesign::new(idx, 5);
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let config = EvalConfig::default().with_min_units(30);
+        let report = run_static(&mut design, &mut annotator, &config, &mut rng);
+        assert!(report.units >= 30, "units {}", report.units);
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn moe_guarantee_holds_across_replications() {
+        // |μ̂ − μ| ≤ ε should hold in ≥ ~95% of runs (allowing CLT slack).
+        let kg = kg();
+        let oracle = RemOracle::new(0.8, 6);
+        let truth = true_accuracy(&kg, &oracle);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let reps = 200;
+        let mut hits = 0;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut design = TwcsDesign::new(idx.clone(), 5);
+            let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+            let report =
+                run_static(&mut design, &mut annotator, &EvalConfig::default(), &mut rng);
+            if (report.estimate.mean - truth).abs() <= 0.05 {
+                hits += 1;
+            }
+        }
+        let coverage = hits as f64 / reps as f64;
+        assert!(coverage >= 0.90, "coverage {coverage}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Update-batch generation for evolving-KG experiments (§7.3).
+//!
+//! The paper's setting: the base KG is a 50% subset of MOVIE and updates
+//! are random sets drawn from MOVIE-FULL — i.e. update batches have the
+//! same long-tail cluster shape as the base, mixing new entities with
+//! enrichment of existing ones (both of which become fresh `Δe` clusters
+//! under Algorithm 1's bookkeeping). Each batch can carry its own accuracy,
+//! composed into a single oracle via [`kg_annotate::PiecewiseOracle`].
+
+use crate::generator::cluster_sizes;
+use kg_annotate::oracle::{LabelOracle, RemOracle};
+use kg_annotate::piecewise::PiecewiseOracle;
+use kg_model::implicit::{ClusterPopulation, ImplicitKg};
+use kg_model::update::UpdateBatch;
+
+/// Generates update batches structurally matching a base profile.
+#[derive(Debug, Clone)]
+pub struct UpdateGenerator {
+    zipf_exponent: f64,
+    max_cluster: usize,
+    avg_cluster: f64,
+}
+
+impl UpdateGenerator {
+    /// Generator producing batches with the given cluster-size shape.
+    pub fn new(zipf_exponent: f64, max_cluster: usize, avg_cluster: f64) -> Self {
+        assert!(avg_cluster >= 1.0, "average cluster size must be >= 1");
+        UpdateGenerator {
+            zipf_exponent,
+            max_cluster,
+            avg_cluster,
+        }
+    }
+
+    /// Generator matching the MOVIE profile shape (the paper's evolving-KG
+    /// setting).
+    pub fn movie_like() -> Self {
+        Self::new(1.9, 4000, 9.2)
+    }
+
+    /// One update batch totalling (about) `total_triples` triples.
+    pub fn batch(&self, total_triples: u64, seed: u64) -> UpdateBatch {
+        let clusters = ((total_triples as f64 / self.avg_cluster) as usize).max(1);
+        let sizes = cluster_sizes(
+            clusters,
+            total_triples.max(clusters as u64),
+            self.zipf_exponent,
+            self.max_cluster,
+            seed,
+        );
+        UpdateBatch::from_sizes(sizes).expect("generator emits non-empty clusters")
+    }
+
+    /// A sequence of `count` batches of (about) `total_triples` each, with
+    /// distinct seeds.
+    pub fn sequence(&self, count: usize, total_triples: u64, seed: u64) -> Vec<UpdateBatch> {
+        (0..count)
+            .map(|i| self.batch(total_triples, seed.wrapping_add(i as u64 * 7919)))
+            .collect()
+    }
+}
+
+/// Compose the oracle for an evolved KG: the base oracle on clusters
+/// `0..N0`, then one REM segment per update batch with its own accuracy.
+///
+/// Returns the piecewise oracle and the final total cluster count.
+pub fn evolved_oracle(
+    base: &ImplicitKg,
+    base_oracle: Box<dyn LabelOracle + Send + Sync>,
+    batches: &[(UpdateBatch, f64)],
+    seed: u64,
+) -> (PiecewiseOracle, u32) {
+    let mut oracle = PiecewiseOracle::new(base_oracle);
+    let mut next = base.num_clusters() as u32;
+    for (i, (batch, accuracy)) in batches.iter().enumerate() {
+        if batch.num_delta_clusters() == 0 {
+            continue;
+        }
+        oracle.push_segment(
+            next,
+            Box::new(RemOracle::new(*accuracy, seed.wrapping_add(1000 + i as u64))),
+        );
+        next += batch.num_delta_clusters() as u32;
+    }
+    (oracle, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_model::triple::TripleRef;
+
+    #[test]
+    fn batch_totals_and_shape() {
+        let generator = UpdateGenerator::movie_like();
+        let batch = generator.batch(130_000, 1);
+        assert_eq!(batch.total_triples(), 130_000);
+        // Average cluster size close to the base profile's.
+        let avg = batch.total_triples() as f64 / batch.num_delta_clusters() as f64;
+        assert!((avg - 9.2).abs() < 0.5, "avg {avg}");
+    }
+
+    #[test]
+    fn sequences_are_distinct_but_deterministic() {
+        let generator = UpdateGenerator::movie_like();
+        let a = generator.sequence(3, 10_000, 5);
+        let b = generator.sequence(3, 10_000, 5);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.delta_sizes(), y.delta_sizes());
+        }
+        assert_ne!(a[0].delta_sizes(), a[1].delta_sizes());
+    }
+
+    #[test]
+    fn evolved_oracle_segments_by_batch() {
+        let base = ImplicitKg::new(vec![2; 100]).unwrap();
+        let generator = UpdateGenerator::new(1.5, 50, 2.0);
+        let b1 = generator.batch(50, 1);
+        let b2 = generator.batch(50, 2);
+        let n1 = b1.num_delta_clusters() as u32;
+        let (oracle, total) = evolved_oracle(
+            &base,
+            Box::new(RemOracle::new(1.0, 0)),
+            &[(b1, 0.0), (b2, 1.0)],
+            9,
+        );
+        assert_eq!(oracle.num_segments(), 3);
+        // Base clusters perfect.
+        assert!(oracle.label(TripleRef::new(50, 0)));
+        // First update all wrong.
+        assert!(!oracle.label(TripleRef::new(100, 0)));
+        // Second update all right.
+        assert!(oracle.label(TripleRef::new(100 + n1, 0)));
+        assert!(total > 100 + n1);
+    }
+
+    #[test]
+    fn tiny_batches_are_valid() {
+        let generator = UpdateGenerator::new(1.5, 10, 1.0);
+        let batch = generator.batch(1, 3);
+        assert_eq!(batch.total_triples(), 1);
+        assert_eq!(batch.num_delta_clusters(), 1);
+    }
+}

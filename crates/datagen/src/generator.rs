@@ -1,0 +1,231 @@
+//! Cluster-size generation with exact totals, plus materialized small KGs
+//! for baselines that need triple content (KGEval's coupling graph).
+
+use kg_model::builder::KgBuilder;
+use kg_model::graph::KnowledgeGraph;
+use kg_model::implicit::ImplicitKg;
+use kg_annotate::oracle::GoldLabels;
+use kg_stats::distr::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate `n` cluster sizes with a bounded-Zipf long tail whose total is
+/// **exactly** `total_triples`.
+///
+/// Sizes are drawn from `Zipf(max_size, exponent)` and then nudged ±1 on
+/// random clusters until the total matches — preserving the tail shape
+/// while hitting Table 3's counts exactly. Requires `total ≥ n` (clusters
+/// are non-empty).
+pub fn cluster_sizes(
+    n: usize,
+    total_triples: u64,
+    exponent: f64,
+    max_size: usize,
+    seed: u64,
+) -> Vec<u32> {
+    assert!(n > 0, "need at least one cluster");
+    assert!(
+        total_triples >= n as u64,
+        "total triples {total_triples} < clusters {n}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(max_size, exponent).expect("valid Zipf parameters");
+    let mut sizes: Vec<u32> = (0..n).map(|_| zipf.sample(&mut rng) as u32).collect();
+    let mut current: i64 = sizes.iter().map(|&s| s as i64).sum();
+    let target = total_triples as i64;
+
+    // Bulk correction first (scales the tail uniformly), then ±1 fix-up.
+    if (current - target).unsigned_abs() > (n as u64) * 4 {
+        let scale = target as f64 / current as f64;
+        for s in &mut sizes {
+            *s = ((*s as f64 * scale).round() as u32).max(1);
+        }
+        current = sizes.iter().map(|&s| s as i64).sum();
+    }
+    while current < target {
+        let i = rng.gen_range(0..n);
+        sizes[i] += 1;
+        current += 1;
+    }
+    while current > target {
+        let i = rng.gen_range(0..n);
+        if sizes[i] > 1 {
+            sizes[i] -= 1;
+            current -= 1;
+        }
+    }
+    sizes
+}
+
+/// Materialize per-triple labels so the realized number of correct triples
+/// is **exactly** `round(accuracy · M)`, while preserving a size–accuracy
+/// correlation: clusters are ranked by a noisy function of size and labels
+/// flipped preferentially at the accuracy boundary.
+pub fn exact_gold_labels(sizes: &[u32], accuracy: f64, seed: u64) -> GoldLabels {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x601d);
+    let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+    let target_correct = (accuracy * total as f64).round() as u64;
+
+    // Per-cluster propensity: larger clusters more accurate (Fig. 3), with
+    // noise so the scatter is realistic.
+    // Noise and slope are kept small, and the trend only *raises* large
+    // clusters: extra between-cluster accuracy variance — especially a
+    // penalty on the small clusters that dominate long-tail KGs — is
+    // exactly what degrades TWCS (Eq. 10's first term), and the paper's
+    // real labels behave near-binomially with a mild positive size trend
+    // (Fig. 3).
+    let mut labels: Vec<Vec<bool>> = Vec::with_capacity(sizes.len());
+    let mut correct: u64 = 0;
+    for &s in sizes {
+        let noise: f64 = rng.gen::<f64>() * 0.06 - 0.03;
+        let p = (accuracy - 0.02 + 0.03 * (s as f64).ln() + noise).clamp(0.02, 1.0);
+        let cluster: Vec<bool> = (0..s).map(|_| rng.gen::<f64>() < p).collect();
+        correct += cluster.iter().filter(|&&b| b).count() as u64;
+        labels.push(cluster);
+    }
+
+    // Flip random labels toward the exact target.
+    let flat_index = |rng: &mut StdRng, labels: &Vec<Vec<bool>>| {
+        let c = rng.gen_range(0..labels.len());
+        let o = rng.gen_range(0..labels[c].len());
+        (c, o)
+    };
+    while correct < target_correct {
+        let (c, o) = flat_index(&mut rng, &labels);
+        if !labels[c][o] {
+            labels[c][o] = true;
+            correct += 1;
+        }
+    }
+    while correct > target_correct {
+        let (c, o) = flat_index(&mut rng, &labels);
+        if labels[c][o] {
+            labels[c][o] = false;
+            correct -= 1;
+        }
+    }
+    GoldLabels::new(labels)
+}
+
+/// Materialize a small KG with realistic structure for content-based
+/// baselines: subjects `e<i>`, a small predicate pool, and objects that are
+/// shared across triples (entity objects referencing other subjects,
+/// literal objects reused per predicate) so that KGEval-style coupling
+/// constraints (same subject, same predicate–object) have edges to work
+/// with.
+pub fn materialize_graph(sizes: &[u32], num_predicates: usize, seed: u64) -> KnowledgeGraph {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9afa);
+    let mut b = KgBuilder::new();
+    let n = sizes.len();
+    for (i, &s) in sizes.iter().enumerate() {
+        let subject = format!("e{i}");
+        for t in 0..s {
+            let p = rng.gen_range(0..num_predicates.max(1));
+            let predicate = format!("p{p}");
+            if rng.gen::<f64>() < 0.5 && n > 1 {
+                // Entity object: reference another subject.
+                let mut o = rng.gen_range(0..n);
+                if o == i {
+                    o = (o + 1) % n;
+                }
+                b.add_entity_triple(&subject, &predicate, &format!("e{o}"));
+            } else {
+                // Literal object: small shared vocabulary per predicate.
+                let v = rng.gen_range(0..8);
+                b.add_literal_triple(&subject, &predicate, &format!("v{p}_{v}"));
+            }
+            let _ = t;
+        }
+    }
+    b.build()
+}
+
+/// Convenience: sizes → implicit KG.
+pub fn implicit_kg(sizes: Vec<u32>) -> ImplicitKg {
+    ImplicitKg::new(sizes).expect("generator produces non-empty clusters")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::oracle::{true_accuracy, LabelOracle};
+    use kg_model::implicit::ClusterPopulation;
+
+    #[test]
+    fn sizes_hit_exact_totals() {
+        let sizes = cluster_sizes(817, 1860, 2.0, 25, 1);
+        assert_eq!(sizes.len(), 817);
+        assert_eq!(sizes.iter().map(|&s| s as u64).sum::<u64>(), 1860);
+        assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn sizes_have_long_tail() {
+        let sizes = cluster_sizes(10_000, 92_000, 1.4, 2000, 2);
+        assert_eq!(sizes.iter().map(|&s| s as u64).sum::<u64>(), 92_000);
+        let small = sizes.iter().filter(|&&s| s <= 3).count() as f64 / 10_000.0;
+        let max = *sizes.iter().max().unwrap();
+        assert!(small > 0.4, "small fraction {small}");
+        assert!(max > 50, "max {max}");
+    }
+
+    #[test]
+    fn sizes_deterministic_per_seed() {
+        assert_eq!(cluster_sizes(100, 500, 1.5, 50, 7), cluster_sizes(100, 500, 1.5, 50, 7));
+        assert_ne!(cluster_sizes(100, 500, 1.5, 50, 7), cluster_sizes(100, 500, 1.5, 50, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "total triples")]
+    fn rejects_impossible_totals() {
+        cluster_sizes(10, 5, 1.5, 10, 1);
+    }
+
+    #[test]
+    fn gold_labels_exact_accuracy() {
+        let sizes = cluster_sizes(817, 1860, 2.0, 25, 3);
+        let kg = implicit_kg(sizes.clone());
+        let gold = exact_gold_labels(&sizes, 0.91, 3);
+        let acc = true_accuracy(&kg, &gold);
+        assert!((acc - 0.91).abs() < 0.0006, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gold_labels_show_size_correlation() {
+        let sizes = cluster_sizes(2000, 20_000, 1.3, 500, 4);
+        let gold = exact_gold_labels(&sizes, 0.85, 4);
+        // Average accuracy of big vs small clusters.
+        let (mut big, mut nbig, mut small, mut nsmall) = (0.0, 0, 0.0, 0);
+        for (c, &s) in sizes.iter().enumerate() {
+            let acc = gold.cluster_accuracy(c as u32, s as usize);
+            if s >= 20 {
+                big += acc;
+                nbig += 1;
+            } else if s <= 2 {
+                small += acc;
+                nsmall += 1;
+            }
+        }
+        assert!(nbig > 5 && nsmall > 5);
+        assert!(
+            big / nbig as f64 > small / nsmall as f64,
+            "big {} small {}",
+            big / nbig as f64,
+            small / nsmall as f64
+        );
+    }
+
+    #[test]
+    fn materialized_graph_matches_skeleton() {
+        let sizes = cluster_sizes(100, 300, 1.5, 20, 5);
+        let g = materialize_graph(&sizes, 12, 5);
+        assert_eq!(g.num_clusters(), 100);
+        assert_eq!(g.total_triples(), 300);
+        // Cluster sizes preserved in order.
+        assert_eq!(
+            g.cluster_sizes(),
+            sizes
+        );
+        assert!(g.predicates().len() <= 12);
+    }
+}

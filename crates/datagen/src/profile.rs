@@ -1,0 +1,310 @@
+//! Dataset profiles matching the paper's Table 3.
+//!
+//! | Profile | Entities | Triples | Avg cluster | Gold accuracy |
+//! |---------|----------|---------|-------------|---------------|
+//! | NELL    | 817      | 1,860   | 2.3         | 91%           |
+//! | YAGO    | 822      | 1,386   | 1.7         | 99%           |
+//! | MOVIE   | 288,770  | 2,653,870 | 9.2       | 90%           |
+//! | MOVIE-FULL | 14,495,142 | 130,591,799 | 9.0 | (REM, configurable) |
+//!
+//! Small profiles (NELL/YAGO) carry *materialized exact* gold labels with
+//! the Fig. 3 size–accuracy correlation; large profiles use procedural
+//! oracles (REM / BMM) so no label storage is needed.
+
+use crate::generator::{cluster_sizes, exact_gold_labels, implicit_kg, materialize_graph};
+use kg_annotate::oracle::{BmmOracle, GoldLabels, LabelOracle, RemOracle};
+use kg_model::graph::KnowledgeGraph;
+use kg_model::implicit::ImplicitKg;
+use std::sync::Arc;
+
+/// How labels are generated for a profile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabelModel {
+    /// Materialized gold labels hitting the target accuracy exactly with a
+    /// size–accuracy correlation (NELL, YAGO).
+    ExactGold {
+        /// Target overall accuracy.
+        accuracy: f64,
+    },
+    /// Random Error Model: i.i.d. Bernoulli labels (MOVIE, MOVIE-FULL).
+    Rem {
+        /// Probability a triple is correct (`1 − r_ε`).
+        accuracy: f64,
+    },
+    /// Binomial Mixture Model (Eq. 15): size-correlated cluster accuracies
+    /// (MOVIE-SYN).
+    Bmm {
+        /// Size threshold `k`.
+        k: u32,
+        /// Sigmoid scale `c`.
+        c: f64,
+        /// Noise standard deviation `σ`.
+        sigma: f64,
+    },
+}
+
+/// A dataset blueprint: structure parameters plus a label model.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Display name.
+    pub name: String,
+    /// Number of entity clusters.
+    pub entities: usize,
+    /// Number of triples.
+    pub triples: u64,
+    /// Zipf exponent of the cluster-size tail.
+    pub zipf_exponent: f64,
+    /// Largest possible cluster.
+    pub max_cluster: usize,
+    /// Label generation model.
+    pub labels: LabelModel,
+}
+
+/// A generated dataset: population skeleton + label oracle.
+pub struct Dataset {
+    /// Profile name.
+    pub name: String,
+    /// The cluster population.
+    pub population: ImplicitKg,
+    /// Ground-truth labels.
+    pub oracle: Arc<dyn LabelOracle + Send + Sync>,
+    /// The nominal gold accuracy (exact for `ExactGold`, expected for
+    /// procedural models).
+    pub gold_accuracy: f64,
+}
+
+impl DatasetProfile {
+    /// NELL sample: sports-domain KG, 817 entities / 1,860 triples, 91%
+    /// accurate, extreme long tail (>98% of clusters below size 5).
+    pub fn nell() -> Self {
+        DatasetProfile {
+            name: "NELL".into(),
+            entities: 817,
+            triples: 1860,
+            zipf_exponent: 2.2,
+            max_cluster: 25,
+            labels: LabelModel::ExactGold { accuracy: 0.91 },
+        }
+    }
+
+    /// YAGO2 sample: open-domain, 822 entities / 1,386 triples, 99%
+    /// accurate.
+    pub fn yago() -> Self {
+        DatasetProfile {
+            name: "YAGO".into(),
+            entities: 822,
+            triples: 1386,
+            zipf_exponent: 2.6,
+            max_cluster: 35,
+            labels: LabelModel::ExactGold { accuracy: 0.99 },
+        }
+    }
+
+    /// MOVIE: entertainment KG, 288,770 entities / 2,653,870 triples,
+    /// ~90% accurate (REM).
+    pub fn movie() -> Self {
+        DatasetProfile {
+            name: "MOVIE".into(),
+            entities: 288_770,
+            triples: 2_653_870,
+            zipf_exponent: 1.9,
+            max_cluster: 4000,
+            labels: LabelModel::Rem { accuracy: 0.90 },
+        }
+    }
+
+    /// MOVIE-SYN: MOVIE structure with BMM labels (§7.1.2). Paper defaults
+    /// `k = 3`; `c` and `σ` vary per experiment.
+    pub fn movie_syn(c: f64, sigma: f64) -> Self {
+        DatasetProfile {
+            name: format!("MOVIE-SYN(c={c},s={sigma})"),
+            entities: 288_770,
+            triples: 2_653_870,
+            zipf_exponent: 1.9,
+            max_cluster: 4000,
+            labels: LabelModel::Bmm { k: 3, c, sigma },
+        }
+    }
+
+    /// MOVIE-FULL: 14,495,142 entities / 130,591,799 triples, REM labels at
+    /// the given accuracy (the paper uses `r_ε = 0.1` → 90%).
+    pub fn movie_full(accuracy: f64) -> Self {
+        DatasetProfile {
+            name: "MOVIE-FULL".into(),
+            entities: 14_495_142,
+            triples: 130_591_799,
+            zipf_exponent: 1.9,
+            max_cluster: 8000,
+            labels: LabelModel::Rem { accuracy },
+        }
+    }
+
+    /// A proportional subsample of this profile (used by the Fig. 7 size
+    /// sweep: 26M → 130M triples).
+    pub fn scaled(&self, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0,1]");
+        let entities = ((self.entities as f64 * fraction) as usize).max(1);
+        let triples = ((self.triples as f64 * fraction) as u64).max(entities as u64);
+        DatasetProfile {
+            name: format!("{}@{:.0}%", self.name, fraction * 100.0),
+            entities,
+            triples,
+            ..self.clone()
+        }
+    }
+
+    /// The nominal gold accuracy of the label model (expected for BMM,
+    /// where it depends on the size distribution; see
+    /// [`Dataset::gold_accuracy`] for the realized value).
+    pub fn nominal_accuracy(&self) -> Option<f64> {
+        match &self.labels {
+            LabelModel::ExactGold { accuracy } | LabelModel::Rem { accuracy } => Some(*accuracy),
+            LabelModel::Bmm { .. } => None,
+        }
+    }
+
+    /// Generate the dataset deterministically from a seed.
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let sizes = cluster_sizes(
+            self.entities,
+            self.triples,
+            self.zipf_exponent,
+            self.max_cluster,
+            seed,
+        );
+        let (oracle, gold): (Arc<dyn LabelOracle + Send + Sync>, f64) = match &self.labels {
+            LabelModel::ExactGold { accuracy } => {
+                let gold = exact_gold_labels(&sizes, *accuracy, seed);
+                (Arc::new(gold), *accuracy)
+            }
+            LabelModel::Rem { accuracy } => {
+                (Arc::new(RemOracle::new(*accuracy, seed)), *accuracy)
+            }
+            LabelModel::Bmm { k, c, sigma } => {
+                let sizes_arc = Arc::new(sizes.clone());
+                let bmm = BmmOracle::new(sizes_arc, *k, *c, *sigma, seed);
+                // Expected accuracy = size-weighted mean of p̂_i.
+                let total: u64 = sizes.iter().map(|&s| s as u64).sum();
+                let mean = sizes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| s as f64 * bmm.p_hat(i as u32))
+                    .sum::<f64>()
+                    / total as f64;
+                (Arc::new(bmm), mean)
+            }
+        };
+        Dataset {
+            name: self.name.clone(),
+            population: implicit_kg(sizes),
+            oracle,
+            gold_accuracy: gold,
+        }
+    }
+
+    /// Generate a *materialized* small KG (with triple content) plus exact
+    /// gold labels — required by content-based baselines (KGEval). Panics
+    /// for profiles above one million triples (materialization is for the
+    /// small gold-label datasets).
+    pub fn generate_materialized(&self, seed: u64) -> (KnowledgeGraph, GoldLabels) {
+        assert!(
+            self.triples <= 1_000_000,
+            "materialization is intended for small profiles"
+        );
+        let sizes = cluster_sizes(
+            self.entities,
+            self.triples,
+            self.zipf_exponent,
+            self.max_cluster,
+            seed,
+        );
+        let accuracy = self
+            .nominal_accuracy()
+            .expect("small profiles use explicit accuracies");
+        let graph = materialize_graph(&sizes, 16, seed);
+        let gold = exact_gold_labels(&sizes, accuracy, seed);
+        (graph, gold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::oracle::true_accuracy;
+    use kg_model::implicit::ClusterPopulation;
+    use kg_model::stats::KgStatistics;
+
+    #[test]
+    fn nell_matches_table3() {
+        let ds = DatasetProfile::nell().generate(1);
+        assert_eq!(ds.population.num_clusters(), 817);
+        assert_eq!(ds.population.total_triples(), 1860);
+        let stats = KgStatistics::of(&ds.population);
+        assert!((stats.avg_cluster_size - 2.28).abs() < 0.05);
+        // Long tail: most clusters below size 5 (§7.2.2 says >98%).
+        assert!(stats.fraction_smaller_than(5) > 0.85, "{}", stats.fraction_smaller_than(5));
+        let acc = true_accuracy(&ds.population, ds.oracle.as_ref());
+        assert!((acc - 0.91).abs() < 0.001, "accuracy {acc}");
+    }
+
+    #[test]
+    fn yago_matches_table3() {
+        let ds = DatasetProfile::yago().generate(2);
+        assert_eq!(ds.population.num_clusters(), 822);
+        assert_eq!(ds.population.total_triples(), 1386);
+        let acc = true_accuracy(&ds.population, ds.oracle.as_ref());
+        assert!((acc - 0.99).abs() < 0.001, "accuracy {acc}");
+    }
+
+    #[test]
+    fn movie_structure_matches_table3() {
+        let ds = DatasetProfile::movie().generate(3);
+        assert_eq!(ds.population.num_clusters(), 288_770);
+        assert_eq!(ds.population.total_triples(), 2_653_870);
+        let stats = KgStatistics::of(&ds.population);
+        assert!((stats.avg_cluster_size - 9.19).abs() < 0.05);
+        assert_eq!(ds.gold_accuracy, 0.90);
+    }
+
+    #[test]
+    fn movie_syn_accuracy_is_size_dependent() {
+        let p = DatasetProfile::movie_syn(0.01, 0.1);
+        assert!(p.nominal_accuracy().is_none());
+        assert!(p.name.contains("MOVIE-SYN"));
+    }
+
+    #[test]
+    fn scaled_profile_shrinks_proportionally() {
+        let p = DatasetProfile::movie().scaled(0.1);
+        assert_eq!(p.entities, 28_877);
+        assert!((p.triples as f64 - 265_387.0).abs() < 1.0);
+        let ds = p.generate(4);
+        assert_eq!(ds.population.num_clusters(), 28_877);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetProfile::nell().generate(9);
+        let b = DatasetProfile::nell().generate(9);
+        assert_eq!(a.population.sizes(), b.population.sizes());
+        let ta = true_accuracy(&a.population, a.oracle.as_ref());
+        let tb = true_accuracy(&b.population, b.oracle.as_ref());
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn materialized_nell_has_content() {
+        let (graph, gold) = DatasetProfile::nell().generate_materialized(5);
+        assert_eq!(graph.num_clusters(), 817);
+        assert_eq!(graph.total_triples(), 1860);
+        assert_eq!(gold.num_clusters(), 817);
+        let acc = true_accuracy(&graph, &gold);
+        assert!((acc - 0.91).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "small profiles")]
+    fn materializing_movie_full_is_rejected() {
+        DatasetProfile::movie_full(0.9).generate_materialized(1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Incremental construction of a materialized [`KnowledgeGraph`].
+
+use crate::graph::{EntityCluster, KnowledgeGraph};
+use crate::interner::Interner;
+use crate::triple::{EntityId, LiteralId, Object, PredicateId, Triple};
+use std::collections::HashMap;
+
+/// Builder that ingests string triples, interns them, and groups them into
+/// entity clusters in first-seen-subject order (so cluster indices are
+/// deterministic for a given insertion sequence).
+#[derive(Debug, Default)]
+pub struct KgBuilder {
+    entities: Interner,
+    predicates: Interner,
+    literals: Interner,
+    clusters: Vec<EntityCluster>,
+    subject_to_cluster: HashMap<EntityId, usize>,
+}
+
+impl KgBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, subject: EntityId, triple: Triple) {
+        match self.subject_to_cluster.get(&subject) {
+            Some(&i) => self.clusters[i].triples.push(triple),
+            None => {
+                let i = self.clusters.len();
+                self.subject_to_cluster.insert(subject, i);
+                self.clusters.push(EntityCluster {
+                    subject,
+                    triples: vec![triple],
+                });
+            }
+        }
+    }
+
+    /// Add a triple whose object is an entity.
+    pub fn add_entity_triple(&mut self, subject: &str, predicate: &str, object: &str) {
+        let s = EntityId(self.entities.intern(subject));
+        let p = PredicateId(self.predicates.intern(predicate));
+        let o = EntityId(self.entities.intern(object));
+        self.push(
+            s,
+            Triple {
+                subject: s,
+                predicate: p,
+                object: Object::Entity(o),
+            },
+        );
+    }
+
+    /// Add a triple whose object is an atomic literal.
+    pub fn add_literal_triple(&mut self, subject: &str, predicate: &str, literal: &str) {
+        let s = EntityId(self.entities.intern(subject));
+        let p = PredicateId(self.predicates.intern(predicate));
+        let o = LiteralId(self.literals.intern(literal));
+        self.push(
+            s,
+            Triple {
+                subject: s,
+                predicate: p,
+                object: Object::Literal(o),
+            },
+        );
+    }
+
+    /// Number of triples added so far.
+    pub fn num_triples(&self) -> u64 {
+        self.clusters.iter().map(|c| c.triples.len() as u64).sum()
+    }
+
+    /// Number of distinct subjects so far.
+    pub fn num_subjects(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Finish and produce the immutable graph.
+    pub fn build(self) -> KnowledgeGraph {
+        KnowledgeGraph::from_parts(self.clusters, self.entities, self.predicates, self.literals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implicit::ClusterPopulation;
+
+    #[test]
+    fn builder_counts_and_grouping() {
+        let mut b = KgBuilder::new();
+        b.add_entity_triple("a", "p", "x");
+        b.add_entity_triple("b", "p", "x");
+        b.add_literal_triple("a", "q", "1990");
+        assert_eq!(b.num_triples(), 3);
+        assert_eq!(b.num_subjects(), 2);
+        let g = b.build();
+        assert_eq!(g.num_clusters(), 2);
+        assert_eq!(g.cluster_size(0), 2); // "a" seen first
+        assert_eq!(g.cluster_size(1), 1);
+    }
+
+    #[test]
+    fn entity_objects_share_the_entity_interner() {
+        let mut b = KgBuilder::new();
+        b.add_entity_triple("a", "knows", "b");
+        b.add_entity_triple("b", "knows", "a");
+        let g = b.build();
+        // "a" and "b" are both subjects and objects: 2 entities total.
+        assert_eq!(g.entities().len(), 2);
+        assert_eq!(g.predicates().len(), 1);
+        assert_eq!(g.literals().len(), 0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = KgBuilder::new().build();
+        assert_eq!(g.num_clusters(), 0);
+        assert_eq!(g.total_triples(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for the KG substrate.
+
+use std::fmt;
+
+/// Errors raised by KG construction, indexing, and I/O.
+#[derive(Debug)]
+pub enum KgError {
+    /// A cluster index was out of range.
+    ClusterOutOfRange {
+        /// The requested cluster index.
+        index: usize,
+        /// Number of clusters in the graph.
+        len: usize,
+    },
+    /// A triple offset was out of range within its cluster.
+    OffsetOutOfRange {
+        /// Cluster index.
+        cluster: usize,
+        /// Requested offset.
+        offset: usize,
+        /// Cluster size.
+        size: usize,
+    },
+    /// A malformed line was encountered while parsing a triple file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgError::ClusterOutOfRange { index, len } => {
+                write!(f, "cluster index {index} out of range (graph has {len} clusters)")
+            }
+            KgError::OffsetOutOfRange {
+                cluster,
+                offset,
+                size,
+            } => write!(f, "offset {offset} out of range in cluster {cluster} of size {size}"),
+            KgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            KgError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KgError {
+    fn from(e: std::io::Error) -> Self {
+        KgError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = KgError::ClusterOutOfRange { index: 5, len: 3 };
+        assert!(e.to_string().contains('5'));
+        let e = KgError::OffsetOutOfRange {
+            cluster: 1,
+            offset: 9,
+            size: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = KgError::Parse {
+            line: 12,
+            message: "expected 3 fields".into(),
+        };
+        assert!(e.to_string().contains("12"));
+        let io = KgError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "nope"));
+        assert!(io.to_string().contains("nope"));
+        use std::error::Error;
+        assert!(io.source().is_some());
+    }
+}

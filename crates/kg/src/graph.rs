@@ -1,0 +1,208 @@
+//! Materialized knowledge graph: interned triples grouped into entity
+//! clusters with a subject index.
+
+use crate::implicit::ClusterPopulation;
+use crate::interner::Interner;
+use crate::triple::{EntityId, Triple, TripleRef};
+use std::collections::HashMap;
+
+/// All triples sharing one subject: `G[e] = { t : t.subject = e }`.
+#[derive(Debug, Clone)]
+pub struct EntityCluster {
+    /// The shared subject entity.
+    pub subject: EntityId,
+    /// The triples, in insertion order (offsets are stable).
+    pub triples: Vec<Triple>,
+}
+
+impl EntityCluster {
+    /// Cluster size `M_i`.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the cluster holds no triples (never true inside a graph).
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+/// A materialized, immutable KG: entity clusters plus interners for
+/// entities, predicates, and literals.
+#[derive(Debug, Clone)]
+pub struct KnowledgeGraph {
+    clusters: Vec<EntityCluster>,
+    subject_index: HashMap<EntityId, usize>,
+    total_triples: u64,
+    entities: Interner,
+    predicates: Interner,
+    literals: Interner,
+}
+
+impl KnowledgeGraph {
+    pub(crate) fn from_parts(
+        clusters: Vec<EntityCluster>,
+        entities: Interner,
+        predicates: Interner,
+        literals: Interner,
+    ) -> Self {
+        let subject_index = clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.subject, i))
+            .collect();
+        let total_triples = clusters.iter().map(|c| c.triples.len() as u64).sum();
+        KnowledgeGraph {
+            clusters,
+            subject_index,
+            total_triples,
+            entities,
+            predicates,
+            literals,
+        }
+    }
+
+    /// The entity clusters in index order.
+    pub fn clusters(&self) -> &[EntityCluster] {
+        &self.clusters
+    }
+
+    /// Cluster by index.
+    pub fn cluster(&self, index: usize) -> Option<&EntityCluster> {
+        self.clusters.get(index)
+    }
+
+    /// Cluster index of a subject entity, if present.
+    pub fn cluster_of(&self, subject: EntityId) -> Option<usize> {
+        self.subject_index.get(&subject).copied()
+    }
+
+    /// Resolve a [`TripleRef`] to the actual triple.
+    pub fn triple(&self, r: TripleRef) -> Option<&Triple> {
+        self.clusters
+            .get(r.cluster as usize)
+            .and_then(|c| c.triples.get(r.offset as usize))
+    }
+
+    /// Iterate all triples with their references.
+    pub fn iter_refs(&self) -> impl Iterator<Item = (TripleRef, &Triple)> {
+        self.clusters.iter().enumerate().flat_map(|(ci, c)| {
+            c.triples
+                .iter()
+                .enumerate()
+                .map(move |(oi, t)| (TripleRef::new(ci as u32, oi as u32), t))
+        })
+    }
+
+    /// Entity interner (subjects and entity objects).
+    pub fn entities(&self) -> &Interner {
+        &self.entities
+    }
+
+    /// Predicate interner.
+    pub fn predicates(&self) -> &Interner {
+        &self.predicates
+    }
+
+    /// Literal interner.
+    pub fn literals(&self) -> &Interner {
+        &self.literals
+    }
+
+    /// Render a triple for display/debugging.
+    pub fn display_triple(&self, t: &Triple) -> String {
+        let s = self.entities.resolve(t.subject.0).unwrap_or("?");
+        let p = self.predicates.resolve(t.predicate.0).unwrap_or("?");
+        let o = match t.object {
+            crate::triple::Object::Entity(e) => self.entities.resolve(e.0).unwrap_or("?").to_string(),
+            crate::triple::Object::Literal(l) => {
+                format!("\"{}\"", self.literals.resolve(l.0).unwrap_or("?"))
+            }
+        };
+        format!("({s}, {p}, {o})")
+    }
+
+    /// Cluster-size vector (for building samplers / implicit views).
+    pub fn cluster_sizes(&self) -> Vec<u32> {
+        self.clusters.iter().map(|c| c.triples.len() as u32).collect()
+    }
+}
+
+impl ClusterPopulation for KnowledgeGraph {
+    fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    fn cluster_size(&self, cluster: usize) -> usize {
+        self.clusters[cluster].triples.len()
+    }
+
+    fn total_triples(&self) -> u64 {
+        self.total_triples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::KgBuilder;
+    use crate::implicit::ClusterPopulation;
+    use crate::triple::TripleRef;
+
+    fn sample_graph() -> crate::graph::KnowledgeGraph {
+        let mut b = KgBuilder::new();
+        b.add_entity_triple("MichaelJordan", "wasBornIn", "LA");
+        b.add_literal_triple("MichaelJordan", "birthDate", "1963-02-17");
+        b.add_entity_triple("MichaelJordan", "performedIn", "SpaceJam");
+        b.add_entity_triple("Twilight", "releaseYear", "2008");
+        b.build()
+    }
+
+    #[test]
+    fn clusters_group_by_subject() {
+        let g = sample_graph();
+        assert_eq!(g.num_clusters(), 2);
+        assert_eq!(g.total_triples(), 4);
+        let mj = g.cluster(0).unwrap();
+        assert_eq!(mj.len(), 3);
+        assert!(!mj.is_empty());
+        assert_eq!(g.cluster(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn subject_index_resolves() {
+        let g = sample_graph();
+        let mj = g.entities().get("MichaelJordan").unwrap();
+        assert_eq!(g.cluster_of(crate::triple::EntityId(mj)), Some(0));
+        assert_eq!(g.cluster_of(crate::triple::EntityId(9999)), None);
+    }
+
+    #[test]
+    fn triple_ref_resolution() {
+        let g = sample_graph();
+        let t = g.triple(TripleRef::new(0, 1)).unwrap();
+        let shown = g.display_triple(t);
+        assert!(shown.contains("birthDate"), "{shown}");
+        assert!(shown.contains("1963"), "{shown}");
+        assert!(g.triple(TripleRef::new(0, 3)).is_none());
+        assert!(g.triple(TripleRef::new(5, 0)).is_none());
+    }
+
+    #[test]
+    fn iter_refs_visits_every_triple_once() {
+        let g = sample_graph();
+        let refs: Vec<_> = g.iter_refs().map(|(r, _)| r).collect();
+        assert_eq!(refs.len(), 4);
+        let set: std::collections::HashSet<_> = refs.iter().collect();
+        assert_eq!(set.len(), 4);
+        for (r, _) in g.iter_refs() {
+            assert!(g.validate_ref(r).is_ok());
+        }
+    }
+
+    #[test]
+    fn cluster_sizes_match_population_view() {
+        let g = sample_graph();
+        assert_eq!(g.cluster_sizes(), vec![3, 1]);
+        assert!((g.avg_cluster_size() - 2.0).abs() < 1e-12);
+    }
+}

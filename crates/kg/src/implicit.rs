@@ -1,0 +1,175 @@
+//! Cluster populations: the abstraction every sampling design runs on.
+//!
+//! Accuracy estimation never needs triple *content* — only the cluster
+//! structure (how many clusters, how big each is) plus a label oracle. The
+//! [`ClusterPopulation`] trait captures exactly that, and [`ImplicitKg`] is
+//! its minimal implementation: a vector of cluster sizes. This is what makes
+//! the Fig. 7 scalability experiment (130M triples, 14.5M clusters) run in
+//! tens of megabytes.
+
+use crate::error::KgError;
+use crate::triple::TripleRef;
+
+/// A population of entity clusters, as seen by the sampling designs.
+///
+/// Notation of the paper's Table 2: `N` clusters, cluster `i` of size `M_i`,
+/// `M = Σ M_i` triples.
+pub trait ClusterPopulation {
+    /// Number of entity clusters `N`.
+    fn num_clusters(&self) -> usize;
+
+    /// Size `M_i` of cluster `i`. Panics or returns 0 out of range; use
+    /// [`ClusterPopulation::try_cluster_size`] for checked access.
+    fn cluster_size(&self, cluster: usize) -> usize;
+
+    /// Total number of triples `M`.
+    fn total_triples(&self) -> u64;
+
+    /// Checked cluster size.
+    fn try_cluster_size(&self, cluster: usize) -> Result<usize, KgError> {
+        if cluster < self.num_clusters() {
+            Ok(self.cluster_size(cluster))
+        } else {
+            Err(KgError::ClusterOutOfRange {
+                index: cluster,
+                len: self.num_clusters(),
+            })
+        }
+    }
+
+    /// Average cluster size `M / N` (Table 3's "average cluster size").
+    fn avg_cluster_size(&self) -> f64 {
+        if self.num_clusters() == 0 {
+            0.0
+        } else {
+            self.total_triples() as f64 / self.num_clusters() as f64
+        }
+    }
+
+    /// Validate a triple reference against the population shape.
+    fn validate_ref(&self, t: TripleRef) -> Result<(), KgError> {
+        let size = self.try_cluster_size(t.cluster as usize)?;
+        if (t.offset as usize) < size {
+            Ok(())
+        } else {
+            Err(KgError::OffsetOutOfRange {
+                cluster: t.cluster as usize,
+                offset: t.offset as usize,
+                size,
+            })
+        }
+    }
+}
+
+/// A knowledge graph reduced to its cluster-size skeleton.
+#[derive(Debug, Clone)]
+pub struct ImplicitKg {
+    sizes: Vec<u32>,
+    total: u64,
+}
+
+impl ImplicitKg {
+    /// Build from per-cluster sizes. Zero-size clusters are disallowed (an
+    /// entity exists in the KG only via its triples, §2.1).
+    pub fn new(sizes: Vec<u32>) -> Result<Self, KgError> {
+        for (i, &s) in sizes.iter().enumerate() {
+            if s == 0 {
+                return Err(KgError::OffsetOutOfRange {
+                    cluster: i,
+                    offset: 0,
+                    size: 0,
+                });
+            }
+        }
+        let total = sizes.iter().map(|&s| s as u64).sum();
+        Ok(ImplicitKg { sizes, total })
+    }
+
+    /// The size vector.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// A uniform population: `n` clusters all of size `size`.
+    pub fn uniform(n: usize, size: u32) -> Result<Self, KgError> {
+        Self::new(vec![size; n])
+    }
+}
+
+impl ClusterPopulation for ImplicitKg {
+    fn num_clusters(&self) -> usize {
+        self.sizes.len()
+    }
+
+    fn cluster_size(&self, cluster: usize) -> usize {
+        self.sizes[cluster] as usize
+    }
+
+    fn total_triples(&self) -> u64 {
+        self.total
+    }
+}
+
+impl<P: ClusterPopulation + ?Sized> ClusterPopulation for &P {
+    fn num_clusters(&self) -> usize {
+        (**self).num_clusters()
+    }
+    fn cluster_size(&self, cluster: usize) -> usize {
+        (**self).cluster_size(cluster)
+    }
+    fn total_triples(&self) -> u64 {
+        (**self).total_triples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_kg_totals() {
+        let kg = ImplicitKg::new(vec![3, 1, 5]).unwrap();
+        assert_eq!(kg.num_clusters(), 3);
+        assert_eq!(kg.total_triples(), 9);
+        assert_eq!(kg.cluster_size(2), 5);
+        assert!((kg.avg_cluster_size() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_size_cluster_rejected() {
+        assert!(ImplicitKg::new(vec![2, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let kg = ImplicitKg::uniform(4, 7).unwrap();
+        assert_eq!(kg.total_triples(), 28);
+        assert_eq!(kg.sizes(), &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn checked_access_errors() {
+        let kg = ImplicitKg::new(vec![2]).unwrap();
+        assert!(kg.try_cluster_size(0).is_ok());
+        assert!(kg.try_cluster_size(1).is_err());
+        assert!(kg.validate_ref(TripleRef::new(0, 1)).is_ok());
+        assert!(kg.validate_ref(TripleRef::new(0, 2)).is_err());
+        assert!(kg.validate_ref(TripleRef::new(1, 0)).is_err());
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let kg = ImplicitKg::new(vec![2, 2]).unwrap();
+        let r: &ImplicitKg = &kg;
+        assert_eq!(ClusterPopulation::num_clusters(&r), 2);
+        assert_eq!(ClusterPopulation::total_triples(&r), 4);
+        assert_eq!(ClusterPopulation::cluster_size(&r, 1), 2);
+    }
+
+    #[test]
+    fn empty_population_avg_is_zero() {
+        let kg = ImplicitKg::new(vec![]).unwrap();
+        assert_eq!(kg.avg_cluster_size(), 0.0);
+        assert_eq!(kg.num_clusters(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! String interning: map entity/predicate/literal strings to dense `u32`
+//! symbols so triples are 12 bytes and cluster grouping is hash-free.
+
+use std::collections::HashMap;
+
+/// A dense string interner. Symbols are handed out sequentially from 0.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, u32>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("more than u32::MAX interned strings");
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// Look up a symbol without interning.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(|s| s.as_ref())
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no strings are interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let id = i.intern("movie/Space_Jam");
+        assert_eq!(i.resolve(id), Some("movie/Space_Jam"));
+        assert_eq!(i.resolve(999), None);
+        assert_eq!(i.get("movie/Space_Jam"), Some(id));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text triple I/O.
+//!
+//! Format: one triple per line, tab-separated —
+//! `subject<TAB>predicate<TAB>object<TAB>kind` where `kind` is `E` (object
+//! is an entity) or `L` (object is a literal). Lines starting with `#` and
+//! blank lines are skipped.
+
+use crate::builder::KgBuilder;
+use crate::error::KgError;
+use crate::graph::KnowledgeGraph;
+use crate::triple::Object;
+use std::io::{BufRead, BufWriter, Write};
+
+/// Parse a KG from a tab-separated reader.
+pub fn read_tsv<R: BufRead>(reader: R) -> Result<KnowledgeGraph, KgError> {
+    let mut builder = KgBuilder::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split('\t');
+        let (s, p, o, kind) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(p), Some(o), Some(k)) => (s, p, o, k),
+            _ => {
+                return Err(KgError::Parse {
+                    line: lineno + 1,
+                    message: "expected 4 tab-separated fields: s, p, o, kind".into(),
+                })
+            }
+        };
+        match kind {
+            "E" => builder.add_entity_triple(s, p, o),
+            "L" => builder.add_literal_triple(s, p, o),
+            other => {
+                return Err(KgError::Parse {
+                    line: lineno + 1,
+                    message: format!("unknown object kind `{other}` (expected E or L)"),
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Serialize a KG to the tab-separated format accepted by [`read_tsv`].
+pub fn write_tsv<W: Write>(graph: &KnowledgeGraph, writer: W) -> Result<(), KgError> {
+    let mut out = BufWriter::new(writer);
+    for cluster in graph.clusters() {
+        for t in &cluster.triples {
+            let s = graph.entities().resolve(t.subject.0).unwrap_or("?");
+            let p = graph.predicates().resolve(t.predicate.0).unwrap_or("?");
+            match t.object {
+                Object::Entity(e) => {
+                    let o = graph.entities().resolve(e.0).unwrap_or("?");
+                    writeln!(out, "{s}\t{p}\t{o}\tE")?;
+                }
+                Object::Literal(l) => {
+                    let o = graph.literals().resolve(l.0).unwrap_or("?");
+                    writeln!(out, "{s}\t{p}\t{o}\tL")?;
+                }
+            }
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implicit::ClusterPopulation;
+
+    const SAMPLE: &str = "\
+# a comment
+MichaelJordan\twasBornIn\tLA\tE
+MichaelJordan\tbirthDate\t1963-02-17\tL
+
+Twilight\treleaseYear\t2008\tL
+";
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = read_tsv(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(g.num_clusters(), 2);
+        assert_eq!(g.total_triples(), 3);
+
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let g2 = read_tsv(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_clusters(), 2);
+        assert_eq!(g2.total_triples(), 3);
+        assert_eq!(g2.cluster_sizes(), g.cluster_sizes());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = read_tsv("only\ttwo\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = read_tsv("s\tp\to\tX\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains('X'), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let g = read_tsv("# nothing\n\n\n".as_bytes()).unwrap();
+        assert_eq!(g.total_triples(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # kg-model — knowledge-graph substrate
+//!
+//! The population model for KG accuracy evaluation (§2.1 of the paper): a
+//! knowledge graph `G` is a set of `(subject, predicate, object)` triples,
+//! partitioned into *entity clusters* `G[e]` — the triples sharing subject
+//! `e`. All sampling designs in `kg-sampling` operate over this cluster
+//! structure.
+//!
+//! Two representations are provided:
+//!
+//! * [`graph::KnowledgeGraph`] — a *materialized* KG with interned strings,
+//!   a subject index, and full triple storage. Used by the small gold-label
+//!   datasets (NELL, YAGO) and by the KGEval baseline which needs to inspect
+//!   predicates/objects to build coupling constraints.
+//! * [`implicit::ImplicitKg`] — a *cluster-size skeleton*: just the vector of
+//!   cluster sizes. Estimation of accuracy only requires the cluster
+//!   structure plus a label oracle, so the 130-million-triple MOVIE-FULL
+//!   scalability experiment (Fig. 7) runs without materializing a single
+//!   triple. Both types implement [`implicit::ClusterPopulation`].
+//!
+//! Evolving KGs (§2.1, §6) are modeled as a base graph plus a sequence of
+//! [`update::UpdateBatch`]es of triple insertions, clustered by subject
+//! (`Δe`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod implicit;
+pub mod interner;
+pub mod io;
+pub mod stats;
+pub mod triple;
+pub mod update;
+
+pub use builder::KgBuilder;
+pub use error::KgError;
+pub use graph::{EntityCluster, KnowledgeGraph};
+pub use implicit::{ClusterPopulation, ImplicitKg};
+pub use interner::Interner;
+pub use triple::{EntityId, Object, PredicateId, Triple, TripleRef};
+pub use update::UpdateBatch;

@@ -1,0 +1,68 @@
+//! Dataset characterization (the numbers behind the paper's Table 3).
+
+use crate::implicit::ClusterPopulation;
+use kg_stats::Histogram;
+
+/// Summary statistics of a cluster population.
+#[derive(Debug, Clone)]
+pub struct KgStatistics {
+    /// Number of entity clusters `N`.
+    pub num_entities: usize,
+    /// Number of triples `M`.
+    pub num_triples: u64,
+    /// Average cluster size `M/N`.
+    pub avg_cluster_size: f64,
+    /// Largest cluster size.
+    pub max_cluster_size: u64,
+    /// Cluster-size histogram (unit bins up to 1024, then overflow).
+    pub size_histogram: Histogram,
+}
+
+impl KgStatistics {
+    /// Characterize any cluster population.
+    pub fn of<P: ClusterPopulation + ?Sized>(pop: &P) -> Self {
+        let n = pop.num_clusters();
+        let mut hist = Histogram::new(1024);
+        for i in 0..n {
+            hist.record(pop.cluster_size(i) as u64);
+        }
+        KgStatistics {
+            num_entities: n,
+            num_triples: pop.total_triples(),
+            avg_cluster_size: pop.avg_cluster_size(),
+            max_cluster_size: hist.max().unwrap_or(0),
+            size_histogram: hist,
+        }
+    }
+
+    /// Fraction of clusters with size strictly below `s` (the paper notes
+    /// >98% of NELL clusters are below size 5, §7.2.2).
+    pub fn fraction_smaller_than(&self, s: u64) -> f64 {
+        self.size_histogram.fraction_below(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implicit::ImplicitKg;
+
+    #[test]
+    fn characterizes_small_population() {
+        let kg = ImplicitKg::new(vec![1, 1, 1, 1, 10]).unwrap();
+        let st = KgStatistics::of(&kg);
+        assert_eq!(st.num_entities, 5);
+        assert_eq!(st.num_triples, 14);
+        assert!((st.avg_cluster_size - 2.8).abs() < 1e-12);
+        assert_eq!(st.max_cluster_size, 10);
+        assert!((st.fraction_smaller_than(5) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population() {
+        let kg = ImplicitKg::new(vec![]).unwrap();
+        let st = KgStatistics::of(&kg);
+        assert_eq!(st.num_entities, 0);
+        assert_eq!(st.max_cluster_size, 0);
+    }
+}

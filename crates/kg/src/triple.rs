@@ -1,0 +1,98 @@
+//! Triple and identifier types.
+//!
+//! Subjects are always entities (referred to by unique ids, §2.1); objects
+//! are either entities ("entity property" triples) or atomic literals
+//! ("data property" triples).
+
+/// Interned id of an entity (subject or entity-valued object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+/// Interned id of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredicateId(pub u32);
+
+/// Interned id of a literal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LiteralId(pub u32);
+
+/// The object of a triple: an entity (entity property) or a literal (data
+/// property).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Object {
+    /// Object is another entity in the KG.
+    Entity(EntityId),
+    /// Object is an atomic value (date, number, string literal, …).
+    Literal(LiteralId),
+}
+
+impl Object {
+    /// Whether this is an entity-property object.
+    pub fn is_entity(&self) -> bool {
+        matches!(self, Object::Entity(_))
+    }
+}
+
+/// One `(subject, predicate, object)` fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Subject entity.
+    pub subject: EntityId,
+    /// Predicate.
+    pub predicate: PredicateId,
+    /// Object (entity or literal).
+    pub object: Object,
+}
+
+/// A reference to one triple in a clustered population: cluster index plus
+/// offset within the cluster.
+///
+/// This is the universal sampling unit handle shared by materialized and
+/// implicit KGs; annotators, oracles, and estimators all speak `TripleRef`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TripleRef {
+    /// Index of the entity cluster in its population.
+    pub cluster: u32,
+    /// Offset of the triple within the cluster (0-based, `< cluster size`).
+    pub offset: u32,
+}
+
+impl TripleRef {
+    /// Construct a reference.
+    pub fn new(cluster: u32, offset: u32) -> Self {
+        TripleRef { cluster, offset }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn object_kind_predicates() {
+        assert!(Object::Entity(EntityId(1)).is_entity());
+        assert!(!Object::Literal(LiteralId(1)).is_entity());
+    }
+
+    #[test]
+    fn triple_ref_is_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(TripleRef::new(0, 0));
+        set.insert(TripleRef::new(0, 0));
+        set.insert(TripleRef::new(0, 1));
+        assert_eq!(set.len(), 2);
+        assert!(TripleRef::new(0, 5) < TripleRef::new(1, 0));
+    }
+
+    #[test]
+    fn triple_equality_is_structural() {
+        let t1 = Triple {
+            subject: EntityId(3),
+            predicate: PredicateId(1),
+            object: Object::Literal(LiteralId(9)),
+        };
+        let t2 = t1;
+        assert_eq!(t1, t2);
+    }
+}

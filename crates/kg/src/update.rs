@@ -1,0 +1,135 @@
+//! Evolving-KG updates (§2.1, §6 of the paper).
+//!
+//! Changes arrive as batches `Δ` of triple insertions. Insertions are
+//! clustered by subject id into `Δe` groups; following the paper's
+//! Algorithm 1, every `Δe` is treated as a **new, independent cluster**,
+//! even when the subject already exists in `G` — this keeps previously
+//! assigned cluster weights constant, which is what makes the weighted
+//! reservoir update correct ("though we may break an entity cluster into
+//! several disjoint sub-clusters over time, it does not change the
+//! properties of weighted reservoir sampling or TWCS").
+
+use crate::error::KgError;
+use crate::implicit::ImplicitKg;
+use std::collections::HashMap;
+
+/// A batch of triple insertions, already clustered by subject: element `j`
+/// is `|Δe_j|`, the number of inserted triples about subject `e_j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateBatch {
+    delta_sizes: Vec<u32>,
+    total: u64,
+}
+
+impl UpdateBatch {
+    /// Build from per-`Δe` sizes. Empty groups are rejected.
+    pub fn from_sizes(delta_sizes: Vec<u32>) -> Result<Self, KgError> {
+        for (i, &s) in delta_sizes.iter().enumerate() {
+            if s == 0 {
+                return Err(KgError::OffsetOutOfRange {
+                    cluster: i,
+                    offset: 0,
+                    size: 0,
+                });
+            }
+        }
+        let total = delta_sizes.iter().map(|&s| s as u64).sum();
+        Ok(UpdateBatch { delta_sizes, total })
+    }
+
+    /// Cluster raw insertions by subject id (the `Δe` grouping of §2.1).
+    /// `subjects[k]` is the subject id of the `k`-th inserted triple.
+    pub fn group_by_subject(subjects: &[u32]) -> Self {
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        for &s in subjects {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        // Deterministic order: by subject id.
+        let mut pairs: Vec<(u32, u32)> = counts.into_iter().collect();
+        pairs.sort_unstable();
+        let delta_sizes: Vec<u32> = pairs.into_iter().map(|(_, c)| c).collect();
+        let total = delta_sizes.iter().map(|&s| s as u64).sum();
+        UpdateBatch { delta_sizes, total }
+    }
+
+    /// Per-`Δe` sizes.
+    pub fn delta_sizes(&self) -> &[u32] {
+        &self.delta_sizes
+    }
+
+    /// Number of `Δe` groups (new clusters).
+    pub fn num_delta_clusters(&self) -> usize {
+        self.delta_sizes.len()
+    }
+
+    /// Total inserted triples `|Δ|`.
+    pub fn total_triples(&self) -> u64 {
+        self.total
+    }
+
+    /// Apply to an implicit KG, producing `G + Δ` with the `Δe` groups
+    /// appended as fresh clusters. Returns the evolved KG and the index of
+    /// the first appended cluster.
+    pub fn apply_to(&self, base: &ImplicitKg) -> (ImplicitKg, usize) {
+        let first_new = base.num_clusters_raw();
+        let mut sizes = base.sizes().to_vec();
+        sizes.extend_from_slice(&self.delta_sizes);
+        let evolved = ImplicitKg::new(sizes).expect("both inputs validated non-zero sizes");
+        (evolved, first_new)
+    }
+}
+
+impl ImplicitKg {
+    fn num_clusters_raw(&self) -> usize {
+        self.sizes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implicit::ClusterPopulation;
+
+    #[test]
+    fn grouping_counts_per_subject() {
+        let batch = UpdateBatch::group_by_subject(&[7, 3, 7, 7, 3, 9]);
+        assert_eq!(batch.delta_sizes(), &[2, 3, 1]); // subjects 3, 7, 9
+        assert_eq!(batch.num_delta_clusters(), 3);
+        assert_eq!(batch.total_triples(), 6);
+    }
+
+    #[test]
+    fn from_sizes_validates() {
+        assert!(UpdateBatch::from_sizes(vec![1, 2]).is_ok());
+        assert!(UpdateBatch::from_sizes(vec![1, 0]).is_err());
+        let empty = UpdateBatch::from_sizes(vec![]).unwrap();
+        assert_eq!(empty.total_triples(), 0);
+    }
+
+    #[test]
+    fn apply_appends_new_clusters() {
+        let base = ImplicitKg::new(vec![4, 4]).unwrap();
+        let batch = UpdateBatch::from_sizes(vec![2, 6]).unwrap();
+        let (evolved, first_new) = batch.apply_to(&base);
+        assert_eq!(first_new, 2);
+        assert_eq!(evolved.num_clusters(), 4);
+        assert_eq!(evolved.total_triples(), 16);
+        assert_eq!(evolved.cluster_size(3), 6);
+        // Base clusters untouched.
+        assert_eq!(evolved.cluster_size(0), 4);
+    }
+
+    #[test]
+    fn repeated_subject_insertions_form_one_delta_cluster_per_batch() {
+        // Enriching an existing entity: within one batch it is one Δe …
+        let b1 = UpdateBatch::group_by_subject(&[5, 5, 5]);
+        assert_eq!(b1.num_delta_clusters(), 1);
+        // … and a later batch for the same entity forms a *separate* new
+        // cluster (paper: sub-clusters over time are fine).
+        let b2 = UpdateBatch::group_by_subject(&[5]);
+        let base = ImplicitKg::new(vec![10]).unwrap();
+        let (g1, _) = b1.apply_to(&base);
+        let (g2, _) = b2.apply_to(&g1);
+        assert_eq!(g2.num_clusters(), 3);
+    }
+}

@@ -1,0 +1,130 @@
+//! Expected-cost analysis for the sampling designs (§5.1 and §5.2.3 "Cost
+//! Analysis").
+//!
+//! * SRS: the sample size needed for MoE ε is
+//!   `n_s = μ̂(1−μ̂)·z²_{α/2}/ε²`, and its expected *entity* cost follows the
+//!   coupon-collector-style count `E[n_c] = Σ_i (1 − (1 − M_i/M)^{n_s})`
+//!   (Eq. 6).
+//! * TWCS: the cost upper bound `n·c1 + n·m·c2` (Eq. 11, all sampled
+//!   clusters of size ≥ m) and lower bound `n·(c1 + c2)` (all of size 1),
+//!   plotted as the theoretical ribbon in Fig. 6.
+
+use kg_annotate::cost::CostModel;
+use kg_stats::error::StatsError;
+use kg_stats::normal::z_critical;
+
+/// SRS sample size required for margin `eps` at level `1−alpha` when the
+/// (anticipated) accuracy is `p` (§5.1: `n_s = μ̂(1−μ̂)z²/ε²`).
+pub fn srs_required_n(p: f64, eps: f64, alpha: f64) -> Result<f64, StatsError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::invalid("p", "0 <= p <= 1", p));
+    }
+    if eps <= 0.0 || eps.is_nan() {
+        return Err(StatsError::invalid("eps", "> 0", eps));
+    }
+    let z = z_critical(alpha)?;
+    Ok(p * (1.0 - p) * z * z / (eps * eps))
+}
+
+/// Expected number of *distinct entities* touched by an SRS of `n_s`
+/// triples: `E[n_c] = Σ_i (1 − (1 − M_i/M)^{n_s})` (Eq. 6).
+///
+/// Uses `exp(n_s·ln(1−w))` per cluster for numerical stability on tiny
+/// weights.
+pub fn srs_expected_entities(sizes: &[u32], n_s: f64) -> f64 {
+    let total: f64 = sizes.iter().map(|&s| s as f64).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    sizes
+        .iter()
+        .map(|&s| {
+            let w = s as f64 / total;
+            1.0 - (n_s * (1.0 - w).ln()).exp()
+        })
+        .sum()
+}
+
+/// Expected SRS annotation cost (seconds) for `n_s` triples (the objective
+/// of Eq. 6): `E[n_c]·c1 + n_s·c2`.
+pub fn srs_expected_cost(sizes: &[u32], n_s: f64, cost: CostModel) -> f64 {
+    srs_expected_entities(sizes, n_s) * cost.c1 + n_s * cost.c2
+}
+
+/// TWCS cost *upper bound* (Eq. 11): `n·c1 + n·m·c2`, reached when every
+/// sampled cluster has at least `m` triples.
+pub fn twcs_cost_upper(n: f64, m: usize, cost: CostModel) -> f64 {
+    n * cost.c1 + n * m as f64 * cost.c2
+}
+
+/// TWCS cost *lower bound*: `n·(c1 + c2)`, reached when every sampled
+/// cluster has a single triple.
+pub fn twcs_cost_lower(n: f64, cost: CostModel) -> f64 {
+    n * (cost.c1 + cost.c2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srs_n_matches_textbook_value() {
+        // p=0.5, ε=5%, α=5%: n = 0.25·(1.96)²/0.0025 ≈ 384.1.
+        let n = srs_required_n(0.5, 0.05, 0.05).unwrap();
+        assert!((n - 384.1).abs() < 0.5, "n {n}");
+        // p=0.9 is cheaper.
+        assert!(srs_required_n(0.9, 0.05, 0.05).unwrap() < n);
+        assert!(srs_required_n(1.5, 0.05, 0.05).is_err());
+        assert!(srs_required_n(0.5, 0.0, 0.05).is_err());
+    }
+
+    #[test]
+    fn expected_entities_bounds() {
+        let sizes = vec![10u32; 100]; // 1000 triples
+        // Drawing 0 triples touches 0 entities.
+        assert!(srs_expected_entities(&sizes, 0.0).abs() < 1e-12);
+        // Drawing a huge sample touches ~all entities.
+        let big = srs_expected_entities(&sizes, 10_000.0);
+        assert!((big - 100.0).abs() < 1e-6, "{big}");
+        // Monotone in n_s and ≤ min(n_s, N).
+        let e50 = srs_expected_entities(&sizes, 50.0);
+        let e100 = srs_expected_entities(&sizes, 100.0);
+        assert!(e50 < e100);
+        assert!(e50 <= 50.0);
+    }
+
+    #[test]
+    fn expected_entities_nearly_ns_when_clusters_tiny() {
+        // With all clusters of size 1 (and many of them), nearly every drawn
+        // triple is a fresh entity.
+        let sizes = vec![1u32; 100_000];
+        let e = srs_expected_entities(&sizes, 174.0);
+        assert!((e - 174.0).abs() < 1.0, "{e}");
+    }
+
+    #[test]
+    fn srs_cost_combines_terms() {
+        let sizes = vec![1u32; 1000];
+        let cost = CostModel::new(45.0, 25.0);
+        let c = srs_expected_cost(&sizes, 100.0, cost);
+        // ~100 entities · 45 + 100 · 25 ≈ 7000 − small collision slack.
+        assert!(c > 6500.0 && c <= 7000.0, "{c}");
+    }
+
+    #[test]
+    fn twcs_bounds_order() {
+        let cost = CostModel::default();
+        for m in 1..20 {
+            let up = twcs_cost_upper(30.0, m, cost);
+            let lo = twcs_cost_lower(30.0, cost);
+            assert!(up >= lo, "m={m}: {up} < {lo}");
+        }
+        // Equality exactly at m = 1.
+        assert!((twcs_cost_upper(30.0, 1, cost) - twcs_cost_lower(30.0, cost)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_population_cost_is_zero() {
+        assert_eq!(srs_expected_entities(&[], 10.0), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The [`StaticDesign`] trait implemented by every sampling design, and the
+//! [`Design`] factory enum used by the evaluation framework and experiment
+//! harness to select designs by name.
+
+use crate::index::PopulationIndex;
+use crate::rcs::RcsDesign;
+use crate::srs::SrsDesign;
+use crate::tsrcs::TsRcsDesign;
+use crate::stratified::{StratificationStrategy, StratifiedTwcs};
+use crate::twcs::TwcsDesign;
+use crate::wcs::WcsDesign;
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::oracle::LabelOracle;
+use kg_stats::PointEstimate;
+use rand::RngCore;
+use std::sync::Arc;
+
+/// A sampling design running the paper's iterative loop: draw a batch of
+/// sampling units, annotate them, and re-estimate.
+///
+/// Implementations keep all per-sample state internally so the framework can
+/// alternate `draw` / `estimate` until the MoE target is met (Fig. 2).
+pub trait StaticDesign {
+    /// Draw up to `batch` additional sampling units (triples for SRS,
+    /// clusters for the cluster designs), annotating through `annotator`.
+    /// Returns the number of units actually drawn — 0 means the population
+    /// is exhausted (finite designs only).
+    fn draw(
+        &mut self,
+        rng: &mut dyn RngCore,
+        annotator: &mut SimulatedAnnotator<'_>,
+        batch: usize,
+    ) -> usize;
+
+    /// Current unbiased estimate of the KG accuracy with its estimated
+    /// variance; [`PointEstimate::uninformative`] before any draws.
+    fn estimate(&self) -> PointEstimate;
+
+    /// Number of independent sampling units drawn so far.
+    fn units(&self) -> usize;
+
+    /// Human-readable design name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Factory enum selecting a design and its parameters.
+#[derive(Debug, Clone)]
+pub enum Design {
+    /// Simple random sampling of triples (§5.1).
+    Srs,
+    /// Random cluster sampling (§5.2.1).
+    Rcs,
+    /// Weighted (PPS) cluster sampling (§5.2.2).
+    Wcs,
+    /// Two-stage weighted cluster sampling with second-stage cap `m`
+    /// (§5.2.3).
+    Twcs {
+        /// Maximum triples drawn per sampled cluster.
+        m: usize,
+    },
+    /// Two-stage *random* (uniform) cluster sampling — the variant §5.2.3
+    /// omits as inferior; kept for the ablation experiment.
+    TsRcs {
+        /// Maximum triples drawn per sampled cluster.
+        m: usize,
+    },
+    /// TWCS inside strata (§5.3).
+    StratifiedTwcs {
+        /// Second-stage cap within each stratum.
+        m: usize,
+        /// How to build the strata.
+        strategy: StratificationStrategy,
+    },
+}
+
+impl Design {
+    /// Instantiate the design over a population index.
+    ///
+    /// `oracle` is consulted only by oracle stratification (to rank clusters
+    /// by expected accuracy); all other designs ignore it.
+    pub fn instantiate(
+        &self,
+        index: Arc<PopulationIndex>,
+        oracle: &dyn LabelOracle,
+    ) -> Box<dyn StaticDesign> {
+        match self {
+            Design::Srs => Box::new(SrsDesign::new(index)),
+            Design::Rcs => Box::new(RcsDesign::new(index)),
+            Design::Wcs => Box::new(WcsDesign::new(index)),
+            Design::Twcs { m } => Box::new(TwcsDesign::new(index, *m)),
+            Design::TsRcs { m } => Box::new(TsRcsDesign::new(index, *m)),
+            Design::StratifiedTwcs { m, strategy } => {
+                Box::new(StratifiedTwcs::new(index, *m, strategy.clone(), oracle))
+            }
+        }
+    }
+
+    /// Report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Design::Srs => "SRS",
+            Design::Rcs => "RCS",
+            Design::Wcs => "WCS",
+            Design::Twcs { .. } => "TWCS",
+            Design::TsRcs { .. } => "TSRCS",
+            Design::StratifiedTwcs { .. } => "TWCS+strat",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::oracle::RemOracle;
+
+    #[test]
+    fn factory_names() {
+        assert_eq!(Design::Srs.name(), "SRS");
+        assert_eq!(Design::Twcs { m: 5 }.name(), "TWCS");
+        assert_eq!(
+            Design::StratifiedTwcs {
+                m: 5,
+                strategy: StratificationStrategy::Size { strata: 2 }
+            }
+            .name(),
+            "TWCS+strat"
+        );
+    }
+
+    #[test]
+    fn factory_instantiates_all_designs() {
+        let idx = Arc::new(PopulationIndex::from_sizes(vec![2, 3, 4]).unwrap());
+        let oracle = RemOracle::new(0.9, 1);
+        for d in [
+            Design::Srs,
+            Design::Rcs,
+            Design::Wcs,
+            Design::Twcs { m: 3 },
+            Design::TsRcs { m: 3 },
+            Design::StratifiedTwcs {
+                m: 3,
+                strategy: StratificationStrategy::Size { strata: 2 },
+            },
+        ] {
+            let inst = d.instantiate(idx.clone(), &oracle);
+            assert_eq!(inst.units(), 0);
+            assert_eq!(inst.name(), d.name());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Pre-processed population index: prefix sums and an alias table over
+//! cluster sizes.
+//!
+//! Built once per KG (O(N)), then shared (`Arc`) across every design and
+//! every experiment trial. Provides the two primitives all designs need:
+//!
+//! * uniform triple addressing — map a global triple index in `0..M` to a
+//!   [`TripleRef`] by binary search over the prefix sums (SRS);
+//! * PPS cluster draws — sample a cluster with probability `M_i/M` in O(1)
+//!   via the alias table (WCS/TWCS first stage).
+
+use kg_model::implicit::ClusterPopulation;
+use kg_model::triple::TripleRef;
+use kg_stats::alias::AliasTable;
+use kg_stats::error::StatsError;
+use rand::Rng;
+
+/// Immutable sampling index over a cluster population.
+#[derive(Debug, Clone)]
+pub struct PopulationIndex {
+    sizes: Vec<u32>,
+    prefix: Vec<u64>,
+    alias: AliasTable,
+}
+
+impl PopulationIndex {
+    /// Build from explicit cluster sizes.
+    pub fn from_sizes(sizes: Vec<u32>) -> Result<Self, StatsError> {
+        if sizes.is_empty() {
+            return Err(StatsError::EmptyInput("population has no clusters"));
+        }
+        let mut prefix = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for &s in &sizes {
+            acc += s as u64;
+            prefix.push(acc);
+        }
+        let alias = AliasTable::from_sizes(&sizes)?;
+        Ok(PopulationIndex {
+            sizes,
+            prefix,
+            alias,
+        })
+    }
+
+    /// Build from any cluster population.
+    pub fn from_population<P: ClusterPopulation + ?Sized>(pop: &P) -> Result<Self, StatsError> {
+        let sizes: Vec<u32> = (0..pop.num_clusters())
+            .map(|i| pop.cluster_size(i) as u32)
+            .collect();
+        Self::from_sizes(sizes)
+    }
+
+    /// Number of clusters `N`.
+    pub fn num_clusters(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total triples `M`.
+    pub fn total_triples(&self) -> u64 {
+        *self.prefix.last().expect("prefix non-empty")
+    }
+
+    /// Size of one cluster.
+    pub fn cluster_size(&self, cluster: usize) -> usize {
+        self.sizes[cluster] as usize
+    }
+
+    /// The size vector.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Map a global triple index in `0..M` to its `TripleRef`.
+    pub fn triple_at(&self, global: u64) -> TripleRef {
+        debug_assert!(global < self.total_triples());
+        // partition_point gives the first prefix > global; cluster is that-1.
+        let cluster = self.prefix.partition_point(|&p| p <= global) - 1;
+        let offset = global - self.prefix[cluster];
+        TripleRef::new(cluster as u32, offset as u32)
+    }
+
+    /// Draw a cluster with probability proportional to size (`π_i = M_i/M`).
+    pub fn sample_cluster_pps<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.alias.sample(rng)
+    }
+
+    /// Probability-weight `M_i / M` of a cluster.
+    pub fn cluster_weight(&self, cluster: usize) -> f64 {
+        self.sizes[cluster] as f64 / self.total_triples() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prefix_addressing_covers_every_triple() {
+        let idx = PopulationIndex::from_sizes(vec![3, 1, 4]).unwrap();
+        assert_eq!(idx.total_triples(), 8);
+        assert_eq!(idx.num_clusters(), 3);
+        let expected = [
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 0),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+        ];
+        for (g, &(c, o)) in expected.iter().enumerate() {
+            assert_eq!(idx.triple_at(g as u64), TripleRef::new(c, o), "global {g}");
+        }
+    }
+
+    #[test]
+    fn empty_population_rejected() {
+        assert!(PopulationIndex::from_sizes(vec![]).is_err());
+    }
+
+    #[test]
+    fn pps_sampling_frequencies_match_sizes() {
+        let idx = PopulationIndex::from_sizes(vec![1, 9]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 100_000;
+        let mut big = 0;
+        for _ in 0..trials {
+            if idx.sample_cluster_pps(&mut rng) == 1 {
+                big += 1;
+            }
+        }
+        let freq = big as f64 / trials as f64;
+        assert!((freq - 0.9).abs() < 0.01, "freq {freq}");
+        assert!((idx.cluster_weight(1) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_population_agrees_with_from_sizes() {
+        use kg_model::implicit::ImplicitKg;
+        let kg = ImplicitKg::new(vec![2, 5]).unwrap();
+        let idx = PopulationIndex::from_population(&kg).unwrap();
+        assert_eq!(idx.sizes(), &[2, 5]);
+        assert_eq!(idx.total_triples(), 7);
+        assert_eq!(idx.cluster_size(1), 5);
+    }
+}

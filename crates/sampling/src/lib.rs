@@ -1,0 +1,45 @@
+//! # kg-sampling — sampling designs and estimators (§5 of the paper)
+//!
+//! The four estimators of KG accuracy, all unbiased, differing in cost:
+//!
+//! | Design | Unit | First stage | Second stage | Estimator |
+//! |--------|------|-------------|--------------|-----------|
+//! | [`srs::SrsDesign`] | triple | uniform w/o replacement | — | sample mean (Eq. 5) |
+//! | [`rcs::RcsDesign`] | cluster | uniform w/o replacement | all triples | `N/(Mn) Σ τ_I` (Eq. 7) |
+//! | [`wcs::WcsDesign`] | cluster | PPS with replacement | all triples | Hansen–Hurwitz mean of `μ_I` (Eq. 8) |
+//! | [`twcs::TwcsDesign`] | cluster | PPS with replacement | SRS of ≤ m | mean of `μ̂_I` (Eq. 9) |
+//! | [`tsrcs::TsRcsDesign`] | cluster | uniform with replacement | SRS of ≤ m | size-scaled mean (ablation; the variant §5.2.3 omits as inferior) |
+//!
+//! plus [`stratified::StratifiedTwcs`] (Eq. 13) which runs TWCS inside
+//! strata built from cluster size (cumulative-√F) or an accuracy oracle.
+//!
+//! Supporting analysis modules:
+//!
+//! * [`variance`] — the theoretical TWCS variance `V(m)` (Eq. 10) and the
+//!   required first-stage sample size `n(m) = V(m)·z²_{α/2}/ε²`.
+//! * [`optimal_m`] — minimizes the cost upper bound `n(m)·(c1 + m·c2)`
+//!   (Eq. 12) by linear search, and a pilot-sample variant for when true
+//!   cluster accuracies are unknown.
+//! * [`cost_model`] — expected-cost formulas: the SRS objective (Eq. 6) with
+//!   its expected distinct-entity count, and the TWCS upper/lower cost
+//!   bounds used for Fig. 6's theoretical ribbon.
+//! * [`index::PopulationIndex`] — prefix sums + alias table over cluster
+//!   sizes; built once per KG and shared across designs and trials.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost_model;
+pub mod design;
+pub mod index;
+pub mod optimal_m;
+pub mod rcs;
+pub mod srs;
+pub mod stratified;
+pub mod tsrcs;
+pub mod twcs;
+pub mod variance;
+pub mod wcs;
+
+pub use design::{Design, StaticDesign};
+pub use index::PopulationIndex;

@@ -1,0 +1,245 @@
+//! Optimal second-stage sample size (Eq. 12).
+//!
+//! TWCS's expected annotation cost is bounded above by `n·(c1 + m·c2)` —
+//! achieved when every sampled cluster has at least `m` triples — and the
+//! MoE constraint pins `n = V(m)·z²_{α/2}/ε²`. The optimal `m` minimizes
+//!
+//! ```text
+//! cost(m) = V(m)·z²_{α/2}/ε² · (c1 + m·c2)
+//! ```
+//!
+//! There is no closed form; the discrete domain is tiny (the paper finds
+//! the optimum in 3–5 across all KGs, §7.2.2), so a linear search over
+//! `1..=m_max` is exact and instant.
+//!
+//! When the true cluster accuracies are unknown (always, in practice), a
+//! pilot TWCS sample yields plug-in estimates of the between/within
+//! variance components; [`optimal_m_from_pilot`] runs the same search on
+//! the plug-in `V̂(m)`.
+
+use crate::variance::PopulationTruth;
+use kg_annotate::cost::CostModel;
+use kg_stats::error::StatsError;
+use kg_stats::normal::z_critical;
+
+/// Result of an optimal-m search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalM {
+    /// The minimizing second-stage size.
+    pub m: usize,
+    /// Expected cost upper bound at the optimum, in seconds.
+    pub cost_seconds: f64,
+    /// Required first-stage cluster count at the optimum.
+    pub n: f64,
+}
+
+/// Exact optimal `m` via Eq. 12 given full population truth.
+pub fn optimal_m_exact(
+    truth: &PopulationTruth,
+    cost: CostModel,
+    eps: f64,
+    alpha: f64,
+    m_max: usize,
+) -> Result<OptimalM, StatsError> {
+    if eps <= 0.0 || eps.is_nan() {
+        return Err(StatsError::invalid("eps", "> 0", eps));
+    }
+    if m_max == 0 {
+        return Err(StatsError::invalid("m_max", ">= 1", 0.0));
+    }
+    let z = z_critical(alpha)?;
+    let z2_over_eps2 = z * z / (eps * eps);
+    let mut best = OptimalM {
+        m: 1,
+        cost_seconds: f64::INFINITY,
+        n: 0.0,
+    };
+    for m in 1..=m_max {
+        let n = truth.v_of_m(m) * z2_over_eps2;
+        let c = n * (cost.c1 + m as f64 * cost.c2);
+        if c < best.cost_seconds {
+            best = OptimalM {
+                m,
+                cost_seconds: c,
+                n,
+            };
+        }
+    }
+    Ok(best)
+}
+
+/// Plug-in variance components estimated from a pilot TWCS sample.
+///
+/// `between` estimates `(1/M)Σ M_i(μ_i−μ)²` (the variance of per-cluster
+/// accuracies under PPS sampling); `within` estimates the average
+/// within-cluster Bernoulli variance `(1/M)Σ M_i μ_i(1−μ_i)` (the `m`-free
+/// part of the second term, ignoring the FPC, which is conservative).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PilotVariance {
+    /// Between-cluster component.
+    pub between: f64,
+    /// Within-cluster component (before the 1/m factor).
+    pub within: f64,
+}
+
+impl PilotVariance {
+    /// Estimate from pilot observations: `(cluster_accuracy, cluster_size)`
+    /// pairs drawn PPS (e.g. a short WCS/TWCS run with full-ish clusters).
+    pub fn from_pilot(observations: &[(f64, u32)]) -> Result<Self, StatsError> {
+        if observations.len() < 2 {
+            return Err(StatsError::EmptyInput("pilot needs >= 2 cluster observations"));
+        }
+        let n = observations.len() as f64;
+        let mean = observations.iter().map(|&(a, _)| a).sum::<f64>() / n;
+        let between = observations
+            .iter()
+            .map(|&(a, _)| (a - mean) * (a - mean))
+            .sum::<f64>()
+            / (n - 1.0);
+        let within = observations
+            .iter()
+            .map(|&(a, _)| a * (1.0 - a))
+            .sum::<f64>()
+            / n;
+        Ok(PilotVariance { between, within })
+    }
+
+    /// Plug-in `V̂(m) = between + within/m`.
+    pub fn v_of_m(&self, m: usize) -> f64 {
+        self.between + self.within / m as f64
+    }
+}
+
+/// Optimal `m` from pilot estimates (the practical path).
+pub fn optimal_m_from_pilot(
+    pilot: &PilotVariance,
+    cost: CostModel,
+    eps: f64,
+    alpha: f64,
+    m_max: usize,
+) -> Result<OptimalM, StatsError> {
+    if eps <= 0.0 || eps.is_nan() {
+        return Err(StatsError::invalid("eps", "> 0", eps));
+    }
+    if m_max == 0 {
+        return Err(StatsError::invalid("m_max", ">= 1", 0.0));
+    }
+    let z = z_critical(alpha)?;
+    let z2_over_eps2 = z * z / (eps * eps);
+    let mut best = OptimalM {
+        m: 1,
+        cost_seconds: f64::INFINITY,
+        n: 0.0,
+    };
+    for m in 1..=m_max {
+        let n = pilot.v_of_m(m) * z2_over_eps2;
+        let c = n * (cost.c1 + m as f64 * cost.c2);
+        if c < best.cost_seconds {
+            best = OptimalM {
+                m,
+                cost_seconds: c,
+                n,
+            };
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heterogeneous_truth() -> PopulationTruth {
+        // Mixed sizes and accuracies resembling a BMM-labelled KG.
+        let sizes: Vec<u32> = (0..400)
+            .map(|i| match i % 10 {
+                0 => 120,
+                1..=3 => 12,
+                _ => 2,
+            })
+            .collect();
+        let accs: Vec<f64> = sizes
+            .iter()
+            .map(|&s| if s > 50 { 0.97 } else if s > 5 { 0.85 } else { 0.6 })
+            .collect();
+        PopulationTruth::new(sizes, accs).unwrap()
+    }
+
+    #[test]
+    fn optimum_is_in_the_papers_range() {
+        let truth = heterogeneous_truth();
+        let best = optimal_m_exact(&truth, CostModel::default(), 0.05, 0.05, 20).unwrap();
+        assert!(
+            (2..=8).contains(&best.m),
+            "optimal m {} outside plausible range",
+            best.m
+        );
+        assert!(best.cost_seconds.is_finite());
+        assert!(best.n > 0.0);
+    }
+
+    #[test]
+    fn cost_curve_is_u_shaped_around_optimum() {
+        // cost(1) and cost(m_max) should both exceed the optimum.
+        let truth = heterogeneous_truth();
+        let cost = CostModel::default();
+        let z = z_critical(0.05).unwrap();
+        let z2e2 = z * z / (0.05_f64 * 0.05);
+        let cost_at = |m: usize| truth.v_of_m(m) * z2e2 * (cost.c1 + m as f64 * cost.c2);
+        let best = optimal_m_exact(&truth, cost, 0.05, 0.05, 20).unwrap();
+        assert!(cost_at(1) > best.cost_seconds);
+        assert!(cost_at(20) > best.cost_seconds);
+    }
+
+    #[test]
+    fn pure_between_variance_pushes_m_to_one() {
+        // Perfectly homogeneous clusters (within = 0): extra triples per
+        // cluster buy nothing, so m* = 1.
+        let sizes = vec![10u32; 100];
+        let accs: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 0.0 }).collect();
+        let truth = PopulationTruth::new(sizes, accs).unwrap();
+        let best = optimal_m_exact(&truth, CostModel::default(), 0.05, 0.05, 20).unwrap();
+        assert_eq!(best.m, 1);
+    }
+
+    #[test]
+    fn cheap_validation_pushes_m_up() {
+        // When c2 ≪ c1, deep second stages are nearly free → larger m*.
+        let truth = heterogeneous_truth();
+        let cheap = optimal_m_exact(&truth, CostModel::new(45.0, 0.1), 0.05, 0.05, 50).unwrap();
+        let dear = optimal_m_exact(&truth, CostModel::new(45.0, 50.0), 0.05, 0.05, 50).unwrap();
+        assert!(cheap.m > dear.m, "cheap {} vs dear {}", cheap.m, dear.m);
+    }
+
+    #[test]
+    fn pilot_estimates_recover_plausible_m() {
+        let truth = heterogeneous_truth();
+        // Fake a pilot: the true per-cluster accuracies sampled PPS-ish.
+        let obs: Vec<(f64, u32)> = truth
+            .sizes
+            .iter()
+            .zip(&truth.accuracies)
+            .filter(|(&s, _)| s > 1)
+            .map(|(&s, &a)| (a, s))
+            .take(50)
+            .collect();
+        let pilot = PilotVariance::from_pilot(&obs).unwrap();
+        let from_pilot =
+            optimal_m_from_pilot(&pilot, CostModel::default(), 0.05, 0.05, 20).unwrap();
+        let exact = optimal_m_exact(&truth, CostModel::default(), 0.05, 0.05, 20).unwrap();
+        assert!(
+            (from_pilot.m as i64 - exact.m as i64).abs() <= 3,
+            "pilot m {} vs exact m {}",
+            from_pilot.m,
+            exact.m
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let truth = heterogeneous_truth();
+        assert!(optimal_m_exact(&truth, CostModel::default(), 0.0, 0.05, 20).is_err());
+        assert!(optimal_m_exact(&truth, CostModel::default(), 0.05, 0.05, 0).is_err());
+        assert!(PilotVariance::from_pilot(&[(0.5, 3)]).is_err());
+    }
+}

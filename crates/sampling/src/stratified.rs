@@ -1,0 +1,362 @@
+//! Stratified TWCS (§5.3).
+//!
+//! Clusters are partitioned into `H` strata; TWCS runs independently inside
+//! each; the combined estimator is `μ̂_ss = Σ_h W_h·μ̂_{w,m,h}` with variance
+//! `Σ_h W_h²·Var(μ̂_{w,m,h})` (Eq. 13), where `W_h` is the stratum's share
+//! of *triples*. When strata are accuracy-homogeneous the combined variance
+//! drops below unstratified TWCS, cutting the required sample size.
+//!
+//! Two strategies from the paper's §7.2.3:
+//!
+//! * **Size stratification** — the observable signal: cluster size, cut by
+//!   the cumulative-√F rule (Table 7 uses 2 strata on NELL, 4 on MOVIE).
+//! * **Oracle stratification** — the unobservable ideal: stratify directly
+//!   on (expected) cluster accuracy. Not realizable in practice; reported
+//!   as the lower bound of achievable cost.
+
+use crate::design::StaticDesign;
+use crate::index::PopulationIndex;
+use crate::twcs::TwcsDesign;
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::oracle::LabelOracle;
+use kg_stats::alias::AliasTable;
+use kg_stats::stratify::{assign_strata, cum_sqrt_f_boundaries, Allocation};
+use kg_stats::{PointEstimate, RunningMoments};
+use rand::RngCore;
+use std::sync::Arc;
+
+/// How to partition clusters into strata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StratificationStrategy {
+    /// Cumulative-√F over cluster sizes.
+    Size {
+        /// Desired number of strata.
+        strata: usize,
+    },
+    /// Quantile groups over the oracle's expected cluster accuracy (the
+    /// "perfect but impossible in practice" baseline of Table 7).
+    Oracle {
+        /// Desired number of strata.
+        strata: usize,
+    },
+}
+
+struct Stratum {
+    /// Global cluster ids belonging to the stratum.
+    clusters: Vec<u32>,
+    /// PPS table over the stratum's cluster sizes.
+    alias: AliasTable,
+    /// Stratum triple-share `W_h`.
+    weight: f64,
+    /// Per-draw second-stage accuracies.
+    accuracies: RunningMoments,
+}
+
+/// Per-stratum draw count below which the variance plug-in is distrusted:
+/// a stratum's `s²` from a handful of draws can be spuriously zero, and a
+/// single under-sampled stratum with zero reported variance silently drops
+/// out of the combined MoE (Eq. 13), stopping the loop on a biased
+/// estimate.
+const MIN_PER_STRATUM: u64 = 10;
+
+impl Stratum {
+    fn estimate(&self, m: usize) -> PointEstimate {
+        let n = self.accuracies.count();
+        if n < 2 {
+            // No variance information at all: worst-case Bernoulli.
+            return PointEstimate::new(
+                if n == 1 { self.accuracies.mean() } else { 0.5 },
+                0.25,
+                n as usize,
+            )
+            .expect("constant variance is valid");
+        }
+        let mut var = kg_sampling_floored(&self.accuracies, m);
+        if n < MIN_PER_STRATUM {
+            // Distrust s² from a handful of draws: keep the stratum's MoE
+            // contribution conservative so sampling continues.
+            var = var.max(0.25 / n as f64);
+        }
+        PointEstimate::new(self.accuracies.mean(), var, n as usize)
+            .expect("plug-in variance is non-negative")
+    }
+}
+
+use crate::twcs::floored_variance_of_mean as kg_sampling_floored;
+
+/// Stratified TWCS design (Eq. 13).
+pub struct StratifiedTwcs {
+    index: Arc<PopulationIndex>,
+    strata: Vec<Stratum>,
+    m: usize,
+    allocation: Allocation,
+}
+
+impl StratifiedTwcs {
+    /// Build strata over the population and return the design.
+    ///
+    /// `oracle` is consulted only by [`StratificationStrategy::Oracle`].
+    pub fn new(
+        index: Arc<PopulationIndex>,
+        m: usize,
+        strategy: StratificationStrategy,
+        oracle: &dyn LabelOracle,
+    ) -> Self {
+        assert!(m >= 1, "second-stage size m must be at least 1");
+        let assignment = match &strategy {
+            StratificationStrategy::Size { strata } => {
+                let sizes: Vec<u64> = index.sizes().iter().map(|&s| s as u64).collect();
+                let bounds = cum_sqrt_f_boundaries(&sizes, *strata)
+                    .expect("non-empty population with >= 1 stratum");
+                assign_strata(&sizes, &bounds)
+            }
+            StratificationStrategy::Oracle { strata } => {
+                let h = (*strata).max(1);
+                let n = index.num_clusters();
+                // Rank clusters by their exact realized accuracy — the
+                // paper's "perfect stratification" — and split into H
+                // quantile groups of (nearly) equal cluster counts.
+                let mut ranked: Vec<(usize, f64)> = (0..n)
+                    .map(|c| (c, oracle.cluster_accuracy(c as u32, index.cluster_size(c))))
+                    .collect();
+                ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("accuracies are finite"));
+                let mut assignment = vec![0usize; n];
+                for (rank, (c, _)) in ranked.into_iter().enumerate() {
+                    assignment[c] = (rank * h / n).min(h - 1);
+                }
+                assignment
+            }
+        };
+
+        let h = assignment.iter().copied().max().map_or(1, |m| m + 1);
+        let total = index.total_triples() as f64;
+        let mut strata: Vec<Stratum> = Vec::with_capacity(h);
+        for s in 0..h {
+            let clusters: Vec<u32> = (0..index.num_clusters())
+                .filter(|&c| assignment[c] == s)
+                .map(|c| c as u32)
+                .collect();
+            if clusters.is_empty() {
+                continue;
+            }
+            let sizes: Vec<u32> = clusters
+                .iter()
+                .map(|&c| index.cluster_size(c as usize) as u32)
+                .collect();
+            let weight = sizes.iter().map(|&x| x as f64).sum::<f64>() / total;
+            let alias = AliasTable::from_sizes(&sizes).expect("non-empty stratum");
+            strata.push(Stratum {
+                clusters,
+                alias,
+                weight,
+                accuracies: RunningMoments::new(),
+            });
+        }
+        StratifiedTwcs {
+            index,
+            strata,
+            m,
+            allocation: Allocation::Neyman,
+        }
+    }
+
+    /// Number of (non-empty) strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Override the allocation policy (default: Neyman with proportional
+    /// fallback before variances are known).
+    pub fn with_allocation(mut self, allocation: Allocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Stratum triple-share weights `W_h`.
+    pub fn weights(&self) -> Vec<f64> {
+        self.strata.iter().map(|s| s.weight).collect()
+    }
+}
+
+impl StaticDesign for StratifiedTwcs {
+    fn draw(
+        &mut self,
+        rng: &mut dyn RngCore,
+        annotator: &mut SimulatedAnnotator<'_>,
+        batch: usize,
+    ) -> usize {
+        let weights: Vec<f64> = self.strata.iter().map(|s| s.weight).collect();
+        let m = self.m;
+        let stds: Vec<f64> = self
+            .strata
+            .iter()
+            .map(|s| {
+                let n = s.accuracies.count();
+                if n < MIN_PER_STRATUM {
+                    // Under-explored: worst-case Bernoulli std pushes
+                    // allocation toward the stratum.
+                    0.5
+                } else {
+                    // Floor the allocation score by the same within-cluster
+                    // bound as the variance plug-in: a stratum whose few
+                    // draws happen to coincide must keep receiving draws,
+                    // otherwise its conservative variance deadlocks the
+                    // MoE loop (score 0 ⇒ no draws ⇒ variance never
+                    // updates).
+                    let per_draw_floor =
+                        kg_sampling_floored(&s.accuracies, m) * n as f64;
+                    s.accuracies.sample_std().max(per_draw_floor.sqrt())
+                }
+            })
+            .collect();
+        let alloc = self.allocation.allocate(batch, &weights, &stds);
+        let mut drawn = 0;
+        for (h, &n_h) in alloc.iter().enumerate() {
+            for _ in 0..n_h {
+                let stratum = &mut self.strata[h];
+                let local = stratum.alias.sample(rng);
+                let cluster = stratum.clusters[local] as usize;
+                let acc =
+                    TwcsDesign::annotate_cluster(&self.index, cluster, self.m, rng, annotator);
+                stratum.accuracies.push(acc);
+                drawn += 1;
+            }
+        }
+        drawn
+    }
+
+    fn estimate(&self) -> PointEstimate {
+        if self.strata.iter().all(|s| s.accuracies.count() == 0) {
+            return PointEstimate::uninformative();
+        }
+        let m = self.m;
+        PointEstimate::stratified(self.strata.iter().map(|s| (s.weight, s.estimate(m))))
+            .expect("stratum weights sum to one")
+    }
+
+    fn units(&self) -> usize {
+        self.strata.iter().map(|s| s.accuracies.count() as usize).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "TWCS+strat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::cost::CostModel;
+    use kg_annotate::oracle::{true_accuracy, BmmOracle};
+    use kg_model::implicit::ImplicitKg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bmm_setup() -> (ImplicitKg, BmmOracle) {
+        // Long-tail sizes with BMM labels: size strongly predicts accuracy.
+        let sizes: Vec<u32> = (0..800)
+            .map(|i| match i % 8 {
+                0 => 400,
+                1 | 2 => 40,
+                _ => 1 + (i % 3),
+            })
+            .collect();
+        let kg = ImplicitKg::new(sizes.clone()).unwrap();
+        let oracle = BmmOracle::new(Arc::new(sizes), 3, 0.05, 0.05, 42);
+        (kg, oracle)
+    }
+
+    #[test]
+    fn weights_sum_to_one_and_partition() {
+        let (kg, oracle) = bmm_setup();
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let d = StratifiedTwcs::new(
+            idx.clone(),
+            5,
+            StratificationStrategy::Size { strata: 4 },
+            &oracle,
+        );
+        let wsum: f64 = d.weights().iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-9, "weights sum {wsum}");
+        assert!(d.num_strata() >= 2);
+        // Every cluster in exactly one stratum.
+        let total: usize = d.strata.iter().map(|s| s.clusters.len()).sum();
+        assert_eq!(total, idx.num_clusters());
+    }
+
+    #[test]
+    fn stratified_estimator_is_unbiased() {
+        let (kg, oracle) = bmm_setup();
+        let truth = true_accuracy(&kg, &oracle);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let reps = 300;
+        let mut sum = 0.0;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut d = StratifiedTwcs::new(
+                idx.clone(),
+                5,
+                StratificationStrategy::Size { strata: 4 },
+                &oracle,
+            );
+            let mut a = SimulatedAnnotator::new(&oracle, CostModel::default());
+            d.draw(&mut rng, &mut a, 60);
+            sum += d.estimate().mean;
+        }
+        let avg = sum / reps as f64;
+        assert!((avg - truth).abs() < 0.015, "avg {avg} vs truth {truth}");
+    }
+
+    #[test]
+    fn oracle_stratification_reduces_variance_vs_plain_twcs() {
+        let (kg, oracle) = bmm_setup();
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let reps = 200;
+        let units = 60;
+        let mut strat = RunningMoments::new();
+        let mut plain = RunningMoments::new();
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut d = StratifiedTwcs::new(
+                idx.clone(),
+                5,
+                StratificationStrategy::Oracle { strata: 4 },
+                &oracle,
+            );
+            let mut a = SimulatedAnnotator::new(&oracle, CostModel::default());
+            d.draw(&mut rng, &mut a, units);
+            strat.push(d.estimate().mean);
+
+            let mut rng = StdRng::seed_from_u64(seed + 55_555);
+            let mut t = TwcsDesign::new(idx.clone(), 5);
+            let mut a = SimulatedAnnotator::new(&oracle, CostModel::default());
+            t.draw(&mut rng, &mut a, units);
+            plain.push(t.estimate().mean);
+        }
+        assert!(
+            strat.sample_variance() < plain.sample_variance(),
+            "stratified var {} !< plain var {}",
+            strat.sample_variance(),
+            plain.sample_variance()
+        );
+    }
+
+    #[test]
+    fn undersampled_strata_keep_moe_conservative() {
+        let (kg, oracle) = bmm_setup();
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = StratifiedTwcs::new(
+            idx,
+            5,
+            StratificationStrategy::Size { strata: 4 },
+            &oracle,
+        )
+        .with_allocation(Allocation::Proportional);
+        let mut a = SimulatedAnnotator::new(&oracle, CostModel::default());
+        // One draw lands in one stratum; the others are unexplored → MoE
+        // must stay large.
+        d.draw(&mut rng, &mut a, 1);
+        assert!(d.estimate().moe(0.05).unwrap() > 0.2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Theoretical TWCS variance (Eq. 10) and derived sample-size requirements.
+//!
+//! ```text
+//! Var(μ̂_{w,m}) = V(m)/n,
+//! V(m) = (1/M) [ Σ_i M_i(μ_i − μ)²
+//!              + (1/m) Σ_{i: M_i > m} (M_i − m)/(M_i − 1) · M_i · μ_i(1 − μ_i) ]
+//! ```
+//!
+//! The first term is the *between-cluster* variance (irreducible by m); the
+//! second is the *within-cluster* sampling variance with the finite
+//! population correction `(M_i − m)/(M_i − 1)` — it vanishes for clusters
+//! fully enumerated by the second stage (`M_i ≤ m`).
+//!
+//! To hit an MoE of ε at level 1−α the first-stage size must satisfy
+//! `n ≥ V(m)·z²_{α/2}/ε²` (§5.2.3 "Cost Analysis").
+
+use kg_stats::error::StatsError;
+use kg_stats::normal::z_critical;
+
+/// Exact population inputs for the variance formula: per-cluster sizes and
+/// accuracies, plus the overall accuracy.
+#[derive(Debug, Clone)]
+pub struct PopulationTruth {
+    /// Cluster sizes `M_i`.
+    pub sizes: Vec<u32>,
+    /// Cluster accuracies `μ_i = τ_i / M_i`.
+    pub accuracies: Vec<f64>,
+    /// Overall accuracy `μ` (triple-weighted mean of `μ_i`).
+    pub mu: f64,
+}
+
+impl PopulationTruth {
+    /// Assemble from sizes and accuracies, computing `μ`.
+    pub fn new(sizes: Vec<u32>, accuracies: Vec<f64>) -> Result<Self, StatsError> {
+        if sizes.len() != accuracies.len() {
+            return Err(StatsError::InvalidWeights(
+                "sizes and accuracies must have equal length",
+            ));
+        }
+        if sizes.is_empty() {
+            return Err(StatsError::EmptyInput("population truth"));
+        }
+        let total: f64 = sizes.iter().map(|&s| s as f64).sum();
+        let mu = sizes
+            .iter()
+            .zip(&accuracies)
+            .map(|(&s, &a)| s as f64 * a)
+            .sum::<f64>()
+            / total;
+        Ok(PopulationTruth {
+            sizes,
+            accuracies,
+            mu,
+        })
+    }
+
+    /// Total triples `M`.
+    pub fn total_triples(&self) -> f64 {
+        self.sizes.iter().map(|&s| s as f64).sum()
+    }
+
+    /// The paper's `V(m)` (Eq. 10, per-draw variance factor).
+    pub fn v_of_m(&self, m: usize) -> f64 {
+        assert!(m >= 1, "m must be at least 1");
+        let m_f = m as f64;
+        let total = self.total_triples();
+        let mut between = 0.0;
+        let mut within = 0.0;
+        for (&size, &mu_i) in self.sizes.iter().zip(&self.accuracies) {
+            let mi = size as f64;
+            let d = mu_i - self.mu;
+            between += mi * d * d;
+            if size as usize > m {
+                within += (mi - m_f) / (mi - 1.0) * mi * mu_i * (1.0 - mu_i);
+            }
+        }
+        (between + within / m_f) / total
+    }
+
+    /// Required first-stage cluster count `n(m) = V(m)·z²_{α/2}/ε²` to reach
+    /// margin of error `eps` at level `1−alpha`.
+    pub fn required_n(&self, m: usize, eps: f64, alpha: f64) -> Result<f64, StatsError> {
+        if eps <= 0.0 || eps.is_nan() {
+            return Err(StatsError::invalid("eps", "> 0", eps));
+        }
+        let z = z_critical(alpha)?;
+        Ok(self.v_of_m(m) * z * z / (eps * eps))
+    }
+
+    /// Theoretical variance of the TWCS estimator with `n` first-stage
+    /// draws: `V(m)/n`.
+    pub fn var_of_estimator(&self, m: usize, n: usize) -> f64 {
+        assert!(n >= 1, "n must be at least 1");
+        self.v_of_m(m) / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v_of_m_reduces_to_triple_variance_at_m1() {
+        // With m = 1 and all M_i = 1, V(1) = population Bernoulli variance.
+        let truth =
+            PopulationTruth::new(vec![1; 10], vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0])
+                .unwrap();
+        assert!((truth.mu - 0.7).abs() < 1e-12);
+        // All clusters size 1 → within term empty; between = Σ(μi−μ)²/N =
+        // p(1−p) = 0.21.
+        assert!((truth.v_of_m(1) - 0.21).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v_decreases_monotonically_in_m() {
+        let sizes: Vec<u32> = (1..=60).collect();
+        let accs: Vec<f64> = (1..=60).map(|i| 0.5 + 0.4 * (i as f64 / 60.0)).collect();
+        let truth = PopulationTruth::new(sizes, accs).unwrap();
+        let mut prev = f64::INFINITY;
+        for m in 1..=20 {
+            let v = truth.v_of_m(m);
+            assert!(v <= prev + 1e-12, "V({m}) = {v} > V({}) = {prev}", m - 1);
+            prev = v;
+        }
+        // And V(m) never drops below the pure between-cluster term.
+        let between_only = {
+            let t = &truth;
+            let total = t.total_triples();
+            t.sizes
+                .iter()
+                .zip(&t.accuracies)
+                .map(|(&s, &a)| s as f64 * (a - t.mu).powi(2))
+                .sum::<f64>()
+                / total
+        };
+        assert!(truth.v_of_m(1000) >= between_only - 1e-12);
+    }
+
+    #[test]
+    fn matches_empirical_variance_on_small_population() {
+        use kg_annotate::annotator::SimulatedAnnotator;
+        use kg_annotate::cost::CostModel;
+        use kg_annotate::oracle::{cluster_accuracies, GoldLabels};
+        use kg_model::implicit::ImplicitKg;
+        use kg_stats::RunningMoments;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::sync::Arc;
+
+        // Small population with known labels.
+        let sizes = vec![4u32, 8, 2, 6, 10];
+        let kg = ImplicitKg::new(sizes.clone()).unwrap();
+        let labels: Vec<Vec<bool>> = vec![
+            vec![true, true, false, true],
+            vec![true; 8],
+            vec![false, true],
+            vec![true, false, true, false, true, true],
+            vec![true, true, true, false, false, true, true, true, false, true],
+        ];
+        let gold = GoldLabels::new(labels);
+        let accs = cluster_accuracies(&kg, &gold);
+        let truth = PopulationTruth::new(sizes, accs).unwrap();
+
+        let m = 3;
+        let n = 10;
+        let theoretical = truth.var_of_estimator(m, n);
+
+        // Empirical variance of μ̂ over many replications.
+        let idx = Arc::new(crate::index::PopulationIndex::from_population(&kg).unwrap());
+        let mut ests = RunningMoments::new();
+        for seed in 0..4000u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut d = crate::twcs::TwcsDesign::new(idx.clone(), m);
+            let mut a = SimulatedAnnotator::new(&gold, CostModel::default());
+            use crate::design::StaticDesign;
+            d.draw(&mut rng, &mut a, n);
+            ests.push(d.estimate().mean);
+        }
+        let empirical = ests.sample_variance();
+        let rel = (empirical - theoretical).abs() / theoretical;
+        assert!(
+            rel < 0.15,
+            "empirical {empirical} vs theoretical {theoretical} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn required_n_scales_with_precision() {
+        let truth = PopulationTruth::new(vec![20; 100], vec![0.8; 100]).unwrap();
+        let n5 = truth.required_n(5, 0.05, 0.05).unwrap();
+        let n1 = truth.required_n(5, 0.01, 0.05).unwrap();
+        assert!((n1 / n5 - 25.0).abs() < 1e-6, "ratio {}", n1 / n5);
+        assert!(truth.required_n(5, 0.0, 0.05).is_err());
+    }
+
+    #[test]
+    fn constructor_validations() {
+        assert!(PopulationTruth::new(vec![1], vec![0.5, 0.5]).is_err());
+        assert!(PopulationTruth::new(vec![], vec![]).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Non-uniform random variate generation.
+//!
+//! The approved dependency set excludes `rand_distr`, so the handful of
+//! distributions the experiments need are implemented here:
+//!
+//! * [`Normal`] — Marsaglia's polar method.
+//! * [`LogNormal`] — exponentiated Normal; one of the two cluster-size
+//!   generators for synthetic KG profiles.
+//! * [`Zipf`] — bounded Zipf via an inverted CDF table; models the long-tail
+//!   cluster-size distributions of real KGs (NELL: >98% of clusters below
+//!   size 5, §7.2.2).
+//! * [`Binomial`] — exact inversion for small `n`, Normal approximation with
+//!   continuity correction for large `n`; used by the Binomial Mixture Model
+//!   label generator (§7.1.2) and by test harnesses.
+//! * [`Exponential`] — inverse-CDF; used for inter-arrival jitter in the
+//!   evolving-KG update generator.
+
+use crate::error::StatsError;
+use rand::Rng;
+
+/// Normal distribution `N(mean, std²)` sampled with Marsaglia's polar method.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std: f64,
+}
+
+impl Normal {
+    /// Create a Normal distribution; `std` must be finite and non-negative.
+    pub fn new(mean: f64, std: f64) -> Result<Self, StatsError> {
+        if !std.is_finite() || std < 0.0 {
+            return Err(StatsError::invalid("std", ">= 0 and finite", std));
+        }
+        Ok(Normal { mean, std })
+    }
+
+    /// Draw one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.std == 0.0 {
+            return self.mean;
+        }
+        // Marsaglia polar: draw (u,v) in the unit disc, transform.
+        loop {
+            let u = rng.gen::<f64>() * 2.0 - 1.0;
+            let v = rng.gen::<f64>() * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std * u * factor;
+            }
+        }
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Create from the underlying Normal's parameters.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        Ok(LogNormal {
+            inner: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Draw one variate (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+
+    /// Theoretical mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.inner.mean + self.inner.std * self.inner.std / 2.0).exp()
+    }
+}
+
+/// Bounded Zipf distribution over `{1, …, n}` with exponent `s`:
+/// `P(k) ∝ k^{-s}`. Sampling is by binary search on a precomputed CDF —
+/// exact, O(log n) per draw, and cheap to build for the bounded supports
+/// used by cluster-size generators (n ≤ ~100k).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a bounded Zipf over `1..=n` with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Result<Self, StatsError> {
+        if n == 0 {
+            return Err(StatsError::invalid("n", ">= 1", 0.0));
+        }
+        if s <= 0.0 || !s.is_finite() {
+            return Err(StatsError::invalid("s", "> 0 and finite", s));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating point: last entry must be exactly 1.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Ok(Zipf { cdf })
+    }
+
+    /// Draw one variate in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen::<f64>();
+        // partition_point: first index with cdf[i] >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+
+    /// Theoretical mean of the bounded distribution.
+    pub fn mean(&self) -> f64 {
+        let n = self.cdf.len();
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (i, &c) in self.cdf.iter().enumerate() {
+            mean += (i + 1) as f64 * (c - prev);
+            prev = c;
+        }
+        let _ = n;
+        mean
+    }
+}
+
+/// Binomial distribution `B(n, p)`.
+///
+/// Exact sequential inversion is used for `n ≤ 64` or when `n·min(p,1−p)` is
+/// tiny; otherwise the Normal approximation with continuity correction is
+/// used (error negligible at the scales involved and the output is clamped
+/// to `[0, n]`).
+#[derive(Debug, Clone, Copy)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create `B(n, p)`; requires `0 ≤ p ≤ 1`.
+    pub fn new(n: u64, p: f64) -> Result<Self, StatsError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::invalid("p", "0 <= p <= 1", p));
+        }
+        Ok(Binomial { n, p })
+    }
+
+    /// Draw one variate in `0..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (n, p) = (self.n, self.p);
+        if p == 0.0 || n == 0 {
+            return 0;
+        }
+        if p == 1.0 {
+            return n;
+        }
+        let np = n as f64 * p.min(1.0 - p);
+        if n <= 64 {
+            // Direct Bernoulli summation.
+            let mut k = 0;
+            for _ in 0..n {
+                if rng.gen::<f64>() < p {
+                    k += 1;
+                }
+            }
+            return k;
+        }
+        if np < 10.0 {
+            // Geometric skipping over the rarer outcome.
+            let q = p.min(1.0 - p);
+            let lq = (1.0 - q).ln();
+            let mut count = 0u64;
+            let mut pos = 0u64;
+            loop {
+                let u = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let skip = (u.ln() / lq).floor() as u64;
+                if pos + skip >= n {
+                    break;
+                }
+                pos += skip + 1;
+                count += 1;
+            }
+            return if p <= 0.5 { count } else { n - count };
+        }
+        // Normal approximation with continuity correction.
+        let mean = n as f64 * p;
+        let std = (n as f64 * p * (1.0 - p)).sqrt();
+        let g = Normal::new(mean, std).expect("valid std");
+        let x = (g.sample(rng) + 0.5).floor();
+        x.clamp(0.0, n as f64) as u64
+    }
+
+    /// Theoretical mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+}
+
+/// Exponential distribution with rate `lambda`, sampled by inverse CDF.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Create with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, StatsError> {
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(StatsError::invalid("lambda", "> 0 and finite", lambda));
+        }
+        Ok(Exponential { lambda })
+    }
+
+    /// Draw one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::RunningMoments;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let m: RunningMoments = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        assert!((m.mean() - 3.0).abs() < 0.05, "mean {}", m.mean());
+        assert!((m.sample_std() - 2.0).abs() < 0.05, "std {}", m.sample_std());
+    }
+
+    #[test]
+    fn normal_zero_std_is_constant() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let d = Normal::new(1.5, 0.0).unwrap();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 1.5);
+        }
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_matching_mean() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let m: RunningMoments = (0..100_000)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                assert!(x > 0.0);
+                x
+            })
+            .collect();
+        assert!(
+            (m.mean() - d.mean()).abs() / d.mean() < 0.03,
+            "mean {} vs {}",
+            m.mean(),
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn zipf_frequencies_follow_power_law() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let d = Zipf::new(100, 1.5).unwrap();
+        let trials = 200_000;
+        let mut counts = vec![0u32; 101];
+        for _ in 0..trials {
+            let k = d.sample(&mut rng);
+            assert!((1..=100).contains(&k));
+            counts[k] += 1;
+        }
+        // P(1)/P(2) should be 2^1.5 ≈ 2.83.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 2.83).abs() < 0.2, "ratio {ratio}");
+        // Empirical mean near theoretical mean.
+        let emp_mean: f64 = (1..=100).map(|k| k as f64 * counts[k] as f64).sum::<f64>() / trials as f64;
+        assert!((emp_mean - d.mean()).abs() < 0.1, "{emp_mean} vs {}", d.mean());
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(25);
+        assert_eq!(Binomial::new(10, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(10, 1.0).unwrap().sample(&mut rng), 10);
+        assert_eq!(Binomial::new(0, 0.5).unwrap().sample(&mut rng), 0);
+        assert!(Binomial::new(10, 1.5).is_err());
+    }
+
+    #[test]
+    fn binomial_small_n_moments() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let d = Binomial::new(20, 0.3).unwrap();
+        let m: RunningMoments = (0..50_000).map(|_| d.sample(&mut rng) as f64).collect();
+        assert!((m.mean() - 6.0).abs() < 0.1, "mean {}", m.mean());
+        assert!((m.sample_variance() - 4.2).abs() < 0.2, "var {}", m.sample_variance());
+    }
+
+    #[test]
+    fn binomial_large_n_moments() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let d = Binomial::new(10_000, 0.85).unwrap();
+        let m: RunningMoments = (0..20_000).map(|_| d.sample(&mut rng) as f64).collect();
+        assert!((m.mean() - 8_500.0).abs() < 10.0, "mean {}", m.mean());
+        let expect_var = 10_000.0 * 0.85 * 0.15;
+        assert!(
+            (m.sample_variance() - expect_var).abs() / expect_var < 0.1,
+            "var {}",
+            m.sample_variance()
+        );
+        // Always within bounds.
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) <= 10_000);
+        }
+    }
+
+    #[test]
+    fn binomial_rare_event_path() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let d = Binomial::new(1_000_000, 1e-6).unwrap();
+        let m: RunningMoments = (0..20_000).map(|_| d.sample(&mut rng) as f64).collect();
+        // Mean ≈ 1.
+        assert!((m.mean() - 1.0).abs() < 0.1, "mean {}", m.mean());
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let d = Exponential::new(4.0).unwrap();
+        let m: RunningMoments = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        assert!((m.mean() - 0.25).abs() < 0.01, "mean {}", m.mean());
+        assert!(Exponential::new(0.0).is_err());
+    }
+}

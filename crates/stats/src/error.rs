@@ -1,0 +1,68 @@
+//! Error type shared by the statistics substrate.
+
+use std::fmt;
+
+/// Errors raised by statistical routines on invalid inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A parameter was outside its mathematical domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// An operation required a non-empty input collection.
+    EmptyInput(&'static str),
+    /// A weight vector contained a negative, NaN, or all-zero mass.
+    InvalidWeights(&'static str),
+}
+
+impl StatsError {
+    /// Convenience constructor for [`StatsError::InvalidParameter`].
+    pub fn invalid(name: &'static str, constraint: &'static str, value: f64) -> Self {
+        StatsError::InvalidParameter {
+            name,
+            constraint,
+            value,
+        }
+    }
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                constraint,
+                value,
+            } => write!(f, "invalid parameter `{name}`: must satisfy {constraint}, got {value}"),
+            StatsError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            StatsError::InvalidWeights(what) => write!(f, "invalid weights: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_all_variants() {
+        let e = StatsError::invalid("alpha", "0 < alpha < 1", 2.0);
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.to_string().contains("2"));
+        assert!(StatsError::EmptyInput("weights").to_string().contains("weights"));
+        assert!(StatsError::InvalidWeights("negative").to_string().contains("negative"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(StatsError::EmptyInput("x"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-width histograms and empirical quantiles for dataset
+//! characterization (cluster-size distributions, Table 3) and experiment
+//! report tables.
+
+/// A histogram over `u64` observations with unit-width integer bins up to a
+/// cap, plus an overflow bin. Tracks exact count/sum/min/max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with unit bins `0..cap` and one overflow bin.
+    pub fn new(cap: usize) -> Self {
+        Histogram {
+            bins: vec![0; cap],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if (value as usize) < self.bins.len() {
+            self.bins[value as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Build from an iterator of observations.
+    pub fn from_iter<I: IntoIterator<Item = u64>>(cap: usize, values: I) -> Self {
+        let mut h = Histogram::new(cap);
+        for v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Count of observations equal to `value` (values ≥ cap return 0; use
+    /// [`Histogram::overflow_count`] for the tail mass).
+    pub fn bin(&self, value: u64) -> u64 {
+        self.bins.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Observations at or above the cap.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of observations strictly below `value` (values ≥ cap count
+    /// into the overflow, so `value` must be ≤ cap for an exact answer).
+    pub fn fraction_below(&self, value: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let below: u64 = self
+            .bins
+            .iter()
+            .take((value as usize).min(self.bins.len()))
+            .sum();
+        below as f64 / self.count as f64
+    }
+
+    /// Empirical quantile `q ∈ [0, 1]` (nearest-rank over binned values;
+    /// returns the cap value if the quantile falls in the overflow bin).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (v, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(v as u64);
+            }
+        }
+        Some(self.bins.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_basic_statistics() {
+        let h = Histogram::from_iter(10, [1u64, 2, 2, 3, 9]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert!((h.mean() - 3.4).abs() < 1e-12);
+        assert_eq!(h.bin(2), 2);
+        assert_eq!(h.bin(4), 0);
+    }
+
+    #[test]
+    fn overflow_handling() {
+        let h = Histogram::from_iter(5, [1u64, 100, 7]);
+        assert_eq!(h.overflow_count(), 2);
+        assert_eq!(h.bin(100), 0);
+        assert_eq!(h.max(), Some(100));
+    }
+
+    #[test]
+    fn fraction_below_matches_manual_count() {
+        let h = Histogram::from_iter(20, 1u64..=10);
+        assert!((h.fraction_below(5) - 0.4).abs() < 1e-12);
+        assert!((h.fraction_below(11) - 1.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(5).fraction_below(3), 0.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let h = Histogram::from_iter(20, (1u64..=100).map(|i| i % 10));
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(9));
+        let med = h.quantile(0.5).unwrap();
+        assert!((4..=5).contains(&med), "median {med}");
+        assert_eq!(Histogram::new(5).quantile(0.5), None);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new(4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! # kg-stats — statistics substrate for KG accuracy evaluation
+//!
+//! This crate implements, from scratch, every piece of statistical machinery
+//! needed by the sampling-and-estimation framework of *Efficient Knowledge
+//! Graph Accuracy Evaluation* (Gao et al., VLDB 2019):
+//!
+//! * [`normal`] — the standard Normal distribution: `erf`/`erfc`, CDF,
+//!   inverse CDF (probit), and the critical values `z_{α/2}` used by every
+//!   confidence interval in the paper (Eq. 1).
+//! * [`ci`] — point estimates with standard errors, margins of error, and
+//!   two-sided confidence intervals.
+//! * [`moments`] — numerically stable streaming mean/variance (Welford), with
+//!   parallel merge, used to aggregate per-cluster accuracies and repeated
+//!   experiment trials.
+//! * [`srswor`] — simple random sampling *without* replacement (Floyd's
+//!   algorithm and partial Fisher–Yates), the second-stage sampler of TWCS.
+//! * [`alias`] — Walker/Vose alias tables for O(1) weighted sampling *with*
+//!   replacement, the first-stage sampler of WCS/TWCS (clusters drawn with
+//!   probability proportional to size, §5.2.2).
+//! * [`reservoir`] — unweighted reservoir sampling (Vitter's Algorithm R) and
+//!   the weighted reservoir of Efraimidis–Spirakis (Algorithm A-Res with
+//!   exponential-jump skipping), the engine of the paper's Algorithm 1.
+//! * [`stratify`] — the Dalenius–Hodges cumulative-√F stratification rule and
+//!   proportional/Neyman sample allocation (§5.3).
+//! * [`distr`] — non-uniform variate generation (Normal, LogNormal, Binomial,
+//!   bounded Zipf, Exponential). These normally live in `rand_distr`; they are
+//!   re-implemented here because the reproduction restricts external crates
+//!   and because the experiment generators need deterministic, documented
+//!   samplers.
+//! * [`histogram`] — fixed-width histograms and empirical quantiles for
+//!   dataset characterization and report tables.
+//!
+//! Everything is deterministic given a seeded RNG and has no global state.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alias;
+pub mod ci;
+pub mod distr;
+pub mod error;
+pub mod histogram;
+pub mod moments;
+pub mod normal;
+pub mod reservoir;
+pub mod srswor;
+pub mod stratify;
+
+pub use alias::AliasTable;
+pub use ci::{ConfidenceInterval, PointEstimate};
+pub use error::StatsError;
+pub use histogram::Histogram;
+pub use moments::RunningMoments;
+pub use normal::{erf, erfc, normal_cdf, normal_quantile, z_critical};
+pub use reservoir::{Reservoir, WeightedReservoir, WeightedReservoirExpJ};
+pub use stratify::{cum_sqrt_f_boundaries, Allocation, StratumBounds};

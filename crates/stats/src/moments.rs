@@ -1,0 +1,204 @@
+//! Numerically stable streaming moments (Welford's online algorithm) with
+//! parallel merge (Chan et al.), used to aggregate per-cluster accuracies
+//! inside estimators and to summarize repeated experiment trials
+//! (mean ± std over 1000 runs, §7.1.5).
+
+/// Streaming count / mean / variance accumulator.
+///
+/// `push` is O(1) and stable; `merge` combines two accumulators as if their
+/// streams had been concatenated, enabling parallel trial aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulator pre-filled from a slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        let mut m = Self::new();
+        for &v in values {
+            m.push(v);
+        }
+        m
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merge another accumulator into this one (parallel combine).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance `s² = m2/(n−1)`; 0.0 when `n < 2`.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance `m2/n`; 0.0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Estimated variance of the sample mean, `s²/n` — the plug-in used by
+    /// Hansen–Hurwitz CIs in the paper (e.g. below Eq. 8/9).
+    pub fn variance_of_mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_variance() / self.count as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.variance_of_mean().sqrt()
+    }
+}
+
+impl Extend<f64> for RunningMoments {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningMoments {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut m = Self::new();
+        m.extend(iter);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b}");
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let m = RunningMoments::from_slice(&xs);
+        assert_close(m.mean(), 5.0, 1e-12);
+        assert_close(m.population_variance(), 4.0, 1e-12);
+        assert_close(m.sample_variance(), 32.0 / 7.0, 1e-12);
+        assert_eq!(m.count(), 8);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_defined() {
+        let empty = RunningMoments::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.sample_variance(), 0.0);
+        assert_eq!(empty.std_error(), 0.0);
+        let mut one = RunningMoments::new();
+        one.push(42.0);
+        assert_close(one.mean(), 42.0, 1e-12);
+        assert_eq!(one.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..57).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(23);
+        let mut ma = RunningMoments::from_slice(a);
+        let mb = RunningMoments::from_slice(b);
+        ma.merge(&mb);
+        let full = RunningMoments::from_slice(&xs);
+        assert_eq!(ma.count(), full.count());
+        assert_close(ma.mean(), full.mean(), 1e-10);
+        assert_close(ma.sample_variance(), full.sample_variance(), 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs = [1.0, 2.0, 3.0];
+        let mut m = RunningMoments::from_slice(&xs);
+        m.merge(&RunningMoments::new());
+        assert_close(m.mean(), 2.0, 1e-12);
+        let mut e = RunningMoments::new();
+        e.merge(&m);
+        assert_close(e.mean(), 2.0, 1e-12);
+        assert_eq!(e.count(), 3);
+    }
+
+    #[test]
+    fn variance_of_mean_is_s2_over_n() {
+        let xs = [1.0, 3.0, 5.0, 7.0];
+        let m = RunningMoments::from_slice(&xs);
+        assert_close(m.variance_of_mean(), m.sample_variance() / 4.0, 1e-12);
+        assert_close(m.std_error(), m.variance_of_mean().sqrt(), 1e-15);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let m: RunningMoments = (1..=100).map(|i| i as f64).collect();
+        assert_close(m.mean(), 50.5, 1e-12);
+        assert_eq!(m.count(), 100);
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let base = 1e9;
+        let m = RunningMoments::from_slice(&[base + 1.0, base + 2.0, base + 3.0]);
+        assert_close(m.sample_variance(), 1.0, 1e-6);
+    }
+}

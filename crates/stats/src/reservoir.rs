@@ -1,0 +1,557 @@
+//! Reservoir sampling over (possibly unbounded) streams.
+//!
+//! * [`Reservoir`] — Vitter's Algorithm R: a uniform fixed-size sample of a
+//!   stream.
+//! * [`WeightedReservoir`] — Efraimidis & Spirakis' Algorithm A-Res
+//!   (*Weighted random sampling with a reservoir*, IPL 2006, the paper's
+//!   reference [14]): each item receives the key `k = u^{1/w}` with
+//!   `u ~ U(0,1)`; the reservoir keeps the `n` largest keys. This is exactly
+//!   the primitive used by the paper's Algorithm 1 (Reservoir-based
+//!   Incremental Sample Update on Evolving KG), where an insertion batch
+//!   `Δe` gets key `rand(0,1)^{1/|Δe|}` and replaces the reservoir's minimum
+//!   key if larger.
+//!
+//! The expected number of reservoir replacements over a stream growing from
+//! `N_i` to `N_j` items is `O(|R| · log(N_j/N_i))` (paper Proposition 3);
+//! [`WeightedReservoir::replacements`] lets callers verify and bound the
+//! incremental re-annotation cost.
+
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Uniform fixed-size reservoir (Vitter's Algorithm R).
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// New reservoir holding at most `capacity` items. Panics on zero
+    /// capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offer one stream item.
+    pub fn offer<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Items currently in the reservoir.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Total items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Reservoir capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// A reservoir slot: an item plus its A-Res key.
+#[derive(Debug, Clone)]
+pub struct Keyed<T> {
+    /// The sampled item.
+    pub item: T,
+    /// Its A-Res key `u^{1/w}` in `(0, 1)`.
+    pub key: f64,
+}
+
+/// Min-heap wrapper: order by key ascending so the heap root is the smallest
+/// key (the replacement candidate).
+#[derive(Debug, Clone)]
+struct MinKey<T>(Keyed<T>);
+
+impl<T> PartialEq for MinKey<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key == other.0.key
+    }
+}
+impl<T> Eq for MinKey<T> {}
+impl<T> PartialOrd for MinKey<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for MinKey<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap; we want the min key on top.
+        // Keys are finite floats in (0,1]; total order via partial_cmp is
+        // safe because we never store NaN.
+        other
+            .0
+            .key
+            .partial_cmp(&self.0.key)
+            .expect("reservoir keys are never NaN")
+    }
+}
+
+/// Weighted reservoir (Efraimidis–Spirakis A-Res) of fixed capacity `n`.
+///
+/// Holding clusters with weight = cluster size, the reservoir is a weighted
+/// random sample usable as the first stage of TWCS on an evolving KG.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir<T> {
+    capacity: usize,
+    heap: BinaryHeap<MinKey<T>>,
+    replacements: u64,
+    offered: u64,
+}
+
+impl<T> WeightedReservoir<T> {
+    /// New weighted reservoir with the given capacity. Panics on zero
+    /// capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        WeightedReservoir {
+            capacity,
+            heap: BinaryHeap::with_capacity(capacity + 1),
+            replacements: 0,
+            offered: 0,
+        }
+    }
+
+    /// Offer an item with positive weight. Returns the evicted item if the
+    /// offer displaced an existing reservoir member, `Some(_)` also meaning
+    /// "the new item was accepted by replacement"; `None` means either the
+    /// reservoir still had room (item accepted) or the item was rejected.
+    ///
+    /// Use [`WeightedReservoir::contains_check`]-style logic via the return
+    /// of [`Self::last_accepted`] when callers need accept/reject detail;
+    /// most callers only need the eviction to retire its annotations.
+    pub fn offer<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T, weight: f64) -> OfferOutcome<T> {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "reservoir weights must be positive and finite (got {weight})"
+        );
+        self.offered += 1;
+        // u ∈ (0,1): rand's gen::<f64>() yields [0,1); nudge zero away so
+        // key is never exactly 0 (which would always lose) nor NaN.
+        let u = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let key = u.powf(1.0 / weight);
+        if self.heap.len() < self.capacity {
+            self.heap.push(MinKey(Keyed { item, key }));
+            return OfferOutcome::Inserted;
+        }
+        let min = self
+            .heap
+            .peek()
+            .expect("non-empty reservoir at capacity")
+            .0
+            .key;
+        if key > min {
+            let evicted = self.heap.pop().expect("peeked above").0;
+            self.heap.push(MinKey(Keyed { item, key }));
+            self.replacements += 1;
+            OfferOutcome::Replaced(evicted)
+        } else {
+            OfferOutcome::Rejected
+        }
+    }
+
+    /// Current smallest key (the next replacement threshold), if full.
+    pub fn min_key(&self) -> Option<f64> {
+        self.heap.peek().map(|m| m.0.key)
+    }
+
+    /// Number of items currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the reservoir holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the reservoir reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.capacity
+    }
+
+    /// Reservoir capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of replacement events since creation (Proposition 3 bound).
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+
+    /// Total items offered.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Iterate over current members (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Keyed<T>> {
+        self.heap.iter().map(|m| &m.0)
+    }
+
+    /// Drain the reservoir into a vector of keyed items (arbitrary order).
+    pub fn into_items(self) -> Vec<Keyed<T>> {
+        self.heap.into_iter().map(|m| m.0).collect()
+    }
+
+    /// Replace the minimum-key member with `(item, key)` unconditionally
+    /// (A-ExpJ already conditioned the key to beat the threshold). Panics
+    /// if the reservoir is not full.
+    fn replace_min(&mut self, item: T, key: f64) {
+        assert!(self.is_full(), "replace_min requires a full reservoir");
+        self.heap.pop();
+        self.heap.push(MinKey(Keyed { item, key }));
+        self.replacements += 1;
+        self.offered += 1;
+    }
+}
+
+/// Weighted reservoir with **exponential jumps** (Efraimidis–Spirakis
+/// Algorithm A-ExpJ): distributionally identical to [`WeightedReservoir`]
+/// (A-Res) but skips over stream items without drawing a random number for
+/// each — O(k·log(n/k)) RNG calls instead of O(n). For the 14.5M-cluster
+/// MOVIE-FULL stream with a 60-slot reservoir that is ~900 variates
+/// instead of 14.5M.
+///
+/// The trade-off: A-ExpJ cannot report which item was *evicted* per offer
+/// (skipped items never materialize), so the incremental evaluator — which
+/// must retire evicted annotations — uses A-Res; A-ExpJ serves bulk
+/// initialization and anywhere eviction identity is irrelevant.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoirExpJ<T> {
+    inner: WeightedReservoir<T>,
+    /// Remaining weight to skip before the next insertion; `None` until the
+    /// reservoir fills.
+    skip: Option<f64>,
+}
+
+impl<T> WeightedReservoirExpJ<T> {
+    /// New A-ExpJ reservoir of the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        WeightedReservoirExpJ {
+            inner: WeightedReservoir::new(capacity),
+            skip: None,
+        }
+    }
+
+    fn draw_skip<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let t_w = self.inner.min_key().expect("full reservoir");
+        let r = loop {
+            let r = rng.gen::<f64>();
+            if r > 0.0 {
+                break r;
+            }
+        };
+        // X_w = ln(r) / ln(T_w): total incoming weight to skip.
+        self.skip = Some(r.ln() / t_w.ln());
+    }
+
+    /// Offer one item with positive weight.
+    pub fn offer<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T, weight: f64) {
+        assert!(
+            weight > 0.0 && weight.is_finite(),
+            "reservoir weights must be positive and finite (got {weight})"
+        );
+        if !self.inner.is_full() {
+            // Fill phase behaves exactly like A-Res.
+            self.inner.offer(rng, item, weight);
+            if self.inner.is_full() {
+                self.draw_skip(rng);
+            }
+            return;
+        }
+        let skip = self.skip.as_mut().expect("set when reservoir filled");
+        if *skip > weight {
+            *skip -= weight;
+            return;
+        }
+        // This item crosses the jump: insert it with a key conditioned to
+        // beat the current threshold, k ~ U(T_w^w, 1)^(1/w).
+        let t_w = self.inner.min_key().expect("full reservoir");
+        let lo = t_w.powf(weight);
+        let u = lo + rng.gen::<f64>() * (1.0 - lo);
+        let key = u.powf(1.0 / weight);
+        self.inner.replace_min(item, key);
+        self.draw_skip(rng);
+    }
+
+    /// Items currently held, with their keys.
+    pub fn iter(&self) -> impl Iterator<Item = &Keyed<T>> {
+        self.inner.iter()
+    }
+
+    /// Number of items held.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the reservoir holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Replacement events since creation.
+    pub fn replacements(&self) -> u64 {
+        self.inner.replacements()
+    }
+}
+
+/// Result of offering an item to a [`WeightedReservoir`].
+#[derive(Debug, Clone)]
+pub enum OfferOutcome<T> {
+    /// Reservoir had spare capacity; item inserted.
+    Inserted,
+    /// Item displaced the previous minimum-key member (returned).
+    Replaced(Keyed<T>),
+    /// Item's key did not beat the minimum; reservoir unchanged.
+    Rejected,
+}
+
+impl<T> OfferOutcome<T> {
+    /// Whether the offered item ended up in the reservoir.
+    pub fn accepted(&self) -> bool {
+        !matches!(self, OfferOutcome::Rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_reservoir_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 20_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..trials {
+            let mut r = Reservoir::new(3);
+            for i in 0..10 {
+                r.offer(&mut rng, i);
+            }
+            for &i in r.items() {
+                counts[i as usize] += 1;
+            }
+        }
+        for &c in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.3).abs() < 0.02, "freq {freq}");
+        }
+    }
+
+    #[test]
+    fn uniform_reservoir_smaller_stream_keeps_all() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut r = Reservoir::new(10);
+        for i in 0..4 {
+            r.offer(&mut rng, i);
+        }
+        assert_eq!(r.items().len(), 4);
+        assert_eq!(r.seen(), 4);
+        assert_eq!(r.capacity(), 10);
+    }
+
+    #[test]
+    fn weighted_single_slot_inclusion_proportional_to_weight() {
+        // With capacity 1 and weights {1, 3}, item 1 should win with
+        // probability 3/4 = P(u2^(1/3) > u1).
+        let mut rng = StdRng::seed_from_u64(13);
+        let trials = 40_000;
+        let mut wins = 0u32;
+        for _ in 0..trials {
+            let mut r = WeightedReservoir::new(1);
+            r.offer(&mut rng, 0usize, 1.0);
+            r.offer(&mut rng, 1usize, 3.0);
+            if r.iter().next().unwrap().item == 1 {
+                wins += 1;
+            }
+        }
+        let freq = wins as f64 / trials as f64;
+        assert!((freq - 0.75).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn weighted_fills_then_replaces() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut r = WeightedReservoir::new(2);
+        assert!(matches!(r.offer(&mut rng, 'a', 1.0), OfferOutcome::Inserted));
+        assert!(matches!(r.offer(&mut rng, 'b', 1.0), OfferOutcome::Inserted));
+        assert!(r.is_full());
+        // A huge weight forces a key ~1, nearly always replacing.
+        let mut replaced = false;
+        for _ in 0..20 {
+            if let OfferOutcome::Replaced(_) = r.offer(&mut rng, 'c', 1e12) {
+                replaced = true;
+                break;
+            }
+        }
+        assert!(replaced);
+        assert_eq!(r.len(), 2);
+        assert!(r.replacements() >= 1);
+    }
+
+    #[test]
+    fn min_key_is_really_the_minimum() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut r = WeightedReservoir::new(5);
+        for i in 0..50 {
+            r.offer(&mut rng, i, 1.0 + (i % 7) as f64);
+        }
+        let min = r.min_key().unwrap();
+        for k in r.iter() {
+            assert!(k.key >= min);
+        }
+    }
+
+    #[test]
+    fn replacement_count_grows_logarithmically() {
+        // Proposition 3: replacements ≈ |R| * ln(Nj/Ni) after the reservoir
+        // is full. Stream 100k equal-weight items into capacity 50:
+        // expected replacements ≈ 50 * ln(100000/50) ≈ 380.
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut r = WeightedReservoir::new(50);
+        for i in 0..100_000 {
+            r.offer(&mut rng, i, 1.0);
+        }
+        let expect = 50.0 * (100_000.0_f64 / 50.0).ln();
+        let got = r.replacements() as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.25,
+            "replacements {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn weighted_inclusion_monotone_in_weight() {
+        // Items with weight 5 should be included more often than weight 1.
+        let mut rng = StdRng::seed_from_u64(17);
+        let trials = 5_000;
+        let mut heavy = 0u32;
+        let mut light = 0u32;
+        for _ in 0..trials {
+            let mut r = WeightedReservoir::new(10);
+            for i in 0..100usize {
+                let w = if i < 50 { 5.0 } else { 1.0 };
+                r.offer(&mut rng, i, w);
+            }
+            for k in r.iter() {
+                if k.item < 50 {
+                    heavy += 1;
+                } else {
+                    light += 1;
+                }
+            }
+        }
+        assert!(
+            heavy as f64 > 2.5 * light as f64,
+            "heavy {heavy} vs light {light}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut r = WeightedReservoir::new(1);
+        r.offer(&mut rng, 0, 0.0);
+    }
+
+    #[test]
+    fn expj_matches_ares_inclusion_probabilities() {
+        // Heavy items (weight 5) vs light (weight 1): both algorithms must
+        // include heavies at the same rate.
+        let inclusion = |expj: bool, trials: u64| -> f64 {
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut heavy_hits = 0u64;
+            for _ in 0..trials {
+                let heavies: Vec<usize> = if expj {
+                    let mut r = WeightedReservoirExpJ::new(10);
+                    for i in 0..200usize {
+                        r.offer(&mut rng, i, if i % 4 == 0 { 5.0 } else { 1.0 });
+                    }
+                    r.iter().map(|k| k.item).filter(|&i| i % 4 == 0).collect()
+                } else {
+                    let mut r = WeightedReservoir::new(10);
+                    for i in 0..200usize {
+                        r.offer(&mut rng, i, if i % 4 == 0 { 5.0 } else { 1.0 });
+                    }
+                    r.iter().map(|k| k.item).filter(|&i| i % 4 == 0).collect()
+                };
+                heavy_hits += heavies.len() as u64;
+            }
+            heavy_hits as f64 / trials as f64
+        };
+        let trials = 3000;
+        let a_res = inclusion(false, trials);
+        let a_expj = inclusion(true, trials);
+        assert!(
+            (a_res - a_expj).abs() < 0.25,
+            "A-Res {a_res} vs A-ExpJ {a_expj} heavy items per reservoir"
+        );
+    }
+
+    #[test]
+    fn expj_uses_far_fewer_rng_draws_conceptually() {
+        // Structural check: after a long equal-weight stream the skip value
+        // is positive and the reservoir is full with valid keys.
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut r = WeightedReservoirExpJ::new(20);
+        for i in 0..50_000 {
+            r.offer(&mut rng, i, 1.0);
+        }
+        assert_eq!(r.len(), 20);
+        assert!(!r.is_empty());
+        assert!(r.replacements() > 0);
+        for k in r.iter() {
+            assert!(k.key > 0.0 && k.key <= 1.0, "key {}", k.key);
+        }
+        // Replacement count should match A-Res's O(k·ln(n/k)) expectation.
+        let expect = 20.0 * (50_000.0_f64 / 20.0).ln();
+        let got = r.replacements() as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.35,
+            "replacements {got} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn into_items_returns_all_members() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut r = WeightedReservoir::new(4);
+        for i in 0..4 {
+            r.offer(&mut rng, i, 2.0);
+        }
+        let items = r.into_items();
+        assert_eq!(items.len(), 4);
+        let mut ids: Vec<_> = items.iter().map(|k| k.item).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Simple random sampling **without replacement** from `0..n`.
+//!
+//! This is the second-stage sampler of TWCS (§5.2.3): `min{M_i, m}` triples
+//! are drawn without replacement from each sampled cluster, and the whole of
+//! SRS (§5.1) when applied over the global triple index space.
+//!
+//! Two algorithms are provided and an adaptive front-end picks between them:
+//!
+//! * **Floyd's algorithm** — O(k) expected time and O(k) memory, ideal when
+//!   `k ≪ n` (sampling 174 triples out of 130M).
+//! * **Partial Fisher–Yates** — O(n) memory but exactly k swaps, better when
+//!   `k` is a sizable fraction of `n` (second-stage draws from small
+//!   clusters).
+
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Draw `k` distinct indices uniformly at random from `0..n`, without
+/// replacement, using Robert Floyd's algorithm. Returns indices in
+/// unspecified order. Panics if `k > n`.
+pub fn sample_floyd<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot draw {k} distinct items from {n}");
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(k * 2);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out
+}
+
+/// Draw `k` distinct indices from `0..n` via a partial Fisher–Yates shuffle.
+/// O(n) memory. Returns indices in the (random) order drawn. Panics if
+/// `k > n`.
+pub fn sample_fisher_yates<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot draw {k} distinct items from {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// Adaptive SRS-without-replacement over `0..n`: uses Floyd when `k` is a
+/// small fraction of `n`, partial Fisher–Yates otherwise.
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot draw {k} distinct items from {n}");
+    if k == n {
+        // Degenerate "sample": the whole population (order irrelevant for
+        // estimation; keep it cheap and deterministic).
+        return (0..n).collect();
+    }
+    // Floyd's HashSet overhead pays off only for sparse draws.
+    if n > 64 && k * 8 < n {
+        sample_floyd(rng, n, k)
+    } else {
+        sample_fisher_yates(rng, n, k)
+    }
+}
+
+/// Incremental without-replacement sampler over a fixed population `0..n`
+/// that supports drawing additional batches later, never repeating an index.
+///
+/// This backs the *iterative* SRS design: the framework draws a batch, checks
+/// the MoE, and draws more (Fig. 2) — all batches must stay mutually
+/// disjoint for the without-replacement estimator to be valid.
+#[derive(Debug, Clone)]
+pub struct IncrementalSrswor {
+    n: usize,
+    drawn: HashSet<usize>,
+}
+
+impl IncrementalSrswor {
+    /// New sampler over population `0..n`.
+    pub fn new(n: usize) -> Self {
+        IncrementalSrswor {
+            n,
+            drawn: HashSet::new(),
+        }
+    }
+
+    /// Population size.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// Number of indices drawn so far.
+    pub fn drawn(&self) -> usize {
+        self.drawn.len()
+    }
+
+    /// How many indices remain undrawn.
+    pub fn remaining(&self) -> usize {
+        self.n - self.drawn.len()
+    }
+
+    /// Draw up to `k` new distinct indices (fewer if the population is nearly
+    /// exhausted). Each returned index has never been returned before.
+    pub fn draw_batch<R: Rng + ?Sized>(&mut self, rng: &mut R, k: usize) -> Vec<usize> {
+        let k = k.min(self.remaining());
+        let mut out = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
+        // Rejection sampling is fine while the drawn set is sparse; fall back
+        // to enumerating the complement when it is not.
+        let dense = (self.drawn.len() + k) * 2 > self.n;
+        if dense {
+            let mut pool: Vec<usize> = (0..self.n).filter(|i| !self.drawn.contains(i)).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            pool.truncate(k);
+            for &i in &pool {
+                self.drawn.insert(i);
+            }
+            out = pool;
+        } else {
+            while out.len() < k {
+                let i = rng.gen_range(0..self.n);
+                if self.drawn.insert(i) {
+                    out.push(i);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_valid_sample(sample: &[usize], n: usize, k: usize) {
+        assert_eq!(sample.len(), k);
+        let set: HashSet<_> = sample.iter().collect();
+        assert_eq!(set.len(), k, "duplicates in sample");
+        assert!(sample.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn floyd_produces_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(n, k) in &[(10, 3), (100, 100), (1000, 1), (50, 0), (7, 7)] {
+            check_valid_sample(&sample_floyd(&mut rng, n, k), n, k);
+        }
+    }
+
+    #[test]
+    fn fisher_yates_produces_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(n, k) in &[(10, 3), (100, 100), (1000, 1), (50, 0)] {
+            check_valid_sample(&sample_fisher_yates(&mut rng, n, k), n, k);
+        }
+    }
+
+    #[test]
+    fn adaptive_produces_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(n, k) in &[(10, 3), (100_000, 5), (64, 64), (65, 64), (1, 1)] {
+            check_valid_sample(&sample_without_replacement(&mut rng, n, k), n, k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn panics_when_k_exceeds_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        sample_without_replacement(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn floyd_is_approximately_uniform() {
+        // Each of 10 items should appear in ~3/10 of draws of size 3.
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 30_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..trials {
+            for i in sample_floyd(&mut rng, 10, 3) {
+                counts[i] += 1;
+            }
+        }
+        for &c in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.3).abs() < 0.02, "freq {freq} far from 0.3");
+        }
+    }
+
+    #[test]
+    fn incremental_batches_are_disjoint_and_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut s = IncrementalSrswor::new(100);
+        let mut seen = HashSet::new();
+        let mut total = 0;
+        while s.remaining() > 0 {
+            let batch = s.draw_batch(&mut rng, 17);
+            for i in &batch {
+                assert!(seen.insert(*i), "index {i} repeated across batches");
+            }
+            total += batch.len();
+        }
+        assert_eq!(total, 100);
+        assert_eq!(s.drawn(), 100);
+        // Further draws yield nothing.
+        assert!(s.draw_batch(&mut rng, 5).is_empty());
+    }
+
+    #[test]
+    fn incremental_uniformity_of_first_batch() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 20_000;
+        let mut counts = [0u32; 20];
+        for _ in 0..trials {
+            let mut s = IncrementalSrswor::new(20);
+            for i in s.draw_batch(&mut rng, 5) {
+                counts[i] += 1;
+            }
+        }
+        for &c in &counts {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - 0.25).abs() < 0.02, "freq {freq} far from 0.25");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # kg-accuracy-eval — umbrella crate
+//!
+//! Facade re-exporting the full public API of the KG accuracy-evaluation
+//! workspace, a production-quality reproduction of *Efficient Knowledge
+//! Graph Accuracy Evaluation* (Gao et al., VLDB 2019).
+//!
+//! Quick start:
+//!
+//! ```
+//! use kg_accuracy_eval::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A synthetic MOVIE-like KG whose true accuracy is 90%.
+//! let profile = DatasetProfile::movie();
+//! let dataset = profile.generate(7);
+//!
+//! // Evaluate with two-stage weighted cluster sampling until the margin of
+//! // error drops below 5% at 95% confidence.
+//! let config = EvalConfig::default();
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let report = Evaluator::twcs(5)
+//!     .run(&dataset.population, dataset.oracle.as_ref(), &config, &mut rng)
+//!     .unwrap();
+//!
+//! assert!(report.moe <= config.target_moe);
+//! assert!((report.estimate.mean - 0.90).abs() < 0.10);
+//! ```
+
+pub use kg_annotate as annotate;
+pub use kg_baselines as baselines;
+pub use kg_datagen as datagen;
+pub use kg_eval as eval;
+pub use kg_model as model;
+pub use kg_sampling as sampling;
+pub use kg_stats as stats;
+
+/// One-stop imports for typical usage.
+pub mod prelude {
+    pub use kg_annotate::cost::CostModel;
+    pub use kg_annotate::oracle::{BmmOracle, GoldLabels, LabelOracle, RemOracle};
+    pub use kg_annotate::annotator::SimulatedAnnotator;
+    pub use kg_datagen::profile::DatasetProfile;
+    pub use kg_eval::config::EvalConfig;
+    pub use kg_eval::framework::Evaluator;
+    pub use kg_eval::report::EvaluationReport;
+    pub use kg_eval::dynamic::reservoir::ReservoirEvaluator;
+    pub use kg_eval::dynamic::stratified::StratifiedIncremental;
+    pub use kg_model::implicit::{ClusterPopulation, ImplicitKg};
+    pub use kg_model::graph::KnowledgeGraph;
+    pub use kg_sampling::design::{Design, StaticDesign};
+    pub use kg_stats::{ConfidenceInterval, PointEstimate};
+}

@@ -1,0 +1,133 @@
+//! End-to-end integration tests: dataset generation → sampling designs →
+//! iterative framework → reports, across crates.
+
+use kg_accuracy_eval::annotate::oracle::true_accuracy;
+use kg_accuracy_eval::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn nell_twcs_meets_contract_and_is_accurate() {
+    let ds = DatasetProfile::nell().generate(1);
+    let config = EvalConfig::default();
+    let mut rng = StdRng::seed_from_u64(5);
+    let report = Evaluator::twcs(5)
+        .run(&ds.population, ds.oracle.as_ref(), &config, &mut rng)
+        .unwrap();
+    assert!(report.converged, "{}", report.summary());
+    assert!(report.moe <= config.target_moe);
+    assert!((report.estimate.mean - 0.91).abs() < 0.06, "{}", report.summary());
+    assert!(report.ci.contains(report.estimate.mean));
+    assert!(report.cost_seconds > 0.0);
+    // Eq. 4 bookkeeping: cost = |E'|·c1 + |G'|·c2 with the default model.
+    let expect =
+        report.entities_identified as f64 * 45.0 + report.triples_annotated as f64 * 25.0;
+    assert!((report.cost_seconds - expect).abs() < 1e-6);
+}
+
+#[test]
+fn all_static_designs_agree_on_movie_scale_kg() {
+    let ds = DatasetProfile::movie().scaled(0.02).generate(2);
+    let truth = true_accuracy(&ds.population, ds.oracle.as_ref());
+    let config = EvalConfig::default();
+    for (i, eval) in [
+        Evaluator::srs(),
+        Evaluator::wcs(),
+        Evaluator::twcs(5),
+        Evaluator::twcs_size_stratified(5, 4),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut rng = StdRng::seed_from_u64(40 + i as u64);
+        let report = eval
+            .run(&ds.population, ds.oracle.as_ref(), &config, &mut rng)
+            .unwrap();
+        assert!(report.converged, "{}", report.summary());
+        assert!(
+            (report.estimate.mean - truth).abs() < 0.07,
+            "{} vs truth {truth}",
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn moe_coverage_holds_across_designs_and_trials() {
+    // The statistical contract: |μ̂ − μ| ≤ ε in ≳ 1−α of runs.
+    let ds = DatasetProfile::movie().scaled(0.01).generate(3);
+    let truth = true_accuracy(&ds.population, ds.oracle.as_ref());
+    let config = EvalConfig::default();
+    for eval in [Evaluator::srs(), Evaluator::twcs(5)] {
+        let mut hits = 0;
+        let reps = 120;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report = eval
+                .run(&ds.population, ds.oracle.as_ref(), &config, &mut rng)
+                .unwrap();
+            if (report.estimate.mean - truth).abs() <= config.target_moe {
+                hits += 1;
+            }
+        }
+        let coverage = hits as f64 / reps as f64;
+        assert!(coverage >= 0.90, "{}: coverage {coverage}", eval.design().name());
+    }
+}
+
+#[test]
+fn twcs_beats_srs_cost_on_clustered_kgs() {
+    let ds = DatasetProfile::movie().scaled(0.02).generate(4);
+    let config = EvalConfig::default();
+    let mut srs_total = 0.0;
+    let mut twcs_total = 0.0;
+    for seed in 0..25 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        srs_total += Evaluator::srs()
+            .run(&ds.population, ds.oracle.as_ref(), &config, &mut rng)
+            .unwrap()
+            .cost_seconds;
+        let mut rng = StdRng::seed_from_u64(seed + 1000);
+        twcs_total += Evaluator::twcs(5)
+            .run(&ds.population, ds.oracle.as_ref(), &config, &mut rng)
+            .unwrap()
+            .cost_seconds;
+    }
+    assert!(
+        twcs_total < srs_total * 0.9,
+        "TWCS {twcs_total} should undercut SRS {srs_total} by >10%"
+    );
+}
+
+#[test]
+fn evaluation_is_deterministic_given_seeds() {
+    let ds = DatasetProfile::nell().generate(9);
+    let config = EvalConfig::default();
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(77);
+        Evaluator::twcs(5)
+            .run(&ds.population, ds.oracle.as_ref(), &config, &mut rng)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.estimate.mean, b.estimate.mean);
+    assert_eq!(a.cost_seconds, b.cost_seconds);
+    assert_eq!(a.units, b.units);
+}
+
+#[test]
+fn tighter_targets_cost_more() {
+    let ds = DatasetProfile::movie().scaled(0.02).generate(6);
+    let cost_at = |eps: f64| {
+        let config = EvalConfig::default().with_target_moe(eps);
+        let mut rng = StdRng::seed_from_u64(3);
+        Evaluator::twcs(5)
+            .run(&ds.population, ds.oracle.as_ref(), &config, &mut rng)
+            .unwrap()
+            .cost_seconds
+    };
+    let loose = cost_at(0.10);
+    let tight = cost_at(0.02);
+    assert!(tight > loose * 2.0, "tight {tight} vs loose {loose}");
+}

@@ -1,0 +1,138 @@
+//! Integration tests for evolving-KG evaluation: RS and SS across update
+//! streams, with cost and estimate invariants.
+
+use kg_accuracy_eval::annotate::cost::CostModel;
+use kg_accuracy_eval::datagen::evolve::UpdateGenerator;
+use kg_accuracy_eval::eval::dynamic::monitor::run_sequence;
+use kg_accuracy_eval::eval::dynamic::IncrementalEvaluator;
+use kg_accuracy_eval::model::update::UpdateBatch;
+use kg_accuracy_eval::prelude::*;
+use kg_accuracy_eval::stats::PointEstimate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn base() -> kg_accuracy_eval::datagen::profile::Dataset {
+    DatasetProfile::movie().scaled(0.01).generate(1)
+}
+
+#[test]
+fn rs_and_ss_track_truth_over_a_stream() {
+    let ds = base();
+    let config = EvalConfig::default();
+    let batches =
+        UpdateGenerator::movie_like().sequence(8, ds.population.total_triples() / 10, 5);
+
+    // RS.
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut annotator = SimulatedAnnotator::new(ds.oracle.as_ref(), CostModel::default());
+    let mut rs = ReservoirEvaluator::evaluate_base(
+        &ds.population,
+        60,
+        5,
+        config,
+        &mut annotator,
+        &mut rng,
+    );
+    let rs_out = run_sequence(&mut rs, &batches, config.alpha, &mut annotator, &mut rng);
+
+    // SS.
+    let mut rng = StdRng::seed_from_u64(2);
+    let report = Evaluator::twcs(5)
+        .run(&ds.population, ds.oracle.as_ref(), &config, &mut rng)
+        .unwrap();
+    let mut annotator = SimulatedAnnotator::new(ds.oracle.as_ref(), CostModel::default());
+    let mut ss = StratifiedIncremental::from_base(&ds.population, report.estimate, 5, config);
+    let ss_out = run_sequence(&mut ss, &batches, config.alpha, &mut annotator, &mut rng);
+
+    for (r, s) in rs_out.iter().zip(&ss_out) {
+        assert!(r.moe <= config.target_moe + 1e-9, "RS batch {} moe {}", r.batch, r.moe);
+        assert!(s.moe <= config.target_moe + 1e-9, "SS batch {} moe {}", s.batch, s.moe);
+        assert!((r.estimate.mean - 0.9).abs() < 0.07, "RS {}", r.estimate.mean);
+        assert!((s.estimate.mean - 0.9).abs() < 0.07, "SS {}", s.estimate.mean);
+    }
+    // Monotone cumulative costs, non-negative increments.
+    for w in rs_out.windows(2) {
+        assert!(w[1].cumulative_cost_seconds >= w[0].cumulative_cost_seconds);
+    }
+}
+
+#[test]
+fn incremental_cost_is_far_below_reevaluation() {
+    let ds = base();
+    let config = EvalConfig::default();
+    let delta = UpdateGenerator::movie_like().batch(ds.population.total_triples() / 10, 9);
+
+    // Static re-evaluation of the evolved KG (the Baseline of Fig. 8).
+    let (evolved, _) = delta.apply_to(&ds.population);
+    let mut rng = StdRng::seed_from_u64(3);
+    let baseline = Evaluator::twcs(5)
+        .run(&evolved, ds.oracle.as_ref(), &config, &mut rng)
+        .unwrap();
+
+    // SS absorbing the same update.
+    let mut rng = StdRng::seed_from_u64(4);
+    let report = Evaluator::twcs(5)
+        .run(&ds.population, ds.oracle.as_ref(), &config, &mut rng)
+        .unwrap();
+    let mut annotator = SimulatedAnnotator::new(ds.oracle.as_ref(), CostModel::default());
+    let mut ss = StratifiedIncremental::from_base(&ds.population, report.estimate, 5, config);
+    ss.apply_update(&delta, &mut annotator, &mut rng);
+
+    assert!(
+        annotator.seconds() < baseline.cost_seconds * 0.6,
+        "SS {} should be well below baseline {}",
+        annotator.seconds(),
+        baseline.cost_seconds
+    );
+}
+
+#[test]
+fn ss_estimate_reflects_mixed_accuracy_updates() {
+    use kg_accuracy_eval::annotate::oracle::RemOracle;
+    use kg_accuracy_eval::annotate::PiecewiseOracle;
+
+    let ds = base();
+    let n0 = ds.population.num_clusters() as u32;
+    let config = EvalConfig::default();
+    // One big bad update: half the KG size at 20% accuracy.
+    let delta = UpdateGenerator::movie_like().batch(ds.population.total_triples() / 2, 11);
+    let mut oracle = PiecewiseOracle::new(Box::new(RemOracle::new(0.9, 1)));
+    oracle.push_segment(n0, Box::new(RemOracle::new(0.2, 2)));
+
+    let base_est = PointEstimate::new(0.9, 0.0004, 40).unwrap();
+    let mut ss = StratifiedIncremental::from_base(&ds.population, base_est, 5, config);
+    let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+    let mut rng = StdRng::seed_from_u64(12);
+    let est = ss.apply_update(&delta, &mut annotator, &mut rng);
+    // Weighted truth: (2/3)·0.9 + (1/3)·0.2 ≈ 0.667.
+    assert!((est.mean - 0.667).abs() < 0.06, "estimate {}", est.mean);
+}
+
+#[test]
+fn reservoir_replacements_follow_log_growth() {
+    let ds = base();
+    let config = EvalConfig::default();
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut annotator = SimulatedAnnotator::new(ds.oracle.as_ref(), CostModel::default());
+    let mut rs = ReservoirEvaluator::evaluate_base(
+        &ds.population,
+        50,
+        5,
+        config,
+        &mut annotator,
+        &mut rng,
+    );
+    let n0 = ds.population.num_clusters() as f64;
+    let before = rs.replacements();
+    // Triple the cluster count in one update.
+    let delta = UpdateBatch::from_sizes(vec![3; 2 * ds.population.num_clusters()]).unwrap();
+    rs.apply_update(&delta, &mut annotator, &mut rng);
+    let growth = (rs.replacements() - before) as f64;
+    // Proposition 3: ≈ |R|·ln(N_j/N_i); weighted keys distort the constant,
+    // so assert the generous envelope.
+    let expected = 50.0 * ((3.0 * n0) / n0).ln();
+    assert!(
+        growth < 3.0 * expected + 20.0,
+        "replacements {growth} vs Prop. 3 bound {expected}"
+    );
+}

@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) on the statistical core: estimator
+//! unbiasedness, sampler invariants, stratification partitions, and
+//! variance formulas under arbitrary populations.
+
+use kg_accuracy_eval::annotate::annotator::SimulatedAnnotator;
+use kg_accuracy_eval::annotate::cost::CostModel;
+use kg_accuracy_eval::annotate::oracle::{cluster_accuracies, true_accuracy, GoldLabels};
+use kg_accuracy_eval::model::implicit::{ClusterPopulation, ImplicitKg};
+use kg_accuracy_eval::model::triple::TripleRef;
+use kg_accuracy_eval::sampling::design::StaticDesign;
+use kg_accuracy_eval::sampling::twcs::TwcsDesign;
+use kg_accuracy_eval::sampling::variance::PopulationTruth;
+use kg_accuracy_eval::sampling::PopulationIndex;
+use kg_accuracy_eval::stats::srswor::sample_without_replacement;
+use kg_accuracy_eval::stats::stratify::{assign_strata, cum_sqrt_f_boundaries};
+use kg_accuracy_eval::stats::{AliasTable, RunningMoments};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Arbitrary small labeled population: cluster sizes 1..12, labels i.i.d.
+fn arb_population() -> impl Strategy<Value = (Vec<u32>, Vec<Vec<bool>>)> {
+    prop::collection::vec(1u32..12, 3..40).prop_flat_map(|sizes| {
+        let label_strategies: Vec<_> = sizes
+            .iter()
+            .map(|&s| prop::collection::vec(any::<bool>(), s as usize))
+            .collect();
+        (Just(sizes), label_strategies)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn twcs_estimator_is_unbiased((sizes, labels) in arb_population(), m in 1usize..6) {
+        let kg = ImplicitKg::new(sizes).unwrap();
+        let gold = GoldLabels::new(labels);
+        let truth = true_accuracy(&kg, &gold);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        // Average the estimator over replications; must approach truth.
+        let reps = 300;
+        let mut acc = RunningMoments::new();
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut d = TwcsDesign::new(idx.clone(), m);
+            let mut a = SimulatedAnnotator::new(&gold, CostModel::default());
+            d.draw(&mut rng, &mut a, 20);
+            acc.push(d.estimate().mean);
+        }
+        // 5 standard errors of slack.
+        let tol = 5.0 * acc.std_error() + 1e-9;
+        prop_assert!(
+            (acc.mean() - truth).abs() <= tol,
+            "mean {} vs truth {} (tol {})", acc.mean(), truth, tol
+        );
+    }
+
+    #[test]
+    fn v_of_m_matches_definition_and_monotonicity((sizes, labels) in arb_population()) {
+        let kg = ImplicitKg::new(sizes.clone()).unwrap();
+        let gold = GoldLabels::new(labels);
+        let accs = cluster_accuracies(&kg, &gold);
+        let truth = PopulationTruth::new(sizes, accs).unwrap();
+        let mut prev = f64::INFINITY;
+        for m in 1..10 {
+            let v = truth.v_of_m(m);
+            prop_assert!(v >= 0.0);
+            prop_assert!(v <= prev + 1e-12, "V({m})={v} > V({})={prev}", m - 1);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn srswor_draws_distinct_in_range(n in 1usize..300, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let k = ((n as f64 * frac) as usize).min(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = sample_without_replacement(&mut rng, n, k);
+        prop_assert_eq!(sample.len(), k);
+        let set: std::collections::HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(sample.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn alias_table_never_emits_zero_weight(weights in prop::collection::vec(0.0f64..10.0, 2..50), seed in any::<u64>()) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight category {i}");
+        }
+    }
+
+    #[test]
+    fn cum_sqrt_f_is_a_partition(values in prop::collection::vec(1u64..200, 1..300), h in 1usize..6) {
+        let bounds = cum_sqrt_f_boundaries(&values, h).unwrap();
+        prop_assert!(!bounds.is_empty() && bounds.len() <= h);
+        // Contiguous and covering.
+        for w in bounds.windows(2) {
+            prop_assert_eq!(w[0].hi, w[1].lo);
+        }
+        prop_assert_eq!(bounds.last().unwrap().hi, u64::MAX);
+        let assignment = assign_strata(&values, &bounds);
+        for (v, s) in values.iter().zip(&assignment) {
+            prop_assert!(bounds[*s].contains(*v));
+        }
+    }
+
+    #[test]
+    fn annotator_cost_is_batching_invariant((sizes, labels) in arb_population(), seed in any::<u64>()) {
+        let kg = ImplicitKg::new(sizes).unwrap();
+        let gold = GoldLabels::new(labels);
+        // A random multiset of refs (with repeats).
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let refs: Vec<TripleRef> = (0..30)
+            .map(|_| {
+                let c = rng.gen_range(0..kg.num_clusters());
+                let o = rng.gen_range(0..kg.cluster_size(c));
+                TripleRef::new(c as u32, o as u32)
+            })
+            .collect();
+        let mut all_at_once = SimulatedAnnotator::new(&gold, CostModel::default());
+        all_at_once.annotate(&refs);
+        let mut one_by_one = SimulatedAnnotator::new(&gold, CostModel::default());
+        for r in &refs {
+            one_by_one.annotate_one(*r);
+        }
+        prop_assert_eq!(all_at_once.seconds(), one_by_one.seconds());
+        prop_assert_eq!(all_at_once.triples_annotated(), one_by_one.triples_annotated());
+        prop_assert_eq!(all_at_once.entities_identified(), one_by_one.entities_identified());
+    }
+
+    #[test]
+    fn population_index_addresses_every_triple(sizes in prop::collection::vec(1u32..20, 1..60)) {
+        let idx = PopulationIndex::from_sizes(sizes.clone()).unwrap();
+        let mut count = 0u64;
+        for (c, &s) in sizes.iter().enumerate() {
+            for o in 0..s {
+                let global = count;
+                let r = idx.triple_at(global);
+                prop_assert_eq!(r.cluster as usize, c);
+                prop_assert_eq!(r.offset, o);
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, idx.total_triples());
+    }
+}
