@@ -136,9 +136,9 @@ mod tests {
 
     fn oracle() -> GoldLabels {
         GoldLabels::new(vec![
-            vec![true, false, true],  // cluster 0
-            vec![true],               // cluster 1
-            vec![false, false],       // cluster 2
+            vec![true, false, true], // cluster 0
+            vec![true],              // cluster 1
+            vec![false, false],      // cluster 2
         ])
     }
 

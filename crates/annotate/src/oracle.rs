@@ -52,7 +52,10 @@ pub trait LabelOracle: Sync {
 
 /// Exact population accuracy `μ(G)` by full enumeration — O(M), intended
 /// for tests and ground-truth columns of experiment reports.
-pub fn true_accuracy<P: ClusterPopulation + ?Sized, O: LabelOracle + ?Sized>(pop: &P, oracle: &O) -> f64 {
+pub fn true_accuracy<P: ClusterPopulation + ?Sized, O: LabelOracle + ?Sized>(
+    pop: &P,
+    oracle: &O,
+) -> f64 {
     let mut correct = 0u64;
     let mut total = 0u64;
     for c in 0..pop.num_clusters() {
@@ -122,7 +125,10 @@ impl GoldLabels {
 
     /// Materialize any oracle over a population (useful to freeze a
     /// procedural labeling into explicit gold labels).
-    pub fn materialize<P: ClusterPopulation + ?Sized, O: LabelOracle + ?Sized>(pop: &P, oracle: &O) -> Self {
+    pub fn materialize<P: ClusterPopulation + ?Sized, O: LabelOracle + ?Sized>(
+        pop: &P,
+        oracle: &O,
+    ) -> Self {
         let labels = (0..pop.num_clusters())
             .map(|c| {
                 (0..pop.cluster_size(c))
@@ -246,9 +252,7 @@ impl BmmOracle {
         // ε from two hashed uniforms via Box–Muller (deterministic/cluster).
         let u1 = hash_uniform(self.seed ^ 0xB111, cluster as u64, 1).max(f64::MIN_POSITIVE);
         let u2 = hash_uniform(self.seed ^ 0xB222, cluster as u64, 2);
-        let eps = self.sigma
-            * (-2.0 * u1.ln()).sqrt()
-            * (2.0 * std::f64::consts::PI * u2).cos();
+        let eps = self.sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         (base + eps).clamp(0.0, 1.0)
     }
 }

@@ -211,8 +211,14 @@ mod tests {
             &oracle,
             CostModel::new(40.0, 20.0),
             vec![
-                AnnotatorProfile { speed: 1.0, error_rate: 0.0 },
-                AnnotatorProfile { speed: 0.5, error_rate: 0.0 },
+                AnnotatorProfile {
+                    speed: 1.0,
+                    error_rate: 0.0,
+                },
+                AnnotatorProfile {
+                    speed: 0.5,
+                    error_rate: 0.0,
+                },
             ],
             5,
         );

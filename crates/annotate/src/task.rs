@@ -31,7 +31,9 @@ impl EvaluationTask {
     /// Iterate the task's triple references.
     pub fn refs(&self) -> impl Iterator<Item = TripleRef> + '_ {
         let cluster = self.cluster;
-        self.offsets.iter().map(move |&o| TripleRef::new(cluster, o))
+        self.offsets
+            .iter()
+            .map(move |&o| TripleRef::new(cluster, o))
     }
 }
 

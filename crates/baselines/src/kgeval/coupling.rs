@@ -90,7 +90,10 @@ impl CouplingGraph {
                 Object::Entity(e) => (e.0 as u64) << 1,
                 Object::Literal(l) => ((l.0 as u64) << 1) | 1,
             };
-            by_pred_obj.entry((t.predicate.0, okey)).or_default().push(node);
+            by_pred_obj
+                .entry((t.predicate.0, okey))
+                .or_default()
+                .push(node);
             by_subj_pred
                 .entry((t.subject.0, t.predicate.0))
                 .or_default()

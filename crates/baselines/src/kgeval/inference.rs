@@ -97,7 +97,9 @@ impl Propagation {
 
     /// Number of resolved nodes.
     pub fn resolved_count(&self) -> usize {
-        (0..self.beliefs.len()).filter(|&i| self.is_resolved(i)).count()
+        (0..self.beliefs.len())
+            .filter(|&i| self.is_resolved(i))
+            .count()
     }
 
     /// KGEval's accuracy estimate: the mean of hard-thresholded beliefs

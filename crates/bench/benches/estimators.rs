@@ -64,7 +64,13 @@ fn bench_movie_scale(c: &mut Criterion) {
         })
     });
     group.bench_function("index_build", |b| {
-        b.iter(|| black_box(PopulationIndex::from_population(&ds.population).unwrap().num_clusters()))
+        b.iter(|| {
+            black_box(
+                PopulationIndex::from_population(&ds.population)
+                    .unwrap()
+                    .num_clusters(),
+            )
+        })
     });
     group.finish();
 }
@@ -95,5 +101,10 @@ fn bench_kgeval(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_static_designs, bench_movie_scale, bench_kgeval);
+criterion_group!(
+    benches,
+    bench_static_designs,
+    bench_movie_scale,
+    bench_kgeval
+);
 criterion_main!(benches);

@@ -75,5 +75,11 @@ fn bench_distributions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_alias, bench_reservoir, bench_srswor, bench_distributions);
+criterion_group!(
+    benches,
+    bench_alias,
+    bench_reservoir,
+    bench_srswor,
+    bench_distributions
+);
 criterion_main!(benches);

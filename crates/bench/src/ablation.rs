@@ -60,7 +60,11 @@ pub fn run(opts: &Opts) -> String {
             vec![
                 r.cost_hours(),
                 r.estimate.mean,
-                if (r.estimate.mean - truth).abs() > 0.05 { 1.0 } else { 0.0 },
+                if (r.estimate.mean - truth).abs() > 0.05 {
+                    1.0
+                } else {
+                    0.0
+                },
             ]
         });
         t1.row([
@@ -97,7 +101,10 @@ pub fn run(opts: &Opts) -> String {
             format!("{:+.0}%", (h / base - 1.0) * 100.0),
         ]);
     }
-    out.push_str(&format!("(2) stop-rule batch size (TWCS m=5)\n{}\n", t2.render()));
+    out.push_str(&format!(
+        "(2) stop-rule batch size (TWCS m=5)\n{}\n",
+        t2.render()
+    ));
 
     // (4) CLT floor on an accurate KG: coverage vs cost.
     let yago = DatasetProfile::yago().generate(opts.seed);
@@ -114,7 +121,11 @@ pub fn run(opts: &Opts) -> String {
                 .expect("valid population");
             vec![
                 r.cost_hours(),
-                if (r.estimate.mean - 0.99).abs() <= 0.05 { 1.0 } else { 0.0 },
+                if (r.estimate.mean - 0.99).abs() <= 0.05 {
+                    1.0
+                } else {
+                    0.0
+                },
             ]
         });
         t3.row([

@@ -52,7 +52,10 @@ fn main() {
                 println!("{report}");
                 println!("[{id} took {:.1}s]\n", start.elapsed().as_secs_f64());
             }
-            None => die(&format!("unknown experiment `{id}` (known: {})", EXPERIMENTS.join(", "))),
+            None => die(&format!(
+                "unknown experiment `{id}` (known: {})",
+                EXPERIMENTS.join(", ")
+            )),
         }
     }
 }

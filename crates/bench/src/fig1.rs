@@ -40,7 +40,8 @@ pub fn run(opts: &Opts) -> String {
 
     // Entity-level task: random clusters, up to 5 triples each, until 50.
     let mut entity_level: Vec<TripleRef> = Vec::new();
-    let order = sample_without_replacement(&mut rng, pop.num_clusters(), pop.num_clusters().min(200));
+    let order =
+        sample_without_replacement(&mut rng, pop.num_clusters(), pop.num_clusters().min(200));
     let mut used_clusters = 0;
     for c in order {
         if entity_level.len() >= 50 {
@@ -54,7 +55,8 @@ pub fn run(opts: &Opts) -> String {
     }
 
     let timeline = |refs: &[TripleRef]| {
-        let mut a = SimulatedAnnotator::new(ds.oracle.as_ref(), CostModel::default()).with_timeline();
+        let mut a =
+            SimulatedAnnotator::new(ds.oracle.as_ref(), CostModel::default()).with_timeline();
         a.annotate(refs);
         a.timeline().to_vec()
     };
@@ -72,7 +74,11 @@ pub fn run(opts: &Opts) -> String {
             format!("{}", i + 1),
             format!("{:.1}", tl_triple[i].seconds / 60.0),
             format!("{:.1}", tl_entity[i].seconds / 60.0),
-            if tl_entity[i].new_entity { "▲".into() } else { "".into() },
+            if tl_entity[i].new_entity {
+                "▲".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     let total_t = tl_triple.last().map_or(0.0, |p| p.seconds);

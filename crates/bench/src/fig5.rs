@@ -40,9 +40,12 @@ pub fn run(opts: &Opts) -> String {
     );
     for profile in profiles {
         let ds = profile.generate(opts.seed);
-        let index =
-            Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
-        let trials = opts.trials(if ds.population.sizes().len() > 10_000 { 300 } else { 1000 });
+        let index = Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
+        let trials = opts.trials(if ds.population.sizes().len() > 10_000 {
+            300
+        } else {
+            1000
+        });
         let mut t = TextTable::new([
             "confidence",
             "SRS units(triples)",

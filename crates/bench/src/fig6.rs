@@ -47,16 +47,23 @@ pub fn run(opts: &Opts) -> String {
     // while keeping the 20-point sweep fast. NELL runs at full size.
     let datasets = vec![
         DatasetProfile::nell().generate(opts.seed),
-        DatasetProfile::movie_syn(0.01, 0.1).scaled(scale).generate(opts.seed),
-        DatasetProfile::movie_syn(0.05, 0.5).scaled(scale).generate(opts.seed),
+        DatasetProfile::movie_syn(0.01, 0.1)
+            .scaled(scale)
+            .generate(opts.seed),
+        DatasetProfile::movie_syn(0.05, 0.5)
+            .scaled(scale)
+            .generate(opts.seed),
     ];
     let config = EvalConfig::default();
     let cost = CostModel::default();
     let mut out = String::from("Figure 6 — optimal second-stage size m (5% MoE at 95%)\n\n");
     for ds in datasets {
-        let index =
-            Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
-        let trials = opts.trials(if ds.population.num_clusters() > 10_000 { 150 } else { 500 });
+        let index = Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
+        let trials = opts.trials(if ds.population.num_clusters() > 10_000 {
+            150
+        } else {
+            500
+        });
         let truth = truth_of(&ds);
         let optimum = optimal_m_exact(&truth, cost, config.target_moe, config.alpha, 20)
             .expect("valid search");

@@ -31,8 +31,7 @@ pub fn run(opts: &Opts) -> String {
     for fraction in [0.2, 0.4, 0.6, 0.8, 1.0] {
         let profile = DatasetProfile::movie_full(0.9).scaled(fraction * base_scale);
         let ds = profile.generate(opts.seed);
-        let index =
-            Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
+        let index = Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
         let oracle = ds.oracle.clone();
         let idx = index.clone();
         let stats = run_trials(trials, opts.seed ^ 0xf171, 2, move |seed| {
@@ -49,7 +48,10 @@ pub fn run(opts: &Opts) -> String {
             format!("{:.0}", stats[1].mean()),
         ]);
     }
-    out.push_str(&format!("(1) varying KG size, REM 90% ({trials} trials)\n{}\n", t1.render()));
+    out.push_str(&format!(
+        "(1) varying KG size, REM 90% ({trials} trials)\n{}\n",
+        t1.render()
+    ));
 
     // (2) Varying overall accuracy at full (scaled) size.
     let profile = DatasetProfile::movie_full(0.9).scaled(base_scale);
@@ -132,9 +134,16 @@ mod tests {
                 Some((acc, h))
             })
             .collect();
-        let h50 = acc_hours.iter().find(|(a, _)| a == "50%").map(|&(_, h)| h).unwrap();
+        let h50 = acc_hours
+            .iter()
+            .find(|(a, _)| a == "50%")
+            .map(|&(_, h)| h)
+            .unwrap();
         for (a, h) in &acc_hours {
-            assert!(h50 >= *h - 1e-9, "50% ({h50}) not the peak vs {a} ({h})\n{out}");
+            assert!(
+                h50 >= *h - 1e-9,
+                "50% ({h50}) not the peak vs {a} ({h})\n{out}"
+            );
         }
     }
 }

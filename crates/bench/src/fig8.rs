@@ -54,14 +54,7 @@ fn trial(
     // RS: base evaluation excluded from the reported cost.
     let mut rng = StdRng::seed_from_u64(seed ^ 2);
     let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
-    let mut rs = ReservoirEvaluator::evaluate_base(
-        base,
-        60,
-        5,
-        config,
-        &mut annotator,
-        &mut rng,
-    );
+    let mut rs = ReservoirEvaluator::evaluate_base(base, 60, 5, config, &mut annotator, &mut rng);
     let before = annotator.seconds();
     let rs_est = rs.apply_update(delta, &mut annotator, &mut rng);
     let rs_hours = (annotator.seconds() - before) / 3600.0;
@@ -109,14 +102,21 @@ pub fn run(opts: &Opts) -> String {
             trial(&base, &base_index, &delta, 0.9, seed)
         });
         t1.row([
-            format!("{:.0}K (~{:.0}%)", update_triples as f64 / 1e3, frac * 100.0),
+            format!(
+                "{:.0}K (~{:.0}%)",
+                update_triples as f64 / 1e3,
+                frac * 100.0
+            ),
             pm(&stats[0], 2),
             pm(&stats[1], 2),
             pm(&stats[2], 2),
             format!("{:.0}%", stats[3].mean() * 100.0),
         ]);
     }
-    out.push_str(&format!("(1) varying update size, update accuracy 90%\n{}\n", t1.render()));
+    out.push_str(&format!(
+        "(1) varying update size, update accuracy 90%\n{}\n",
+        t1.render()
+    ));
 
     // (2) Varying update accuracy at ~50% update size.
     let update_triples = (base_triples as f64 * 0.6) as u64;

@@ -22,9 +22,9 @@ use kg_datagen::evolve::UpdateGenerator;
 use kg_datagen::profile::DatasetProfile;
 use kg_eval::config::EvalConfig;
 use kg_eval::dynamic::monitor::run_sequence;
-use kg_eval::dynamic::IncrementalEvaluator;
 use kg_eval::dynamic::reservoir::ReservoirEvaluator;
 use kg_eval::dynamic::stratified::StratifiedIncremental;
+use kg_eval::dynamic::IncrementalEvaluator;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
 use kg_model::update::UpdateBatch;
 use kg_sampling::PopulationIndex;
@@ -42,7 +42,10 @@ struct Setup {
 
 fn setup(opts: &Opts) -> Setup {
     let scale = if opts.quick { 0.01 } else { 0.25 };
-    let base = DatasetProfile::movie().scaled(scale).generate(opts.seed).population;
+    let base = DatasetProfile::movie()
+        .scaled(scale)
+        .generate(opts.seed)
+        .population;
     let per_batch = base.total_triples() / 10;
     let batches = UpdateGenerator::movie_like().sequence(NUM_BATCHES, per_batch, opts.seed ^ 0x9e9);
     Setup { base, batches }
@@ -123,12 +126,19 @@ pub fn run(opts: &Opts) -> String {
     ));
 
     // (2)/(3) Fault tolerance: single runs starting ±5% off.
-    for (label, bias) in [("over-estimation (+5%)", 0.05), ("under-estimation (-5%)", -0.05)] {
+    for (label, bias) in [
+        ("over-estimation (+5%)", 0.05),
+        ("under-estimation (-5%)", -0.05),
+    ] {
         let (rs, ss) = one_run(&s, opts.seed ^ 0xf192, bias);
         let mut t = TextTable::new(["batch", "RS estimate", "SS estimate"]);
         for b in [0usize, 1, 3, 5, 10, 15, 20, 30] {
             t.row([
-                if b == 0 { "start".to_string() } else { format!("{b}") },
+                if b == 0 {
+                    "start".to_string()
+                } else {
+                    format!("{b}")
+                },
                 format!("{:.3}", rs[b]),
                 format!("{:.3}", ss[b]),
             ]);

@@ -158,7 +158,11 @@ mod tests {
             .trim()
             .split('/')
             .next()
-            .zip(line.split('/').nth(1).and_then(|s| s.split_whitespace().next()))
+            .zip(
+                line.split('/')
+                    .nth(1)
+                    .and_then(|s| s.split_whitespace().next()),
+            )
             .and_then(|(h, t)| Some((h.trim().parse::<u32>().ok()?, t.parse::<u32>().ok()?)))
             .unwrap_or_else(|| panic!("unparseable summary: {line}"));
         assert!(hits * 4 >= total * 3, "{hits}/{total}\n{out}");

@@ -58,7 +58,11 @@ impl Default for Opts {
 impl Opts {
     /// Scale an experiment's default trial count, with a floor of 8.
     pub fn trials(&self, default: u64) -> u64 {
-        let base = if self.quick { (default / 10).max(8) } else { default };
+        let base = if self.quick {
+            (default / 10).max(8)
+        } else {
+            default
+        };
         ((base as f64 * self.trial_scale) as u64).max(8)
     }
 }

@@ -53,11 +53,7 @@ fn run_capped(
             break;
         }
     }
-    (
-        annotator.hours(),
-        inst.estimate().mean,
-        converged,
-    )
+    (annotator.hours(), inst.estimate().mean, converged)
 }
 
 /// Run the experiment.
@@ -72,9 +68,12 @@ pub fn run(opts: &Opts) -> String {
     );
     for profile in [movie, DatasetProfile::nell(), DatasetProfile::yago()] {
         let ds = profile.generate(opts.seed);
-        let index =
-            Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
-        let trials = opts.trials(if ds.population.sizes().len() > 10_000 { 200 } else { 1000 });
+        let index = Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
+        let trials = opts.trials(if ds.population.sizes().len() > 10_000 {
+            200
+        } else {
+            1000
+        });
         let config = EvalConfig::default();
         let mut t = TextTable::new(["design", "hours", "estimate", "converged"]);
         for design in [Design::Srs, Design::Rcs, Design::Wcs, Design::Twcs { m: 5 }] {
@@ -82,8 +81,7 @@ pub fn run(opts: &Opts) -> String {
             let idx = index.clone();
             let d = design.clone();
             let stats = run_trials(trials, opts.seed ^ 0x7ab5, 3, move |seed| {
-                let (hours, est, conv) =
-                    run_capped(&d, ds_ref, idx.clone(), &config, seed);
+                let (hours, est, conv) = run_capped(&d, ds_ref, idx.clone(), &config, seed);
                 vec![hours, est, if conv { 1.0 } else { 0.0 }]
             });
             t.row([

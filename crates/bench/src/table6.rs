@@ -46,11 +46,7 @@ pub fn run(opts: &Opts) -> String {
             let r = Evaluator::twcs(5)
                 .run_with_index(idx.clone(), gold_ref, &config, &mut rng)
                 .expect("valid population");
-            vec![
-                r.triples_annotated as f64,
-                r.cost_hours(),
-                r.estimate.mean,
-            ]
+            vec![r.triples_annotated as f64, r.cost_hours(), r.estimate.mean]
         });
         let twcs_machine = machine_start.elapsed().as_secs_f64() / trials as f64;
 

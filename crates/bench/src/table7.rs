@@ -51,9 +51,12 @@ pub fn run(opts: &Opts) -> String {
     );
     for (profile, strata, oracle_ok) in configs {
         let ds = profile.generate(opts.seed);
-        let index =
-            Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
-        let trials = opts.trials(if ds.population.sizes().len() > 10_000 { 200 } else { 1000 });
+        let index = Arc::new(PopulationIndex::from_population(&ds.population).expect("non-empty"));
+        let trials = opts.trials(if ds.population.sizes().len() > 10_000 {
+            200
+        } else {
+            1000
+        });
         let config = EvalConfig::default();
         let mut evals: Vec<(String, Evaluator)> = vec![
             ("SRS".into(), Evaluator::srs()),

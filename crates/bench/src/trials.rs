@@ -45,9 +45,14 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial thread panicked"))
+            .collect()
     });
-    let mut total = per_thread.pop().unwrap_or_else(|| vec![RunningMoments::new(); metrics]);
+    let mut total = per_thread
+        .pop()
+        .unwrap_or_else(|| vec![RunningMoments::new(); metrics]);
     for part in per_thread {
         for (t, p) in total.iter_mut().zip(part) {
             t.merge(&p);

@@ -1,0 +1,70 @@
+//! Test-runner plumbing: per-case deterministic RNG, config, and the
+//! case-level error type the assertion macros return.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Reject(String),
+    /// `prop_assert!`-family failure; the test panics with this message.
+    Fail(String),
+}
+
+/// Deterministic per-case RNG: seeded from the FNV-1a hash of the test's
+/// full path combined with the case index, so failures reproduce exactly
+/// across runs and machines without a persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the named test.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= u64::from(case);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}

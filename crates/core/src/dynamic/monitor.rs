@@ -101,8 +101,7 @@ mod tests {
         let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
         let mut rng = StdRng::seed_from_u64(2);
         let base_est = kg_stats::PointEstimate::new(0.9, 0.0004, 60).unwrap();
-        let mut ss =
-            StratifiedIncremental::from_base(&base, base_est, 5, EvalConfig::default());
+        let mut ss = StratifiedIncremental::from_base(&base, base_est, 5, EvalConfig::default());
         let batches: Vec<UpdateBatch> = (0..5)
             .map(|_| UpdateBatch::from_sizes(vec![4; 100]).unwrap())
             .collect();

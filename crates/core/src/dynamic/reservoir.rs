@@ -101,7 +101,11 @@ impl ReservoirEvaluator {
         self.sizes.iter().map(|&s| s as u64).sum()
     }
 
-    fn annotate_new_members(&mut self, annotator: &mut SimulatedAnnotator<'_>, rng: &mut dyn RngCore) {
+    fn annotate_new_members(
+        &mut self,
+        annotator: &mut SimulatedAnnotator<'_>,
+        rng: &mut dyn RngCore,
+    ) {
         let members: Vec<u32> = self.reservoir.iter().map(|k| k.item).collect();
         for c in members {
             if !self.member_accuracy.contains_key(&c) {
@@ -139,9 +143,7 @@ impl ReservoirEvaluator {
                 break;
             }
             if self.pps.is_none() {
-                self.pps = Some(
-                    AliasTable::from_sizes(&self.sizes).expect("non-empty evolved KG"),
-                );
+                self.pps = Some(AliasTable::from_sizes(&self.sizes).expect("non-empty evolved KG"));
             }
             let table = self.pps.as_ref().expect("built above");
             for _ in 0..self.config.batch_size {
@@ -174,14 +176,12 @@ impl IncrementalEvaluator for ReservoirEvaluator {
             self.sizes.push(dsize);
             match self.reservoir.offer(rng, id, dsize as f64) {
                 OfferOutcome::Inserted => {
-                    let acc =
-                        annotate_cluster_sized(id, dsize as usize, self.m, rng, annotator);
+                    let acc = annotate_cluster_sized(id, dsize as usize, self.m, rng, annotator);
                     self.member_accuracy.insert(id, acc);
                 }
                 OfferOutcome::Replaced(evicted) => {
                     self.member_accuracy.remove(&evicted.item);
-                    let acc =
-                        annotate_cluster_sized(id, dsize as usize, self.m, rng, annotator);
+                    let acc = annotate_cluster_sized(id, dsize as usize, self.m, rng, annotator);
                     self.member_accuracy.insert(id, acc);
                 }
                 OfferOutcome::Rejected => {}

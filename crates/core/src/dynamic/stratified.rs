@@ -86,7 +86,12 @@ impl StratifiedIncremental {
     ///
     /// Passing a deliberately biased estimate reproduces the Fig. 9
     /// fault-tolerance scenario.
-    pub fn from_base(base: &ImplicitKg, base_estimate: PointEstimate, m: usize, config: EvalConfig) -> Self {
+    pub fn from_base(
+        base: &ImplicitKg,
+        base_estimate: PointEstimate,
+        m: usize,
+        config: EvalConfig,
+    ) -> Self {
         StratifiedIncremental {
             m,
             config,
@@ -231,12 +236,8 @@ mod tests {
     fn reuses_base_and_samples_only_delta() {
         let base = base_kg();
         let oracle = RemOracle::new(0.9, 1);
-        let mut ss = StratifiedIncremental::from_base(
-            &base,
-            base_estimate(0.9),
-            5,
-            EvalConfig::default(),
-        );
+        let mut ss =
+            StratifiedIncremental::from_base(&base, base_estimate(0.9), 5, EvalConfig::default());
         let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
         let mut rng = StdRng::seed_from_u64(1);
         let delta = UpdateBatch::from_sizes(vec![4; 100]).unwrap(); // 10% update
@@ -255,12 +256,8 @@ mod tests {
         // Base at 90%; update of equal size at ~0%: combined ≈ 45%.
         let mut oracle = PiecewiseOracle::new(Box::new(RemOracle::new(0.9, 2)));
         oracle.push_segment(1000, Box::new(RemOracle::new(0.0, 3)));
-        let mut ss = StratifiedIncremental::from_base(
-            &base,
-            base_estimate(0.9),
-            5,
-            EvalConfig::default(),
-        );
+        let mut ss =
+            StratifiedIncremental::from_base(&base, base_estimate(0.9), 5, EvalConfig::default());
         let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
         let mut rng = StdRng::seed_from_u64(2);
         let delta = UpdateBatch::from_sizes(vec![4; 1000]).unwrap();
@@ -272,12 +269,8 @@ mod tests {
     fn sequence_of_updates_accumulates_strata() {
         let base = base_kg();
         let oracle = RemOracle::new(0.9, 4);
-        let mut ss = StratifiedIncremental::from_base(
-            &base,
-            base_estimate(0.9),
-            5,
-            EvalConfig::default(),
-        );
+        let mut ss =
+            StratifiedIncremental::from_base(&base, base_estimate(0.9), 5, EvalConfig::default());
         let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..5 {
@@ -297,8 +290,7 @@ mod tests {
         let base = base_kg();
         let oracle = RemOracle::new(0.9, 5);
         let biased = base_estimate(0.99); // truth is 0.9
-        let mut ss =
-            StratifiedIncremental::from_base(&base, biased, 5, EvalConfig::default());
+        let mut ss = StratifiedIncremental::from_base(&base, biased, 5, EvalConfig::default());
         let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..5 {
@@ -318,12 +310,8 @@ mod tests {
     fn empty_update_is_a_no_op() {
         let base = base_kg();
         let oracle = RemOracle::new(0.9, 7);
-        let mut ss = StratifiedIncremental::from_base(
-            &base,
-            base_estimate(0.9),
-            5,
-            EvalConfig::default(),
-        );
+        let mut ss =
+            StratifiedIncremental::from_base(&base, base_estimate(0.9), 5, EvalConfig::default());
         let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
         let mut rng = StdRng::seed_from_u64(8);
         let delta = UpdateBatch::from_sizes(vec![]).unwrap();

@@ -161,8 +161,7 @@ fn twcs_group(
         let n = accs.count() as usize;
         let var = kg_sampling::twcs::floored_variance_of_mean(&accs, m);
         let est = PointEstimate::new(accs.mean(), var, n).expect("valid variance");
-        if n >= config.min_units
-            && est.moe(config.alpha).expect("valid alpha") <= config.target_moe
+        if n >= config.min_units && est.moe(config.alpha).expect("valid alpha") <= config.target_moe
         {
             converged = true;
             break;
@@ -281,8 +280,7 @@ mod tests {
     fn shared_annotator_reuses_identification_across_predicates() {
         let (g, gold) = two_predicate_graph();
         let mut rng = StdRng::seed_from_u64(3);
-        let (_, stats) =
-            evaluate_per_predicate(&g, &gold, &EvalConfig::default(), 3, 10, &mut rng);
+        let (_, stats) = evaluate_per_predicate(&g, &gold, &EvalConfig::default(), 3, 10, &mut rng);
         // Entities identified must be at most the number of clusters, and
         // strictly fewer than triples annotated (sharing across groups).
         assert!(stats.entities_identified <= g.num_clusters());

@@ -44,7 +44,9 @@ pub fn run_static(
         }
     }
     let estimate = design.estimate();
-    let moe = estimate.moe(config.alpha).expect("alpha validated by config");
+    let moe = estimate
+        .moe(config.alpha)
+        .expect("alpha validated by config");
     EvaluationReport {
         design: design.name(),
         estimate,
@@ -116,7 +118,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut design = SrsDesign::new(idx);
         let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
-        let report = run_static(&mut design, &mut annotator, &EvalConfig::default(), &mut rng);
+        let report = run_static(
+            &mut design,
+            &mut annotator,
+            &EvalConfig::default(),
+            &mut rng,
+        );
         // Perfectly accurate KG: p̂=1, plug-in variance 0 → MoE 0 once the
         // sample exists; full census at the latest.
         assert!(report.converged);
@@ -169,8 +176,12 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut design = TwcsDesign::new(idx.clone(), 5);
             let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
-            let report =
-                run_static(&mut design, &mut annotator, &EvalConfig::default(), &mut rng);
+            let report = run_static(
+                &mut design,
+                &mut annotator,
+                &EvalConfig::default(),
+                &mut rng,
+            );
             if (report.estimate.mean - truth).abs() <= 0.05 {
                 hits += 1;
             }

@@ -78,7 +78,10 @@ pub fn evolved_oracle(
         }
         oracle.push_segment(
             next,
-            Box::new(RemOracle::new(*accuracy, seed.wrapping_add(1000 + i as u64))),
+            Box::new(RemOracle::new(
+                *accuracy,
+                seed.wrapping_add(1000 + i as u64),
+            )),
         );
         next += batch.num_delta_clusters() as u32;
     }

@@ -1,10 +1,10 @@
 //! Cluster-size generation with exact totals, plus materialized small KGs
 //! for baselines that need triple content (KGEval's coupling graph).
 
+use kg_annotate::oracle::GoldLabels;
 use kg_model::builder::KgBuilder;
 use kg_model::graph::KnowledgeGraph;
 use kg_model::implicit::ImplicitKg;
-use kg_annotate::oracle::GoldLabels;
 use kg_stats::distr::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -171,8 +171,14 @@ mod tests {
 
     #[test]
     fn sizes_deterministic_per_seed() {
-        assert_eq!(cluster_sizes(100, 500, 1.5, 50, 7), cluster_sizes(100, 500, 1.5, 50, 7));
-        assert_ne!(cluster_sizes(100, 500, 1.5, 50, 7), cluster_sizes(100, 500, 1.5, 50, 8));
+        assert_eq!(
+            cluster_sizes(100, 500, 1.5, 50, 7),
+            cluster_sizes(100, 500, 1.5, 50, 7)
+        );
+        assert_ne!(
+            cluster_sizes(100, 500, 1.5, 50, 7),
+            cluster_sizes(100, 500, 1.5, 50, 8)
+        );
     }
 
     #[test]
@@ -222,10 +228,7 @@ mod tests {
         assert_eq!(g.num_clusters(), 100);
         assert_eq!(g.total_triples(), 300);
         // Cluster sizes preserved in order.
-        assert_eq!(
-            g.cluster_sizes(),
-            sizes
-        );
+        assert_eq!(g.cluster_sizes(), sizes);
         assert!(g.predicates().len() <= 12);
     }
 }

@@ -177,9 +177,7 @@ impl DatasetProfile {
                 let gold = exact_gold_labels(&sizes, *accuracy, seed);
                 (Arc::new(gold), *accuracy)
             }
-            LabelModel::Rem { accuracy } => {
-                (Arc::new(RemOracle::new(*accuracy, seed)), *accuracy)
-            }
+            LabelModel::Rem { accuracy } => (Arc::new(RemOracle::new(*accuracy, seed)), *accuracy),
             LabelModel::Bmm { k, c, sigma } => {
                 let sizes_arc = Arc::new(sizes.clone());
                 let bmm = BmmOracle::new(sizes_arc, *k, *c, *sigma, seed);
@@ -242,7 +240,11 @@ mod tests {
         let stats = KgStatistics::of(&ds.population);
         assert!((stats.avg_cluster_size - 2.28).abs() < 0.05);
         // Long tail: most clusters below size 5 (§7.2.2 says >98%).
-        assert!(stats.fraction_smaller_than(5) > 0.85, "{}", stats.fraction_smaller_than(5));
+        assert!(
+            stats.fraction_smaller_than(5) > 0.85,
+            "{}",
+            stats.fraction_smaller_than(5)
+        );
         let acc = true_accuracy(&ds.population, ds.oracle.as_ref());
         assert!((acc - 0.91).abs() < 0.001, "accuracy {acc}");
     }

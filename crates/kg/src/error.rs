@@ -36,13 +36,19 @@ impl fmt::Display for KgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KgError::ClusterOutOfRange { index, len } => {
-                write!(f, "cluster index {index} out of range (graph has {len} clusters)")
+                write!(
+                    f,
+                    "cluster index {index} out of range (graph has {len} clusters)"
+                )
             }
             KgError::OffsetOutOfRange {
                 cluster,
                 offset,
                 size,
-            } => write!(f, "offset {offset} out of range in cluster {cluster} of size {size}"),
+            } => write!(
+                f,
+                "offset {offset} out of range in cluster {cluster} of size {size}"
+            ),
             KgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             KgError::Io(e) => write!(f, "I/O error: {e}"),
         }

@@ -114,7 +114,9 @@ impl KnowledgeGraph {
         let s = self.entities.resolve(t.subject.0).unwrap_or("?");
         let p = self.predicates.resolve(t.predicate.0).unwrap_or("?");
         let o = match t.object {
-            crate::triple::Object::Entity(e) => self.entities.resolve(e.0).unwrap_or("?").to_string(),
+            crate::triple::Object::Entity(e) => {
+                self.entities.resolve(e.0).unwrap_or("?").to_string()
+            }
             crate::triple::Object::Literal(l) => {
                 format!("\"{}\"", self.literals.resolve(l.0).unwrap_or("?"))
             }
@@ -124,7 +126,10 @@ impl KnowledgeGraph {
 
     /// Cluster-size vector (for building samplers / implicit views).
     pub fn cluster_sizes(&self) -> Vec<u32> {
-        self.clusters.iter().map(|c| c.triples.len() as u32).collect()
+        self.clusters
+            .iter()
+            .map(|c| c.triples.len() as u32)
+            .collect()
     }
 }
 

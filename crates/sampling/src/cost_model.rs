@@ -81,6 +81,7 @@ mod tests {
     #[test]
     fn expected_entities_bounds() {
         let sizes = vec![10u32; 100]; // 1000 triples
+
         // Drawing 0 triples touches 0 entities.
         assert!(srs_expected_entities(&sizes, 0.0).abs() < 1e-12);
         // Drawing a huge sample touches ~all entities.

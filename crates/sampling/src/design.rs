@@ -5,8 +5,8 @@
 use crate::index::PopulationIndex;
 use crate::rcs::RcsDesign;
 use crate::srs::SrsDesign;
-use crate::tsrcs::TsRcsDesign;
 use crate::stratified::{StratificationStrategy, StratifiedTwcs};
+use crate::tsrcs::TsRcsDesign;
 use crate::twcs::TwcsDesign;
 use crate::wcs::WcsDesign;
 use kg_annotate::annotator::SimulatedAnnotator;

@@ -87,7 +87,9 @@ impl PilotVariance {
     /// pairs drawn PPS (e.g. a short WCS/TWCS run with full-ish clusters).
     pub fn from_pilot(observations: &[(f64, u32)]) -> Result<Self, StatsError> {
         if observations.len() < 2 {
-            return Err(StatsError::EmptyInput("pilot needs >= 2 cluster observations"));
+            return Err(StatsError::EmptyInput(
+                "pilot needs >= 2 cluster observations",
+            ));
         }
         let n = observations.len() as f64;
         let mean = observations.iter().map(|&(a, _)| a).sum::<f64>() / n;
@@ -160,7 +162,15 @@ mod tests {
             .collect();
         let accs: Vec<f64> = sizes
             .iter()
-            .map(|&s| if s > 50 { 0.97 } else if s > 5 { 0.85 } else { 0.6 })
+            .map(|&s| {
+                if s > 50 {
+                    0.97
+                } else if s > 5 {
+                    0.85
+                } else {
+                    0.6
+                }
+            })
             .collect();
         PopulationTruth::new(sizes, accs).unwrap()
     }

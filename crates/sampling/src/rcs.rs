@@ -133,7 +133,9 @@ mod tests {
     fn high_variance_with_wide_size_spread() {
         // RCS variance should dwarf the equal-size case, reflecting the
         // paper's motivation for weighted sampling.
-        let wide: Vec<u32> = (0..200).map(|i| if i % 20 == 0 { 100 } else { 1 }).collect();
+        let wide: Vec<u32> = (0..200)
+            .map(|i| if i % 20 == 0 { 100 } else { 1 })
+            .collect();
         let kg_wide = ImplicitKg::new(wide).unwrap();
         let kg_flat = ImplicitKg::new(vec![6; 200]).unwrap();
         let oracle = RemOracle::new(0.9, 13);

@@ -203,8 +203,7 @@ impl StaticDesign for StratifiedTwcs {
                     // otherwise its conservative variance deadlocks the
                     // MoE loop (score 0 ⇒ no draws ⇒ variance never
                     // updates).
-                    let per_draw_floor =
-                        kg_sampling_floored(&s.accuracies, m) * n as f64;
+                    let per_draw_floor = kg_sampling_floored(&s.accuracies, m) * n as f64;
                     s.accuracies.sample_std().max(per_draw_floor.sqrt())
                 }
             })
@@ -235,7 +234,10 @@ impl StaticDesign for StratifiedTwcs {
     }
 
     fn units(&self) -> usize {
-        self.strata.iter().map(|s| s.accuracies.count() as usize).sum()
+        self.strata
+            .iter()
+            .map(|s| s.accuracies.count() as usize)
+            .sum()
     }
 
     fn name(&self) -> &'static str {
@@ -346,13 +348,9 @@ mod tests {
         let (kg, oracle) = bmm_setup();
         let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
         let mut rng = StdRng::seed_from_u64(1);
-        let mut d = StratifiedTwcs::new(
-            idx,
-            5,
-            StratificationStrategy::Size { strata: 4 },
-            &oracle,
-        )
-        .with_allocation(Allocation::Proportional);
+        let mut d =
+            StratifiedTwcs::new(idx, 5, StratificationStrategy::Size { strata: 4 }, &oracle)
+                .with_allocation(Allocation::Proportional);
         let mut a = SimulatedAnnotator::new(&oracle, CostModel::default());
         // One draw lands in one stratum; the others are unexplored → MoE
         // must stay large.

@@ -56,7 +56,13 @@ impl TwcsDesign {
         rng: &mut dyn RngCore,
         annotator: &mut SimulatedAnnotator<'_>,
     ) -> f64 {
-        annotate_cluster_sized(cluster as u32, index.cluster_size(cluster), m, rng, annotator)
+        annotate_cluster_sized(
+            cluster as u32,
+            index.cluster_size(cluster),
+            m,
+            rng,
+            annotator,
+        )
     }
 }
 

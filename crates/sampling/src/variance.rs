@@ -102,9 +102,11 @@ mod tests {
     #[test]
     fn v_of_m_reduces_to_triple_variance_at_m1() {
         // With m = 1 and all M_i = 1, V(1) = population Bernoulli variance.
-        let truth =
-            PopulationTruth::new(vec![1; 10], vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0])
-                .unwrap();
+        let truth = PopulationTruth::new(
+            vec![1; 10],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0],
+        )
+        .unwrap();
         assert!((truth.mu - 0.7).abs() < 1e-12);
         // All clusters size 1 → within term empty; between = Σ(μi−μ)²/N =
         // p(1−p) = 0.21.
@@ -155,7 +157,9 @@ mod tests {
             vec![true; 8],
             vec![false, true],
             vec![true, false, true, false, true, true],
-            vec![true, true, true, false, false, true, true, true, false, true],
+            vec![
+                true, true, true, false, false, true, true, true, false, true,
+            ],
         ];
         let gold = GoldLabels::new(labels);
         let accs = cluster_accuracies(&kg, &gold);

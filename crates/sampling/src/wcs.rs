@@ -60,8 +60,12 @@ impl StaticDesign for WcsDesign {
         if n == 0 {
             return PointEstimate::uninformative();
         }
-        PointEstimate::new(self.accuracies.mean(), self.accuracies.variance_of_mean(), n)
-            .expect("sample variance is non-negative")
+        PointEstimate::new(
+            self.accuracies.mean(),
+            self.accuracies.variance_of_mean(),
+            n,
+        )
+        .expect("sample variance is non-negative")
     }
 
     fn units(&self) -> usize {
@@ -112,7 +116,9 @@ mod tests {
     #[test]
     fn lower_variance_than_rcs_on_wide_spread() {
         use crate::rcs::RcsDesign;
-        let sizes: Vec<u32> = (0..200).map(|i| if i % 20 == 0 { 100 } else { 1 }).collect();
+        let sizes: Vec<u32> = (0..200)
+            .map(|i| if i % 20 == 0 { 100 } else { 1 })
+            .collect();
         let kg = ImplicitKg::new(sizes).unwrap();
         let oracle = RemOracle::new(0.9, 5);
         let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());

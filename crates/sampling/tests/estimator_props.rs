@@ -1,0 +1,171 @@
+//! Property tests on the sampling designs (paper §5): estimator sanity for
+//! SRS/WCS/TWCS, margin-of-error monotonicity in the sample size, and TWCS
+//! cost bookkeeping against Definition 3 / Eq. 4, `Cost(G') = |E'|·c1 +
+//! |G'|·c2`.
+
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::cost::CostModel;
+use kg_annotate::oracle::{cluster_accuracies, GoldLabels};
+use kg_model::implicit::ImplicitKg;
+use kg_sampling::design::StaticDesign;
+use kg_sampling::srs::SrsDesign;
+use kg_sampling::twcs::TwcsDesign;
+use kg_sampling::variance::PopulationTruth;
+use kg_sampling::wcs::WcsDesign;
+use kg_sampling::PopulationIndex;
+use kg_stats::z_critical;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Arbitrary labeled population: 2–25 clusters of size 1–15, labels i.i.d.
+fn arb_population() -> impl Strategy<Value = (Vec<u32>, Vec<Vec<bool>>)> {
+    prop::collection::vec(1u32..15, 2..25).prop_flat_map(|sizes| {
+        let label_strategies: Vec<_> = sizes
+            .iter()
+            .map(|&s| prop::collection::vec(any::<bool>(), s as usize))
+            .collect();
+        (Just(sizes), label_strategies)
+    })
+}
+
+/// Every design under test, freshly instantiated over `idx`.
+fn designs(idx: &Arc<PopulationIndex>, m: usize) -> Vec<Box<dyn StaticDesign>> {
+    vec![
+        Box::new(SrsDesign::new(idx.clone())),
+        Box::new(WcsDesign::new(idx.clone())),
+        Box::new(TwcsDesign::new(idx.clone(), m)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// SRS, WCS, and TWCS point estimates are accuracies, so they must land
+    /// in [0, 1] no matter the population, batch pattern, or seed — unlike
+    /// RCS (Eq. 7), whose unbiased estimator can overshoot by design.
+    #[test]
+    fn point_estimates_land_in_unit_interval(
+        (sizes, labels) in arb_population(),
+        m in 1usize..6,
+        seed in any::<u64>(),
+        batch in 1usize..12,
+    ) {
+        let kg = ImplicitKg::new(sizes).unwrap();
+        let gold = GoldLabels::new(labels);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        for mut design in designs(&idx, m) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut annotator = SimulatedAnnotator::new(&gold, CostModel::default());
+            for _ in 0..4 {
+                design.draw(&mut rng, &mut annotator, batch);
+                let est = design.estimate();
+                prop_assert!(
+                    (0.0..=1.0).contains(&est.mean),
+                    "{} estimate {} outside [0,1]", design.name(), est.mean
+                );
+                prop_assert!(
+                    est.var_of_mean >= 0.0 && est.var_of_mean.is_finite(),
+                    "{} variance {} invalid", design.name(), est.var_of_mean
+                );
+            }
+        }
+    }
+
+    /// The theoretical TWCS margin of error `z_{α/2}·sqrt(V(m)/n)` (Eq. 10
+    /// with Eq. 1) is non-increasing in the first-stage sample size `n` for
+    /// any fixed population and second-stage cap `m`.
+    #[test]
+    fn theoretical_moe_shrinks_monotonically_in_n(
+        (sizes, labels) in arb_population(),
+        m in 1usize..6,
+    ) {
+        let kg = ImplicitKg::new(sizes.clone()).unwrap();
+        let gold = GoldLabels::new(labels);
+        let accs = cluster_accuracies(&kg, &gold);
+        let truth = PopulationTruth::new(sizes, accs).unwrap();
+        let z = z_critical(0.05).unwrap();
+        let mut prev = f64::INFINITY;
+        for n in 1usize..60 {
+            let moe = z * (truth.var_of_estimator(m, n)).sqrt();
+            prop_assert!(
+                moe <= prev + 1e-12,
+                "MoE({n})={moe} > MoE({})={prev} for m={m}", n - 1
+            );
+            prev = moe;
+        }
+    }
+
+    /// The *achieved* margin of error also shrinks with more drawn units,
+    /// checked on seed-averaged estimates so sampling noise cannot flip the
+    /// comparison: with var_of_mean ≈ V(m)/n (Eq. 10), quadrupling the
+    /// units should roughly halve the MoE; we assert the weaker claim that
+    /// the average does not increase.
+    #[test]
+    fn empirical_moe_shrinks_with_more_units(
+        (sizes, labels) in arb_population(),
+        m in 1usize..5,
+    ) {
+        let kg = ImplicitKg::new(sizes).unwrap();
+        let gold = GoldLabels::new(labels);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let seeds = 30u64;
+        let mut moe_small = 0.0;
+        let mut moe_large = 0.0;
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut design = TwcsDesign::new(idx.clone(), m);
+            let mut annotator = SimulatedAnnotator::new(&gold, CostModel::default());
+            design.draw(&mut rng, &mut annotator, 10);
+            moe_small += design.estimate().moe(0.05).unwrap();
+            design.draw(&mut rng, &mut annotator, 30);
+            moe_large += design.estimate().moe(0.05).unwrap();
+        }
+        prop_assert!(
+            moe_large <= moe_small + 1e-9,
+            "mean MoE grew from {} (n=10) to {} (n=40)",
+            moe_small / seeds as f64,
+            moe_large / seeds as f64
+        );
+    }
+
+    /// TWCS cost bookkeeping matches Definition 3 / Eq. 4 exactly:
+    /// `seconds = |E'|·c1 + |G'|·c2` with `|E'|` the distinct entities
+    /// identified and `|G'|` the distinct triples annotated; re-drawn
+    /// clusters and triples are never double-charged.
+    #[test]
+    fn twcs_cost_bookkeeping_matches_eq4(
+        (sizes, labels) in arb_population(),
+        m in 1usize..6,
+        seed in any::<u64>(),
+        c1 in 0.0f64..120.0,
+        c2 in 0.0f64..60.0,
+    ) {
+        let kg = ImplicitKg::new(sizes).unwrap();
+        let gold = GoldLabels::new(labels);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let cost = CostModel::new(c1, c2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut design = TwcsDesign::new(idx.clone(), m);
+        let mut annotator = SimulatedAnnotator::new(&gold, cost);
+        let drawn = design.draw(&mut rng, &mut annotator, 25);
+        prop_assert_eq!(drawn, design.units());
+
+        let entities = annotator.entities_identified() as u64;
+        let triples = annotator.triples_annotated() as u64;
+        let expected = cost.seconds(entities, triples);
+        prop_assert!(
+            (annotator.seconds() - expected).abs() <= 1e-9 * expected.max(1.0),
+            "charged {} s but Eq. 4 gives {} s (|E'|={}, |G'|={})",
+            annotator.seconds(), expected, entities, triples
+        );
+
+        // Distinctness bounds: at most one entity per first-stage draw and
+        // at most m second-stage triples per draw.
+        prop_assert!(entities as usize <= design.units());
+        prop_assert!(triples as usize <= design.units() * m);
+        prop_assert!(entities as usize <= idx.num_clusters());
+        prop_assert!(triples <= idx.total_triples());
+    }
+}

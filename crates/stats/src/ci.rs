@@ -63,7 +63,11 @@ impl PointEstimate {
     /// Create a new estimate. `var_of_mean` must be finite and non-negative.
     pub fn new(mean: f64, var_of_mean: f64, units: usize) -> Result<Self, StatsError> {
         if !var_of_mean.is_finite() || var_of_mean < 0.0 {
-            return Err(StatsError::invalid("var_of_mean", ">= 0 and finite", var_of_mean));
+            return Err(StatsError::invalid(
+                "var_of_mean",
+                ">= 0 and finite",
+                var_of_mean,
+            ));
         }
         Ok(PointEstimate {
             mean,

@@ -244,7 +244,11 @@ mod tests {
         let d = Normal::new(3.0, 2.0).unwrap();
         let m: RunningMoments = (0..100_000).map(|_| d.sample(&mut rng)).collect();
         assert!((m.mean() - 3.0).abs() < 0.05, "mean {}", m.mean());
-        assert!((m.sample_std() - 2.0).abs() < 0.05, "std {}", m.sample_std());
+        assert!(
+            (m.sample_std() - 2.0).abs() < 0.05,
+            "std {}",
+            m.sample_std()
+        );
     }
 
     #[test]
@@ -292,8 +296,13 @@ mod tests {
         let ratio = counts[1] as f64 / counts[2] as f64;
         assert!((ratio - 2.83).abs() < 0.2, "ratio {ratio}");
         // Empirical mean near theoretical mean.
-        let emp_mean: f64 = (1..=100).map(|k| k as f64 * counts[k] as f64).sum::<f64>() / trials as f64;
-        assert!((emp_mean - d.mean()).abs() < 0.1, "{emp_mean} vs {}", d.mean());
+        let emp_mean: f64 =
+            (1..=100).map(|k| k as f64 * counts[k] as f64).sum::<f64>() / trials as f64;
+        assert!(
+            (emp_mean - d.mean()).abs() < 0.1,
+            "{emp_mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]
@@ -318,7 +327,11 @@ mod tests {
         let d = Binomial::new(20, 0.3).unwrap();
         let m: RunningMoments = (0..50_000).map(|_| d.sample(&mut rng) as f64).collect();
         assert!((m.mean() - 6.0).abs() < 0.1, "mean {}", m.mean());
-        assert!((m.sample_variance() - 4.2).abs() < 0.2, "var {}", m.sample_variance());
+        assert!(
+            (m.sample_variance() - 4.2).abs() < 0.2,
+            "var {}",
+            m.sample_variance()
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl fmt::Display for StatsError {
                 name,
                 constraint,
                 value,
-            } => write!(f, "invalid parameter `{name}`: must satisfy {constraint}, got {value}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}`: must satisfy {constraint}, got {value}"
+            ),
             StatsError::EmptyInput(what) => write!(f, "empty input: {what}"),
             StatsError::InvalidWeights(what) => write!(f, "invalid weights: {what}"),
         }
@@ -56,8 +59,12 @@ mod tests {
         let e = StatsError::invalid("alpha", "0 < alpha < 1", 2.0);
         assert!(e.to_string().contains("alpha"));
         assert!(e.to_string().contains("2"));
-        assert!(StatsError::EmptyInput("weights").to_string().contains("weights"));
-        assert!(StatsError::InvalidWeights("negative").to_string().contains("negative"));
+        assert!(StatsError::EmptyInput("weights")
+            .to_string()
+            .contains("weights"));
+        assert!(StatsError::InvalidWeights("negative")
+            .to_string()
+            .contains("negative"));
     }
 
     #[test]

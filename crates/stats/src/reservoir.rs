@@ -401,8 +401,14 @@ mod tests {
     fn weighted_fills_then_replaces() {
         let mut rng = StdRng::seed_from_u64(14);
         let mut r = WeightedReservoir::new(2);
-        assert!(matches!(r.offer(&mut rng, 'a', 1.0), OfferOutcome::Inserted));
-        assert!(matches!(r.offer(&mut rng, 'b', 1.0), OfferOutcome::Inserted));
+        assert!(matches!(
+            r.offer(&mut rng, 'a', 1.0),
+            OfferOutcome::Inserted
+        ));
+        assert!(matches!(
+            r.offer(&mut rng, 'b', 1.0),
+            OfferOutcome::Inserted
+        ));
         assert!(r.is_full());
         // A huge weight forces a key ~1, nearly always replacing.
         let mut replaced = false;

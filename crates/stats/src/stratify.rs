@@ -37,7 +37,10 @@ impl StratumBounds {
 /// fewer strata (degenerate bins are merged), which callers must accept —
 /// e.g. NELL's cluster sizes have ~98% of mass below 5 and the paper uses
 /// only two strata there (Table 7 caption).
-pub fn cum_sqrt_f_boundaries(values: &[u64], strata: usize) -> Result<Vec<StratumBounds>, StatsError> {
+pub fn cum_sqrt_f_boundaries(
+    values: &[u64],
+    strata: usize,
+) -> Result<Vec<StratumBounds>, StatsError> {
     if values.is_empty() {
         return Err(StatsError::EmptyInput("stratification signal"));
     }
@@ -77,7 +80,11 @@ pub fn cum_sqrt_f_boundaries(values: &[u64], strata: usize) -> Result<Vec<Stratu
             Box::new(move |b: usize| (lo_f.max(1.0) * (ratio * b as f64).exp()).round() as u64),
         )
     };
-    let nbins = if dense_ok { span as usize + 1 } else { 1_048_576 };
+    let nbins = if dense_ok {
+        span as usize + 1
+    } else {
+        1_048_576
+    };
     let mut freq = vec![0u64; nbins];
     for &v in values {
         freq[bin_of(v)] += 1;
@@ -101,10 +108,7 @@ pub fn cum_sqrt_f_boundaries(values: &[u64], strata: usize) -> Result<Vec<Stratu
             next_cut += step;
         }
     }
-    bounds.push(StratumBounds {
-        lo,
-        hi: u64::MAX,
-    });
+    bounds.push(StratumBounds { lo, hi: u64::MAX });
     Ok(bounds)
 }
 

@@ -19,10 +19,10 @@ fn main() {
     // --- Fit a cost model from your timed annotation tasks ---------------
     // (entities identified, triples validated, measured seconds)
     let timings = [
-        (50u64, 50u64, 3498.0),  // triple-level task
-        (11, 50, 1745.0),        // entity-level task
-        (174, 174, 12700.0),     // a long SRS audit
-        (24, 178, 5560.0),       // a TWCS audit
+        (50u64, 50u64, 3498.0), // triple-level task
+        (11, 50, 1745.0),       // entity-level task
+        (174, 174, 12700.0),    // a long SRS audit
+        (24, 178, 5560.0),      // a TWCS audit
     ];
     let observations: Vec<CostObservation> = timings
         .iter()
@@ -46,7 +46,10 @@ fn main() {
     let truth = PopulationTruth::new(dataset.population.sizes().to_vec(), accuracies)
         .expect("non-empty population");
 
-    println!("\noptimal m on {} under different cost regimes (5% MoE @95%):", dataset.name);
+    println!(
+        "\noptimal m on {} under different cost regimes (5% MoE @95%):",
+        dataset.name
+    );
     for (label, cost) in [
         ("your fitted model        ", fitted),
         ("cheap identification     ", CostModel::new(5.0, 25.0)),

@@ -63,12 +63,21 @@ fn main() {
             s.batch_cost_seconds / 3600.0,
         );
     }
-    let rs_total = rs_outcomes.last().map_or(0.0, |o| o.cumulative_cost_seconds) / 3600.0;
-    let ss_total = ss_outcomes.last().map_or(0.0, |o| o.cumulative_cost_seconds) / 3600.0;
+    let rs_total = rs_outcomes
+        .last()
+        .map_or(0.0, |o| o.cumulative_cost_seconds)
+        / 3600.0;
+    let ss_total = ss_outcomes
+        .last()
+        .map_or(0.0, |o| o.cumulative_cost_seconds)
+        / 3600.0;
     println!(
         "\ntotals: RS {rs_total:.2} h, SS {ss_total:.2} h over 10 updates \
          (a static re-evaluation costs ~{:.2} h per update)",
         base_report.cost_hours()
     );
-    println!("reservoir replacements across the stream: {}", rs.replacements());
+    println!(
+        "reservoir replacements across the stream: {}",
+        rs.replacements()
+    );
 }

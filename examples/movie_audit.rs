@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example movie_audit`
 
-use kg_accuracy_eval::prelude::*;
 use kg_accuracy_eval::annotate::cost::CostModel;
+use kg_accuracy_eval::prelude::*;
 use kg_accuracy_eval::sampling::optimal_m::{optimal_m_from_pilot, PilotVariance};
 use kg_accuracy_eval::sampling::twcs::annotate_cluster_sized;
 use kg_accuracy_eval::sampling::PopulationIndex;
@@ -34,12 +34,18 @@ fn main() {
     let mut observations = Vec::new();
     for _ in 0..25 {
         let c = index.sample_cluster_pps(&mut rng);
-        let acc = annotate_cluster_sized(c as u32, index.cluster_size(c), 10, &mut rng, &mut pilot_annotator);
+        let acc = annotate_cluster_sized(
+            c as u32,
+            index.cluster_size(c),
+            10,
+            &mut rng,
+            &mut pilot_annotator,
+        );
         observations.push((acc, index.cluster_size(c) as u32));
     }
     let pilot = PilotVariance::from_pilot(&observations).expect("pilot has >= 2 clusters");
-    let best = optimal_m_from_pilot(&pilot, CostModel::default(), 0.05, 0.05, 20)
-        .expect("valid search");
+    let best =
+        optimal_m_from_pilot(&pilot, CostModel::default(), 0.05, 0.05, 20).expect("valid search");
     println!(
         "pilot ({} clusters, {:.2} h): between-var {:.4}, within-var {:.4} -> optimal m = {} (predicted {:.1} h)\n",
         observations.len(),
@@ -56,7 +62,10 @@ fn main() {
         ("SRS            ", Evaluator::srs()),
         ("WCS            ", Evaluator::wcs()),
         ("TWCS(m*)       ", Evaluator::twcs(best.m)),
-        ("TWCS+size strat", Evaluator::twcs_size_stratified(best.m, 4)),
+        (
+            "TWCS+size strat",
+            Evaluator::twcs_size_stratified(best.m, 4),
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(99);
         let report = evaluator

@@ -30,7 +30,12 @@ fn main() {
     //    finds m in 3–5 near-optimal across all KGs it studied).
     let mut rng = StdRng::seed_from_u64(42);
     let report = Evaluator::twcs(5)
-        .run(&dataset.population, dataset.oracle.as_ref(), &config, &mut rng)
+        .run(
+            &dataset.population,
+            dataset.oracle.as_ref(),
+            &config,
+            &mut rng,
+        )
         .expect("non-empty population");
     println!("\nTWCS: {}", report.summary());
     println!(
@@ -43,10 +48,18 @@ fn main() {
     //    human cost (every sampled triple is a fresh entity to identify).
     let mut rng = StdRng::seed_from_u64(42);
     let srs = Evaluator::srs()
-        .run(&dataset.population, dataset.oracle.as_ref(), &config, &mut rng)
+        .run(
+            &dataset.population,
+            dataset.oracle.as_ref(),
+            &config,
+            &mut rng,
+        )
         .expect("non-empty population");
     println!("\nSRS:  {}", srs.summary());
 
     let saving = 1.0 - report.cost_seconds / srs.cost_seconds;
-    println!("\nTWCS saved {:.0}% of the annotation time.", saving * 100.0);
+    println!(
+        "\nTWCS saved {:.0}% of the annotation time.",
+        saving * 100.0
+    );
 }

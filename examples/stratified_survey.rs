@@ -15,7 +15,9 @@ use rand::SeedableRng;
 
 fn main() {
     // BMM labels with a strong size-accuracy link (c = 0.05).
-    let dataset = DatasetProfile::movie_syn(0.05, 0.1).scaled(0.2).generate(21);
+    let dataset = DatasetProfile::movie_syn(0.05, 0.1)
+        .scaled(0.2)
+        .generate(21);
     let pop = &dataset.population;
     println!(
         "KG: {} — {} entities, {} triples, expected accuracy {:.1}%\n",
@@ -31,8 +33,15 @@ fn main() {
     println!("cum-√F size strata:");
     for (h, b) in bounds.iter().enumerate() {
         let members = sizes.iter().filter(|&&s| b.contains(s)).count();
-        let hi = if b.hi == u64::MAX { "∞".into() } else { format!("{}", b.hi) };
-        println!("  stratum {h}: sizes [{}, {}) — {members} clusters", b.lo, hi);
+        let hi = if b.hi == u64::MAX {
+            "∞".into()
+        } else {
+            format!("{}", b.hi)
+        };
+        println!(
+            "  stratum {h}: sizes [{}, {}) — {members} clusters",
+            b.lo, hi
+        );
     }
     println!();
 
@@ -40,7 +49,10 @@ fn main() {
     for (name, evaluator) in [
         ("TWCS               ", Evaluator::twcs(5)),
         ("TWCS + size strata ", Evaluator::twcs_size_stratified(5, 4)),
-        ("TWCS + oracle strata", Evaluator::twcs_oracle_stratified(5, 4)),
+        (
+            "TWCS + oracle strata",
+            Evaluator::twcs_oracle_stratified(5, 4),
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(4);
         let report = evaluator

@@ -36,17 +36,17 @@ pub use kg_stats as stats;
 
 /// One-stop imports for typical usage.
 pub mod prelude {
+    pub use kg_annotate::annotator::SimulatedAnnotator;
     pub use kg_annotate::cost::CostModel;
     pub use kg_annotate::oracle::{BmmOracle, GoldLabels, LabelOracle, RemOracle};
-    pub use kg_annotate::annotator::SimulatedAnnotator;
     pub use kg_datagen::profile::DatasetProfile;
     pub use kg_eval::config::EvalConfig;
-    pub use kg_eval::framework::Evaluator;
-    pub use kg_eval::report::EvaluationReport;
     pub use kg_eval::dynamic::reservoir::ReservoirEvaluator;
     pub use kg_eval::dynamic::stratified::StratifiedIncremental;
-    pub use kg_model::implicit::{ClusterPopulation, ImplicitKg};
+    pub use kg_eval::framework::Evaluator;
+    pub use kg_eval::report::EvaluationReport;
     pub use kg_model::graph::KnowledgeGraph;
+    pub use kg_model::implicit::{ClusterPopulation, ImplicitKg};
     pub use kg_sampling::design::{Design, StaticDesign};
     pub use kg_stats::{ConfidenceInterval, PointEstimate};
 }

@@ -16,12 +16,15 @@ fn nell_twcs_meets_contract_and_is_accurate() {
         .unwrap();
     assert!(report.converged, "{}", report.summary());
     assert!(report.moe <= config.target_moe);
-    assert!((report.estimate.mean - 0.91).abs() < 0.06, "{}", report.summary());
+    assert!(
+        (report.estimate.mean - 0.91).abs() < 0.06,
+        "{}",
+        report.summary()
+    );
     assert!(report.ci.contains(report.estimate.mean));
     assert!(report.cost_seconds > 0.0);
     // Eq. 4 bookkeeping: cost = |E'|·c1 + |G'|·c2 with the default model.
-    let expect =
-        report.entities_identified as f64 * 45.0 + report.triples_annotated as f64 * 25.0;
+    let expect = report.entities_identified as f64 * 45.0 + report.triples_annotated as f64 * 25.0;
     assert!((report.cost_seconds - expect).abs() < 1e-6);
 }
 
@@ -71,7 +74,11 @@ fn moe_coverage_holds_across_designs_and_trials() {
             }
         }
         let coverage = hits as f64 / reps as f64;
-        assert!(coverage >= 0.90, "{}: coverage {coverage}", eval.design().name());
+        assert!(
+            coverage >= 0.90,
+            "{}: coverage {coverage}",
+            eval.design().name()
+        );
     }
 }
 

@@ -19,20 +19,13 @@ fn base() -> kg_accuracy_eval::datagen::profile::Dataset {
 fn rs_and_ss_track_truth_over_a_stream() {
     let ds = base();
     let config = EvalConfig::default();
-    let batches =
-        UpdateGenerator::movie_like().sequence(8, ds.population.total_triples() / 10, 5);
+    let batches = UpdateGenerator::movie_like().sequence(8, ds.population.total_triples() / 10, 5);
 
     // RS.
     let mut rng = StdRng::seed_from_u64(1);
     let mut annotator = SimulatedAnnotator::new(ds.oracle.as_ref(), CostModel::default());
-    let mut rs = ReservoirEvaluator::evaluate_base(
-        &ds.population,
-        60,
-        5,
-        config,
-        &mut annotator,
-        &mut rng,
-    );
+    let mut rs =
+        ReservoirEvaluator::evaluate_base(&ds.population, 60, 5, config, &mut annotator, &mut rng);
     let rs_out = run_sequence(&mut rs, &batches, config.alpha, &mut annotator, &mut rng);
 
     // SS.
@@ -45,10 +38,28 @@ fn rs_and_ss_track_truth_over_a_stream() {
     let ss_out = run_sequence(&mut ss, &batches, config.alpha, &mut annotator, &mut rng);
 
     for (r, s) in rs_out.iter().zip(&ss_out) {
-        assert!(r.moe <= config.target_moe + 1e-9, "RS batch {} moe {}", r.batch, r.moe);
-        assert!(s.moe <= config.target_moe + 1e-9, "SS batch {} moe {}", s.batch, s.moe);
-        assert!((r.estimate.mean - 0.9).abs() < 0.07, "RS {}", r.estimate.mean);
-        assert!((s.estimate.mean - 0.9).abs() < 0.07, "SS {}", s.estimate.mean);
+        assert!(
+            r.moe <= config.target_moe + 1e-9,
+            "RS batch {} moe {}",
+            r.batch,
+            r.moe
+        );
+        assert!(
+            s.moe <= config.target_moe + 1e-9,
+            "SS batch {} moe {}",
+            s.batch,
+            s.moe
+        );
+        assert!(
+            (r.estimate.mean - 0.9).abs() < 0.07,
+            "RS {}",
+            r.estimate.mean
+        );
+        assert!(
+            (s.estimate.mean - 0.9).abs() < 0.07,
+            "SS {}",
+            s.estimate.mean
+        );
     }
     // Monotone cumulative costs, non-negative increments.
     for w in rs_out.windows(2) {
@@ -114,14 +125,8 @@ fn reservoir_replacements_follow_log_growth() {
     let config = EvalConfig::default();
     let mut rng = StdRng::seed_from_u64(21);
     let mut annotator = SimulatedAnnotator::new(ds.oracle.as_ref(), CostModel::default());
-    let mut rs = ReservoirEvaluator::evaluate_base(
-        &ds.population,
-        50,
-        5,
-        config,
-        &mut annotator,
-        &mut rng,
-    );
+    let mut rs =
+        ReservoirEvaluator::evaluate_base(&ds.population, 50, 5, config, &mut annotator, &mut rng);
     let n0 = ds.population.num_clusters() as f64;
     let before = rs.replacements();
     // Triple the cluster count in one update.
