@@ -1,11 +1,27 @@
 //! The simulated human annotator.
 //!
-//! Walks [`EvaluationTask`]s charging the cost model's `c1` for each *newly
-//! identified* entity and `c2` for each *newly validated* triple; both are
-//! memoized, so the accumulated cost is exactly `Cost(G') = |E'|·c1 +
-//! |G'|·c2` over the distinct annotated sample `G'` no matter how draws are
-//! batched or repeated (WCS draws clusters with replacement; reservoir
-//! updates re-visit clusters — none of that may double-charge a human).
+//! Walks [`EvaluationTask`](crate::task::EvaluationTask)s charging the cost
+//! model's `c1` for each *newly identified* entity and `c2` for each *newly
+//! validated* triple; both are memoized, so the accumulated cost is exactly
+//! `Cost(G') = |E'|·c1 + |G'|·c2` over the distinct annotated sample `G'` no
+//! matter how draws are batched or repeated (WCS draws clusters with
+//! replacement; reservoir updates re-visit clusters — none of that may
+//! double-charge a human).
+//!
+//! Two engines implement the [`Annotator`] trait:
+//!
+//! * [`SimulatedAnnotator`] (this module) — the hash-based reference:
+//!   memoization via `HashMap`/`HashSet`, labels pulled from a
+//!   `&dyn LabelOracle` per triple. Always correct, works over any oracle,
+//!   and the only engine that records per-triple timelines (Fig. 1).
+//! * [`DenseAnnotator`](crate::dense::DenseAnnotator) — the zero-allocation
+//!   fast path: labels pre-materialized into a
+//!   [`LabelStore`](crate::label_store::LabelStore) bitset, memoization via
+//!   epoch-stamped dense arrays with an O(1) reset between trials.
+//!
+//! Both charge from the same memo counts, so their reported costs are
+//! byte-identical on identical draw sequences (see
+//! `crates/sampling/tests/dense_equivalence.rs`).
 
 use crate::cost::CostModel;
 use crate::oracle::LabelOracle;
@@ -13,13 +29,61 @@ use crate::task::group_into_tasks;
 use kg_model::triple::TripleRef;
 use std::collections::{HashMap, HashSet};
 
+/// The annotation engine interface shared by the hash-based
+/// [`SimulatedAnnotator`] and the dense
+/// [`DenseAnnotator`](crate::dense::DenseAnnotator).
+///
+/// All methods memoize: an entity is identified (cost `c1`) at most once, a
+/// triple is validated (cost `c2`) at most once, and repeats are free. The
+/// batch methods are allocation-free on the implementor's side — callers
+/// provide scratch buffers where output vectors are needed.
+pub trait Annotator {
+    /// Annotate a batch of sampled triples, writing labels into `out` in
+    /// the order of `refs` (`out` is cleared first).
+    fn annotate_into(&mut self, refs: &[TripleRef], out: &mut Vec<bool>);
+
+    /// [`Annotator::annotate_into`] with the caller's already-computed
+    /// global triple indices alongside (`globals[i]` must address
+    /// `refs[i]`). Engines that address memory by global index (the dense
+    /// arena) skip re-deriving it from the prefix sums; others ignore the
+    /// hint — this default does exactly that.
+    fn annotate_indexed_into(&mut self, refs: &[TripleRef], globals: &[u64], out: &mut Vec<bool>) {
+        debug_assert_eq!(refs.len(), globals.len());
+        self.annotate_into(refs, out);
+    }
+
+    /// Annotate one triple (baselines that select triples one at a time).
+    fn annotate_one(&mut self, r: TripleRef) -> bool;
+
+    /// Annotate every triple of one cluster of known `size`, returning the
+    /// number of correct triples `τ` in it.
+    fn annotate_cluster(&mut self, cluster: u32, size: usize) -> u32;
+
+    /// Annotate a subset of one cluster given by triple `offsets`,
+    /// returning the number of correct triples among them.
+    fn annotate_offsets(&mut self, cluster: u32, offsets: &[usize]) -> u32;
+
+    /// Cumulative human seconds charged so far (`|E'|·c1 + |G'|·c2`).
+    fn seconds(&self) -> f64;
+
+    /// Cumulative human hours (the paper's reporting unit).
+    fn hours(&self) -> f64 {
+        self.seconds() / 3600.0
+    }
+
+    /// Distinct entities identified so far (`|E'|`).
+    fn entities_identified(&self) -> usize;
+
+    /// Distinct triples validated so far (`|G'|`).
+    fn triples_annotated(&self) -> usize;
+}
+
 /// A simulated annotator: label source + cost accounting + memoization.
 pub struct SimulatedAnnotator<'a> {
     oracle: &'a dyn LabelOracle,
     cost: CostModel,
     identified: HashSet<u32>,
     labeled: HashMap<TripleRef, bool>,
-    seconds: f64,
     timeline: Vec<TimelinePoint>,
     record_timeline: bool,
 }
@@ -46,7 +110,6 @@ impl<'a> SimulatedAnnotator<'a> {
             cost,
             identified: HashSet::new(),
             labeled: HashMap::new(),
-            seconds: 0.0,
             timeline: Vec::new(),
             record_timeline: false,
         }
@@ -61,61 +124,14 @@ impl<'a> SimulatedAnnotator<'a> {
 
     /// Annotate a batch of sampled triples, grouped into per-entity
     /// evaluation tasks. Returns the labels in the order of `refs`.
+    ///
+    /// Convenience wrapper over [`Annotator::annotate_into`] that allocates
+    /// the output vector; hot paths should hold a scratch buffer and call
+    /// `annotate_into` instead.
     pub fn annotate(&mut self, refs: &[TripleRef]) -> Vec<bool> {
-        // Process grouped (per-entity) to model the real task flow; memoize
-        // so repeats are free.
-        for task in group_into_tasks(refs) {
-            let mut first_of_entity = self.identified.insert(task.cluster);
-            if first_of_entity {
-                self.seconds += self.cost.c1;
-            }
-            for r in task.refs() {
-                if self.labeled.contains_key(&r) {
-                    first_of_entity = false;
-                    continue;
-                }
-                let label = self.oracle.label(r);
-                self.labeled.insert(r, label);
-                self.seconds += self.cost.c2;
-                if self.record_timeline {
-                    self.timeline.push(TimelinePoint {
-                        triple: r,
-                        seconds: self.seconds,
-                        new_entity: first_of_entity,
-                    });
-                }
-                first_of_entity = false;
-            }
-        }
-        refs.iter()
-            .map(|r| *self.labeled.get(r).expect("just annotated"))
-            .collect()
-    }
-
-    /// Annotate one triple (convenience for baselines that select triples
-    /// one at a time, like KGEval).
-    pub fn annotate_one(&mut self, r: TripleRef) -> bool {
-        self.annotate(std::slice::from_ref(&r))[0]
-    }
-
-    /// Cumulative human seconds charged so far.
-    pub fn seconds(&self) -> f64 {
-        self.seconds
-    }
-
-    /// Cumulative human hours (the paper's reporting unit).
-    pub fn hours(&self) -> f64 {
-        self.seconds / 3600.0
-    }
-
-    /// Distinct entities identified so far (`|E'|`).
-    pub fn entities_identified(&self) -> usize {
-        self.identified.len()
-    }
-
-    /// Distinct triples validated so far (`|G'|`).
-    pub fn triples_annotated(&self) -> usize {
-        self.labeled.len()
+        let mut out = Vec::with_capacity(refs.len());
+        self.annotate_into(refs, &mut out);
+        out
     }
 
     /// The recorded timeline (empty unless enabled).
@@ -126,6 +142,111 @@ impl<'a> SimulatedAnnotator<'a> {
     /// The cost model in use.
     pub fn cost_model(&self) -> CostModel {
         self.cost
+    }
+
+    /// Current cost derived from the memo counts (Definition 3). Keeping
+    /// cost a pure function of `(|E'|, |G'|)` — instead of a running float
+    /// sum — makes it independent of charge *order*, so the dense engine
+    /// reports byte-identical seconds on any equivalent draw sequence.
+    #[inline]
+    fn current_seconds(&self) -> f64 {
+        self.identified.len() as f64 * self.cost.c1 + self.labeled.len() as f64 * self.cost.c2
+    }
+
+    /// Validate one triple that is not yet memoized; returns its label.
+    #[inline]
+    fn validate_new(&mut self, r: TripleRef, new_entity: bool) -> bool {
+        let label = self.oracle.label(r);
+        self.labeled.insert(r, label);
+        if self.record_timeline {
+            self.timeline.push(TimelinePoint {
+                triple: r,
+                seconds: self.current_seconds(),
+                new_entity,
+            });
+        }
+        label
+    }
+}
+
+impl Annotator for SimulatedAnnotator<'_> {
+    fn annotate_into(&mut self, refs: &[TripleRef], out: &mut Vec<bool>) {
+        out.clear();
+        // Process grouped (per-entity) to model the real task flow; memoize
+        // so repeats are free.
+        for task in group_into_tasks(refs) {
+            let mut first_of_entity = self.identified.insert(task.cluster);
+            for r in task.refs() {
+                if self.labeled.contains_key(&r) {
+                    // A memoized repeat costs nothing and must not clear
+                    // the new-entity marker: the *first newly validated*
+                    // triple of the task still carries the identification.
+                    continue;
+                }
+                self.validate_new(r, first_of_entity);
+                first_of_entity = false;
+            }
+        }
+        out.extend(
+            refs.iter()
+                .map(|r| *self.labeled.get(r).expect("just annotated")),
+        );
+    }
+
+    fn annotate_one(&mut self, r: TripleRef) -> bool {
+        let first_of_entity = self.identified.insert(r.cluster);
+        if let Some(&label) = self.labeled.get(&r) {
+            return label;
+        }
+        self.validate_new(r, first_of_entity)
+    }
+
+    fn annotate_cluster(&mut self, cluster: u32, size: usize) -> u32 {
+        let mut first_of_entity = self.identified.insert(cluster);
+        let mut tau = 0u32;
+        for o in 0..size {
+            let r = TripleRef::new(cluster, o as u32);
+            let label = match self.labeled.get(&r) {
+                Some(&l) => l,
+                None => {
+                    let l = self.validate_new(r, first_of_entity);
+                    first_of_entity = false;
+                    l
+                }
+            };
+            tau += label as u32;
+        }
+        tau
+    }
+
+    fn annotate_offsets(&mut self, cluster: u32, offsets: &[usize]) -> u32 {
+        let mut first_of_entity = self.identified.insert(cluster);
+        let mut tau = 0u32;
+        for &o in offsets {
+            let r = TripleRef::new(cluster, o as u32);
+            let label = match self.labeled.get(&r) {
+                Some(&l) => l,
+                None => {
+                    let l = self.validate_new(r, first_of_entity);
+                    first_of_entity = false;
+                    l
+                }
+            };
+            tau += label as u32;
+        }
+        tau
+    }
+
+    fn seconds(&self) -> f64 {
+        self.current_seconds()
+    }
+
+    fn entities_identified(&self) -> usize {
+        self.identified.len()
+    }
+
+    fn triples_annotated(&self) -> usize {
+        self.labeled.len()
     }
 }
 
@@ -205,6 +326,32 @@ mod tests {
     }
 
     #[test]
+    fn cluster_and_offset_apis_match_batch_annotation() {
+        let o = oracle();
+        let mut batch = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0));
+        let labels = batch.annotate(&[
+            TripleRef::new(0, 0),
+            TripleRef::new(0, 1),
+            TripleRef::new(0, 2),
+        ]);
+        let tau_batch = labels.iter().filter(|&&b| b).count() as u32;
+
+        let mut direct = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0));
+        let tau = direct.annotate_cluster(0, 3);
+        assert_eq!(tau, tau_batch);
+        assert_eq!(direct.seconds(), batch.seconds());
+        assert_eq!(direct.entities_identified(), 1);
+        assert_eq!(direct.triples_annotated(), 3);
+
+        // Offsets subset: repeats stay free, subsets count correctly.
+        let mut sub = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0));
+        assert_eq!(sub.annotate_offsets(0, &[0, 2]), 2);
+        assert_eq!(sub.annotate_offsets(0, &[0, 1, 2]), 2);
+        assert_eq!(sub.triples_annotated(), 3);
+        assert!((sub.seconds() - (45.0 + 3.0 * 25.0)).abs() < 1e-9);
+    }
+
+    #[test]
     fn timeline_records_entity_boundaries() {
         let o = oracle();
         let mut a = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0)).with_timeline();
@@ -224,6 +371,34 @@ mod tests {
         assert!((tl[2].seconds - 165.0).abs() < 1e-9);
         // Monotone.
         assert!(tl.windows(2).all(|w| w[0].seconds < w[1].seconds));
+    }
+
+    #[test]
+    fn memoized_repeat_does_not_clear_new_entity_marker() {
+        // Validate (1,0); then a task [(1,0) repeat, (1,1) new] on a *new*
+        // entity... the entity is already identified, so no marker. The
+        // interesting case is a task on a fresh entity where the first ref
+        // repeats an already-labeled triple: impossible (labeling implies
+        // identification). The realizable case: task [(0,0), (0,0), (0,1)]
+        // where (0,0) repeats *within* the task — the marker must land on
+        // (0,1)? No: (0,0)'s first occurrence is new and takes it. But
+        // [(0,0) labeled earlier via annotate_one, then task (0,0),(0,1)]
+        // leaves the entity identified → neither is marked. The regression
+        // this guards: a repeat in the middle of a task clearing the flag
+        // for a later *new* triple of a *newly identified* entity.
+        let o = oracle();
+        let mut a = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0)).with_timeline();
+        // Task on entity 0 whose first listed triple appears twice before
+        // the first genuinely new later triple.
+        a.annotate(&[
+            TripleRef::new(0, 0),
+            TripleRef::new(0, 0),
+            TripleRef::new(0, 1),
+        ]);
+        let tl = a.timeline();
+        assert_eq!(tl.len(), 2);
+        assert!(tl[0].new_entity, "first validated triple carries c1");
+        assert!(!tl[1].new_entity);
     }
 
     #[test]

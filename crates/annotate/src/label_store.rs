@@ -1,0 +1,223 @@
+//! Dense, materialized label storage: one bit per triple, addressed by the
+//! population's global triple index.
+//!
+//! Every trial of every experiment consults the same oracle about the same
+//! triples; materializing the labels **once per KG** into a packed bitset
+//! turns the per-triple `&dyn LabelOracle` virtual call plus procedural
+//! hashing (REM/BMM) or nested-`Vec` indirection (gold labels) into a single
+//! indexed bit test. The store is immutable and `Sync`, so one `Arc` is
+//! shared across all trials (and threads) of an experiment.
+//!
+//! Global addressing reuses the same prefix-sum layout as
+//! `kg_sampling::PopulationIndex` — triple `(c, o)` lives at
+//! `prefix[c] + o` — and the prefix vector itself is shared via `Arc` when
+//! the store is built from an existing index
+//! (`PopulationIndex::materialize_labels`).
+
+use crate::oracle::LabelOracle;
+use kg_model::implicit::ClusterPopulation;
+use kg_model::triple::TripleRef;
+use std::sync::Arc;
+
+/// Packed per-triple labels for a clustered population, with per-cluster
+/// correct counts (`τ_i`) precomputed at build time.
+#[derive(Debug, Clone)]
+pub struct LabelStore {
+    /// Packed labels, bit `g` = label of the triple with global index `g`.
+    bits: Vec<u64>,
+    /// Prefix sums over cluster sizes: `prefix[c]` is the global index of
+    /// cluster `c`'s first triple; `prefix[N]` is the total `M`.
+    prefix: Arc<Vec<u64>>,
+    /// Correct-triple count `τ_i` per cluster.
+    cluster_tau: Vec<u32>,
+    /// Total correct triples `τ`.
+    correct: u64,
+}
+
+impl LabelStore {
+    /// Materialize an oracle over a population (prefix sums built here).
+    pub fn materialize<P: ClusterPopulation + ?Sized, O: LabelOracle + ?Sized>(
+        pop: &P,
+        oracle: &O,
+    ) -> Self {
+        let n = pop.num_clusters();
+        let mut prefix = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for c in 0..n {
+            acc += pop.cluster_size(c) as u64;
+            prefix.push(acc);
+        }
+        Self::from_prefix(Arc::new(prefix), oracle)
+    }
+
+    /// Materialize an oracle over an existing prefix-sum layout (shared
+    /// with a sampling index, so the two agree on global addressing by
+    /// construction).
+    pub fn from_prefix<O: LabelOracle + ?Sized>(prefix: Arc<Vec<u64>>, oracle: &O) -> Self {
+        assert!(
+            !prefix.is_empty() && prefix[0] == 0,
+            "prefix sums must start at 0"
+        );
+        let n = prefix.len() - 1;
+        let total = prefix[n];
+        let mut bits = vec![0u64; total.div_ceil(64) as usize];
+        let mut cluster_tau = Vec::with_capacity(n);
+        let mut correct = 0u64;
+        for c in 0..n {
+            let base = prefix[c];
+            let size = (prefix[c + 1] - base) as usize;
+            let mut tau = 0u32;
+            for o in 0..size {
+                if oracle.label(TripleRef::new(c as u32, o as u32)) {
+                    let g = base + o as u64;
+                    bits[(g >> 6) as usize] |= 1u64 << (g & 63);
+                    tau += 1;
+                }
+            }
+            cluster_tau.push(tau);
+            correct += tau as u64;
+        }
+        LabelStore {
+            bits,
+            prefix,
+            cluster_tau,
+            correct,
+        }
+    }
+
+    /// Number of clusters `N`.
+    pub fn num_clusters(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// Total triples `M`.
+    pub fn total_triples(&self) -> u64 {
+        *self.prefix.last().expect("prefix non-empty")
+    }
+
+    /// Size of one cluster.
+    pub fn cluster_size(&self, cluster: usize) -> usize {
+        (self.prefix[cluster + 1] - self.prefix[cluster]) as usize
+    }
+
+    /// Global triple index of a reference.
+    #[inline]
+    pub fn global_index(&self, t: TripleRef) -> u64 {
+        self.prefix[t.cluster as usize] + t.offset as u64
+    }
+
+    /// Global index of a cluster's first triple.
+    #[inline]
+    pub fn cluster_base(&self, cluster: usize) -> u64 {
+        self.prefix[cluster]
+    }
+
+    /// Label of the triple at a global index.
+    #[inline]
+    pub fn label_at(&self, global: u64) -> bool {
+        debug_assert!(global < self.total_triples());
+        self.bits[(global >> 6) as usize] >> (global & 63) & 1 != 0
+    }
+
+    /// Precomputed correct count `τ_i` of one cluster.
+    #[inline]
+    pub fn cluster_tau(&self, cluster: usize) -> u32 {
+        self.cluster_tau[cluster]
+    }
+
+    /// Exact population accuracy `μ(G) = τ / M` (free: counted at build).
+    pub fn true_accuracy(&self) -> f64 {
+        let m = self.total_triples();
+        if m == 0 {
+            0.0
+        } else {
+            self.correct as f64 / m as f64
+        }
+    }
+
+    /// The shared prefix-sum vector.
+    pub fn prefix_sums(&self) -> &Arc<Vec<u64>> {
+        &self.prefix
+    }
+}
+
+impl LabelOracle for LabelStore {
+    fn label(&self, t: TripleRef) -> bool {
+        self.label_at(self.global_index(t))
+    }
+
+    fn cluster_accuracy(&self, cluster: u32, size: usize) -> f64 {
+        if size == 0 {
+            return 0.0;
+        }
+        debug_assert_eq!(size, self.cluster_size(cluster as usize));
+        self.cluster_tau[cluster as usize] as f64 / size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{true_accuracy, GoldLabels, RemOracle};
+    use kg_model::implicit::ImplicitKg;
+
+    #[test]
+    fn materialized_store_agrees_with_oracle() {
+        let kg = ImplicitKg::new(vec![3, 1, 70, 2]).unwrap();
+        let oracle = RemOracle::new(0.6, 9);
+        let store = LabelStore::materialize(&kg, &oracle);
+        assert_eq!(store.num_clusters(), 4);
+        assert_eq!(store.total_triples(), 76);
+        for c in 0..4usize {
+            assert_eq!(store.cluster_size(c), kg.cluster_size(c));
+            let mut tau = 0;
+            for o in 0..kg.cluster_size(c) as u32 {
+                let t = TripleRef::new(c as u32, o);
+                assert_eq!(store.label(t), oracle.label(t), "{t:?}");
+                tau += store.label(t) as u32;
+            }
+            assert_eq!(store.cluster_tau(c), tau);
+            assert_eq!(
+                store.cluster_accuracy(c as u32, kg.cluster_size(c)),
+                tau as f64 / kg.cluster_size(c) as f64
+            );
+        }
+        assert!((store.true_accuracy() - true_accuracy(&kg, &oracle)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn global_addressing_matches_prefix_layout() {
+        let gold = GoldLabels::new(vec![vec![true, false], vec![false], vec![true, true]]);
+        let kg = ImplicitKg::new(vec![2, 1, 2]).unwrap();
+        let store = LabelStore::materialize(&kg, &gold);
+        assert_eq!(store.global_index(TripleRef::new(0, 1)), 1);
+        assert_eq!(store.global_index(TripleRef::new(1, 0)), 2);
+        assert_eq!(store.global_index(TripleRef::new(2, 1)), 4);
+        assert_eq!(store.cluster_base(2), 3);
+        let expected = [true, false, false, true, true];
+        for (g, &e) in expected.iter().enumerate() {
+            assert_eq!(store.label_at(g as u64), e, "global {g}");
+        }
+    }
+
+    #[test]
+    fn shared_prefix_construction() {
+        let prefix = Arc::new(vec![0u64, 4, 9]);
+        let oracle = RemOracle::new(0.5, 3);
+        let store = LabelStore::from_prefix(prefix.clone(), &oracle);
+        assert!(Arc::ptr_eq(store.prefix_sums(), &prefix));
+        assert_eq!(store.num_clusters(), 2);
+        assert_eq!(store.cluster_size(0), 4);
+        assert_eq!(store.cluster_size(1), 5);
+    }
+
+    #[test]
+    fn empty_population_store() {
+        let kg = ImplicitKg::new(vec![]).unwrap();
+        let oracle = RemOracle::new(0.9, 1);
+        let store = LabelStore::materialize(&kg, &oracle);
+        assert_eq!(store.total_triples(), 0);
+        assert_eq!(store.true_accuracy(), 0.0);
+    }
+}

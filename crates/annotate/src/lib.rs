@@ -22,19 +22,29 @@
 //!   both so re-sampled triples are never double-charged (matching the
 //!   paper's practice of grouping SRS samples by subject id, §5.1, and
 //!   reusing annotations across reservoir updates, §6).
+//! * [`annotator::Annotator`] — the engine trait behind which the hash
+//!   reference above and the zero-allocation fast path coexist:
+//!   [`label_store::LabelStore`] materializes any oracle into a packed
+//!   bitset indexed by global triple index, and [`dense::DenseAnnotator`]
+//!   memoizes via packed bitmaps with a touched-word journal, so one arena
+//!   serves every trial with resets costing only the trial's footprint.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod annotator;
 pub mod cost;
+pub mod dense;
+pub mod label_store;
 pub mod oracle;
 pub mod piecewise;
 pub mod pool;
 pub mod task;
 
-pub use annotator::SimulatedAnnotator;
+pub use annotator::{Annotator, SimulatedAnnotator};
 pub use cost::CostModel;
+pub use dense::DenseAnnotator;
+pub use label_store::LabelStore;
 pub use oracle::{BmmOracle, GoldLabels, LabelOracle, RemOracle};
 pub use piecewise::PiecewiseOracle;
 pub use pool::{AnnotatorPool, AnnotatorProfile};

@@ -13,7 +13,7 @@
 
 use crate::kgeval::coupling::CouplingGraph;
 use crate::kgeval::inference::Propagation;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::Annotator;
 use kg_model::graph::KnowledgeGraph;
 use std::time::Instant;
 
@@ -86,11 +86,7 @@ impl KgEvalBaseline {
     }
 
     /// Run the full select–annotate–propagate loop.
-    pub fn run(
-        &self,
-        graph: &KnowledgeGraph,
-        annotator: &mut SimulatedAnnotator<'_>,
-    ) -> KgEvalReport {
+    pub fn run(&self, graph: &KnowledgeGraph, annotator: &mut dyn Annotator) -> KgEvalReport {
         let human_base = annotator.seconds();
         let machine_start = Instant::now();
         let coupling = CouplingGraph::build(graph);
@@ -152,6 +148,7 @@ impl Default for KgEvalBaseline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::{true_accuracy, GoldLabels};
     use kg_datagen::profile::DatasetProfile;

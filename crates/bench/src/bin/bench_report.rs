@@ -1,0 +1,49 @@
+//! `bench-report` — time the hot sampling designs under the hash and dense
+//! annotation engines and write the tracked `BENCH_throughput.json`.
+//!
+//! Usage:
+//!   bench-report [--quick] [--seed N] [--out PATH]
+//!
+//! `--quick` drops the 10^7 scale and shrinks trial counts (CI); the
+//! default output path is `BENCH_throughput.json` in the working
+//! directory. Run release: `cargo run --release -p kg-bench --bin
+//! bench-report`.
+
+use kg_bench::throughput::{render_table, run, to_json, ThroughputOpts};
+
+fn main() {
+    let mut opts = ThroughputOpts::default();
+    let mut out = String::from("BENCH_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--help" | "-h" => {
+                eprintln!("bench-report [--quick] [--seed N] [--out PATH]");
+                return;
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    #[cfg(debug_assertions)]
+    eprintln!("warning: debug build — run with --release for meaningful numbers");
+
+    let report = run(&opts);
+    print!("{}", render_table(&report));
+    std::fs::write(&out, to_json(&report)).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+    println!("wrote {out}");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -11,7 +11,7 @@
 use crate::table::TextTable;
 use crate::trials::{pm, run_trials};
 use crate::Opts;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
 use kg_annotate::oracle::RemOracle;
 use kg_annotate::piecewise::PiecewiseOracle;

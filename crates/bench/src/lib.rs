@@ -28,6 +28,7 @@ pub mod table5;
 pub mod table6;
 pub mod table7;
 pub mod table8;
+pub mod throughput;
 pub mod trials;
 
 /// Experiment options shared by all modules.

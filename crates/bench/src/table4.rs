@@ -10,7 +10,7 @@
 use crate::table::TextTable;
 use crate::trials::{pm, run_trials};
 use crate::Opts;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
 use kg_datagen::profile::DatasetProfile;
 use kg_sampling::design::StaticDesign;

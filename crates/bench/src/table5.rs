@@ -9,7 +9,7 @@
 use crate::table::TextTable;
 use crate::trials::{pm, pm_pct, run_trials};
 use crate::Opts;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
 use kg_datagen::profile::{Dataset, DatasetProfile};
 use kg_eval::config::EvalConfig;

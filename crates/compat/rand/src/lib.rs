@@ -142,7 +142,14 @@ pub trait UniformInt: Copy + PartialOrd {
 fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
     debug_assert!(span > 0);
     // Rejection zone keeps the multiply-shift map exactly uniform.
-    let zone = span.wrapping_neg() % span;
+    uniform_u64_with_zone(rng, span, span.wrapping_neg() % span)
+}
+
+/// Core of [`uniform_u64`] with the rejection zone precomputed — shared
+/// with [`distributions::Uniform`] so the two are stream-identical by
+/// construction, not by parallel maintenance.
+#[inline]
+fn uniform_u64_with_zone<R: RngCore + ?Sized>(rng: &mut R, span: u64, zone: u64) -> u64 {
     loop {
         let x = rng.next_u64();
         let (hi, lo) = {
@@ -234,6 +241,74 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore + ?Sized> Rng for R {}
 
+/// Distribution types (mirror of `rand::distributions`).
+pub mod distributions {
+    use super::{RngCore, UniformInt};
+
+    /// A distribution that can be sampled with any RNG.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform integer distribution over `[lo, hi)` with the rejection
+    /// zone precomputed once — `gen_range` pays a 64-bit modulo on every
+    /// call, which dominates tight rejection-sampling loops that draw from
+    /// the same range millions of times. Consumes the RNG stream
+    /// identically to `gen_range(lo..hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        span: u64,
+        zone: u64,
+    }
+
+    impl<T: UniformInt + TryInto<i128> + Copy> Uniform<T> {
+        /// Uniform over `[lo, hi)`; `lo < hi` must hold.
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "cannot sample empty range");
+            let (l, h) = (
+                lo.try_into().ok().expect("integer fits i128"),
+                hi.try_into().ok().expect("integer fits i128"),
+            );
+            let span = (h - l) as u64;
+            Uniform {
+                lo,
+                span,
+                zone: span.wrapping_neg() % span,
+            }
+        }
+    }
+
+    impl<T: UniformInt + super::WideningFromU64> Distribution<T> for Uniform<T> {
+        #[inline]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            self.lo
+                .wrapping_add_u64(super::uniform_u64_with_zone(rng, self.span, self.zone))
+        }
+    }
+}
+
+/// Integers that can absorb a `u64` offset by wrapping addition (support
+/// for [`distributions::Uniform`]).
+pub trait WideningFromU64: Copy {
+    /// `self + offset`, wrapping.
+    fn wrapping_add_u64(self, offset: u64) -> Self;
+}
+
+macro_rules! impl_widening {
+    ($($t:ty),*) => {$(
+        impl WideningFromU64 for $t {
+            #[inline]
+            fn wrapping_add_u64(self, offset: u64) -> Self {
+                self.wrapping_add(offset as Self)
+            }
+        }
+    )*};
+}
+
+impl_widening!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
 /// Concrete generators.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -306,6 +381,22 @@ pub mod rngs {
             let mut b = StdRng::seed_from_u64(42);
             for _ in 0..100 {
                 assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn uniform_distribution_is_stream_identical_to_gen_range() {
+            use crate::distributions::{Distribution, Uniform};
+            // Same seed, same range → same values AND same stream position
+            // afterwards, including spans that force rejections.
+            for span in [1usize, 7, 1000, 1_000_000, usize::MAX / 2 + 3] {
+                let mut a = StdRng::seed_from_u64(9);
+                let mut b = StdRng::seed_from_u64(9);
+                let dist = Uniform::new(0usize, span);
+                for _ in 0..200 {
+                    assert_eq!(a.gen_range(0..span), dist.sample(&mut b), "span {span}");
+                }
+                assert_eq!(a.next_u64(), b.next_u64(), "stream diverged, span {span}");
             }
         }
 

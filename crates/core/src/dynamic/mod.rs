@@ -19,19 +19,25 @@ pub mod monitor;
 pub mod reservoir;
 pub mod stratified;
 
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::Annotator;
 use kg_model::update::UpdateBatch;
 use kg_stats::PointEstimate;
 use rand::RngCore;
 
 /// Common interface of the two incremental evaluators, used by the monitor.
+///
+/// Incremental evaluators mint fresh cluster ids for every update batch,
+/// extending past any materialized snapshot of the KG — so the annotator
+/// must be able to label clusters that did not exist at evaluation start.
+/// Use the oracle-backed `SimulatedAnnotator`; a `DenseAnnotator` arena is
+/// sized for a fixed population and will panic on the appended ids.
 pub trait IncrementalEvaluator {
     /// Ingest one update batch, re-annotate as needed, and return the new
     /// estimate of `μ(G + Δ)` meeting the configured MoE target.
     fn apply_update(
         &mut self,
         delta: &UpdateBatch,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         rng: &mut dyn RngCore,
     ) -> PointEstimate;
 

@@ -5,7 +5,7 @@
 //! cost of absorbing each batch — the data behind Fig. 9.
 
 use crate::dynamic::IncrementalEvaluator;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::Annotator;
 use kg_model::update::UpdateBatch;
 use kg_stats::PointEstimate;
 use rand::RngCore;
@@ -31,7 +31,7 @@ pub fn run_sequence(
     evaluator: &mut dyn IncrementalEvaluator,
     batches: &[UpdateBatch],
     alpha: f64,
-    annotator: &mut SimulatedAnnotator<'_>,
+    annotator: &mut dyn Annotator,
     rng: &mut dyn RngCore,
 ) -> Vec<BatchOutcome> {
     let mut outcomes = Vec::with_capacity(batches.len());
@@ -57,6 +57,7 @@ mod tests {
     use crate::config::EvalConfig;
     use crate::dynamic::reservoir::ReservoirEvaluator;
     use crate::dynamic::stratified::StratifiedIncremental;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::RemOracle;
     use kg_model::implicit::ImplicitKg;

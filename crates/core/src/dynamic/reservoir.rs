@@ -12,10 +12,10 @@
 
 use crate::config::EvalConfig;
 use crate::dynamic::IncrementalEvaluator;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::Annotator;
 use kg_model::implicit::ImplicitKg;
 use kg_model::update::UpdateBatch;
-use kg_sampling::twcs::annotate_cluster_sized;
+use kg_sampling::twcs::annotate_cluster_subset;
 use kg_stats::alias::AliasTable;
 use kg_stats::reservoir::{OfferOutcome, WeightedReservoir};
 use kg_stats::{PointEstimate, RunningMoments};
@@ -36,6 +36,8 @@ pub struct ReservoirEvaluator {
     sizes: Vec<u32>,
     /// Alias table over `sizes`, rebuilt lazily when stale.
     pps: Option<AliasTable>,
+    /// Reusable second-stage offset buffer.
+    scratch: Vec<usize>,
 }
 
 impl ReservoirEvaluator {
@@ -49,7 +51,7 @@ impl ReservoirEvaluator {
         capacity: usize,
         m: usize,
         config: EvalConfig,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         rng: &mut dyn RngCore,
     ) -> Self {
         let mut reservoir = WeightedReservoir::new(capacity);
@@ -65,6 +67,7 @@ impl ReservoirEvaluator {
             extras: Vec::new(),
             sizes,
             pps: None,
+            scratch: Vec::with_capacity(m),
         };
         this.annotate_new_members(annotator, rng);
         this.top_up(annotator, rng);
@@ -101,20 +104,17 @@ impl ReservoirEvaluator {
         self.sizes.iter().map(|&s| s as u64).sum()
     }
 
-    fn annotate_new_members(
-        &mut self,
-        annotator: &mut SimulatedAnnotator<'_>,
-        rng: &mut dyn RngCore,
-    ) {
+    fn annotate_new_members(&mut self, annotator: &mut dyn Annotator, rng: &mut dyn RngCore) {
         let members: Vec<u32> = self.reservoir.iter().map(|k| k.item).collect();
         for c in members {
             if !self.member_accuracy.contains_key(&c) {
-                let acc = annotate_cluster_sized(
+                let acc = annotate_cluster_subset(
                     c,
                     self.sizes[c as usize] as usize,
                     self.m,
                     rng,
                     annotator,
+                    &mut self.scratch,
                 );
                 self.member_accuracy.insert(c, acc);
             }
@@ -131,7 +131,7 @@ impl ReservoirEvaluator {
 
     /// Draw additional PPS cluster samples from the current KG state until
     /// the MoE target and the CLT minimum are met.
-    fn top_up(&mut self, annotator: &mut SimulatedAnnotator<'_>, rng: &mut dyn RngCore) {
+    fn top_up(&mut self, annotator: &mut dyn Annotator, rng: &mut dyn RngCore) {
         loop {
             let est = self.estimate();
             let n = self.member_accuracy.len() + self.extras.len();
@@ -148,12 +148,13 @@ impl ReservoirEvaluator {
             let table = self.pps.as_ref().expect("built above");
             for _ in 0..self.config.batch_size {
                 let c = table.sample(rng) as u32;
-                let acc = annotate_cluster_sized(
+                let acc = annotate_cluster_subset(
                     c,
                     self.sizes[c as usize] as usize,
                     self.m,
                     rng,
                     annotator,
+                    &mut self.scratch,
                 );
                 self.extras.push(acc);
             }
@@ -165,7 +166,7 @@ impl IncrementalEvaluator for ReservoirEvaluator {
     fn apply_update(
         &mut self,
         delta: &UpdateBatch,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         rng: &mut dyn RngCore,
     ) -> PointEstimate {
         // Stale after growth: extras were drawn from the previous frame.
@@ -176,12 +177,26 @@ impl IncrementalEvaluator for ReservoirEvaluator {
             self.sizes.push(dsize);
             match self.reservoir.offer(rng, id, dsize as f64) {
                 OfferOutcome::Inserted => {
-                    let acc = annotate_cluster_sized(id, dsize as usize, self.m, rng, annotator);
+                    let acc = annotate_cluster_subset(
+                        id,
+                        dsize as usize,
+                        self.m,
+                        rng,
+                        annotator,
+                        &mut self.scratch,
+                    );
                     self.member_accuracy.insert(id, acc);
                 }
                 OfferOutcome::Replaced(evicted) => {
                     self.member_accuracy.remove(&evicted.item);
-                    let acc = annotate_cluster_sized(id, dsize as usize, self.m, rng, annotator);
+                    let acc = annotate_cluster_subset(
+                        id,
+                        dsize as usize,
+                        self.m,
+                        rng,
+                        annotator,
+                        &mut self.scratch,
+                    );
                     self.member_accuracy.insert(id, acc);
                 }
                 OfferOutcome::Rejected => {}
@@ -213,6 +228,7 @@ impl IncrementalEvaluator for ReservoirEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::{true_accuracy, RemOracle};
     use kg_model::implicit::ClusterPopulation;

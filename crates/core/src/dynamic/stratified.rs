@@ -14,10 +14,10 @@
 
 use crate::config::EvalConfig;
 use crate::dynamic::IncrementalEvaluator;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::Annotator;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
 use kg_model::update::UpdateBatch;
-use kg_sampling::twcs::annotate_cluster_sized;
+use kg_sampling::twcs::annotate_cluster_subset;
 use kg_stats::alias::AliasTable;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
@@ -133,7 +133,7 @@ impl IncrementalEvaluator for StratifiedIncremental {
     fn apply_update(
         &mut self,
         delta: &UpdateBatch,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         rng: &mut dyn RngCore,
     ) -> PointEstimate {
         // Freeze the previous live stratum (if any): Algorithm 2 reuses its
@@ -167,6 +167,7 @@ impl IncrementalEvaluator for StratifiedIncremental {
         // a frozen never-sampled stratum would contribute an uninformative
         // (0.5, 0.25) forever, biasing the whole sequence.
         let mut drawn = 0usize;
+        let mut scratch: Vec<usize> = Vec::with_capacity(self.m);
         loop {
             let live_units = match &self.strata.last().expect("just pushed").state {
                 StratumState::Live { accs, .. } => accs.count(),
@@ -190,12 +191,13 @@ impl IncrementalEvaluator for StratifiedIncremental {
                 for _ in 0..self.config.batch_size {
                     let local = alias.sample(rng);
                     let cluster = *first_cluster + local as u32;
-                    let acc = annotate_cluster_sized(
+                    let acc = annotate_cluster_subset(
                         cluster,
                         sizes[local] as usize,
                         self.m,
                         rng,
                         annotator,
+                        &mut scratch,
                     );
                     accs.push(acc);
                     drawn += 1;
@@ -217,6 +219,7 @@ impl IncrementalEvaluator for StratifiedIncremental {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::RemOracle;
     use kg_annotate::piecewise::PiecewiseOracle;

@@ -3,7 +3,7 @@
 use crate::config::EvalConfig;
 use crate::report::EvaluationReport;
 use crate::static_eval::run_static;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
 use kg_annotate::oracle::LabelOracle;
 use kg_model::implicit::ClusterPopulation;
@@ -103,9 +103,29 @@ impl Evaluator {
         config: &EvalConfig,
         rng: &mut dyn RngCore,
     ) -> Result<EvaluationReport, StatsError> {
-        let mut design = self.design.instantiate(index, oracle);
         let mut annotator = SimulatedAnnotator::new(oracle, self.cost);
-        Ok(run_static(design.as_mut(), &mut annotator, config, rng))
+        self.run_with_annotator(index, oracle, &mut annotator, config, rng)
+    }
+
+    /// Evaluate with a caller-supplied annotation engine — this is how the
+    /// dense fast path is driven: materialize a `LabelStore` once per KG,
+    /// keep one `DenseAnnotator` arena, and `reset()` it between trials
+    /// instead of rebuilding hash tables. `oracle` is still consulted for
+    /// stratification strategies that rank clusters by accuracy.
+    ///
+    /// Note the engine carries its own cost model; this evaluator's
+    /// [`Evaluator::with_cost_model`] setting applies only to the
+    /// annotators it constructs itself.
+    pub fn run_with_annotator(
+        &self,
+        index: Arc<PopulationIndex>,
+        oracle: &dyn LabelOracle,
+        annotator: &mut dyn Annotator,
+        config: &EvalConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<EvaluationReport, StatsError> {
+        let mut design = self.design.instantiate(index, oracle);
+        Ok(run_static(design.as_mut(), annotator, config, rng))
     }
 }
 

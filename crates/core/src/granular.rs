@@ -11,12 +11,12 @@
 //! reuse that a naive per-predicate re-evaluation forfeits.
 
 use crate::config::EvalConfig;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::oracle::LabelOracle;
 use kg_model::graph::KnowledgeGraph;
 use kg_model::triple::{PredicateId, TripleRef};
 use kg_stats::alias::AliasTable;
-use kg_stats::srswor::sample_without_replacement;
+use kg_stats::srswor::sample_without_replacement_into;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
 use std::collections::HashMap;
@@ -144,18 +144,19 @@ fn twcs_group(
     let alias = AliasTable::from_sizes(&sizes).expect("non-empty predicate group");
     let mut accs = RunningMoments::new();
     let mut converged = false;
+    // Reusable per-draw buffers: sampled indices into the group's offset
+    // list, and the resolved in-cluster offsets.
+    let mut chosen: Vec<usize> = Vec::with_capacity(m);
+    let mut picks: Vec<usize> = Vec::with_capacity(m);
     while (accs.count() as usize) < config.max_units {
         for _ in 0..config.batch_size {
             let k = alias.sample(rng);
             let (cluster, offsets) = &group.clusters[k];
             let take = offsets.len().min(m);
-            let chosen = sample_without_replacement(rng, offsets.len(), take);
-            let refs: Vec<TripleRef> = chosen
-                .into_iter()
-                .map(|i| TripleRef::new(*cluster, offsets[i]))
-                .collect();
-            let labels = annotator.annotate(&refs);
-            let tau = labels.iter().filter(|&&b| b).count();
+            sample_without_replacement_into(rng, offsets.len(), take, &mut chosen);
+            picks.clear();
+            picks.extend(chosen.iter().map(|&i| offsets[i] as usize));
+            let tau = annotator.annotate_offsets(*cluster, &picks);
             accs.push(tau as f64 / take as f64);
         }
         let n = accs.count() as usize;

@@ -10,7 +10,7 @@
 
 use crate::config::EvalConfig;
 use crate::report::EvaluationReport;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::Annotator;
 use kg_sampling::design::StaticDesign;
 use rand::RngCore;
 
@@ -18,7 +18,7 @@ use rand::RngCore;
 /// exhausted, or the unit cap is hit.
 pub fn run_static(
     design: &mut dyn StaticDesign,
-    annotator: &mut SimulatedAnnotator<'_>,
+    annotator: &mut dyn Annotator,
     config: &EvalConfig,
     rng: &mut dyn RngCore,
 ) -> EvaluationReport {
@@ -75,6 +75,7 @@ fn moe_ok(design: &dyn StaticDesign, config: &EvalConfig) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::{true_accuracy, RemOracle};
     use kg_model::implicit::ImplicitKg;

@@ -9,7 +9,7 @@ use crate::stratified::{StratificationStrategy, StratifiedTwcs};
 use crate::tsrcs::TsRcsDesign;
 use crate::twcs::TwcsDesign;
 use crate::wcs::WcsDesign;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::Annotator;
 use kg_annotate::oracle::LabelOracle;
 use kg_stats::PointEstimate;
 use rand::RngCore;
@@ -20,17 +20,19 @@ use std::sync::Arc;
 ///
 /// Implementations keep all per-sample state internally so the framework can
 /// alternate `draw` / `estimate` until the MoE target is met (Fig. 2).
+///
+/// The annotator is any [`Annotator`] engine — the hash-based
+/// `SimulatedAnnotator` reference or the dense arena-backed
+/// `DenseAnnotator`; designs only use the allocation-free batch APIs
+/// (`annotate_cluster` / `annotate_offsets` / `annotate_into`), so the
+/// engine choice is purely a throughput knob.
 pub trait StaticDesign {
     /// Draw up to `batch` additional sampling units (triples for SRS,
     /// clusters for the cluster designs), annotating through `annotator`.
     /// Returns the number of units actually drawn — 0 means the population
     /// is exhausted (finite designs only).
-    fn draw(
-        &mut self,
-        rng: &mut dyn RngCore,
-        annotator: &mut SimulatedAnnotator<'_>,
-        batch: usize,
-    ) -> usize;
+    fn draw(&mut self, rng: &mut dyn RngCore, annotator: &mut dyn Annotator, batch: usize)
+        -> usize;
 
     /// Current unbiased estimate of the KG accuracy with its estimated
     /// variance; [`PointEstimate::uninformative`] before any draws.

@@ -10,8 +10,7 @@
 
 use crate::design::StaticDesign;
 use crate::index::PopulationIndex;
-use kg_annotate::annotator::SimulatedAnnotator;
-use kg_model::triple::TripleRef;
+use kg_annotate::annotator::Annotator;
 use kg_stats::srswor::IncrementalSrswor;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
@@ -40,7 +39,7 @@ impl StaticDesign for RcsDesign {
     fn draw(
         &mut self,
         rng: &mut dyn RngCore,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         batch: usize,
     ) -> usize {
         let clusters = self.sampler.draw_batch(rng, batch);
@@ -50,11 +49,7 @@ impl StaticDesign for RcsDesign {
         let scale = self.index.num_clusters() as f64 / self.index.total_triples() as f64;
         for &c in &clusters {
             let size = self.index.cluster_size(c);
-            let refs: Vec<_> = (0..size)
-                .map(|o| TripleRef::new(c as u32, o as u32))
-                .collect();
-            let labels = annotator.annotate(&refs);
-            let tau = labels.iter().filter(|&&b| b).count();
+            let tau = annotator.annotate_cluster(c as u32, size);
             self.contributions.push(scale * tau as f64);
         }
         clusters.len()
@@ -85,6 +80,7 @@ impl StaticDesign for RcsDesign {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::{true_accuracy, RemOracle};
     use kg_model::implicit::ClusterPopulation;

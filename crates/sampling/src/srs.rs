@@ -11,7 +11,8 @@
 
 use crate::design::StaticDesign;
 use crate::index::PopulationIndex;
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::Annotator;
+use kg_model::triple::TripleRef;
 use kg_stats::srswor::IncrementalSrswor;
 use kg_stats::PointEstimate;
 use rand::RngCore;
@@ -23,6 +24,11 @@ pub struct SrsDesign {
     sampler: IncrementalSrswor,
     drawn: usize,
     correct: usize,
+    /// Reusable per-batch buffers (sorted global indices, triple refs, and
+    /// their labels), so the steady-state draw loop performs no allocation.
+    globals_scratch: Vec<u64>,
+    refs_scratch: Vec<TripleRef>,
+    labels_scratch: Vec<bool>,
 }
 
 impl SrsDesign {
@@ -38,6 +44,9 @@ impl SrsDesign {
             index,
             drawn: 0,
             correct: 0,
+            globals_scratch: Vec::new(),
+            refs_scratch: Vec::new(),
+            labels_scratch: Vec::new(),
         }
     }
 
@@ -51,21 +60,31 @@ impl StaticDesign for SrsDesign {
     fn draw(
         &mut self,
         rng: &mut dyn RngCore,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         batch: usize,
     ) -> usize {
         let globals = self.sampler.draw_batch(rng, batch);
         if globals.is_empty() {
             return 0;
         }
-        let refs: Vec<_> = globals
-            .iter()
-            .map(|&g| self.index.triple_at(g as u64))
-            .collect();
-        let labels = annotator.annotate(&refs);
-        self.drawn += labels.len();
-        self.correct += labels.iter().filter(|&&b| b).count();
-        labels.len()
+        // Annotation order within a batch is free (the estimator sums, and
+        // cost is a pure function of the distinct sets), so process the
+        // batch in ascending global order: the prefix walk and the
+        // annotator's memo then touch memory near-sequentially.
+        self.globals_scratch.clear();
+        self.globals_scratch
+            .extend(globals.iter().map(|&g| g as u64));
+        self.globals_scratch.sort_unstable();
+        self.index
+            .map_sorted_globals(&self.globals_scratch, &mut self.refs_scratch);
+        annotator.annotate_indexed_into(
+            &self.refs_scratch,
+            &self.globals_scratch,
+            &mut self.labels_scratch,
+        );
+        self.drawn += self.labels_scratch.len();
+        self.correct += self.labels_scratch.iter().filter(|&&b| b).count();
+        self.labels_scratch.len()
     }
 
     fn estimate(&self) -> PointEstimate {
@@ -96,6 +115,7 @@ impl StaticDesign for SrsDesign {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::{GoldLabels, RemOracle};
     use kg_model::implicit::ImplicitKg;

@@ -16,8 +16,8 @@
 
 use crate::design::StaticDesign;
 use crate::index::PopulationIndex;
-use crate::twcs::TwcsDesign;
-use kg_annotate::annotator::SimulatedAnnotator;
+use crate::twcs::annotate_cluster_subset;
+use kg_annotate::annotator::Annotator;
 use kg_annotate::oracle::LabelOracle;
 use kg_stats::alias::AliasTable;
 use kg_stats::stratify::{assign_strata, cum_sqrt_f_boundaries, Allocation};
@@ -90,6 +90,8 @@ pub struct StratifiedTwcs {
     strata: Vec<Stratum>,
     m: usize,
     allocation: Allocation,
+    /// Reusable second-stage offset buffer shared by all strata.
+    offsets_scratch: Vec<usize>,
 }
 
 impl StratifiedTwcs {
@@ -157,6 +159,7 @@ impl StratifiedTwcs {
             strata,
             m,
             allocation: Allocation::Neyman,
+            offsets_scratch: Vec::with_capacity(m),
         }
     }
 
@@ -182,7 +185,7 @@ impl StaticDesign for StratifiedTwcs {
     fn draw(
         &mut self,
         rng: &mut dyn RngCore,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         batch: usize,
     ) -> usize {
         let weights: Vec<f64> = self.strata.iter().map(|s| s.weight).collect();
@@ -215,8 +218,14 @@ impl StaticDesign for StratifiedTwcs {
                 let stratum = &mut self.strata[h];
                 let local = stratum.alias.sample(rng);
                 let cluster = stratum.clusters[local] as usize;
-                let acc =
-                    TwcsDesign::annotate_cluster(&self.index, cluster, self.m, rng, annotator);
+                let acc = annotate_cluster_subset(
+                    cluster as u32,
+                    self.index.cluster_size(cluster),
+                    self.m,
+                    rng,
+                    annotator,
+                    &mut self.offsets_scratch,
+                );
                 stratum.accuracies.push(acc);
                 drawn += 1;
             }
@@ -248,6 +257,8 @@ impl StaticDesign for StratifiedTwcs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::twcs::TwcsDesign;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::{true_accuracy, BmmOracle};
     use kg_model::implicit::ImplicitKg;

@@ -13,8 +13,8 @@
 
 use crate::design::StaticDesign;
 use crate::index::PopulationIndex;
-use crate::twcs::annotate_cluster_sized;
-use kg_annotate::annotator::SimulatedAnnotator;
+use crate::twcs::annotate_cluster_subset;
+use kg_annotate::annotator::Annotator;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::Rng;
 use rand::RngCore;
@@ -26,6 +26,8 @@ pub struct TsRcsDesign {
     m: usize,
     /// Per-draw scaled contributions `(N/M)·M_I·μ̂_I`.
     contributions: RunningMoments,
+    /// Reusable second-stage offset buffer.
+    offsets_scratch: Vec<usize>,
 }
 
 impl TsRcsDesign {
@@ -38,6 +40,7 @@ impl TsRcsDesign {
             index,
             m,
             contributions: RunningMoments::new(),
+            offsets_scratch: Vec::with_capacity(m),
         }
     }
 
@@ -51,7 +54,7 @@ impl StaticDesign for TsRcsDesign {
     fn draw(
         &mut self,
         rng: &mut dyn RngCore,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         batch: usize,
     ) -> usize {
         let n_clusters = self.index.num_clusters();
@@ -59,7 +62,14 @@ impl StaticDesign for TsRcsDesign {
         for _ in 0..batch {
             let c = rng.gen_range(0..n_clusters);
             let size = self.index.cluster_size(c);
-            let acc = annotate_cluster_sized(c as u32, size, self.m, rng, annotator);
+            let acc = annotate_cluster_subset(
+                c as u32,
+                size,
+                self.m,
+                rng,
+                annotator,
+                &mut self.offsets_scratch,
+            );
             self.contributions.push(scale * size as f64 * acc);
         }
         batch
@@ -90,6 +100,7 @@ impl StaticDesign for TsRcsDesign {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::{true_accuracy, RemOracle};
     use kg_model::implicit::ImplicitKg;

@@ -13,9 +13,8 @@
 
 use crate::design::StaticDesign;
 use crate::index::PopulationIndex;
-use kg_annotate::annotator::SimulatedAnnotator;
-use kg_model::triple::TripleRef;
-use kg_stats::srswor::sample_without_replacement;
+use kg_annotate::annotator::Annotator;
+use kg_stats::srswor::sample_without_replacement_into;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
 use std::sync::Arc;
@@ -26,6 +25,9 @@ pub struct TwcsDesign {
     m: usize,
     /// Per-draw second-stage sample accuracies `μ̂_{I_k}`.
     accuracies: RunningMoments,
+    /// Reusable second-stage offset buffer (≤ `m` entries): the draw loop
+    /// allocates nothing in steady state.
+    offsets_scratch: Vec<usize>,
 }
 
 impl TwcsDesign {
@@ -36,6 +38,7 @@ impl TwcsDesign {
             index,
             m,
             accuracies: RunningMoments::new(),
+            offsets_scratch: Vec::with_capacity(m),
         }
     }
 
@@ -54,7 +57,7 @@ impl TwcsDesign {
         cluster: usize,
         m: usize,
         rng: &mut dyn RngCore,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
     ) -> f64 {
         annotate_cluster_sized(
             cluster as u32,
@@ -93,23 +96,36 @@ pub fn floored_variance_of_mean(accuracies: &RunningMoments, m: usize) -> f64 {
 /// The dynamic evaluators (§6) call this directly because their cluster ids
 /// extend past any single [`PopulationIndex`] (base clusters plus appended
 /// `Δe` clusters).
+///
+/// Allocates a fresh offset buffer per call; hot loops should hold a
+/// scratch buffer and call [`annotate_cluster_subset`] instead.
 pub fn annotate_cluster_sized(
     cluster: u32,
     size: usize,
     m: usize,
     rng: &mut dyn RngCore,
-    annotator: &mut SimulatedAnnotator<'_>,
+    annotator: &mut dyn Annotator,
+) -> f64 {
+    let mut scratch = Vec::with_capacity(size.min(m));
+    annotate_cluster_subset(cluster, size, m, rng, annotator, &mut scratch)
+}
+
+/// Allocation-free core of [`annotate_cluster_sized`]: the second-stage
+/// offsets are drawn into the caller's `scratch` buffer and annotated via
+/// the engine's subset API — no per-draw `Vec` of refs or labels.
+pub fn annotate_cluster_subset(
+    cluster: u32,
+    size: usize,
+    m: usize,
+    rng: &mut dyn RngCore,
+    annotator: &mut dyn Annotator,
+    scratch: &mut Vec<usize>,
 ) -> f64 {
     assert!(size >= 1, "clusters are non-empty");
     assert!(m >= 1, "second-stage size m must be at least 1");
     let take = size.min(m);
-    let offsets = sample_without_replacement(rng, size, take);
-    let refs: Vec<_> = offsets
-        .iter()
-        .map(|&o| TripleRef::new(cluster, o as u32))
-        .collect();
-    let labels = annotator.annotate(&refs);
-    let tau = labels.iter().filter(|&&b| b).count();
+    sample_without_replacement_into(rng, size, take, scratch);
+    let tau = annotator.annotate_offsets(cluster, scratch);
     tau as f64 / take as f64
 }
 
@@ -117,12 +133,20 @@ impl StaticDesign for TwcsDesign {
     fn draw(
         &mut self,
         rng: &mut dyn RngCore,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         batch: usize,
     ) -> usize {
         for _ in 0..batch {
             let c = self.index.sample_cluster_pps(rng);
-            let acc = Self::annotate_cluster(&self.index, c, self.m, rng, annotator);
+            let size = self.index.cluster_size(c);
+            let acc = annotate_cluster_subset(
+                c as u32,
+                size,
+                self.m,
+                rng,
+                annotator,
+                &mut self.offsets_scratch,
+            );
             self.accuracies.push(acc);
         }
         batch
@@ -153,6 +177,7 @@ impl StaticDesign for TwcsDesign {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::{true_accuracy, RemOracle};
     use kg_model::implicit::ImplicitKg;

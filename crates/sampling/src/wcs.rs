@@ -12,8 +12,7 @@
 
 use crate::design::StaticDesign;
 use crate::index::PopulationIndex;
-use kg_annotate::annotator::SimulatedAnnotator;
-use kg_model::triple::TripleRef;
+use kg_annotate::annotator::Annotator;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
 use std::sync::Arc;
@@ -39,17 +38,13 @@ impl StaticDesign for WcsDesign {
     fn draw(
         &mut self,
         rng: &mut dyn RngCore,
-        annotator: &mut SimulatedAnnotator<'_>,
+        annotator: &mut dyn Annotator,
         batch: usize,
     ) -> usize {
         for _ in 0..batch {
             let c = self.index.sample_cluster_pps(rng);
             let size = self.index.cluster_size(c);
-            let refs: Vec<_> = (0..size)
-                .map(|o| TripleRef::new(c as u32, o as u32))
-                .collect();
-            let labels = annotator.annotate(&refs);
-            let tau = labels.iter().filter(|&&b| b).count();
+            let tau = annotator.annotate_cluster(c as u32, size);
             self.accuracies.push(tau as f64 / size as f64);
         }
         batch
@@ -80,6 +75,7 @@ impl StaticDesign for WcsDesign {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg_annotate::annotator::SimulatedAnnotator;
     use kg_annotate::cost::CostModel;
     use kg_annotate::oracle::{true_accuracy, GoldLabels, RemOracle};
     use kg_model::implicit::ImplicitKg;

@@ -1,0 +1,137 @@
+//! Dense-engine equivalence: the arena-backed `DenseAnnotator` over a
+//! materialized `LabelStore` must be **byte-identical** — labels, cost
+//! seconds, and estimator output — to the hash-based `SimulatedAnnotator`
+//! reference on random cluster populations and random draw sequences,
+//! across every sampling design.
+//!
+//! This is the safety net that lets every experiment switch to the fast
+//! path: both engines charge `Cost(G') = |E'|·c1 + |G'|·c2` from their memo
+//! counts (not an order-dependent float accumulation), and the designs
+//! consume the RNG identically regardless of engine, so any disagreement
+//! here is a real memoization or addressing bug, not float noise.
+
+use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
+use kg_annotate::cost::CostModel;
+use kg_annotate::dense::DenseAnnotator;
+use kg_annotate::oracle::RemOracle;
+use kg_model::triple::TripleRef;
+use kg_sampling::design::Design;
+use kg_sampling::stratified::StratificationStrategy;
+use kg_sampling::PopulationIndex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn designs() -> Vec<Design> {
+    vec![
+        Design::Srs,
+        Design::Rcs,
+        Design::Wcs,
+        Design::Twcs { m: 1 },
+        Design::Twcs { m: 5 },
+        Design::TsRcs { m: 4 },
+        Design::StratifiedTwcs {
+            m: 3,
+            strategy: StratificationStrategy::Size { strata: 3 },
+        },
+        Design::StratifiedTwcs {
+            m: 3,
+            strategy: StratificationStrategy::Oracle { strata: 2 },
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every design, driven by both engines from the same seed, yields the
+    /// same estimate (mean, variance, units) and the same cost books.
+    #[test]
+    fn estimators_and_costs_are_byte_identical(
+        sizes in prop::collection::vec(1u32..40, 1..50),
+        accuracy in 0.0f64..1.0,
+        oracle_seed in 0u64..1_000_000,
+        rng_seed in 0u64..1_000_000,
+        batches in prop::collection::vec(1usize..12, 1..4),
+    ) {
+        let oracle = RemOracle::new(accuracy, oracle_seed);
+        let idx = Arc::new(PopulationIndex::from_sizes(sizes).unwrap());
+        let store = Arc::new(idx.materialize_labels(&oracle));
+        let mut dense = DenseAnnotator::new(store, CostModel::default());
+
+        for design in designs() {
+            let mut hash_design = design.instantiate(idx.clone(), &oracle);
+            let mut dense_design = design.instantiate(idx.clone(), &oracle);
+            let mut hash_ann = SimulatedAnnotator::new(&oracle, CostModel::default());
+            dense.reset();
+
+            let mut hash_rng = StdRng::seed_from_u64(rng_seed);
+            let mut dense_rng = StdRng::seed_from_u64(rng_seed);
+            for &b in &batches {
+                let h = hash_design.draw(&mut hash_rng, &mut hash_ann, b);
+                let d = dense_design.draw(&mut dense_rng, &mut dense, b);
+                prop_assert_eq!(h, d, "{}: drawn units diverged", design.name());
+            }
+
+            let he = hash_design.estimate();
+            let de = dense_design.estimate();
+            prop_assert_eq!(
+                he.mean.to_bits(), de.mean.to_bits(),
+                "{}: mean {} vs {}", design.name(), he.mean, de.mean
+            );
+            prop_assert_eq!(
+                he.var_of_mean.to_bits(), de.var_of_mean.to_bits(),
+                "{}: var {} vs {}", design.name(), he.var_of_mean, de.var_of_mean
+            );
+            prop_assert_eq!(hash_design.units(), dense_design.units());
+            prop_assert_eq!(
+                hash_ann.seconds().to_bits(), dense.seconds().to_bits(),
+                "{}: cost {} vs {}", design.name(), hash_ann.seconds(), dense.seconds()
+            );
+            prop_assert_eq!(hash_ann.entities_identified(), dense.entities_identified());
+            prop_assert_eq!(hash_ann.triples_annotated(), dense.triples_annotated());
+        }
+    }
+
+    /// Raw label streams agree on arbitrary (repeating, interleaved)
+    /// reference sequences, and so do the memo counts afterwards.
+    #[test]
+    fn labels_are_byte_identical(
+        sizes in prop::collection::vec(1u32..30, 1..40),
+        accuracy in 0.0f64..1.0,
+        oracle_seed in 0u64..1_000_000,
+        raw_refs in prop::collection::vec((0u32..1000, 0u32..1000), 1..120),
+    ) {
+        let oracle = RemOracle::new(accuracy, oracle_seed);
+        let idx = Arc::new(PopulationIndex::from_sizes(sizes.clone()).unwrap());
+        let store = Arc::new(idx.materialize_labels(&oracle));
+        let refs: Vec<TripleRef> = raw_refs
+            .into_iter()
+            .map(|(c, o)| {
+                let cluster = c as usize % sizes.len();
+                TripleRef::new(cluster as u32, o % sizes[cluster])
+            })
+            .collect();
+
+        let mut hash_ann = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut dense = DenseAnnotator::new(store, CostModel::default());
+        let (mut hash_out, mut dense_out) = (Vec::new(), Vec::new());
+        // Split the sequence into two batches to exercise cross-batch
+        // memoization as well.
+        let mid = refs.len() / 2;
+        for part in [&refs[..mid], &refs[mid..]] {
+            hash_ann.annotate_into(part, &mut hash_out);
+            dense.annotate_into(part, &mut dense_out);
+            prop_assert_eq!(&hash_out, &dense_out);
+        }
+        prop_assert_eq!(hash_ann.seconds().to_bits(), dense.seconds().to_bits());
+        prop_assert_eq!(hash_ann.entities_identified(), dense.entities_identified());
+        prop_assert_eq!(hash_ann.triples_annotated(), dense.triples_annotated());
+
+        // Singleton API agrees too.
+        for &r in refs.iter().rev() {
+            prop_assert_eq!(hash_ann.annotate_one(r), dense.annotate_one(r));
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! cost bookkeeping against Definition 3 / Eq. 4, `Cost(G') = |E'|·c1 +
 //! |G'|·c2`.
 
-use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
 use kg_annotate::oracle::{cluster_accuracies, GoldLabels};
 use kg_model::implicit::ImplicitKg;

@@ -39,6 +39,7 @@ pub mod alias;
 pub mod ci;
 pub mod distr;
 pub mod error;
+pub mod fastset;
 pub mod histogram;
 pub mod moments;
 pub mod normal;

@@ -12,6 +12,8 @@
 //!   `k` is a sizable fraction of `n` (second-stage draws from small
 //!   clusters).
 
+use crate::fastset::IndexSet;
+use rand::distributions::{Distribution, Uniform};
 use rand::Rng;
 use std::collections::HashSet;
 
@@ -51,17 +53,53 @@ pub fn sample_fisher_yates<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> 
 /// Adaptive SRS-without-replacement over `0..n`: uses Floyd when `k` is a
 /// small fraction of `n`, partial Fisher–Yates otherwise.
 pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(k);
+    sample_without_replacement_into(rng, n, k, &mut out);
+    out
+}
+
+/// Allocation-free [`sample_without_replacement`]: fills a caller-owned
+/// scratch buffer (cleared first) instead of returning a fresh `Vec`, so a
+/// hot loop reuses one buffer across millions of second-stage draws.
+///
+/// Consumes the RNG identically to the allocating front-end and produces
+/// the same sample in the same order, so the two are interchangeable
+/// mid-stream. The Floyd branch deduplicates by linear scan over the
+/// output — for the second-stage draw sizes this backs (`m` in 3–20) that
+/// is faster than hashing, and it allocates nothing.
+pub fn sample_without_replacement_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    out: &mut Vec<usize>,
+) {
     assert!(k <= n, "cannot draw {k} distinct items from {n}");
+    out.clear();
     if k == n {
         // Degenerate "sample": the whole population (order irrelevant for
         // estimation; keep it cheap and deterministic).
-        return (0..n).collect();
+        out.extend(0..n);
+        return;
     }
-    // Floyd's HashSet overhead pays off only for sparse draws.
     if n > 64 && k * 8 < n {
-        sample_floyd(rng, n, k)
+        // Floyd, with the chosen-set replaced by a scan of what's already
+        // in `out` (identical membership, identical RNG stream).
+        for j in (n - k)..n {
+            let t = rng.gen_range(0..=j);
+            if out.contains(&t) {
+                out.push(j);
+            } else {
+                out.push(t);
+            }
+        }
     } else {
-        sample_fisher_yates(rng, n, k)
+        // Partial Fisher–Yates using `out` itself as the shuffle pool.
+        out.extend(0..n);
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            out.swap(i, j);
+        }
+        out.truncate(k);
     }
 }
 
@@ -70,11 +108,14 @@ pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usi
 ///
 /// This backs the *iterative* SRS design: the framework draws a batch, checks
 /// the MoE, and draws more (Fig. 2) — all batches must stay mutually
-/// disjoint for the without-replacement estimator to be valid.
+/// disjoint for the without-replacement estimator to be valid. The drawn
+/// set is a SplitMix64-hashed [`IndexSet`] rather than a SipHash
+/// `HashSet`: one insert per drawn triple is SRS's hottest non-annotation
+/// cost at the 10^6+ scale.
 #[derive(Debug, Clone)]
 pub struct IncrementalSrswor {
     n: usize,
-    drawn: HashSet<usize>,
+    drawn: IndexSet,
 }
 
 impl IncrementalSrswor {
@@ -82,7 +123,7 @@ impl IncrementalSrswor {
     pub fn new(n: usize) -> Self {
         IncrementalSrswor {
             n,
-            drawn: HashSet::new(),
+            drawn: IndexSet::new(),
         }
     }
 
@@ -113,20 +154,27 @@ impl IncrementalSrswor {
         // to enumerating the complement when it is not.
         let dense = (self.drawn.len() + k) * 2 > self.n;
         if dense {
-            let mut pool: Vec<usize> = (0..self.n).filter(|i| !self.drawn.contains(i)).collect();
+            let mut pool: Vec<usize> = (0..self.n)
+                .filter(|&i| !self.drawn.contains(i as u64))
+                .collect();
             for i in 0..k {
                 let j = rng.gen_range(i..pool.len());
                 pool.swap(i, j);
             }
             pool.truncate(k);
             for &i in &pool {
-                self.drawn.insert(i);
+                self.drawn.insert(i as u64);
             }
             out = pool;
         } else {
+            // Rejection loop: precompute the range's rejection zone once
+            // and pre-size the drawn set, so the loop body is a sample, a
+            // probe, and a push — no rehash-and-reinsert cycles mid-batch.
+            self.drawn.reserve(k);
+            let dist = Uniform::new(0usize, self.n);
             while out.len() < k {
-                let i = rng.gen_range(0..self.n);
-                if self.drawn.insert(i) {
+                let i = dist.sample(rng);
+                if self.drawn.insert(i as u64) {
                     out.push(i);
                 }
             }
@@ -177,6 +225,42 @@ mod tests {
     fn panics_when_k_exceeds_n() {
         let mut rng = StdRng::seed_from_u64(4);
         sample_without_replacement(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn into_variant_matches_original_algorithms() {
+        // The `_into` front-end must reproduce the *original* Floyd /
+        // Fisher–Yates implementations (still exported above) exactly —
+        // same sample, same order, same RNG consumption — since every
+        // seeded experiment's stream is calibrated against them.
+        let mut scratch = Vec::new();
+        for &(n, k) in &[(10, 3), (100_000, 5), (64, 64), (65, 64), (1, 1), (9, 0)] {
+            let mut rng_a = StdRng::seed_from_u64(41);
+            let mut rng_b = StdRng::seed_from_u64(41);
+            let reference = if k == n {
+                (0..n).collect::<Vec<usize>>()
+            } else if n > 64 && k * 8 < n {
+                sample_floyd(&mut rng_a, n, k)
+            } else {
+                sample_fisher_yates(&mut rng_a, n, k)
+            };
+            sample_without_replacement_into(&mut rng_b, n, k, &mut scratch);
+            assert_eq!(reference, scratch, "n={n} k={k}");
+            check_valid_sample(&scratch, n, k);
+            // Streams stay aligned after the draw.
+            assert_eq!(
+                rng_a.gen_range(0..u64::MAX),
+                rng_b.gen_range(0..u64::MAX),
+                "stream diverged at n={n} k={k}"
+            );
+            // And the allocating front-end is the same function.
+            let mut rng_c = StdRng::seed_from_u64(41);
+            assert_eq!(
+                sample_without_replacement(&mut rng_c, n, k),
+                scratch,
+                "n={n} k={k}"
+            );
+        }
     }
 
     #[test]

@@ -36,8 +36,10 @@ pub use kg_stats as stats;
 
 /// One-stop imports for typical usage.
 pub mod prelude {
-    pub use kg_annotate::annotator::SimulatedAnnotator;
+    pub use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
     pub use kg_annotate::cost::CostModel;
+    pub use kg_annotate::dense::DenseAnnotator;
+    pub use kg_annotate::label_store::LabelStore;
     pub use kg_annotate::oracle::{BmmOracle, GoldLabels, LabelOracle, RemOracle};
     pub use kg_datagen::profile::DatasetProfile;
     pub use kg_eval::config::EvalConfig;

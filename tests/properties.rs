@@ -2,7 +2,7 @@
 //! unbiasedness, sampler invariants, stratification partitions, and
 //! variance formulas under arbitrary populations.
 
-use kg_accuracy_eval::annotate::annotator::SimulatedAnnotator;
+use kg_accuracy_eval::annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_accuracy_eval::annotate::cost::CostModel;
 use kg_accuracy_eval::annotate::oracle::{cluster_accuracies, true_accuracy, GoldLabels};
 use kg_accuracy_eval::model::implicit::{ClusterPopulation, ImplicitKg};
