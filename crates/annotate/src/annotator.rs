@@ -27,6 +27,7 @@ use crate::cost::CostModel;
 use crate::oracle::LabelOracle;
 use crate::task::group_into_tasks;
 use kg_model::triple::TripleRef;
+use kg_model::update::UpdateBatch;
 use std::collections::{HashMap, HashSet};
 
 /// The annotation engine interface shared by the hash-based
@@ -76,6 +77,23 @@ pub trait Annotator {
 
     /// Distinct triples validated so far (`|G'|`).
     fn triples_annotated(&self) -> usize;
+
+    /// Observe one evolving-KG update batch **before** any of its
+    /// delta-minted cluster ids are annotated. `first_cluster` is the id
+    /// the batch's first `Δe` group receives (ids are assigned
+    /// positionally, as in `UpdateBatch::apply_to`).
+    ///
+    /// The §6 incremental evaluators call this at the top of
+    /// `apply_update`, which is what makes them engine-agnostic: engines
+    /// that consult a live oracle per triple (the hash
+    /// [`SimulatedAnnotator`]) need no preparation — this default no-op —
+    /// while engines with materialized label state (the dense arena) grow
+    /// it here. Implementations must be idempotent for a batch whose ids
+    /// the engine already covers, so deterministic replays over a
+    /// pre-evolved label store are free.
+    fn extend_population(&mut self, first_cluster: u32, delta: &UpdateBatch) {
+        let _ = (first_cluster, delta);
+    }
 }
 
 /// A simulated annotator: label source + cost accounting + memoization.

@@ -29,7 +29,9 @@
 use crate::annotator::Annotator;
 use crate::cost::CostModel;
 use crate::label_store::LabelStore;
+use crate::oracle::LabelOracle;
 use kg_model::triple::TripleRef;
+use kg_model::update::UpdateBatch;
 use std::sync::Arc;
 
 /// One packed bit-set with a touched-word journal for cheap trial resets.
@@ -97,25 +99,103 @@ impl TrialBitmap {
         }
         self.touched.clear();
     }
+
+    /// Grow the word arena to cover `bits` (appended words start clear, so
+    /// the touched-word journal and any in-flight trial state stay valid —
+    /// mid-sequence growth preserves the memo, which is exactly what
+    /// incremental evaluation reuses across batches).
+    fn grow(&mut self, bits: u64) {
+        let words = bits.div_ceil(64) as usize;
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
 }
+
+/// Error from [`DenseAnnotator::try_extend_population`]: the update batch
+/// cannot be reconciled with the engine's label store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DenseGrowthError {
+    /// The batch's id range cannot be reconciled with the store: it starts
+    /// past the end (leaving an unlabeled gap) or straddles it.
+    IdGap {
+        /// The next cluster id the store can mint.
+        expected: u32,
+        /// The id the batch claims.
+        first_cluster: u32,
+    },
+    /// The batch mints fresh ids but the engine was built without a growth
+    /// oracle ([`DenseAnnotator::new`]); use [`DenseAnnotator::growable`]
+    /// or extend explicitly via [`DenseAnnotator::extend_with_batch`].
+    NoGrowthOracle,
+    /// Replay over a pre-evolved store found a cluster whose materialized
+    /// size differs from the batch's `Δe` size — the replayed sequence is
+    /// not the one the store was evolved with. Checked positions in
+    /// release: range total and both boundary clusters (see
+    /// [`DenseAnnotator::try_extend_population`]); the full scan runs
+    /// under debug assertions.
+    SizeMismatch {
+        /// The conflicting cluster id.
+        cluster: u32,
+        /// Its size in the store.
+        store: u32,
+        /// Its size in the batch.
+        batch: u32,
+    },
+}
+
+impl std::fmt::Display for DenseGrowthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DenseGrowthError::IdGap {
+                expected,
+                first_cluster,
+            } => write!(
+                f,
+                "update batch starts at cluster {first_cluster} but the label store \
+                 ends at {expected}: batches must arrive in order"
+            ),
+            DenseGrowthError::NoGrowthOracle => write!(
+                f,
+                "dense annotator has no growth oracle for delta-minted clusters; \
+                 build it with DenseAnnotator::growable or call extend_with_batch"
+            ),
+            DenseGrowthError::SizeMismatch {
+                cluster,
+                store,
+                batch,
+            } => write!(
+                f,
+                "replayed batch disagrees with the evolved label store: cluster \
+                 {cluster} has {store} triples materialized but {batch} in the batch"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DenseGrowthError {}
 
 /// Dense annotator arena: label store + cost accounting + bitmap memo.
 ///
 /// # Population scope
 ///
-/// The arena is sized for the store's **fixed** population: every
-/// `TripleRef`/cluster id passed to it must lie inside the materialized
-/// `LabelStore`, and out-of-range ids panic (index out of bounds). That
-/// makes the dense engine a drop-in for the *static* designs and the
-/// iterative evaluation loop, but **not** for the dynamic evaluators
-/// (`kg-eval`'s reservoir/stratified-incremental), whose cluster id space
-/// grows past any materialized snapshot with each update batch — drive
-/// those with an oracle-backed
-/// [`SimulatedAnnotator`](crate::annotator::SimulatedAnnotator), which can
-/// label clusters that did not exist when evaluation began.
+/// The arena covers the store's current population and **grows with it**:
+/// evolving-KG update batches append delta-minted cluster ids through
+/// [`DenseAnnotator::extend_with_batch`] (explicit oracle) or the
+/// [`Annotator::extend_population`] hook (growth oracle configured via
+/// [`DenseAnnotator::growable`]), which the §6 incremental evaluators
+/// invoke before annotating a batch — so the dense engine drives the
+/// dynamic evaluators exactly like the hash engine does. Ids beyond the
+/// store that were never announced through either path are still a logic
+/// error (no labels exist for them); [`DenseAnnotator::try_extend_population`]
+/// is the checked variant that reports misuse as a typed
+/// [`DenseGrowthError`] instead of panicking.
 pub struct DenseAnnotator {
     store: Arc<LabelStore>,
     cost: CostModel,
+    /// Labels delta-minted clusters when the population grows
+    /// ([`Annotator::extend_population`]); `None` for fixed populations.
+    growth_oracle: Option<Arc<dyn LabelOracle + Send + Sync>>,
     /// Per-cluster identification bits.
     identified: TrialBitmap,
     /// Per-triple validation bits (global index space).
@@ -134,6 +214,7 @@ impl DenseAnnotator {
         let m = store.total_triples();
         DenseAnnotator {
             cost,
+            growth_oracle: None,
             identified: TrialBitmap::with_capacity(n),
             labeled: TrialBitmap::with_capacity(m),
             cluster_full: TrialBitmap::with_capacity(n),
@@ -141,6 +222,125 @@ impl DenseAnnotator {
             n_labeled: 0,
             store,
         }
+    }
+
+    /// New arena for an **evolving** population: like [`DenseAnnotator::new`]
+    /// but with a growth oracle that labels delta-minted clusters whenever
+    /// an incremental evaluator announces an update batch via
+    /// [`Annotator::extend_population`].
+    pub fn growable(
+        store: Arc<LabelStore>,
+        cost: CostModel,
+        oracle: Arc<dyn LabelOracle + Send + Sync>,
+    ) -> Self {
+        let mut this = Self::new(store, cost);
+        this.growth_oracle = Some(oracle);
+        this
+    }
+
+    /// Append an update batch's clusters to the arena: the label store is
+    /// extended (`LabelStore::extend_with_batch`, amortized O(|Δ|)) and the
+    /// three bitmaps grow to cover the new ids, preserving every journal
+    /// entry and memo bit — annotations from earlier batches stay reusable,
+    /// which is the whole point of incremental evaluation.
+    ///
+    /// The store `Arc` is made unique first (copy-on-write): if other
+    /// holders share it they keep the pre-batch snapshot. Hold the arena as
+    /// the sole owner across an update sequence to grow strictly in place.
+    pub fn extend_with_batch<O: LabelOracle + ?Sized>(&mut self, delta: &UpdateBatch, oracle: &O) {
+        Arc::make_mut(&mut self.store).extend_with_batch(delta, oracle);
+        self.grow_bitmaps();
+    }
+
+    /// Checked core of [`Annotator::extend_population`]: grow for a batch
+    /// minting ids at `first_cluster`, no-op for a batch the store already
+    /// covers (deterministic replay over a pre-evolved store), and a typed
+    /// error for id gaps, replay shape mismatches, or growth without an
+    /// oracle.
+    ///
+    /// Replay verification is O(1) in release: the covered range's triple
+    /// total plus its first and last cluster sizes must match the batch.
+    /// A wrong sequence whose mismatches compensate across *interior*
+    /// clusters only (equal total, equal boundary sizes) is not detected
+    /// here in release — the full per-cluster scan runs under debug
+    /// assertions, because an O(|Δ|) prefix walk per batch would tax every
+    /// dense trial at scale for a pure caller-logic error.
+    pub fn try_extend_population(
+        &mut self,
+        first_cluster: u32,
+        delta: &UpdateBatch,
+    ) -> Result<(), DenseGrowthError> {
+        let n = self.store.num_clusters() as u32;
+        let sizes = delta.delta_sizes();
+        if sizes.is_empty() {
+            return Ok(());
+        }
+        if first_cluster > n || (first_cluster < n && n - first_cluster < sizes.len() as u32) {
+            // A gap past the store end, or a batch straddling it: either
+            // way the id range cannot be reconciled.
+            return Err(DenseGrowthError::IdGap {
+                expected: n,
+                first_cluster,
+            });
+        }
+        if first_cluster < n {
+            // Replay: the ids are already materialized. O(1) shape check —
+            // range total plus both boundary clusters (catches wrong
+            // sequences, reorderings, and off-by-one shifts).
+            let first = first_cluster as usize;
+            let lo = self.store.cluster_base(first);
+            let hi = self.store.cluster_base(first + sizes.len());
+            let boundary_mismatch = |j: usize| {
+                let have = self.store.cluster_size(first + j) as u32;
+                (have != sizes[j]).then_some((first_cluster + j as u32, have, sizes[j]))
+            };
+            if let Some((cluster, have, batch)) = (hi - lo != delta.total_triples())
+                .then(|| {
+                    // Locate one offending cluster for the report.
+                    sizes
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &s)| {
+                            let c = first_cluster + j as u32;
+                            (c, self.store.cluster_size(c as usize) as u32, s)
+                        })
+                        .find(|&(_, have, s)| have != s)
+                        .expect("total mismatch implies a cluster mismatch")
+                })
+                .or_else(|| boundary_mismatch(0))
+                .or_else(|| boundary_mismatch(sizes.len() - 1))
+            {
+                return Err(DenseGrowthError::SizeMismatch {
+                    cluster,
+                    store: have,
+                    batch,
+                });
+            }
+            #[cfg(debug_assertions)]
+            for (j, &s) in sizes.iter().enumerate() {
+                let cluster = first_cluster + j as u32;
+                debug_assert_eq!(
+                    self.store.cluster_size(cluster as usize) as u32,
+                    s,
+                    "replayed batch shape diverges at cluster {cluster}"
+                );
+            }
+            return Ok(());
+        }
+        let oracle = self
+            .growth_oracle
+            .clone()
+            .ok_or(DenseGrowthError::NoGrowthOracle)?;
+        self.extend_with_batch(delta, oracle.as_ref());
+        Ok(())
+    }
+
+    /// Resize the three bitmaps to the store's current dimensions.
+    fn grow_bitmaps(&mut self) {
+        let n = self.store.num_clusters() as u64;
+        self.identified.grow(n);
+        self.cluster_full.grow(n);
+        self.labeled.grow(self.store.total_triples());
     }
 
     /// Forget everything annotated so far, zeroing only the memo words the
@@ -244,6 +444,11 @@ impl Annotator for DenseAnnotator {
 
     fn triples_annotated(&self) -> usize {
         self.n_labeled
+    }
+
+    fn extend_population(&mut self, first_cluster: u32, delta: &UpdateBatch) {
+        self.try_extend_population(first_cluster, delta)
+            .unwrap_or_else(|e| panic!("dense annotator cannot absorb update batch: {e}"));
     }
 }
 
@@ -372,6 +577,123 @@ mod tests {
         let a = DenseAnnotator::new(store.clone(), CostModel::default());
         assert!(Arc::ptr_eq(a.store(), &store));
         assert_eq!(a.cost_model(), CostModel::default());
+    }
+
+    #[test]
+    fn appended_ids_grow_the_arena_instead_of_panicking() {
+        // Regression for the footgun the old doc comment warned about: an
+        // incremental evaluator mints cluster ids past the materialized
+        // snapshot and annotates them. Pre-growth this panicked with an
+        // index out of bounds; now the batch grows store + bitmaps and the
+        // delta ids are first-class.
+        let kg = ImplicitKg::new(vec![4; 10]).unwrap();
+        let oracle = RemOracle::new(0.8, 3);
+        let store = Arc::new(LabelStore::materialize(&kg, &oracle));
+        let mut dense =
+            DenseAnnotator::growable(store, CostModel::new(45.0, 25.0), Arc::new(oracle));
+        let mut hash = SimulatedAnnotator::new(&oracle, CostModel::new(45.0, 25.0));
+
+        // Annotate some base clusters first (their memo must survive).
+        assert_eq!(dense.annotate_cluster(3, 4), hash.annotate_cluster(3, 4));
+
+        // A batch arrives, minting ids 10 and 11.
+        let delta = UpdateBatch::from_sizes(vec![7, 200]).unwrap();
+        dense.extend_population(10, &delta);
+        assert_eq!(dense.store().num_clusters(), 12);
+        assert_eq!(dense.annotate_cluster(10, 7), hash.annotate_cluster(10, 7));
+        assert_eq!(
+            dense.annotate_offsets(11, &[0, 63, 64, 199]),
+            hash.annotate_offsets(11, &[0, 63, 64, 199])
+        );
+        // Base memo survived growth: re-drawing cluster 3 is still free.
+        let cost = dense.seconds();
+        dense.annotate_cluster(3, 4);
+        assert_eq!(dense.seconds(), cost);
+        assert_eq!(dense.seconds(), {
+            hash.annotate_cluster(3, 4);
+            hash.seconds()
+        });
+        assert_eq!(dense.triples_annotated(), hash.triples_annotated());
+        assert_eq!(dense.entities_identified(), hash.entities_identified());
+        // The hash engine treats the same hook as a no-op.
+        hash.extend_population(12, &UpdateBatch::from_sizes(vec![1]).unwrap());
+    }
+
+    #[test]
+    fn replay_over_pre_evolved_store_is_a_no_op() {
+        let kg = ImplicitKg::new(vec![2; 5]).unwrap();
+        let oracle = RemOracle::new(0.6, 9);
+        let mut store = LabelStore::materialize(&kg, &oracle);
+        let delta = UpdateBatch::from_sizes(vec![3, 1]).unwrap();
+        store.extend_with_batch(&delta, &oracle);
+        // No growth oracle needed: the store already covers the replayed ids.
+        let mut dense = DenseAnnotator::new(Arc::new(store), CostModel::default());
+        assert_eq!(dense.try_extend_population(5, &delta), Ok(()));
+        assert_eq!(dense.store().num_clusters(), 7);
+        assert_eq!(dense.annotate_cluster(5, 3), {
+            let mut h = SimulatedAnnotator::new(&oracle, CostModel::default());
+            h.annotate_cluster(5, 3)
+        });
+    }
+
+    #[test]
+    fn checked_growth_reports_typed_errors() {
+        let kg = ImplicitKg::new(vec![2; 5]).unwrap();
+        let oracle = RemOracle::new(0.6, 9);
+        let store = Arc::new(LabelStore::materialize(&kg, &oracle));
+        let mut fixed = DenseAnnotator::new(store.clone(), CostModel::default());
+        let delta = UpdateBatch::from_sizes(vec![3]).unwrap();
+        // Fresh ids without a growth oracle.
+        assert_eq!(
+            fixed.try_extend_population(5, &delta),
+            Err(DenseGrowthError::NoGrowthOracle)
+        );
+        // Id gap (batch skips id 5) and straddling ranges.
+        assert_eq!(
+            fixed.try_extend_population(6, &delta),
+            Err(DenseGrowthError::IdGap {
+                expected: 5,
+                first_cluster: 6
+            })
+        );
+        assert_eq!(
+            fixed.try_extend_population(4, &UpdateBatch::from_sizes(vec![2, 9]).unwrap()),
+            Err(DenseGrowthError::IdGap {
+                expected: 5,
+                first_cluster: 4
+            })
+        );
+        // Replay whose shape disagrees with the materialized snapshot.
+        assert_eq!(
+            fixed.try_extend_population(4, &UpdateBatch::from_sizes(vec![9]).unwrap()),
+            Err(DenseGrowthError::SizeMismatch {
+                cluster: 4,
+                store: 2,
+                batch: 9
+            })
+        );
+        // A reordered replay with the *same total* is still rejected: the
+        // boundary clusters are checked even when the range total matches.
+        let kg2 = ImplicitKg::new(vec![2; 3]).unwrap();
+        let mut store2 = LabelStore::materialize(&kg2, &oracle);
+        store2.extend_with_batch(&UpdateBatch::from_sizes(vec![3, 2, 1]).unwrap(), &oracle);
+        let mut evolved = DenseAnnotator::new(Arc::new(store2), CostModel::default());
+        assert_eq!(
+            evolved.try_extend_population(3, &UpdateBatch::from_sizes(vec![1, 2, 3]).unwrap()),
+            Err(DenseGrowthError::SizeMismatch {
+                cluster: 3,
+                store: 3,
+                batch: 1
+            })
+        );
+        // Empty batches are always fine.
+        assert_eq!(
+            fixed.try_extend_population(42, &UpdateBatch::from_sizes(vec![]).unwrap()),
+            Ok(())
+        );
+        // Errors render actionable messages.
+        let msg = DenseGrowthError::NoGrowthOracle.to_string();
+        assert!(msg.contains("growable"), "{msg}");
     }
 
     #[test]

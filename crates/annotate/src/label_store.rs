@@ -17,6 +17,7 @@
 use crate::oracle::LabelOracle;
 use kg_model::implicit::ClusterPopulation;
 use kg_model::triple::TripleRef;
+use kg_model::update::UpdateBatch;
 use std::sync::Arc;
 
 /// Packed per-triple labels for a clustered population, with per-cluster
@@ -84,6 +85,48 @@ impl LabelStore {
             cluster_tau,
             correct,
         }
+    }
+
+    /// Append an update batch's `Δe` clusters: grow the packed bitset, the
+    /// prefix sums, and the per-cluster `τ_i` in amortized O(|Δ|), minting
+    /// cluster ids `N, N+1, …` for the batch groups in order — the same id
+    /// assignment as [`UpdateBatch::apply_to`] and the §6 incremental
+    /// evaluators. The oracle is consulted exactly once per inserted
+    /// triple, with the *global* new cluster id, so a store extended batch
+    /// by batch is bit-identical to one materialized over the fully evolved
+    /// KG from scratch.
+    ///
+    /// The prefix-sum snapshot is extended via
+    /// [`UpdateBatch::extend_prefix`]: held uniquely it grows in place;
+    /// shared with a base-snapshot sampling index it is copied once
+    /// (copy-on-write) and the sharer keeps addressing the base, whose
+    /// cluster ids never change.
+    pub fn extend_with_batch<O: LabelOracle + ?Sized>(&mut self, delta: &UpdateBatch, oracle: &O) {
+        if delta.num_delta_clusters() == 0 {
+            return;
+        }
+        let first = self.num_clusters() as u32;
+        let base_total = self.total_triples();
+        let new_total = base_total + delta.total_triples();
+        self.bits.resize(new_total.div_ceil(64) as usize, 0);
+        delta.extend_prefix(&mut self.prefix);
+        self.cluster_tau.reserve(delta.num_delta_clusters());
+        let mut base = base_total;
+        for (j, &size) in delta.delta_sizes().iter().enumerate() {
+            let cluster = first + j as u32;
+            let mut tau = 0u32;
+            for o in 0..size {
+                if oracle.label(TripleRef::new(cluster, o)) {
+                    let g = base + o as u64;
+                    self.bits[(g >> 6) as usize] |= 1u64 << (g & 63);
+                    tau += 1;
+                }
+            }
+            base += size as u64;
+            self.cluster_tau.push(tau);
+            self.correct += tau as u64;
+        }
+        debug_assert_eq!(self.total_triples(), new_total);
     }
 
     /// Number of clusters `N`.
@@ -210,6 +253,52 @@ mod tests {
         assert_eq!(store.num_clusters(), 2);
         assert_eq!(store.cluster_size(0), 4);
         assert_eq!(store.cluster_size(1), 5);
+    }
+
+    #[test]
+    fn batch_extension_matches_from_scratch_materialization() {
+        // Extending batch by batch must equal materializing the fully
+        // evolved KG in one go: same bits, τ_i, totals, accuracy.
+        let oracle = RemOracle::new(0.7, 21);
+        let base = ImplicitKg::new(vec![3, 5, 2]).unwrap();
+        let mut grown = LabelStore::materialize(&base, &oracle);
+        let b1 = UpdateBatch::from_sizes(vec![4, 1]).unwrap();
+        let b2 = UpdateBatch::from_sizes(vec![130]).unwrap(); // spans words
+        grown.extend_with_batch(&b1, &oracle);
+        grown.extend_with_batch(&b2, &oracle);
+
+        let (evolved, _) = b2.apply_to(&b1.apply_to(&base).0);
+        let scratch = LabelStore::materialize(&evolved, &oracle);
+        assert_eq!(grown.num_clusters(), scratch.num_clusters());
+        assert_eq!(grown.total_triples(), scratch.total_triples());
+        assert_eq!(grown.true_accuracy(), scratch.true_accuracy());
+        for c in 0..grown.num_clusters() {
+            assert_eq!(grown.cluster_size(c), scratch.cluster_size(c), "{c}");
+            assert_eq!(grown.cluster_tau(c), scratch.cluster_tau(c), "{c}");
+        }
+        for g in 0..grown.total_triples() {
+            assert_eq!(grown.label_at(g), scratch.label_at(g), "global {g}");
+        }
+    }
+
+    #[test]
+    fn extension_leaves_shared_base_prefix_untouched() {
+        let oracle = RemOracle::new(0.5, 4);
+        let base_prefix = Arc::new(vec![0u64, 4, 9]);
+        let mut store = LabelStore::from_prefix(base_prefix.clone(), &oracle);
+        // Empty batch: no-op, still sharing.
+        store.extend_with_batch(&UpdateBatch::from_sizes(vec![]).unwrap(), &oracle);
+        assert!(Arc::ptr_eq(store.prefix_sums(), &base_prefix));
+        // Real growth copies once; the sharer keeps the base snapshot.
+        store.extend_with_batch(&UpdateBatch::from_sizes(vec![6]).unwrap(), &oracle);
+        assert_eq!(&**base_prefix, &[0, 4, 9]);
+        assert_eq!(&**store.prefix_sums(), &[0, 4, 9, 15]);
+        assert_eq!(store.num_clusters(), 3);
+        assert_eq!(store.cluster_size(2), 6);
+        // Further growth extends the now uniquely held copy.
+        store.extend_with_batch(&UpdateBatch::from_sizes(vec![2]).unwrap(), &oracle);
+        assert_eq!(store.total_triples(), 17);
+        assert_eq!(&**base_prefix, &[0, 4, 9]);
     }
 
     #[test]

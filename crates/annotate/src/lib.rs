@@ -43,7 +43,7 @@ pub mod task;
 
 pub use annotator::{Annotator, SimulatedAnnotator};
 pub use cost::CostModel;
-pub use dense::DenseAnnotator;
+pub use dense::{DenseAnnotator, DenseGrowthError};
 pub use label_store::LabelStore;
 pub use oracle::{BmmOracle, GoldLabels, LabelOracle, RemOracle};
 pub use piecewise::PiecewiseOracle;

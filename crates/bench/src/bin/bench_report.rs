@@ -1,34 +1,44 @@
-//! `bench-report` — time the hot sampling designs under the hash and dense
-//! annotation engines and write the tracked `BENCH_throughput.json`.
+//! `bench-report` — time the hash and dense annotation engines and write
+//! the tracked benchmark JSON.
 //!
 //! Usage:
-//!   bench-report [--quick] [--seed N] [--out PATH]
+//!   bench-report [--streaming] [--quick] [--seed N] [--out PATH]
+//!
+//! Default mode times the hot *static* sampling designs (SRS/WCS/TWCS
+//! trial loops) and writes `BENCH_throughput.json`. `--streaming` instead
+//! replays evolving-KG update sequences through the §6 incremental
+//! evaluators (RS/SS) under both engines and writes `BENCH_streaming.json`
+//! (schema `kg-bench-streaming/v1`).
 //!
 //! `--quick` drops the 10^7 scale and shrinks trial counts (CI); the
-//! default output path is `BENCH_throughput.json` in the working
-//! directory. Run release: `cargo run --release -p kg-bench --bin
-//! bench-report`.
+//! default output path is `BENCH_throughput.json` / `BENCH_streaming.json`
+//! in the working directory. Run release: `cargo run --release -p kg-bench
+//! --bin bench-report`.
 
-use kg_bench::throughput::{render_table, run, to_json, ThroughputOpts};
+use kg_bench::{streaming, throughput};
 
 fn main() {
-    let mut opts = ThroughputOpts::default();
-    let mut out = String::from("BENCH_throughput.json");
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut out: Option<String> = None;
+    let mut streaming_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => opts.quick = true,
+            "--streaming" => streaming_mode = true,
+            "--quick" => quick = true,
             "--seed" => {
-                opts.seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"));
+                seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--seed needs an integer")),
+                );
             }
             "--out" => {
-                out = args.next().unwrap_or_else(|| die("--out needs a path"));
+                out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
             "--help" | "-h" => {
-                eprintln!("bench-report [--quick] [--seed N] [--out PATH]");
+                eprintln!("bench-report [--streaming] [--quick] [--seed N] [--out PATH]");
                 return;
             }
             other => die(&format!("unknown argument {other}")),
@@ -37,10 +47,35 @@ fn main() {
     #[cfg(debug_assertions)]
     eprintln!("warning: debug build — run with --release for meaningful numbers");
 
-    let report = run(&opts);
-    print!("{}", render_table(&report));
-    std::fs::write(&out, to_json(&report)).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
-    println!("wrote {out}");
+    if streaming_mode {
+        let mut opts = streaming::StreamingOpts {
+            quick,
+            ..Default::default()
+        };
+        if let Some(s) = seed {
+            opts.seed = s;
+        }
+        let out = out.unwrap_or_else(|| String::from("BENCH_streaming.json"));
+        let report = streaming::run(&opts);
+        print!("{}", streaming::render_table(&report));
+        std::fs::write(&out, streaming::to_json(&report))
+            .unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+        println!("wrote {out}");
+    } else {
+        let mut opts = throughput::ThroughputOpts {
+            quick,
+            ..Default::default()
+        };
+        if let Some(s) = seed {
+            opts.seed = s;
+        }
+        let out = out.unwrap_or_else(|| String::from("BENCH_throughput.json"));
+        let report = throughput::run(&opts);
+        print!("{}", throughput::render_table(&report));
+        std::fs::write(&out, throughput::to_json(&report))
+            .unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+        println!("wrote {out}");
+    }
 }
 
 fn die(msg: &str) -> ! {

@@ -21,6 +21,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod granular;
+pub mod streaming;
 pub mod table;
 pub mod table3;
 pub mod table4;

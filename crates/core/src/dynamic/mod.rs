@@ -27,13 +27,22 @@ use rand::RngCore;
 /// Common interface of the two incremental evaluators, used by the monitor.
 ///
 /// Incremental evaluators mint fresh cluster ids for every update batch,
-/// extending past any materialized snapshot of the KG — so the annotator
-/// must be able to label clusters that did not exist at evaluation start.
-/// Use the oracle-backed `SimulatedAnnotator`; a `DenseAnnotator` arena is
-/// sized for a fixed population and will panic on the appended ids.
+/// extending past any snapshot of the KG taken at evaluation start. They
+/// are **engine-agnostic**: `apply_update` announces the batch through
+/// [`Annotator::extend_population`] before annotating any delta-minted id,
+/// so the oracle-backed `SimulatedAnnotator` (a no-op there) and a growable
+/// `DenseAnnotator` (which extends its label store and bitmaps in lock-step
+/// with the evolving id space — build it with `DenseAnnotator::growable`,
+/// or pre-evolve its store and let replays no-op) drive identical
+/// evaluations, byte-for-byte.
 pub trait IncrementalEvaluator {
     /// Ingest one update batch, re-annotate as needed, and return the new
     /// estimate of `μ(G + Δ)` meeting the configured MoE target.
+    ///
+    /// Implementations must call `annotator.extend_population(first_id,
+    /// delta)` — where `first_id` is the id the batch's first `Δe` cluster
+    /// receives — before annotating any of the batch's clusters, and must
+    /// not announce the same batch twice.
     fn apply_update(
         &mut self,
         delta: &UpdateBatch,

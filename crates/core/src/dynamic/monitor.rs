@@ -3,6 +3,12 @@
 //! Drives any [`IncrementalEvaluator`] over a stream of update batches,
 //! recording the per-batch estimate, MoE, and the *incremental* annotation
 //! cost of absorbing each batch — the data behind Fig. 9.
+//!
+//! The monitor is engine-agnostic: each `apply_update` announces its batch
+//! to the annotator (see [`IncrementalEvaluator`]), so the same sequence
+//! runs unchanged over the hash `SimulatedAnnotator` or a growable
+//! `DenseAnnotator` — the streaming benchmark (`bench-report --streaming`)
+//! replays identical sequences under both.
 
 use crate::dynamic::IncrementalEvaluator;
 use kg_annotate::annotator::Annotator;
@@ -93,6 +99,55 @@ mod tests {
         assert!(outcomes
             .windows(2)
             .all(|w| w[0].cumulative_cost_seconds <= w[1].cumulative_cost_seconds));
+    }
+
+    #[test]
+    fn dense_engine_drives_the_monitor_byte_identically() {
+        use kg_annotate::annotator::Annotator;
+        use kg_annotate::dense::DenseAnnotator;
+        use kg_annotate::label_store::LabelStore;
+        use std::sync::Arc;
+
+        let base = ImplicitKg::new(vec![4; 500]).unwrap();
+        let oracle = RemOracle::new(0.85, 7);
+        let batches: Vec<UpdateBatch> = (0..4)
+            .map(|i| UpdateBatch::from_sizes(vec![3 + (i % 2); 60]).unwrap())
+            .collect();
+
+        let run = |annotator: &mut dyn Annotator| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut rs = ReservoirEvaluator::evaluate_base(
+                &base,
+                50,
+                5,
+                EvalConfig::default(),
+                annotator,
+                &mut rng,
+            );
+            run_sequence(&mut rs, &batches, 0.05, annotator, &mut rng)
+        };
+
+        let mut hash = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let hash_out = run(&mut hash);
+
+        let store = Arc::new(LabelStore::materialize(&base, &oracle));
+        let mut dense = DenseAnnotator::growable(store, CostModel::default(), Arc::new(oracle));
+        let dense_out = run(&mut dense);
+
+        assert_eq!(hash_out.len(), dense_out.len());
+        for (h, d) in hash_out.iter().zip(&dense_out) {
+            assert_eq!(h.estimate.mean.to_bits(), d.estimate.mean.to_bits());
+            assert_eq!(
+                h.estimate.var_of_mean.to_bits(),
+                d.estimate.var_of_mean.to_bits()
+            );
+            assert_eq!(
+                h.cumulative_cost_seconds.to_bits(),
+                d.cumulative_cost_seconds.to_bits()
+            );
+        }
+        assert_eq!(hash.seconds().to_bits(), dense.seconds().to_bits());
+        assert_eq!(hash.triples_annotated(), dense.triples_annotated());
     }
 
     #[test]

@@ -16,26 +16,36 @@ use kg_annotate::annotator::Annotator;
 use kg_model::implicit::ImplicitKg;
 use kg_model::update::UpdateBatch;
 use kg_sampling::twcs::annotate_cluster_subset;
-use kg_stats::alias::AliasTable;
-use kg_stats::reservoir::{OfferOutcome, WeightedReservoir};
+use kg_stats::pps::GrowablePps;
+use kg_stats::reservoir::{OfferOutcome, WeightedReservoirExpJ};
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Reservoir-based incremental evaluator (RS in §7.3).
+///
+/// Engine-agnostic: `apply_update` announces each batch to the annotator
+/// via [`Annotator::extend_population`] before touching its delta-minted
+/// ids, so the dense arena grows in lock-step and either engine drives the
+/// evaluator identically. Per-batch work is amortized O(|Δ|): the A-ExpJ
+/// reservoir skips most offers without an RNG draw and the PPS frame for
+/// top-ups is a [`GrowablePps`] extended in place — nothing is rebuilt
+/// over the whole evolved KG.
 pub struct ReservoirEvaluator {
     m: usize,
     config: EvalConfig,
-    reservoir: WeightedReservoir<u32>,
-    /// Second-stage accuracy of each current reservoir member.
-    member_accuracy: HashMap<u32, f64>,
+    reservoir: WeightedReservoirExpJ<u32>,
+    /// Second-stage accuracy of each current reservoir member. Ordered by
+    /// cluster id so the estimate's summation order is deterministic (a
+    /// hash map would make the last float bits depend on its random state).
+    member_accuracy: BTreeMap<u32, f64>,
     /// Top-up accuracies drawn from the current KG state (cleared on each
     /// update because their sampling frame becomes stale).
     extras: Vec<f64>,
     /// Evolving KG skeleton: sizes of all clusters seen so far.
     sizes: Vec<u32>,
-    /// Alias table over `sizes`, rebuilt lazily when stale.
-    pps: Option<AliasTable>,
+    /// PPS frame over `sizes`, extended in place as the KG grows.
+    pps: GrowablePps,
     /// Reusable second-stage offset buffer.
     scratch: Vec<usize>,
 }
@@ -54,19 +64,20 @@ impl ReservoirEvaluator {
         annotator: &mut dyn Annotator,
         rng: &mut dyn RngCore,
     ) -> Self {
-        let mut reservoir = WeightedReservoir::new(capacity);
+        let mut reservoir = WeightedReservoirExpJ::new(capacity);
         let sizes = base.sizes().to_vec();
         for (c, &s) in sizes.iter().enumerate() {
             reservoir.offer(rng, c as u32, s as f64);
         }
+        let pps = GrowablePps::from_sizes(&sizes).expect("cluster sizes are positive");
         let mut this = ReservoirEvaluator {
             m,
             config,
             reservoir,
-            member_accuracy: HashMap::new(),
+            member_accuracy: BTreeMap::new(),
             extras: Vec::new(),
             sizes,
-            pps: None,
+            pps,
             scratch: Vec::with_capacity(m),
         };
         this.annotate_new_members(annotator, rng);
@@ -101,7 +112,7 @@ impl ReservoirEvaluator {
 
     /// Current total triples in the evolved KG skeleton.
     pub fn total_triples(&self) -> u64 {
-        self.sizes.iter().map(|&s| s as u64).sum()
+        self.pps.total()
     }
 
     fn annotate_new_members(&mut self, annotator: &mut dyn Annotator, rng: &mut dyn RngCore) {
@@ -142,12 +153,9 @@ impl ReservoirEvaluator {
             if n >= self.config.max_units {
                 break;
             }
-            if self.pps.is_none() {
-                self.pps = Some(AliasTable::from_sizes(&self.sizes).expect("non-empty evolved KG"));
-            }
-            let table = self.pps.as_ref().expect("built above");
+            assert!(!self.pps.is_empty(), "non-empty evolved KG");
             for _ in 0..self.config.batch_size {
-                let c = table.sample(rng) as u32;
+                let c = self.pps.sample(rng) as u32;
                 let acc = annotate_cluster_subset(
                     c,
                     self.sizes[c as usize] as usize,
@@ -169,12 +177,16 @@ impl IncrementalEvaluator for ReservoirEvaluator {
         annotator: &mut dyn Annotator,
         rng: &mut dyn RngCore,
     ) -> PointEstimate {
+        // Announce the batch before annotating any of its fresh ids, so a
+        // materialized engine can grow its label state (no-op for the hash
+        // engine, and for replays over a pre-evolved store).
+        annotator.extend_population(self.sizes.len() as u32, delta);
         // Stale after growth: extras were drawn from the previous frame.
         self.extras.clear();
-        self.pps = None;
         for &dsize in delta.delta_sizes() {
             let id = self.sizes.len() as u32;
             self.sizes.push(dsize);
+            self.pps.push(dsize).expect("Δe groups are non-empty");
             match self.reservoir.offer(rng, id, dsize as f64) {
                 OfferOutcome::Inserted => {
                     let acc = annotate_cluster_subset(

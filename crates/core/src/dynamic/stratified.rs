@@ -18,7 +18,7 @@ use kg_annotate::annotator::Annotator;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
 use kg_model::update::UpdateBatch;
 use kg_sampling::twcs::annotate_cluster_subset;
-use kg_stats::alias::AliasTable;
+use kg_stats::pps::GrowablePps;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
 
@@ -41,8 +41,8 @@ enum StratumState {
         first_cluster: u32,
         /// Cluster sizes within the stratum.
         sizes: Vec<u32>,
-        /// PPS table over `sizes`.
-        alias: AliasTable,
+        /// PPS frame over `sizes` (built once per batch, O(|Δ|)).
+        pps: GrowablePps,
         /// Per-draw second-stage accuracies.
         accs: RunningMoments,
     },
@@ -73,6 +73,11 @@ impl StratumEval {
 }
 
 /// Stratified incremental evaluator (SS in §7.3).
+///
+/// Engine-agnostic: `apply_update` announces each batch to the annotator
+/// via [`Annotator::extend_population`] before sampling its stratum, so
+/// the dense arena and the hash engine are interchangeable here just as
+/// they are for the static designs.
 pub struct StratifiedIncremental {
     m: usize,
     config: EvalConfig,
@@ -136,6 +141,10 @@ impl IncrementalEvaluator for StratifiedIncremental {
         annotator: &mut dyn Annotator,
         rng: &mut dyn RngCore,
     ) -> PointEstimate {
+        // Announce the batch before annotating any of its fresh ids, so a
+        // materialized engine can grow its label state (no-op for the hash
+        // engine, and for replays over a pre-evolved store).
+        annotator.extend_population(self.next_cluster_id, delta);
         // Freeze the previous live stratum (if any): Algorithm 2 reuses its
         // estimate from now on.
         let m = self.m;
@@ -149,7 +158,7 @@ impl IncrementalEvaluator for StratifiedIncremental {
         if sizes.is_empty() {
             return self.combined();
         }
-        let alias = AliasTable::from_sizes(&sizes).expect("non-empty update batch");
+        let pps = GrowablePps::from_sizes(&sizes).expect("Δe groups are non-empty");
         let first_cluster = self.next_cluster_id;
         self.next_cluster_id += sizes.len() as u32;
         self.strata.push(StratumEval {
@@ -157,7 +166,7 @@ impl IncrementalEvaluator for StratifiedIncremental {
             state: StratumState::Live {
                 first_cluster,
                 sizes,
-                alias,
+                pps,
                 accs: RunningMoments::new(),
             },
         });
@@ -184,12 +193,12 @@ impl IncrementalEvaluator for StratifiedIncremental {
             if let StratumState::Live {
                 first_cluster,
                 sizes,
-                alias,
+                pps,
                 accs,
             } = &mut live.state
             {
                 for _ in 0..self.config.batch_size {
-                    let local = alias.sample(rng);
+                    let local = pps.sample(rng);
                     let cluster = *first_cluster + local as u32;
                     let acc = annotate_cluster_subset(
                         cluster,

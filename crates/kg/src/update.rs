@@ -12,6 +12,7 @@
 use crate::error::KgError;
 use crate::implicit::ImplicitKg;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A batch of triple insertions, already clustered by subject: element `j`
 /// is `|Δe_j|`, the number of inserted triples about subject `e_j`.
@@ -77,6 +78,34 @@ impl UpdateBatch {
         let evolved = ImplicitKg::new(sizes).expect("both inputs validated non-zero sizes");
         (evolved, first_new)
     }
+
+    /// Append this batch's `Δe` clusters to a shared prefix-sum snapshot
+    /// (`prefix[c]` = global index of cluster `c`'s first triple,
+    /// `prefix[N]` = total triples `M`), in place.
+    ///
+    /// When the caller holds the only strong reference the existing
+    /// allocation is extended — amortized O(|Δ|) per batch, nothing
+    /// rebuilt. A prefix still shared with other holders (say, a sampling
+    /// index over the base snapshot) is copied once on first growth
+    /// (`Arc::make_mut` copy-on-write); the other holders keep addressing
+    /// the base snapshot, which is exactly the §6 contract — previously
+    /// assigned cluster ids and weights never change.
+    pub fn extend_prefix(&self, prefix: &mut Arc<Vec<u64>>) {
+        assert!(
+            !prefix.is_empty() && prefix[0] == 0,
+            "prefix sums must start at 0"
+        );
+        if self.delta_sizes.is_empty() {
+            return;
+        }
+        let prefix = Arc::make_mut(prefix);
+        prefix.reserve(self.delta_sizes.len());
+        let mut acc = *prefix.last().expect("checked non-empty");
+        for &s in &self.delta_sizes {
+            acc += s as u64;
+            prefix.push(acc);
+        }
+    }
 }
 
 impl ImplicitKg {
@@ -117,6 +146,107 @@ mod tests {
         assert_eq!(evolved.cluster_size(3), 6);
         // Base clusters untouched.
         assert_eq!(evolved.cluster_size(0), 4);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op_everywhere() {
+        let empty = UpdateBatch::from_sizes(vec![]).unwrap();
+        assert_eq!(empty.num_delta_clusters(), 0);
+        assert_eq!(empty.total_triples(), 0);
+        assert_eq!(empty.delta_sizes(), &[] as &[u32]);
+        // Applying an empty batch evolves nothing.
+        let base = ImplicitKg::new(vec![3, 2]).unwrap();
+        let (evolved, first_new) = empty.apply_to(&base);
+        assert_eq!(first_new, 2);
+        assert_eq!(evolved.num_clusters(), 2);
+        assert_eq!(evolved.total_triples(), base.total_triples());
+        // Extending a prefix snapshot leaves it untouched (no CoW either).
+        let prefix = Arc::new(vec![0u64, 3, 5]);
+        let mut shared = prefix.clone();
+        empty.extend_prefix(&mut shared);
+        assert!(Arc::ptr_eq(&shared, &prefix));
+        // Grouping an empty insertion stream yields the empty batch.
+        assert_eq!(UpdateBatch::group_by_subject(&[]), empty);
+    }
+
+    #[test]
+    fn group_by_subject_with_duplicates_is_order_insensitive() {
+        // Duplicate subjects, arbitrary interleaving: the Δe grouping only
+        // depends on the multiset of subject ids.
+        let a = UpdateBatch::group_by_subject(&[9, 1, 9, 9, 1, 4, 9]);
+        let b = UpdateBatch::group_by_subject(&[1, 1, 4, 9, 9, 9, 9]);
+        assert_eq!(a, b);
+        assert_eq!(a.delta_sizes(), &[2, 1, 4]); // subjects 1, 4, 9
+        assert_eq!(a.total_triples(), 7);
+        // All-duplicate stream collapses into a single Δe cluster.
+        let one = UpdateBatch::group_by_subject(&[5; 6]);
+        assert_eq!(one.delta_sizes(), &[6]);
+        assert_eq!(one.num_delta_clusters(), 1);
+    }
+
+    #[test]
+    fn merging_into_existing_subjects_still_mints_new_clusters() {
+        // A batch whose subjects all already exist in G: under Algorithm 1
+        // every Δe is still a fresh cluster (sub-clusters over time), so
+        // the evolved KG grows by the batch's cluster count, and the base
+        // cluster sizes are never edited in place.
+        let base = ImplicitKg::new(vec![10, 20]).unwrap();
+        let merge = UpdateBatch::group_by_subject(&[0, 0, 1]); // both exist
+        let (evolved, first_new) = merge.apply_to(&base);
+        assert_eq!(first_new, 2);
+        assert_eq!(evolved.num_clusters(), 4);
+        assert_eq!(evolved.cluster_size(0), 10);
+        assert_eq!(evolved.cluster_size(1), 20);
+        assert_eq!(evolved.cluster_size(2), 2); // Δe of subject 0
+        assert_eq!(evolved.cluster_size(3), 1); // Δe of subject 1
+                                                // Brand-new subjects behave identically: id assignment is by
+                                                // position, not subject identity.
+        let mint = UpdateBatch::group_by_subject(&[99, 98]);
+        let (evolved2, first2) = mint.apply_to(&evolved);
+        assert_eq!(first2, 4);
+        assert_eq!(evolved2.num_clusters(), 6);
+    }
+
+    #[test]
+    fn apply_to_accounts_every_inserted_triple() {
+        let base = ImplicitKg::new(vec![7, 1, 2]).unwrap();
+        let batch = UpdateBatch::from_sizes(vec![4, 4, 1]).unwrap();
+        let (evolved, _) = batch.apply_to(&base);
+        assert_eq!(
+            evolved.total_triples(),
+            base.total_triples() + batch.total_triples()
+        );
+        // Chaining batches keeps the running total exact.
+        let mut kg = evolved;
+        let mut expect = kg.total_triples();
+        for seed in 0..4u32 {
+            let b = UpdateBatch::from_sizes(vec![1 + seed, 2]).unwrap();
+            expect += b.total_triples();
+            kg = b.apply_to(&kg).0;
+            assert_eq!(kg.total_triples(), expect);
+        }
+    }
+
+    #[test]
+    fn extend_prefix_matches_apply_to_layout() {
+        let base = ImplicitKg::new(vec![4, 4]).unwrap();
+        let batch = UpdateBatch::from_sizes(vec![2, 6]).unwrap();
+        let mut prefix = Arc::new(vec![0u64, 4, 8]);
+        batch.extend_prefix(&mut prefix);
+        assert_eq!(&**prefix, &[0, 4, 8, 10, 16]);
+        // A uniquely held Arc is extended in place (no reallocation of the
+        // Arc itself), a shared one is copied once and the sharer keeps the
+        // base snapshot.
+        let shared = prefix.clone();
+        let batch2 = UpdateBatch::from_sizes(vec![5]).unwrap();
+        let mut grown = prefix;
+        batch2.extend_prefix(&mut grown);
+        assert_eq!(&**grown, &[0, 4, 8, 10, 16, 21]);
+        assert_eq!(&**shared, &[0, 4, 8, 10, 16]);
+        assert!(!Arc::ptr_eq(&grown, &shared));
+        // Totals agree with apply_to.
+        let (evolved, _) = batch2.apply_to(&batch.apply_to(&base).0);
+        assert_eq!(*grown.last().unwrap(), evolved.total_triples());
     }
 
     #[test]

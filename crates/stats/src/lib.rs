@@ -17,6 +17,9 @@
 //! * [`alias`] — Walker/Vose alias tables for O(1) weighted sampling *with*
 //!   replacement, the first-stage sampler of WCS/TWCS (clusters drawn with
 //!   probability proportional to size, §5.2.2).
+//! * [`pps`] — growable prefix-sum PPS sampling: O(log N) draws with
+//!   amortized O(1) appends, so evolving-KG evaluators absorb update batches
+//!   without rebuilding an alias table over the whole grown population.
 //! * [`reservoir`] — unweighted reservoir sampling (Vitter's Algorithm R) and
 //!   the weighted reservoir of Efraimidis–Spirakis (Algorithm A-Res with
 //!   exponential-jump skipping), the engine of the paper's Algorithm 1.
@@ -43,6 +46,7 @@ pub mod fastset;
 pub mod histogram;
 pub mod moments;
 pub mod normal;
+pub mod pps;
 pub mod reservoir;
 pub mod srswor;
 pub mod stratify;
@@ -53,5 +57,6 @@ pub use error::StatsError;
 pub use histogram::Histogram;
 pub use moments::RunningMoments;
 pub use normal::{erf, erfc, normal_cdf, normal_quantile, z_critical};
+pub use pps::GrowablePps;
 pub use reservoir::{Reservoir, WeightedReservoir, WeightedReservoirExpJ};
 pub use stratify::{cum_sqrt_f_boundaries, Allocation, StratumBounds};

@@ -1,0 +1,206 @@
+//! Growable probability-proportional-to-size sampling over prefix sums.
+//!
+//! [`AliasTable`](crate::alias::AliasTable) gives O(1) PPS draws but must be
+//! rebuilt from scratch — O(N) — whenever a weight is appended, which is
+//! exactly what an evolving KG does on every update batch. [`GrowablePps`]
+//! trades the O(1) draw for an O(log N) binary search over prefix sums and
+//! in exchange supports **amortized O(1) appends**: the incremental
+//! evaluators (§6) extend it with each batch's `Δe` cluster sizes instead of
+//! rebuilding a table over the whole evolved KG.
+//!
+//! A draw picks a uniform triple index in `[0, M)` and maps it to its
+//! cluster, so cluster `i` is selected with probability `M_i / M` — the same
+//! first-stage distribution as the alias table (the realized draw *streams*
+//! differ; both are exact PPS).
+
+use crate::error::StatsError;
+use rand::Rng;
+
+/// Sampled stride of the coarse level: one coarse entry per `STRIDE` items.
+/// 64 keeps the fine window at one-to-few cache lines while the coarse
+/// level for a million-cluster KG is ~125 KB — hot across a draw loop,
+/// where the full prefix array (8 MB) is not.
+const STRIDE: usize = 64;
+
+/// Prefix-sum PPS sampler over a growing list of integer weights.
+///
+/// Two-level layout: draws binary-search a coarse array holding every
+/// `STRIDE`-th prefix (cache-resident across a draw loop), then finish
+/// inside one `STRIDE`-item window of the full array — a handful of hot
+/// probes instead of `log N` cold misses over megabytes of prefix sums.
+#[derive(Debug, Clone)]
+pub struct GrowablePps {
+    /// `prefix[i]` = total weight of items `0..i`; `prefix.len() == n + 1`.
+    prefix: Vec<u64>,
+    /// `coarse[j] = prefix[j * STRIDE]`, maintained on push.
+    coarse: Vec<u64>,
+}
+
+impl Default for GrowablePps {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GrowablePps {
+    /// Empty sampler (draws return an error until an item is pushed).
+    pub fn new() -> Self {
+        GrowablePps {
+            prefix: vec![0],
+            coarse: vec![0],
+        }
+    }
+
+    /// Sampler over initial weights. Zero weights are rejected — a
+    /// zero-size cluster cannot be drawn and would silently skew offsets.
+    pub fn from_sizes(sizes: &[u32]) -> Result<Self, StatsError> {
+        let mut this = Self::new();
+        this.extend_from_sizes(sizes)?;
+        Ok(this)
+    }
+
+    /// Append one item with positive weight — amortized O(1).
+    pub fn push(&mut self, size: u32) -> Result<(), StatsError> {
+        if size == 0 {
+            return Err(StatsError::invalid("size", "> 0", 0.0));
+        }
+        let total = *self.prefix.last().expect("prefix non-empty");
+        self.prefix.push(total + size as u64);
+        if (self.prefix.len() - 1).is_multiple_of(STRIDE) {
+            self.coarse.push(total + size as u64);
+        }
+        Ok(())
+    }
+
+    /// Append a batch of items — amortized O(batch), no rebuild.
+    pub fn extend_from_sizes(&mut self, sizes: &[u32]) -> Result<(), StatsError> {
+        self.prefix.reserve(sizes.len());
+        for &s in sizes {
+            self.push(s)?;
+        }
+        Ok(())
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// Whether no items have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.prefix.len() == 1
+    }
+
+    /// Total weight `M`.
+    pub fn total(&self) -> u64 {
+        *self.prefix.last().expect("prefix non-empty")
+    }
+
+    /// Draw an item index with probability proportional to its weight.
+    /// Panics if empty (use [`GrowablePps::is_empty`] to guard).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(!self.is_empty(), "cannot sample from an empty PPS sampler");
+        let t = rng.gen_range(0..self.total());
+        self.locate(t)
+    }
+
+    /// Index of the item whose weight span contains cumulative position
+    /// `t` (`prefix[i] <= t < prefix[i+1]`).
+    fn locate(&self, t: u64) -> usize {
+        // Coarse level: the window holding t (hot memory).
+        let j = self.coarse.partition_point(|&p| p <= t) - 1;
+        // Fine level: at most STRIDE entries of the full prefix array.
+        let lo = j * STRIDE;
+        let hi = ((j + 1) * STRIDE + 1).min(self.prefix.len());
+        let window = &self.prefix[lo..hi];
+        let i = lo + window.partition_point(|&p| p <= t) - 1;
+        debug_assert!(self.prefix[i] <= t && t < self.prefix[i + 1]);
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frequencies_proportional_to_weights() {
+        let pps = GrowablePps::from_sizes(&[1, 3, 6]).unwrap();
+        assert_eq!(pps.len(), 3);
+        assert_eq!(pps.total(), 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[pps.sample(&mut rng)] += 1;
+        }
+        for (i, &w) in [1u32, 3, 6].iter().enumerate() {
+            let freq = counts[i] as f64 / trials as f64;
+            let expect = w as f64 / 10.0;
+            assert!((freq - expect).abs() < 0.01, "item {i}: {freq} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn growth_preserves_earlier_items_and_reweights() {
+        let mut pps = GrowablePps::from_sizes(&[5, 5]).unwrap();
+        pps.extend_from_sizes(&[10]).unwrap();
+        assert_eq!(pps.len(), 3);
+        assert_eq!(pps.total(), 20);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut last = 0u32;
+        for _ in 0..40_000 {
+            if pps.sample(&mut rng) == 2 {
+                last += 1;
+            }
+        }
+        let freq = last as f64 / 40_000.0;
+        assert!((freq - 0.5).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn zero_weights_rejected_and_empty_guarded() {
+        assert!(GrowablePps::from_sizes(&[1, 0]).is_err());
+        let mut pps = GrowablePps::new();
+        assert!(pps.is_empty());
+        assert_eq!(pps.total(), 0);
+        assert!(pps.push(0).is_err());
+        pps.push(4).unwrap();
+        assert!(!pps.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pps.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn two_level_locate_agrees_with_flat_search_across_strides() {
+        // Enough items to span several coarse blocks, with growth crossing
+        // block boundaries; every cumulative position must resolve to the
+        // same item a flat partition_point would give.
+        let mut pps = GrowablePps::new();
+        let check = |pps: &GrowablePps| {
+            for t in 0..pps.total() {
+                let flat = pps.prefix.partition_point(|&p| p <= t) - 1;
+                assert_eq!(pps.locate(t), flat, "t {t}");
+            }
+        };
+        for i in 0..300u32 {
+            pps.push(1 + i % 7).unwrap();
+        }
+        check(&pps);
+        // Irregular growth: single pushes and a large batch.
+        pps.push(1000).unwrap();
+        pps.extend_from_sizes(&[2; 150]).unwrap();
+        check(&pps);
+        assert_eq!(pps.len(), 451);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty PPS sampler")]
+    fn sampling_empty_panics() {
+        let pps = GrowablePps::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        pps.sample(&mut rng);
+    }
+}

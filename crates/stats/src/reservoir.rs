@@ -221,14 +221,15 @@ impl<T> WeightedReservoir<T> {
     }
 
     /// Replace the minimum-key member with `(item, key)` unconditionally
-    /// (A-ExpJ already conditioned the key to beat the threshold). Panics
-    /// if the reservoir is not full.
-    fn replace_min(&mut self, item: T, key: f64) {
+    /// (A-ExpJ already conditioned the key to beat the threshold),
+    /// returning the evicted member. Panics if the reservoir is not full.
+    fn replace_min(&mut self, item: T, key: f64) -> Keyed<T> {
         assert!(self.is_full(), "replace_min requires a full reservoir");
-        self.heap.pop();
+        let evicted = self.heap.pop().expect("full reservoir").0;
         self.heap.push(MinKey(Keyed { item, key }));
         self.replacements += 1;
         self.offered += 1;
+        evicted
     }
 }
 
@@ -239,10 +240,11 @@ impl<T> WeightedReservoir<T> {
 /// MOVIE-FULL stream with a 60-slot reservoir that is ~900 variates
 /// instead of 14.5M.
 ///
-/// The trade-off: A-ExpJ cannot report which item was *evicted* per offer
-/// (skipped items never materialize), so the incremental evaluator — which
-/// must retire evicted annotations — uses A-Res; A-ExpJ serves bulk
-/// initialization and anywhere eviction identity is irrelevant.
+/// Skipped items never materialize (that is the whole point), but items
+/// *evicted* from the reservoir do — [`WeightedReservoirExpJ::offer`]
+/// reports the same [`OfferOutcome`] as A-Res, so the §6 incremental
+/// evaluator can retire evicted annotations while paying O(1) per skipped
+/// stream item instead of a `powf` + RNG draw for each.
 #[derive(Debug, Clone)]
 pub struct WeightedReservoirExpJ<T> {
     inner: WeightedReservoir<T>,
@@ -272,24 +274,26 @@ impl<T> WeightedReservoirExpJ<T> {
         self.skip = Some(r.ln() / t_w.ln());
     }
 
-    /// Offer one item with positive weight.
-    pub fn offer<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T, weight: f64) {
+    /// Offer one item with positive weight. The outcome mirrors A-Res:
+    /// skipped items report [`OfferOutcome::Rejected`], jump-crossing items
+    /// report the member they displaced.
+    pub fn offer<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T, weight: f64) -> OfferOutcome<T> {
         assert!(
             weight > 0.0 && weight.is_finite(),
             "reservoir weights must be positive and finite (got {weight})"
         );
         if !self.inner.is_full() {
             // Fill phase behaves exactly like A-Res.
-            self.inner.offer(rng, item, weight);
+            let outcome = self.inner.offer(rng, item, weight);
             if self.inner.is_full() {
                 self.draw_skip(rng);
             }
-            return;
+            return outcome;
         }
         let skip = self.skip.as_mut().expect("set when reservoir filled");
         if *skip > weight {
             *skip -= weight;
-            return;
+            return OfferOutcome::Rejected;
         }
         // This item crosses the jump: insert it with a key conditioned to
         // beat the current threshold, k ~ U(T_w^w, 1)^(1/w).
@@ -297,8 +301,9 @@ impl<T> WeightedReservoirExpJ<T> {
         let lo = t_w.powf(weight);
         let u = lo + rng.gen::<f64>() * (1.0 - lo);
         let key = u.powf(1.0 / weight);
-        self.inner.replace_min(item, key);
+        let evicted = self.inner.replace_min(item, key);
         self.draw_skip(rng);
+        OfferOutcome::Replaced(evicted)
     }
 
     /// Items currently held, with their keys.
@@ -319,6 +324,11 @@ impl<T> WeightedReservoirExpJ<T> {
     /// Replacement events since creation.
     pub fn replacements(&self) -> u64 {
         self.inner.replacements()
+    }
+
+    /// Reservoir capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
     }
 }
 
@@ -521,6 +531,35 @@ mod tests {
             (a_res - a_expj).abs() < 0.25,
             "A-Res {a_res} vs A-ExpJ {a_expj} heavy items per reservoir"
         );
+    }
+
+    #[test]
+    fn expj_reports_evictions_like_ares() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut r = WeightedReservoirExpJ::new(5);
+        let mut members: std::collections::BTreeSet<u32> = (0..5).collect();
+        for i in 0..5u32 {
+            assert!(matches!(
+                r.offer(&mut rng, i, 1.0 + i as f64),
+                OfferOutcome::Inserted
+            ));
+        }
+        let mut replaced = 0u64;
+        for i in 5..5_000u32 {
+            match r.offer(&mut rng, i, 1.0 + (i % 7) as f64) {
+                OfferOutcome::Inserted => panic!("reservoir already full"),
+                OfferOutcome::Replaced(evicted) => {
+                    assert!(members.remove(&evicted.item), "evicted non-member");
+                    members.insert(i);
+                    replaced += 1;
+                }
+                OfferOutcome::Rejected => {}
+            }
+        }
+        assert_eq!(replaced, r.replacements());
+        assert_eq!(r.capacity(), 5);
+        let held: std::collections::BTreeSet<u32> = r.iter().map(|k| k.item).collect();
+        assert_eq!(held, members, "outcome bookkeeping tracks membership");
     }
 
     #[test]

@@ -26,8 +26,16 @@ fn main() {
     let batches = UpdateGenerator::movie_like().sequence(10, pop.total_triples() / 10, 77);
 
     // --- RS: reservoir incremental evaluation (Algorithm 1) -------------
+    // Driven by the *dense* engine: the arena is growable, so each update
+    // batch extends its label store in lock-step with the evolving id
+    // space (the hash engine below is interchangeable — estimates and
+    // costs are byte-identical).
+    use kg_accuracy_eval::annotate::dense::DenseAnnotator;
+    use kg_accuracy_eval::annotate::label_store::LabelStore;
+    use std::sync::Arc;
+    let store = Arc::new(LabelStore::materialize(pop, oracle));
     let mut rng = StdRng::seed_from_u64(1);
-    let mut annotator = SimulatedAnnotator::new(oracle, CostModel::default());
+    let mut annotator = DenseAnnotator::growable(store, CostModel::default(), base.oracle.clone());
     let mut rs = ReservoirEvaluator::evaluate_base(pop, 60, 5, config, &mut annotator, &mut rng);
     let base_cost = annotator.hours();
     println!(
