@@ -28,6 +28,9 @@
 //!   bitset indexed by global triple index, and [`dense::DenseAnnotator`]
 //!   memoizes via packed bitmaps with a touched-word journal, so one arena
 //!   serves every trial with resets costing only the trial's footprint.
+//! * [`lease::DenseArenaPool`] — arena checkout for parallel trial
+//!   runtimes: each worker leases one reusable dense arena for its
+//!   lifetime instead of rebuilding per trial.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,6 +39,7 @@ pub mod annotator;
 pub mod cost;
 pub mod dense;
 pub mod label_store;
+pub mod lease;
 pub mod oracle;
 pub mod piecewise;
 pub mod pool;
@@ -45,6 +49,7 @@ pub use annotator::{Annotator, SimulatedAnnotator};
 pub use cost::CostModel;
 pub use dense::{DenseAnnotator, DenseGrowthError};
 pub use label_store::LabelStore;
+pub use lease::{ArenaLease, DenseArenaPool};
 pub use oracle::{BmmOracle, GoldLabels, LabelOracle, RemOracle};
 pub use piecewise::PiecewiseOracle;
 pub use pool::{AnnotatorPool, AnnotatorProfile};

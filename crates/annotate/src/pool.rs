@@ -46,6 +46,18 @@ impl AnnotatorProfile {
 }
 
 /// A pool of simulated annotators voting on every task.
+///
+/// # Tie-breaking with an even number of annotators
+///
+/// A label is resolved "correct" iff a **strict majority** of the pool
+/// votes correct (`yes · 2 > k`). With an even pool a `k/2 : k/2` split is
+/// possible; the strict inequality resolves every such tie to
+/// **incorrect** — the conservative call for an accuracy audit (a triple
+/// the pool cannot agree on should not inflate the accuracy estimate).
+/// Ties are therefore deterministic: the same pool profiles, seed, and
+/// task stream always produce the same labels, regardless of annotator
+/// order or how tasks are batched (votes are memoized per triple on first
+/// resolution).
 pub struct AnnotatorPool<'a> {
     oracle: &'a dyn LabelOracle,
     cost: CostModel,
@@ -108,8 +120,9 @@ impl<'a> AnnotatorPool<'a> {
     }
 
     /// Annotate a batch: every task goes to every pool member; labels are
-    /// resolved by majority vote (ties → incorrect). Returns labels in the
-    /// order of `refs`.
+    /// resolved by strict majority vote (even-pool ties → incorrect; see
+    /// the [type docs](AnnotatorPool#tie-breaking-with-an-even-number-of-annotators)).
+    /// Returns labels in the order of `refs`.
     pub fn annotate(&mut self, refs: &[TripleRef]) -> Vec<bool> {
         for task in group_into_tasks(refs) {
             for (w, profile) in self.profiles.iter().enumerate() {
@@ -241,6 +254,52 @@ mod tests {
         // Same seed → same votes in a fresh pool.
         let mut pool2 = AnnotatorPool::new(&oracle, CostModel::default(), profiles, 6);
         assert_eq!(pool2.annotate(&refs(20)), first);
+    }
+
+    #[test]
+    fn even_pool_ties_break_toward_incorrect_deterministically() {
+        // One perfectly reliable annotator and one that flips *every*
+        // label splits a 2-member pool 1:1 on every triple; the strict
+        // majority rule must resolve all ties to "incorrect".
+        let always_wrong = AnnotatorProfile {
+            speed: 1.0,
+            error_rate: 1.0,
+        };
+        let profiles = vec![AnnotatorProfile::reliable(), always_wrong];
+        // Both truth polarities: a correct KG and an all-wrong KG.
+        for accuracy in [1.0, 0.0] {
+            let oracle = RemOracle::new(accuracy, 13);
+            let mut pool = AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 8);
+            let labels = pool.annotate(&refs(40));
+            assert!(
+                labels.iter().all(|&l| !l),
+                "ties must resolve to incorrect (truth accuracy {accuracy})"
+            );
+        }
+    }
+
+    #[test]
+    fn even_pool_votes_are_deterministic_across_runs_and_batching() {
+        // A 4-member pool with noisy members: genuine ties can occur, and
+        // whatever the votes resolve to must be identical run-to-run and
+        // independent of how the refs are batched.
+        let profiles = vec![AnnotatorProfile::hasty(0.5); 4];
+        let oracle = RemOracle::new(0.7, 21);
+        let mut one_shot = AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 3);
+        let all = one_shot.annotate(&refs(60));
+        let mut rerun = AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 3);
+        assert_eq!(rerun.annotate(&refs(60)), all);
+        // Same triples split into two batches resolve identically.
+        let mut split = AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 3);
+        let refs_all = refs(60);
+        let mut split_labels = split.annotate(&refs_all[..25]);
+        split_labels.extend(split.annotate(&refs_all[25..]));
+        assert_eq!(split_labels, all);
+        // A strict majority of 4 needs 3 yes-votes: with 50% flippers on a
+        // 70%-accurate KG some ties are statistically certain; the
+        // conservative rule biases the pool estimate downward.
+        let acc = all.iter().filter(|&&b| b).count() as f64 / all.len() as f64;
+        assert!(acc < 0.7 + 1e-9, "tie-to-incorrect cannot inflate: {acc}");
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //!    coverage on accurate KGs.
 
 use crate::table::TextTable;
-use crate::trials::{pm, pm_pct, run_trials};
+use crate::trials::{pm, pm_pct};
 use crate::Opts;
 use kg_datagen::profile::DatasetProfile;
 use kg_eval::config::EvalConfig;
+use kg_eval::executor::run_trials;
 use kg_eval::framework::Evaluator;
 use kg_sampling::design::Design;
 use kg_sampling::PopulationIndex;

@@ -1,31 +1,44 @@
-//! `bench-report` — time the hash and dense annotation engines and write
-//! the tracked benchmark JSON.
+//! `bench-report` — time the annotation engines and the parallel trial
+//! runtime, writing the tracked benchmark JSON.
 //!
 //! Usage:
-//!   bench-report [--streaming] [--quick] [--seed N] [--out PATH]
+//!   bench-report [--streaming | --parallel] [--quick] [--seed N] [--out PATH]
 //!
 //! Default mode times the hot *static* sampling designs (SRS/WCS/TWCS
 //! trial loops) and writes `BENCH_throughput.json`. `--streaming` instead
 //! replays evolving-KG update sequences through the §6 incremental
 //! evaluators (RS/SS) under both engines and writes `BENCH_streaming.json`
-//! (schema `kg-bench-streaming/v1`).
+//! (schema `kg-bench-streaming/v1`). `--parallel` sweeps the
+//! `TrialExecutor` worker counts (1/2/4/8) over the static TWCS workload
+//! under both engines and writes `BENCH_parallel.json` (schema
+//! `kg-bench-parallel/v1`), recording both the scaling curve and the
+//! bitwise worker-count-invariance check.
 //!
-//! `--quick` drops the 10^7 scale and shrinks trial counts (CI); the
-//! default output path is `BENCH_throughput.json` / `BENCH_streaming.json`
-//! in the working directory. Run release: `cargo run --release -p kg-bench
+//! `--quick` shrinks scales and trial counts (CI); the default output path
+//! is `BENCH_<mode>.json` in the working directory. All artifacts are
+//! written atomically (temp file + rename), so an interrupted run never
+//! leaves a truncated JSON. Run release: `cargo run --release -p kg-bench
 //! --bin bench-report`.
 
-use kg_bench::{streaming, throughput};
+use kg_bench::artifact::write_atomic;
+use kg_bench::{parallel, streaming, throughput};
+
+enum Mode {
+    Throughput,
+    Streaming,
+    Parallel,
+}
 
 fn main() {
     let mut quick = false;
     let mut seed: Option<u64> = None;
     let mut out: Option<String> = None;
-    let mut streaming_mode = false;
+    let mut mode = Mode::Throughput;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--streaming" => streaming_mode = true,
+            "--streaming" => mode = Mode::Streaming,
+            "--parallel" => mode = Mode::Parallel,
             "--quick" => quick = true,
             "--seed" => {
                 seed = Some(
@@ -38,7 +51,9 @@ fn main() {
                 out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
             "--help" | "-h" => {
-                eprintln!("bench-report [--streaming] [--quick] [--seed N] [--out PATH]");
+                eprintln!(
+                    "bench-report [--streaming | --parallel] [--quick] [--seed N] [--out PATH]"
+                );
                 return;
             }
             other => die(&format!("unknown argument {other}")),
@@ -47,35 +62,56 @@ fn main() {
     #[cfg(debug_assertions)]
     eprintln!("warning: debug build — run with --release for meaningful numbers");
 
-    if streaming_mode {
-        let mut opts = streaming::StreamingOpts {
-            quick,
-            ..Default::default()
-        };
-        if let Some(s) = seed {
-            opts.seed = s;
+    let (table, json, out) = match mode {
+        Mode::Streaming => {
+            let mut opts = streaming::StreamingOpts {
+                quick,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                opts.seed = s;
+            }
+            let report = streaming::run(&opts);
+            (
+                streaming::render_table(&report),
+                streaming::to_json(&report),
+                out.unwrap_or_else(|| String::from("BENCH_streaming.json")),
+            )
         }
-        let out = out.unwrap_or_else(|| String::from("BENCH_streaming.json"));
-        let report = streaming::run(&opts);
-        print!("{}", streaming::render_table(&report));
-        std::fs::write(&out, streaming::to_json(&report))
-            .unwrap_or_else(|e| die(&format!("write {out}: {e}")));
-        println!("wrote {out}");
-    } else {
-        let mut opts = throughput::ThroughputOpts {
-            quick,
-            ..Default::default()
-        };
-        if let Some(s) = seed {
-            opts.seed = s;
+        Mode::Parallel => {
+            let mut opts = parallel::ParallelOpts {
+                quick,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                opts.seed = s;
+            }
+            let report = parallel::run(&opts);
+            (
+                parallel::render_table(&report),
+                parallel::to_json(&report),
+                out.unwrap_or_else(|| String::from("BENCH_parallel.json")),
+            )
         }
-        let out = out.unwrap_or_else(|| String::from("BENCH_throughput.json"));
-        let report = throughput::run(&opts);
-        print!("{}", throughput::render_table(&report));
-        std::fs::write(&out, throughput::to_json(&report))
-            .unwrap_or_else(|e| die(&format!("write {out}: {e}")));
-        println!("wrote {out}");
-    }
+        Mode::Throughput => {
+            let mut opts = throughput::ThroughputOpts {
+                quick,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                opts.seed = s;
+            }
+            let report = throughput::run(&opts);
+            (
+                throughput::render_table(&report),
+                throughput::to_json(&report),
+                out.unwrap_or_else(|| String::from("BENCH_throughput.json")),
+            )
+        }
+    };
+    print!("{table}");
+    write_atomic(&out, &json).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+    println!("wrote {out}");
 }
 
 fn die(msg: &str) -> ! {

@@ -10,10 +10,11 @@
 //! at 90%).
 
 use crate::table::TextTable;
-use crate::trials::{pm, run_trials};
+use crate::trials::pm;
 use crate::Opts;
 use kg_datagen::profile::DatasetProfile;
 use kg_eval::config::EvalConfig;
+use kg_eval::executor::run_trials;
 use kg_eval::framework::Evaluator;
 use kg_sampling::PopulationIndex;
 use rand::rngs::StdRng;

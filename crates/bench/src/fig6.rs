@@ -12,11 +12,12 @@
 //! widest margin on the homogeneous-accuracy instance.
 
 use crate::table::TextTable;
-use crate::trials::{pm, run_trials};
+use crate::trials::pm;
 use crate::Opts;
 use kg_annotate::cost::CostModel;
 use kg_datagen::profile::{Dataset, DatasetProfile};
 use kg_eval::config::EvalConfig;
+use kg_eval::executor::run_trials;
 use kg_eval::framework::Evaluator;
 use kg_model::implicit::ClusterPopulation;
 use kg_sampling::cost_model::{twcs_cost_lower, twcs_cost_upper};

@@ -7,10 +7,11 @@
 //! Bernoulli variance is maximal.
 
 use crate::table::TextTable;
-use crate::trials::{pm, run_trials};
+use crate::trials::pm;
 use crate::Opts;
 use kg_datagen::profile::DatasetProfile;
 use kg_eval::config::EvalConfig;
+use kg_eval::executor::run_trials;
 use kg_eval::framework::Evaluator;
 use kg_model::implicit::ClusterPopulation;
 use kg_sampling::PopulationIndex;

@@ -9,7 +9,7 @@
 //! near 50% update accuracy.
 
 use crate::table::TextTable;
-use crate::trials::{pm, run_trials};
+use crate::trials::pm;
 use crate::Opts;
 use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
@@ -21,6 +21,7 @@ use kg_eval::config::EvalConfig;
 use kg_eval::dynamic::reservoir::ReservoirEvaluator;
 use kg_eval::dynamic::stratified::StratifiedIncremental;
 use kg_eval::dynamic::IncrementalEvaluator;
+use kg_eval::executor::run_trials;
 use kg_eval::framework::Evaluator;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
 use kg_model::update::UpdateBatch;

@@ -13,7 +13,6 @@
 //! dilution.
 
 use crate::table::TextTable;
-use crate::trials::run_trials;
 use crate::Opts;
 use kg_annotate::annotator::SimulatedAnnotator;
 use kg_annotate::cost::CostModel;
@@ -25,6 +24,7 @@ use kg_eval::dynamic::monitor::run_sequence;
 use kg_eval::dynamic::reservoir::ReservoirEvaluator;
 use kg_eval::dynamic::stratified::StratifiedIncremental;
 use kg_eval::dynamic::IncrementalEvaluator;
+use kg_eval::executor::run_trials;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
 use kg_model::update::UpdateBatch;
 use kg_sampling::PopulationIndex;

@@ -8,12 +8,11 @@ use crate::Opts;
 use kg_annotate::oracle::{GoldLabels, LabelOracle};
 use kg_datagen::profile::DatasetProfile;
 use kg_eval::config::EvalConfig;
-use kg_eval::granular::evaluate_per_predicate;
+use kg_eval::executor::TrialExecutor;
+use kg_eval::granular::evaluate_per_predicate_trials;
 use kg_model::graph::KnowledgeGraph;
 use kg_model::implicit::ClusterPopulation;
 use kg_model::triple::TripleRef;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Oracle with per-predicate accuracy: predicate `p<i>`'s triples are
 /// correct with probability depending on `i` (stable hash labels).
@@ -91,8 +90,18 @@ pub fn run(opts: &Opts) -> String {
     let oracle = PerPredicateOracle::new(&graph, opts.seed ^ 0x6a);
 
     let config = EvalConfig::default();
-    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x61a);
-    let (reports, stats) = evaluate_per_predicate(&graph, &oracle, &config, 5, 100, &mut rng);
+    // Trial-averaged on the shared executor (worker-count invariant).
+    let trials = opts.trials(24);
+    let stats = evaluate_per_predicate_trials(
+        &graph,
+        &oracle,
+        &config,
+        5,
+        100,
+        &TrialExecutor::new(),
+        trials,
+        opts.seed ^ 0x61a,
+    );
 
     let mut t = TextTable::new([
         "predicate",
@@ -103,9 +112,9 @@ pub fn run(opts: &Opts) -> String {
         "within MoE?",
     ]);
     let mut hits = 0;
-    for r in &reports {
+    for r in &stats.predicates {
         let truth = oracle.true_predicate_accuracy(r.predicate.0);
-        let ok = (r.estimate.mean - truth).abs() <= r.moe.max(0.001);
+        let ok = (r.estimate.mean() - truth).abs() <= r.moe.mean().max(0.001);
         if ok {
             hits += 1;
         }
@@ -116,26 +125,27 @@ pub fn run(opts: &Opts) -> String {
                 .unwrap_or("?")
                 .to_string(),
             format!("{}", r.triples),
-            format!("{:.1}%", r.estimate.mean * 100.0),
-            format!("{:.1}%", r.moe * 100.0),
+            format!("{:.1}%", r.estimate.mean() * 100.0),
+            format!("{:.1}%", r.moe.mean() * 100.0),
             format!("{:.1}%", truth * 100.0),
             if ok { "yes".into() } else { "NO".to_string() },
         ]);
     }
     format!(
         "Granular evaluation (paper §9 future work) — per-predicate accuracy\n\
-         KG: {} entities / {} triples, {} predicates with distinct error rates\n\n{}\n\
+         KG: {} entities / {} triples, {} predicates with distinct error rates ({} trials)\n\n{}\n\
          {}/{} predicate estimates within their MoE of the truth;\n\
-         shared annotator: {} entities identified for {} triples across all groups ({:.1} h total).\n",
+         shared annotator: {:.0} entities identified for {:.0} triples across all groups ({:.1} h total).\n",
         graph.num_clusters(),
         graph.total_triples(),
-        reports.len(),
+        stats.predicates.len(),
+        trials,
         t.render(),
         hits,
-        reports.len(),
-        stats.entities_identified,
-        stats.triples_annotated,
-        stats.seconds / 3600.0,
+        stats.predicates.len(),
+        stats.entities_identified.mean(),
+        stats.triples_annotated.mean(),
+        stats.cost_seconds.mean() / 3600.0,
     )
 }
 

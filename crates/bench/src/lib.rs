@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod artifact;
 pub mod fig1;
 pub mod fig3;
 pub mod fig4;
@@ -21,6 +22,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod granular;
+pub mod parallel;
 pub mod streaming;
 pub mod table;
 pub mod table3;

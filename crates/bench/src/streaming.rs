@@ -32,7 +32,6 @@
 //! goes stale), so it is the annotation-heavy evaluator; SS samples only
 //! the newest stratum and stays cheaper in absolute terms.
 
-use crate::trials::run_trials;
 use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
 use kg_annotate::dense::DenseAnnotator;
@@ -44,6 +43,7 @@ use kg_eval::config::EvalConfig;
 use kg_eval::dynamic::monitor::run_sequence;
 use kg_eval::dynamic::reservoir::ReservoirEvaluator;
 use kg_eval::dynamic::stratified::StratifiedIncremental;
+use kg_eval::executor::run_trials;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
 use kg_model::update::UpdateBatch;
 use kg_sampling::PopulationIndex;

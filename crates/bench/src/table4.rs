@@ -8,11 +8,12 @@
 //! estimates with their MoE, averaged over trials.
 
 use crate::table::TextTable;
-use crate::trials::{pm, run_trials};
+use crate::trials::pm;
 use crate::Opts;
 use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
 use kg_datagen::profile::DatasetProfile;
+use kg_eval::executor::run_trials;
 use kg_sampling::design::StaticDesign;
 use kg_sampling::srs::SrsDesign;
 use kg_sampling::twcs::TwcsDesign;

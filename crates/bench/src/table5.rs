@@ -7,12 +7,13 @@
 //! cap); WCS between; all estimators unbiased.
 
 use crate::table::TextTable;
-use crate::trials::{pm, pm_pct, run_trials};
+use crate::trials::{pm, pm_pct};
 use crate::Opts;
 use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
 use kg_datagen::profile::{Dataset, DatasetProfile};
 use kg_eval::config::EvalConfig;
+use kg_eval::executor::run_trials;
 use kg_sampling::design::Design;
 use kg_sampling::PopulationIndex;
 use rand::rngs::StdRng;

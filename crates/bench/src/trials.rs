@@ -1,65 +1,15 @@
-//! Repeated-trial runner with per-metric aggregation.
+//! Formatting helpers for trial-aggregated metrics.
 //!
-//! Experiments repeat each configuration over many seeded trials and
-//! report mean ± standard deviation (§7.1.5). Trials are spread across the
-//! available cores with plain scoped threads (on a single-core box this
-//! degenerates to a sequential loop).
+//! The repeated-trial runner itself lives in the core framework now:
+//! [`kg_eval::executor`] shards seeded trials across workers with
+//! counter-based RNG streams and a fixed-shape reduction, making every
+//! aggregated mean ± std **bitwise identical at any worker count** (the
+//! old chunk-order merge in this module silently drifted with core
+//! count). Every experiment module imports
+//! `kg_eval::executor::run_trials` directly; this module keeps only the
+//! `mean ± std` rendering used by the tables.
 
 use kg_stats::RunningMoments;
-
-/// Run `trials` seeded replications of `f`, each returning a fixed-length
-/// metric vector; returns one [`RunningMoments`] per metric position.
-///
-/// Seeds are `base_seed + trial_index`, so results are deterministic and
-/// independent of thread count.
-pub fn run_trials<F>(trials: u64, base_seed: u64, metrics: usize, f: F) -> Vec<RunningMoments>
-where
-    F: Fn(u64) -> Vec<f64> + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trials.max(1) as usize);
-    let chunk = trials.div_ceil(threads as u64);
-    let mut per_thread: Vec<Vec<RunningMoments>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|t| {
-                let f = &f;
-                scope.spawn(move || {
-                    let mut acc = vec![RunningMoments::new(); metrics];
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(trials);
-                    for trial in lo..hi {
-                        let out = f(base_seed.wrapping_add(trial));
-                        assert_eq!(
-                            out.len(),
-                            metrics,
-                            "trial returned {} metrics, expected {metrics}",
-                            out.len()
-                        );
-                        for (m, v) in acc.iter_mut().zip(out) {
-                            m.push(v);
-                        }
-                    }
-                    acc
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("trial thread panicked"))
-            .collect()
-    });
-    let mut total = per_thread
-        .pop()
-        .unwrap_or_else(|| vec![RunningMoments::new(); metrics]);
-    for part in per_thread {
-        for (t, p) in total.iter_mut().zip(part) {
-            t.merge(&p);
-        }
-    }
-    total
-}
 
 /// Format `mean ± std` with the given decimals.
 pub fn pm(m: &RunningMoments, decimals: usize) -> String {
@@ -81,24 +31,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn aggregates_across_trials_deterministically() {
-        let f = |seed: u64| vec![seed as f64, 2.0 * seed as f64];
-        let a = run_trials(100, 10, 2, f);
-        let b = run_trials(100, 10, 2, f);
-        assert_eq!(a[0].count(), 100);
-        assert_eq!(a[0].mean(), b[0].mean());
-        // Seeds 10..110 → mean 59.5, second metric doubled.
-        assert!((a[0].mean() - 59.5).abs() < 1e-9);
-        assert!((a[1].mean() - 119.0).abs() < 1e-9);
-    }
-
-    #[test]
-    #[should_panic(expected = "panicked")]
-    fn wrong_metric_arity_panics() {
-        run_trials(2, 0, 3, |_| vec![1.0]);
-    }
-
-    #[test]
     fn formatting_helpers() {
         let m = RunningMoments::from_slice(&[0.5, 0.7]);
         assert_eq!(pm(&m, 2), "0.60±0.14");
@@ -106,9 +38,13 @@ mod tests {
     }
 
     #[test]
-    fn single_trial_works() {
-        let out = run_trials(1, 7, 1, |s| vec![s as f64]);
-        assert_eq!(out[0].count(), 1);
-        assert_eq!(out[0].mean(), 7.0);
+    fn formatting_is_nan_free_on_empty_and_singleton_aggregates() {
+        // The executor returns count-0 / count-1 moments for 0/1-trial
+        // runs; rendering them must produce clean zeros, not NaN.
+        let empty = RunningMoments::new();
+        assert_eq!(pm(&empty, 2), "0.00±0.00");
+        let one = RunningMoments::from_slice(&[0.25]);
+        assert_eq!(pm(&one, 2), "0.25±0.00");
+        assert_eq!(pm_pct(&one, 1), "25.0%±0.0%");
     }
 }

@@ -4,9 +4,9 @@
 //! **both** annotation engines.
 //!
 //! Each trial replays the same base KG + update sequence with fresh
-//! sampling randomness (seeded deterministically via
-//! `kg_bench::trials::run_trials`, so results are independent of thread
-//! count); after every batch the trial records whether the interval
+//! sampling randomness (counter-seeded via `kg_eval::executor::run_trials`,
+//! whose fixed-shape reduction makes results bitwise independent of
+//! worker count); after every batch the trial records whether the interval
 //! `μ̂ ± MoE(α)` contains `μ(G + Δ_1 + … + Δ_k)` — the exact truth read
 //! from a batch-extended `LabelStore`. Coverage per batch is then compared
 //! against 0.95 with a binomial tolerance: with `T` trials the standard
@@ -24,12 +24,12 @@ use kg_annotate::cost::CostModel;
 use kg_annotate::dense::DenseAnnotator;
 use kg_annotate::label_store::LabelStore;
 use kg_annotate::oracle::RemOracle;
-use kg_bench::trials::run_trials;
 use kg_datagen::evolve::UpdateGenerator;
 use kg_eval::config::EvalConfig;
 use kg_eval::dynamic::monitor::run_sequence;
 use kg_eval::dynamic::reservoir::ReservoirEvaluator;
 use kg_eval::dynamic::stratified::StratifiedIncremental;
+use kg_eval::executor::run_trials;
 use kg_eval::framework::Evaluator;
 use kg_model::implicit::ImplicitKg;
 use kg_model::update::UpdateBatch;

@@ -11,9 +11,10 @@
 //! replays identical sequences under both.
 
 use crate::dynamic::IncrementalEvaluator;
+use crate::executor::TrialExecutor;
 use kg_annotate::annotator::Annotator;
 use kg_model::update::UpdateBatch;
-use kg_stats::PointEstimate;
+use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
 
 /// Per-batch monitoring record.
@@ -55,6 +56,64 @@ pub fn run_sequence(
         prev_cost = now;
     }
     outcomes
+}
+
+/// Trial-aggregated outcome of one update batch position, from
+/// [`run_sequence_trials`].
+#[derive(Debug, Clone)]
+pub struct BatchTrialStats {
+    /// 1-based index of the update batch.
+    pub batch: usize,
+    /// Post-batch accuracy estimates across trials.
+    pub estimate: RunningMoments,
+    /// Achieved MoE across trials.
+    pub moe: RunningMoments,
+    /// Human seconds spent absorbing this batch, across trials.
+    pub batch_cost_seconds: RunningMoments,
+}
+
+/// Per-batch trial fan-out for the §6 incremental evaluators: replay the
+/// same update stream under `trials` counter-based seeds on the
+/// [`TrialExecutor`] and aggregate each batch position's estimate, MoE,
+/// and incremental cost — bitwise identical at any worker count.
+///
+/// `replay` receives the trial seed and must return exactly one
+/// [`BatchOutcome`] per update batch (build the evaluator + annotator of
+/// your choice inside and drive [`run_sequence`]); it is how both RS and
+/// SS — and both annotation engines — share one fan-out path.
+pub fn run_sequence_trials<F>(
+    exec: &TrialExecutor,
+    trials: u64,
+    base_seed: u64,
+    num_batches: usize,
+    replay: F,
+) -> Vec<BatchTrialStats>
+where
+    F: Fn(u64) -> Vec<BatchOutcome> + Sync,
+{
+    let stats = exec.run(trials, base_seed, 3 * num_batches, |seed| {
+        let outcomes = replay(seed);
+        assert_eq!(
+            outcomes.len(),
+            num_batches,
+            "replay must produce one outcome per update batch"
+        );
+        let mut v = Vec::with_capacity(3 * num_batches);
+        for o in &outcomes {
+            v.push(o.estimate.mean);
+            v.push(o.moe);
+            v.push(o.batch_cost_seconds);
+        }
+        v
+    });
+    (0..num_batches)
+        .map(|k| BatchTrialStats {
+            batch: k + 1,
+            estimate: stats[3 * k],
+            moe: stats[3 * k + 1],
+            batch_cost_seconds: stats[3 * k + 2],
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -148,6 +207,72 @@ mod tests {
         }
         assert_eq!(hash.seconds().to_bits(), dense.seconds().to_bits());
         assert_eq!(hash.triples_annotated(), dense.triples_annotated());
+    }
+
+    #[test]
+    fn per_batch_trial_fanout_is_worker_invariant_for_both_evaluators() {
+        use crate::executor::TrialExecutor;
+
+        let base = ImplicitKg::new(vec![4; 400]).unwrap();
+        let oracle = RemOracle::new(0.9, 5);
+        let batches: Vec<UpdateBatch> = (0..3)
+            .map(|_| UpdateBatch::from_sizes(vec![4; 50]).unwrap())
+            .collect();
+        for evaluator in ["RS", "SS"] {
+            let replay = |trial_seed: u64| {
+                let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+                let mut rng = StdRng::seed_from_u64(trial_seed);
+                match evaluator {
+                    "RS" => {
+                        let mut rs = ReservoirEvaluator::evaluate_base(
+                            &base,
+                            40,
+                            5,
+                            EvalConfig::default(),
+                            &mut annotator,
+                            &mut rng,
+                        );
+                        run_sequence(&mut rs, &batches, 0.05, &mut annotator, &mut rng)
+                    }
+                    _ => {
+                        let est = kg_stats::PointEstimate::new(0.9, 0.0004, 60).unwrap();
+                        let mut ss =
+                            StratifiedIncremental::from_base(&base, est, 5, EvalConfig::default());
+                        run_sequence(&mut ss, &batches, 0.05, &mut annotator, &mut rng)
+                    }
+                }
+            };
+            let one = run_sequence_trials(
+                &TrialExecutor::new().with_workers(1),
+                10,
+                17,
+                batches.len(),
+                replay,
+            );
+            let many = run_sequence_trials(
+                &TrialExecutor::new().with_workers(4),
+                10,
+                17,
+                batches.len(),
+                replay,
+            );
+            assert_eq!(one.len(), 3);
+            for (a, b) in one.iter().zip(&many) {
+                assert_eq!(a.batch, b.batch);
+                assert_eq!(a.estimate.mean().to_bits(), b.estimate.mean().to_bits());
+                assert_eq!(
+                    a.estimate.sample_std().to_bits(),
+                    b.estimate.sample_std().to_bits()
+                );
+                assert_eq!(a.moe.mean().to_bits(), b.moe.mean().to_bits());
+                assert_eq!(
+                    a.batch_cost_seconds.mean().to_bits(),
+                    b.batch_cost_seconds.mean().to_bits()
+                );
+                assert_eq!(a.estimate.count(), 10);
+                assert!((a.estimate.mean() - 0.9).abs() < 0.08, "{evaluator}");
+            }
+        }
     }
 
     #[test]

@@ -1,18 +1,86 @@
-//! One-call façade over the static evaluation loop.
+//! One-call façade over the static evaluation loop, plus its parallel
+//! repeated-trial fan-out on the [`TrialExecutor`].
 
 use crate::config::EvalConfig;
+use crate::executor::TrialExecutor;
 use crate::report::EvaluationReport;
 use crate::static_eval::run_static;
 use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
+use kg_annotate::lease::DenseArenaPool;
 use kg_annotate::oracle::LabelOracle;
 use kg_model::implicit::ClusterPopulation;
 use kg_sampling::design::Design;
 use kg_sampling::stratified::StratificationStrategy;
 use kg_sampling::PopulationIndex;
 use kg_stats::error::StatsError;
-use rand::RngCore;
+use kg_stats::RunningMoments;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 use std::sync::Arc;
+
+/// Per-metric aggregates over repeated seeded evaluations, produced by
+/// [`Evaluator::run_trials`] / [`Evaluator::run_trials_dense`]. Each field
+/// is a [`RunningMoments`] over one [`EvaluationReport`] metric;
+/// `converged.mean()` is the convergence rate. Aggregation runs on the
+/// [`TrialExecutor`], so every moment is bitwise identical at any worker
+/// count.
+#[derive(Debug, Clone)]
+pub struct TrialAggregate {
+    /// Trials executed.
+    pub trials: u64,
+    /// Accuracy estimates (`estimate.mean` per trial).
+    pub estimate: RunningMoments,
+    /// Achieved margins of error.
+    pub moe: RunningMoments,
+    /// Simulated human seconds.
+    pub cost_seconds: RunningMoments,
+    /// Sampling units drawn.
+    pub units: RunningMoments,
+    /// Distinct triples annotated.
+    pub triples_annotated: RunningMoments,
+    /// Distinct entities identified.
+    pub entities_identified: RunningMoments,
+    /// Convergence indicator (1.0 = converged).
+    pub converged: RunningMoments,
+}
+
+impl TrialAggregate {
+    const METRICS: usize = 7;
+
+    fn metrics_of(report: &EvaluationReport) -> Vec<f64> {
+        vec![
+            report.estimate.mean,
+            report.moe,
+            report.cost_seconds,
+            report.units as f64,
+            report.triples_annotated as f64,
+            report.entities_identified as f64,
+            report.converged as u64 as f64,
+        ]
+    }
+
+    fn from_stats(trials: u64, mut stats: Vec<RunningMoments>) -> Self {
+        assert_eq!(stats.len(), Self::METRICS);
+        let converged = stats.pop().expect("metric count checked");
+        let entities_identified = stats.pop().expect("metric count checked");
+        let triples_annotated = stats.pop().expect("metric count checked");
+        let units = stats.pop().expect("metric count checked");
+        let cost_seconds = stats.pop().expect("metric count checked");
+        let moe = stats.pop().expect("metric count checked");
+        let estimate = stats.pop().expect("metric count checked");
+        TrialAggregate {
+            trials,
+            estimate,
+            moe,
+            cost_seconds,
+            units,
+            triples_annotated,
+            entities_identified,
+            converged,
+        }
+    }
+}
 
 /// Evaluator: a sampling design plus a cost model, runnable against any
 /// population + oracle.
@@ -127,6 +195,72 @@ impl Evaluator {
         let mut design = self.design.instantiate(index, oracle);
         Ok(run_static(design.as_mut(), annotator, config, rng))
     }
+
+    /// Run `trials` independent seeded evaluations on the hash engine — a
+    /// fresh [`SimulatedAnnotator`] per trial, exactly the semantics every
+    /// repeated-trial experiment always had — sharded across the
+    /// executor's workers. Trial `i` uses the counter-based seed
+    /// [`crate::executor::trial_seed`]`(base_seed, i)` for its sampling
+    /// RNG, and the aggregates are **bitwise identical at any worker
+    /// count**.
+    pub fn run_trials(
+        &self,
+        index: &Arc<PopulationIndex>,
+        oracle: &dyn LabelOracle,
+        config: &EvalConfig,
+        exec: &TrialExecutor,
+        trials: u64,
+        base_seed: u64,
+    ) -> TrialAggregate {
+        let stats = exec.run(trials, base_seed, TrialAggregate::METRICS, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut annotator = SimulatedAnnotator::new(oracle, self.cost);
+            let report = self
+                .run_with_annotator(index.clone(), oracle, &mut annotator, config, &mut rng)
+                .expect("static evaluation over a prebuilt index is infallible");
+            TrialAggregate::metrics_of(&report)
+        });
+        TrialAggregate::from_stats(trials, stats)
+    }
+
+    /// [`Evaluator::run_trials`] on the dense engine: each worker leases
+    /// one reusable arena from `pool` for its whole lifetime and `reset()`s
+    /// it per trial, so arenas are built at most once per worker instead of
+    /// once per trial. Identical draw sequences make the aggregates
+    /// byte-identical to [`Evaluator::run_trials`] with the matching
+    /// oracle and cost model (and, as above, to any worker count).
+    ///
+    /// `oracle` is still consulted by stratification strategies that rank
+    /// clusters; the leased arenas read labels from the pool's store.
+    // One parameter per independent experiment knob; bundling them into a
+    // one-off struct would only rename the arity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_trials_dense(
+        &self,
+        index: &Arc<PopulationIndex>,
+        oracle: &dyn LabelOracle,
+        pool: &DenseArenaPool,
+        config: &EvalConfig,
+        exec: &TrialExecutor,
+        trials: u64,
+        base_seed: u64,
+    ) -> TrialAggregate {
+        let stats = exec.run_with(
+            trials,
+            base_seed,
+            TrialAggregate::METRICS,
+            || pool.checkout(),
+            |arena, seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                arena.reset();
+                let report = self
+                    .run_with_annotator(index.clone(), oracle, arena.arena_mut(), config, &mut rng)
+                    .expect("static evaluation over a prebuilt index is infallible");
+                TrialAggregate::metrics_of(&report)
+            },
+        );
+        TrialAggregate::from_stats(trials, stats)
+    }
 }
 
 #[cfg(test)]
@@ -218,5 +352,92 @@ mod tests {
             Design::Twcs { m } => assert_eq!(*m, 7),
             other => panic!("unexpected design {other:?}"),
         }
+    }
+
+    fn aggregate_bits(a: &TrialAggregate) -> Vec<(u64, u64, u64)> {
+        [
+            &a.estimate,
+            &a.moe,
+            &a.cost_seconds,
+            &a.units,
+            &a.triples_annotated,
+            &a.entities_identified,
+            &a.converged,
+        ]
+        .iter()
+        .map(|m| (m.mean().to_bits(), m.sample_std().to_bits(), m.count()))
+        .collect()
+    }
+
+    #[test]
+    fn parallel_trials_match_sequential_replay_and_worker_counts() {
+        let kg = kg();
+        let oracle = RemOracle::new(0.85, 12);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let config = EvalConfig::default();
+        let eval = Evaluator::twcs(5);
+        let trials = 12u64;
+        let one = TrialExecutor::new().with_workers(1);
+        let many = TrialExecutor::new().with_workers(5);
+        let a = eval.run_trials(&idx, &oracle, &config, &one, trials, 400);
+        let b = eval.run_trials(&idx, &oracle, &config, &many, trials, 400);
+        assert_eq!(a.trials, trials);
+        assert_eq!(a.converged.mean(), 1.0);
+        assert_eq!(aggregate_bits(&a), aggregate_bits(&b));
+        // The aggregate matches running the same seeds by hand.
+        let mut by_hand = RunningMoments::new();
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(crate::executor::trial_seed(400, t));
+            let r = eval
+                .run_with_index(idx.clone(), &oracle, &config, &mut rng)
+                .unwrap();
+            by_hand.push(r.estimate.mean);
+        }
+        assert!((a.estimate.mean() - by_hand.mean()).abs() < 1e-12);
+        assert_eq!(a.estimate.count(), by_hand.count());
+    }
+
+    #[test]
+    fn dense_trials_are_byte_identical_to_hash_at_any_worker_count() {
+        use kg_annotate::lease::DenseArenaPool;
+
+        let kg = kg();
+        let oracle = RemOracle::new(0.85, 12);
+        let idx = Arc::new(PopulationIndex::from_population(&kg).unwrap());
+        let store = Arc::new(idx.materialize_labels(&oracle));
+        let pool = DenseArenaPool::new(store, CostModel::default());
+        let config = EvalConfig::default();
+        let eval = Evaluator::wcs();
+        let trials = 10u64;
+        let hash = eval.run_trials(
+            &idx,
+            &oracle,
+            &config,
+            &TrialExecutor::new().with_workers(3),
+            trials,
+            77,
+        );
+        let d3 = eval.run_trials_dense(
+            &idx,
+            &oracle,
+            &pool,
+            &config,
+            &TrialExecutor::new().with_workers(3),
+            trials,
+            77,
+        );
+        let d1 = eval.run_trials_dense(
+            &idx,
+            &oracle,
+            &pool,
+            &config,
+            &TrialExecutor::new().with_workers(1),
+            trials,
+            77,
+        );
+        assert_eq!(aggregate_bits(&hash), aggregate_bits(&d3));
+        assert_eq!(aggregate_bits(&d1), aggregate_bits(&d3));
+        // Arenas were leased per worker, not per trial.
+        assert!(pool.arenas_built() <= 4, "built {}", pool.arenas_built());
     }
 }

@@ -11,6 +11,7 @@
 //! reuse that a naive per-predicate re-evaluation forfeits.
 
 use crate::config::EvalConfig;
+use crate::executor::TrialExecutor;
 use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::oracle::LabelOracle;
 use kg_model::graph::KnowledgeGraph;
@@ -18,8 +19,9 @@ use kg_model::triple::{PredicateId, TripleRef};
 use kg_stats::alias::AliasTable;
 use kg_stats::srswor::sample_without_replacement_into;
 use kg_stats::{PointEstimate, RunningMoments};
-use rand::RngCore;
-use std::collections::HashMap;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
 
 /// One predicate's sub-population: per-subject groups of triple offsets
 /// (offsets index the *original* graph, so oracles and annotators see
@@ -100,6 +102,98 @@ pub fn evaluate_per_predicate(
         entities_identified: annotator.entities_identified(),
     };
     (reports, stats)
+}
+
+/// Trial-aggregated accuracy for one predicate, from
+/// [`evaluate_per_predicate_trials`].
+#[derive(Debug, Clone)]
+pub struct PredicateTrialStats {
+    /// The predicate (resolve its name via the graph's interner).
+    pub predicate: PredicateId,
+    /// Triples carrying this predicate (trial-invariant).
+    pub triples: u64,
+    /// Accuracy estimates across trials.
+    pub estimate: RunningMoments,
+    /// Achieved MoE across trials.
+    pub moe: RunningMoments,
+    /// Convergence indicator across trials (1.0 = converged).
+    pub converged: RunningMoments,
+}
+
+/// Everything [`evaluate_per_predicate_trials`] aggregates.
+#[derive(Debug, Clone)]
+pub struct GranularTrialStats {
+    /// Per-predicate aggregates, sorted by predicate id (the same
+    /// deterministic order [`evaluate_per_predicate`] reports in).
+    pub predicates: Vec<PredicateTrialStats>,
+    /// Total human seconds per trial.
+    pub cost_seconds: RunningMoments,
+    /// Distinct entities identified per trial (shared across groups).
+    pub entities_identified: RunningMoments,
+    /// Distinct triples annotated per trial.
+    pub triples_annotated: RunningMoments,
+}
+
+/// Repeated seeded granular evaluations on the [`TrialExecutor`]: each
+/// trial runs [`evaluate_per_predicate`] with the counter-based seed
+/// stream, and per-predicate estimates are aggregated with the executor's
+/// fixed-shape reduction — bitwise identical at any worker count.
+///
+/// The per-predicate report order is deterministic (sorted by predicate
+/// id), so metric positions line up across trials by construction.
+// Mirrors `evaluate_per_predicate`'s knobs plus the executor triple.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_per_predicate_trials(
+    graph: &KnowledgeGraph,
+    oracle: &dyn LabelOracle,
+    config: &EvalConfig,
+    m: usize,
+    min_triples: u64,
+    exec: &TrialExecutor,
+    trials: u64,
+    base_seed: u64,
+) -> GranularTrialStats {
+    // Deterministic predicate census (same order the evaluation reports).
+    let mut counts: BTreeMap<PredicateId, u64> = BTreeMap::new();
+    for (_, t) in graph.iter_refs() {
+        *counts.entry(t.predicate).or_default() += 1;
+    }
+    let census: Vec<(PredicateId, u64)> = counts.into_iter().collect();
+    let p = census.len();
+    let stats = exec.run(trials, base_seed, 3 * p + 3, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (reports, effort) =
+            evaluate_per_predicate(graph, oracle, config, m, min_triples, &mut rng);
+        assert_eq!(reports.len(), p, "predicate set must be trial-invariant");
+        let mut v = Vec::with_capacity(3 * p + 3);
+        for (r, (id, _)) in reports.iter().zip(&census) {
+            assert_eq!(r.predicate, *id, "predicate order must be deterministic");
+            v.push(r.estimate.mean);
+            v.push(r.moe);
+            v.push(r.converged as u64 as f64);
+        }
+        v.push(effort.seconds);
+        v.push(effort.entities_identified as f64);
+        v.push(effort.triples_annotated as f64);
+        v
+    });
+    let predicates = census
+        .iter()
+        .enumerate()
+        .map(|(i, &(predicate, triples))| PredicateTrialStats {
+            predicate,
+            triples,
+            estimate: stats[3 * i],
+            moe: stats[3 * i + 1],
+            converged: stats[3 * i + 2],
+        })
+        .collect();
+    GranularTrialStats {
+        predicates,
+        cost_seconds: stats[3 * p],
+        entities_identified: stats[3 * p + 1],
+        triples_annotated: stats[3 * p + 2],
+    }
 }
 
 /// Aggregate annotation effort of a granular evaluation.
@@ -275,6 +369,61 @@ mod tests {
         assert_eq!(rare_report.moe, 0.0);
         assert!((rare_report.estimate.mean - 0.6).abs() < 1e-12);
         assert!(rare_report.converged);
+    }
+
+    #[test]
+    fn trial_fanout_is_worker_invariant_and_tracks_single_runs() {
+        use crate::executor::TrialExecutor;
+
+        let (g, gold) = two_predicate_graph();
+        let config = EvalConfig::default();
+        let run = |workers| {
+            evaluate_per_predicate_trials(
+                &g,
+                &gold,
+                &config,
+                3,
+                30,
+                &TrialExecutor::new().with_workers(workers),
+                8,
+                41,
+            )
+        };
+        let a = run(1);
+        let b = run(6);
+        assert_eq!(a.predicates.len(), 2);
+        for (pa, pb) in a.predicates.iter().zip(&b.predicates) {
+            assert_eq!(pa.predicate, pb.predicate);
+            assert_eq!(pa.triples, pb.triples);
+            assert_eq!(pa.estimate.mean().to_bits(), pb.estimate.mean().to_bits());
+            assert_eq!(
+                pa.estimate.sample_std().to_bits(),
+                pb.estimate.sample_std().to_bits()
+            );
+            assert_eq!(pa.moe.mean().to_bits(), pb.moe.mean().to_bits());
+            assert_eq!(pa.converged.mean(), 1.0);
+        }
+        assert_eq!(
+            a.cost_seconds.mean().to_bits(),
+            b.cost_seconds.mean().to_bits()
+        );
+        // Good and bad predicates still separate after trial averaging.
+        let by_name: HashMap<&str, &PredicateTrialStats> = a
+            .predicates
+            .iter()
+            .map(|r| (g.predicates().resolve(r.predicate.0).unwrap(), r))
+            .collect();
+        assert!(by_name["good"].estimate.mean() > 0.95);
+        assert!(by_name["bad"].estimate.mean() < 0.05);
+        assert_eq!(by_name["good"].triples, 400);
+        // And each trial matches a by-hand replay of the same seed.
+        let mut rng = StdRng::seed_from_u64(crate::executor::trial_seed(41, 0));
+        let (reports, _) = evaluate_per_predicate(&g, &gold, &config, 3, 30, &mut rng);
+        let good = reports
+            .iter()
+            .find(|r| g.predicates().resolve(r.predicate.0) == Some("good"))
+            .unwrap();
+        assert!((by_name["good"].estimate.mean() - good.estimate.mean).abs() < 0.05);
     }
 
     #[test]

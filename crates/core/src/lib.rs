@@ -12,6 +12,12 @@
 //!   [`kg_sampling::design::StaticDesign`].
 //! * [`framework::Evaluator`] — one-call façade: pick a design, hand it a
 //!   population and an oracle, get an [`report::EvaluationReport`].
+//! * [`executor::TrialExecutor`] — the parallel repeated-trial runtime:
+//!   shards seeded trials across workers with counter-based RNG streams
+//!   and a fixed-shape reduction, so aggregated mean/std are **bitwise
+//!   identical at any worker count**; every evaluator's trial fan-out
+//!   (static, granular, RS/SS replays, the benchmark harnesses) runs on
+//!   it.
 //! * [`dynamic`] — evolving-KG evaluation (§6): reservoir incremental
 //!   evaluation (Algorithm 1) and stratified incremental evaluation
 //!   (Algorithm 2), plus a monitor driving either over a sequence of
@@ -24,11 +30,13 @@
 
 pub mod config;
 pub mod dynamic;
+pub mod executor;
 pub mod framework;
 pub mod granular;
 pub mod report;
 pub mod static_eval;
 
 pub use config::EvalConfig;
+pub use executor::TrialExecutor;
 pub use framework::Evaluator;
 pub use report::EvaluationReport;

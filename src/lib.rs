@@ -40,12 +40,14 @@ pub mod prelude {
     pub use kg_annotate::cost::CostModel;
     pub use kg_annotate::dense::DenseAnnotator;
     pub use kg_annotate::label_store::LabelStore;
+    pub use kg_annotate::lease::DenseArenaPool;
     pub use kg_annotate::oracle::{BmmOracle, GoldLabels, LabelOracle, RemOracle};
     pub use kg_datagen::profile::DatasetProfile;
     pub use kg_eval::config::EvalConfig;
     pub use kg_eval::dynamic::reservoir::ReservoirEvaluator;
     pub use kg_eval::dynamic::stratified::StratifiedIncremental;
-    pub use kg_eval::framework::Evaluator;
+    pub use kg_eval::executor::TrialExecutor;
+    pub use kg_eval::framework::{Evaluator, TrialAggregate};
     pub use kg_eval::report::EvaluationReport;
     pub use kg_model::graph::KnowledgeGraph;
     pub use kg_model::implicit::{ClusterPopulation, ImplicitKg};
