@@ -2,7 +2,7 @@
 //! runtime, writing the tracked benchmark JSON.
 //!
 //! Usage:
-//!   bench-report [--streaming | --parallel] [--quick] [--seed N] [--out PATH]
+//!   bench-report [--streaming | --parallel | --skeleton] [--quick] [--seed N] [--out PATH]
 //!
 //! Default mode times the hot *static* sampling designs (SRS/WCS/TWCS
 //! trial loops) and writes `BENCH_throughput.json`. `--streaming` instead
@@ -12,7 +12,11 @@
 //! `TrialExecutor` worker counts (1/2/4/8) over the static TWCS workload
 //! under both engines and writes `BENCH_parallel.json` (schema
 //! `kg-bench-parallel/v1`), recording both the scaling curve and the
-//! bitwise worker-count-invariance check.
+//! bitwise worker-count-invariance check. `--skeleton` times the
+//! engine-independent per-batch stream bookkeeping (reservoir offers +
+//! PPS appends) under the per-item and batched offer paths and writes
+//! `BENCH_skeleton.json` (schema `kg-bench-skeleton/v1`), including the
+//! byte-identity check between the two.
 //!
 //! `--quick` shrinks scales and trial counts (CI); the default output path
 //! is `BENCH_<mode>.json` in the working directory. All artifacts are
@@ -21,12 +25,13 @@
 //! --bin bench-report`.
 
 use kg_bench::artifact::write_atomic;
-use kg_bench::{parallel, streaming, throughput};
+use kg_bench::{parallel, skeleton, streaming, throughput};
 
 enum Mode {
     Throughput,
     Streaming,
     Parallel,
+    Skeleton,
 }
 
 fn main() {
@@ -39,6 +44,7 @@ fn main() {
         match arg.as_str() {
             "--streaming" => mode = Mode::Streaming,
             "--parallel" => mode = Mode::Parallel,
+            "--skeleton" => mode = Mode::Skeleton,
             "--quick" => quick = true,
             "--seed" => {
                 seed = Some(
@@ -52,7 +58,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "bench-report [--streaming | --parallel] [--quick] [--seed N] [--out PATH]"
+                    "bench-report [--streaming | --parallel | --skeleton] [--quick] [--seed N] [--out PATH]"
                 );
                 return;
             }
@@ -91,6 +97,21 @@ fn main() {
                 parallel::render_table(&report),
                 parallel::to_json(&report),
                 out.unwrap_or_else(|| String::from("BENCH_parallel.json")),
+            )
+        }
+        Mode::Skeleton => {
+            let mut opts = skeleton::SkeletonOpts {
+                quick,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                opts.seed = s;
+            }
+            let report = skeleton::run(&opts);
+            (
+                skeleton::render_table(&report),
+                skeleton::to_json(&report),
+                out.unwrap_or_else(|| String::from("BENCH_skeleton.json")),
             )
         }
         Mode::Throughput => {

@@ -23,6 +23,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod granular;
 pub mod parallel;
+pub mod skeleton;
 pub mod streaming;
 pub mod table;
 pub mod table3;

@@ -469,6 +469,56 @@ pub fn engines_agree(target: u64, seed: u64) -> bool {
     })
 }
 
+/// Deterministic offer-path agreement check: replay the full RS stream
+/// under the **batched** (`offer_batch` + bulk PPS appends) and
+/// **per-item** reservoir offer paths, under both annotation engines, and
+/// byte-compare every per-batch estimate, the final cost, and the
+/// annotated-triple accounting. The batched skeleton is designed to be
+/// bitwise stream-identical; CI byte-diffs a replay through this hook.
+pub fn offer_modes_agree(target: u64, seed: u64) -> bool {
+    use kg_eval::dynamic::reservoir::OfferMode;
+    let s = setup(target, seed);
+    let config = monitor_config();
+    let mut evolved = LabelStore::materialize(&s.base, &s.oracle);
+    for b in &s.batches {
+        evolved.extend_with_batch(b, &s.oracle);
+    }
+    let mut dense = DenseAnnotator::new(Arc::new(evolved), CostModel::default());
+    let run = |mode: OfferMode, annotator: &mut dyn Annotator| -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 3);
+        let mut rs = ReservoirEvaluator::evaluate_base_with_mode(
+            &s.base, CAPACITY, M, config, mode, annotator, &mut rng,
+        );
+        let outcomes = run_sequence(&mut rs, &s.batches, config.alpha, annotator, &mut rng);
+        let mut sig: Vec<u64> = outcomes
+            .iter()
+            .flat_map(|o| {
+                [
+                    o.estimate.mean.to_bits(),
+                    o.estimate.var_of_mean.to_bits(),
+                    o.moe.to_bits(),
+                    o.batch_cost_seconds.to_bits(),
+                ]
+            })
+            .collect();
+        sig.push(rs.replacements());
+        sig.push(rs.total_triples());
+        sig.push(annotator.seconds().to_bits());
+        sig
+    };
+    let sigs: Vec<Vec<u64>> = [OfferMode::PerItem, OfferMode::Batched]
+        .iter()
+        .flat_map(|&mode| {
+            let mut hash = SimulatedAnnotator::new(&s.oracle, CostModel::default());
+            let h = run(mode, &mut hash);
+            dense.reset();
+            let d = run(mode, &mut dense);
+            [h, d]
+        })
+        .collect();
+    sigs.iter().all(|sig| sig == &sigs[0])
+}
+
 /// Average per-batch CI coverage of the truth across seeded replays — the
 /// statistical backbone the slow `--ignored` suites assert on at higher
 /// trial counts.

@@ -22,18 +22,39 @@ use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
 use std::collections::BTreeMap;
 
+/// How the evaluator feeds cluster streams into its A-ExpJ reservoir.
+/// Both modes are **bitwise identical** in every observable — RNG draws,
+/// reservoir members, eviction order, estimates; the only difference is
+/// the shape of the bookkeeping loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OfferMode {
+    /// One `offer` call per cluster — the reference formulation, kept for
+    /// identity regression (CI byte-diffs a replay under both modes).
+    PerItem,
+    /// `offer_batch` over the batch's cached weight prefix, with the PPS
+    /// frame adopting that prefix as an O(1) shared segment: per-batch
+    /// skeleton work is O(a·log|Δ|) for `a` reservoir acceptances — no
+    /// per-cluster loop at all.
+    #[default]
+    Batched,
+}
+
 /// Reservoir-based incremental evaluator (RS in §7.3).
 ///
 /// Engine-agnostic: `apply_update` announces each batch to the annotator
 /// via [`Annotator::extend_population`] before touching its delta-minted
 /// ids, so the dense arena grows in lock-step and either engine drives the
-/// evaluator identically. Per-batch work is amortized O(|Δ|): the A-ExpJ
-/// reservoir skips most offers without an RNG draw and the PPS frame for
-/// top-ups is a [`GrowablePps`] extended in place — nothing is rebuilt
-/// over the whole evolved KG.
+/// evaluator identically. Per-batch skeleton work is **sublinear in |Δ|**
+/// (default [`OfferMode::Batched`]): the A-ExpJ reservoir binary-searches
+/// each jump's landing index over the batch's cached weight prefix instead
+/// of subtract-and-compare per cluster, and the [`GrowablePps`] top-up
+/// frame *adopts* the same prefix as an `Arc`-shared segment in O(1) — no
+/// weight is copied, nothing is rebuilt over the whole evolved KG, and the
+/// per-cluster loop disappears from the hot path entirely.
 pub struct ReservoirEvaluator {
     m: usize,
     config: EvalConfig,
+    offer_mode: OfferMode,
     reservoir: WeightedReservoirExpJ<u32>,
     /// Second-stage accuracy of each current reservoir member. Ordered by
     /// cluster id so the estimate's summation order is deterministic (a
@@ -42,9 +63,10 @@ pub struct ReservoirEvaluator {
     /// Top-up accuracies drawn from the current KG state (cleared on each
     /// update because their sampling frame becomes stale).
     extras: Vec<f64>,
-    /// Evolving KG skeleton: sizes of all clusters seen so far.
-    sizes: Vec<u32>,
-    /// PPS frame over `sizes`, extended in place as the KG grows.
+    /// Evolving KG skeleton: PPS frame over every cluster seen so far,
+    /// doubling as the size table (`pps.weight(c)` is cluster `c`'s size).
+    /// In batched mode each update batch is adopted as an `Arc`-shared
+    /// segment — O(1) per batch, no weight copied.
     pps: GrowablePps,
     /// Reusable second-stage offset buffer.
     scratch: Vec<usize>,
@@ -64,19 +86,51 @@ impl ReservoirEvaluator {
         annotator: &mut dyn Annotator,
         rng: &mut dyn RngCore,
     ) -> Self {
+        Self::evaluate_base_with_mode(
+            base,
+            capacity,
+            m,
+            config,
+            OfferMode::default(),
+            annotator,
+            rng,
+        )
+    }
+
+    /// [`Self::evaluate_base`] with an explicit [`OfferMode`] — the
+    /// per-item mode exists so CI (and the skeleton benchmark) can
+    /// byte-diff whole replays against the batched default.
+    pub fn evaluate_base_with_mode(
+        base: &ImplicitKg,
+        capacity: usize,
+        m: usize,
+        config: EvalConfig,
+        offer_mode: OfferMode,
+        annotator: &mut dyn Annotator,
+        rng: &mut dyn RngCore,
+    ) -> Self {
         let mut reservoir = WeightedReservoirExpJ::new(capacity);
-        let sizes = base.sizes().to_vec();
-        for (c, &s) in sizes.iter().enumerate() {
-            reservoir.offer(rng, c as u32, s as f64);
+        let pps = GrowablePps::from_sizes(base.sizes()).expect("cluster sizes are positive");
+        match offer_mode {
+            OfferMode::Batched => {
+                // The PPS frame's prefix sums double as the base stream's
+                // cumulative weights: one binary search per acceptance
+                // replaces N subtract-and-compare offers.
+                reservoir.offer_batch(rng, pps.prefix(), |c| c as u32, |_, _, _| {});
+            }
+            OfferMode::PerItem => {
+                for (c, &s) in base.sizes().iter().enumerate() {
+                    reservoir.offer(rng, c as u32, s as f64);
+                }
+            }
         }
-        let pps = GrowablePps::from_sizes(&sizes).expect("cluster sizes are positive");
         let mut this = ReservoirEvaluator {
             m,
             config,
+            offer_mode,
             reservoir,
             member_accuracy: BTreeMap::new(),
             extras: Vec::new(),
-            sizes,
             pps,
             scratch: Vec::with_capacity(m),
         };
@@ -121,7 +175,7 @@ impl ReservoirEvaluator {
             if !self.member_accuracy.contains_key(&c) {
                 let acc = annotate_cluster_subset(
                     c,
-                    self.sizes[c as usize] as usize,
+                    self.pps.weight(c as usize) as usize,
                     self.m,
                     rng,
                     annotator,
@@ -158,7 +212,7 @@ impl ReservoirEvaluator {
                 let c = self.pps.sample(rng) as u32;
                 let acc = annotate_cluster_subset(
                     c,
-                    self.sizes[c as usize] as usize,
+                    self.pps.weight(c as usize) as usize,
                     self.m,
                     rng,
                     annotator,
@@ -180,38 +234,76 @@ impl IncrementalEvaluator for ReservoirEvaluator {
         // Announce the batch before annotating any of its fresh ids, so a
         // materialized engine can grow its label state (no-op for the hash
         // engine, and for replays over a pre-evolved store).
-        annotator.extend_population(self.sizes.len() as u32, delta);
+        annotator.extend_population(self.pps.len() as u32, delta);
         // Stale after growth: extras were drawn from the previous frame.
         self.extras.clear();
-        for &dsize in delta.delta_sizes() {
-            let id = self.sizes.len() as u32;
-            self.sizes.push(dsize);
-            self.pps.push(dsize).expect("Δe groups are non-empty");
-            match self.reservoir.offer(rng, id, dsize as f64) {
-                OfferOutcome::Inserted => {
-                    let acc = annotate_cluster_subset(
-                        id,
-                        dsize as usize,
-                        self.m,
-                        rng,
-                        annotator,
-                        &mut self.scratch,
-                    );
-                    self.member_accuracy.insert(id, acc);
+        match self.offer_mode {
+            OfferMode::Batched => {
+                // O(1) skeleton growth: the batch's cached weight prefix is
+                // adopted as a shared PPS segment (no weight copied), then
+                // one binary search per reservoir acceptance replaces the
+                // offer call per Δe cluster. Annotation draws interleave
+                // with the offer stream through the callback exactly where
+                // the per-item loop puts them.
+                let first = self.pps.len() as u32;
+                self.pps
+                    .extend_shared(delta.weight_prefix_shared())
+                    .expect("Δe groups are non-empty");
+                let m = self.m;
+                let member_accuracy = &mut self.member_accuracy;
+                let scratch = &mut self.scratch;
+                let delta_sizes = delta.delta_sizes();
+                self.reservoir.offer_batch(
+                    rng,
+                    delta.weight_prefix(),
+                    |i| first + i as u32,
+                    |rng, i, outcome| {
+                        if let OfferOutcome::Replaced(evicted) = &outcome {
+                            member_accuracy.remove(&evicted.item);
+                        }
+                        let acc = annotate_cluster_subset(
+                            first + i as u32,
+                            delta_sizes[i] as usize,
+                            m,
+                            rng,
+                            &mut *annotator,
+                            scratch,
+                        );
+                        member_accuracy.insert(first + i as u32, acc);
+                    },
+                );
+            }
+            OfferMode::PerItem => {
+                for &dsize in delta.delta_sizes() {
+                    let id = self.pps.len() as u32;
+                    self.pps.push(dsize).expect("Δe groups are non-empty");
+                    match self.reservoir.offer(rng, id, dsize as f64) {
+                        OfferOutcome::Inserted => {
+                            let acc = annotate_cluster_subset(
+                                id,
+                                dsize as usize,
+                                self.m,
+                                rng,
+                                annotator,
+                                &mut self.scratch,
+                            );
+                            self.member_accuracy.insert(id, acc);
+                        }
+                        OfferOutcome::Replaced(evicted) => {
+                            self.member_accuracy.remove(&evicted.item);
+                            let acc = annotate_cluster_subset(
+                                id,
+                                dsize as usize,
+                                self.m,
+                                rng,
+                                annotator,
+                                &mut self.scratch,
+                            );
+                            self.member_accuracy.insert(id, acc);
+                        }
+                        OfferOutcome::Rejected => {}
+                    }
                 }
-                OfferOutcome::Replaced(evicted) => {
-                    self.member_accuracy.remove(&evicted.item);
-                    let acc = annotate_cluster_subset(
-                        id,
-                        dsize as usize,
-                        self.m,
-                        rng,
-                        annotator,
-                        &mut self.scratch,
-                    );
-                    self.member_accuracy.insert(id, acc);
-                }
-                OfferOutcome::Rejected => {}
             }
         }
         self.top_up(annotator, rng);

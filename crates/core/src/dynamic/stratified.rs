@@ -39,9 +39,11 @@ enum StratumState {
     Live {
         /// Global cluster id of the stratum's first cluster.
         first_cluster: u32,
-        /// Cluster sizes within the stratum.
-        sizes: Vec<u32>,
-        /// PPS frame over `sizes` (built once per batch, O(|Δ|)).
+        /// Cluster sizes within the stratum — shared with the update
+        /// batch itself (refcount bump, no O(|Δ|) copy).
+        sizes: std::sync::Arc<[u32]>,
+        /// PPS frame over `sizes` — adopts the batch's cached weight
+        /// prefix as a shared segment, O(1) to build.
         pps: GrowablePps,
         /// Per-draw second-stage accuracies.
         accs: RunningMoments,
@@ -154,11 +156,14 @@ impl IncrementalEvaluator for StratifiedIncremental {
                 last.state = StratumState::Frozen(est);
             }
         }
-        let sizes = delta.delta_sizes().to_vec();
-        if sizes.is_empty() {
+        if delta.num_delta_clusters() == 0 {
             return self.combined();
         }
-        let pps = GrowablePps::from_sizes(&sizes).expect("Δe groups are non-empty");
+        let sizes = delta.delta_sizes_shared();
+        // O(1): the stratum's PPS frame *adopts* the batch's cached weight
+        // prefix — nothing per-cluster happens here at all.
+        let pps =
+            GrowablePps::shared(delta.weight_prefix_shared()).expect("Δe groups are non-empty");
         let first_cluster = self.next_cluster_id;
         self.next_cluster_id += sizes.len() as u32;
         self.strata.push(StratumEval {

@@ -46,12 +46,14 @@ impl KnowledgeGraph {
         predicates: Interner,
         literals: Interner,
     ) -> Self {
-        let subject_index = clusters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.subject, i))
-            .collect();
-        let total_triples = clusters.iter().map(|c| c.triples.len() as u64).sum();
+        // One fused pass: the subject index and the triple total both walk
+        // every cluster, so build them together.
+        let mut subject_index = HashMap::with_capacity(clusters.len());
+        let mut total_triples = 0u64;
+        for (i, c) in clusters.iter().enumerate() {
+            subject_index.insert(c.subject, i);
+            total_triples += c.triples.len() as u64;
+        }
         KnowledgeGraph {
             clusters,
             subject_index,

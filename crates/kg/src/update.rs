@@ -16,15 +16,28 @@ use std::sync::Arc;
 
 /// A batch of triple insertions, already clustered by subject: element `j`
 /// is `|Δe_j|`, the number of inserted triples about subject `e_j`.
+///
+/// Alongside the sizes, the batch materializes its **cumulative weight
+/// prefix** once at construction (`weight_prefix()[j]` = triples in groups
+/// `0..j`): the batched reservoir offers and bulk PPS appends of the §6
+/// evaluators consume that slice directly, so replaying the same batch
+/// across trials and engines never recomputes per-item running sums. Both
+/// arrays are `Arc`-shared — cloning a batch (or handing its sizes to a
+/// stratum) is a refcount bump, not an O(|Δ|) copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateBatch {
-    delta_sizes: Vec<u32>,
+    delta_sizes: Arc<[u32]>,
+    prefix: Arc<[u64]>,
     total: u64,
 }
 
 impl UpdateBatch {
-    /// Build from per-`Δe` sizes. Empty groups are rejected.
+    /// Build from per-`Δe` sizes. Empty groups are rejected. One fused
+    /// pass validates, totals, and materializes the weight prefix.
     pub fn from_sizes(delta_sizes: Vec<u32>) -> Result<Self, KgError> {
+        let mut prefix = Vec::with_capacity(delta_sizes.len() + 1);
+        prefix.push(0u64);
+        let mut total = 0u64;
         for (i, &s) in delta_sizes.iter().enumerate() {
             if s == 0 {
                 return Err(KgError::OffsetOutOfRange {
@@ -33,9 +46,14 @@ impl UpdateBatch {
                     size: 0,
                 });
             }
+            total += s as u64;
+            prefix.push(total);
         }
-        let total = delta_sizes.iter().map(|&s| s as u64).sum();
-        Ok(UpdateBatch { delta_sizes, total })
+        Ok(UpdateBatch {
+            delta_sizes: delta_sizes.into(),
+            prefix: prefix.into(),
+            total,
+        })
     }
 
     /// Cluster raw insertions by subject id (the `Δe` grouping of §2.1).
@@ -49,13 +67,36 @@ impl UpdateBatch {
         let mut pairs: Vec<(u32, u32)> = counts.into_iter().collect();
         pairs.sort_unstable();
         let delta_sizes: Vec<u32> = pairs.into_iter().map(|(_, c)| c).collect();
-        let total = delta_sizes.iter().map(|&s| s as u64).sum();
-        UpdateBatch { delta_sizes, total }
+        Self::from_sizes(delta_sizes).expect("grouped counts are positive")
     }
 
     /// Per-`Δe` sizes.
     pub fn delta_sizes(&self) -> &[u32] {
         &self.delta_sizes
+    }
+
+    /// Per-`Δe` sizes as a shared handle — O(1) to hold onto (the §6
+    /// stratified evaluator keeps one per stratum).
+    pub fn delta_sizes_shared(&self) -> Arc<[u32]> {
+        Arc::clone(&self.delta_sizes)
+    }
+
+    /// The batch's cumulative weight prefix, materialized once at
+    /// construction: `weight_prefix()[j]` is the number of inserted
+    /// triples in groups `0..j` (length `num_delta_clusters() + 1`,
+    /// starting at 0, strictly increasing). This is the exact shape
+    /// consumed by `WeightedReservoirExpJ::offer_batch` and
+    /// `GrowablePps::extend_from_prefix` in kg-stats.
+    pub fn weight_prefix(&self) -> &[u64] {
+        &self.prefix
+    }
+
+    /// The cumulative weight prefix as a shared handle — O(1). This is
+    /// what lets `GrowablePps::extend_shared` adopt a whole batch into a
+    /// sampling frame without copying a single weight, and what the
+    /// stratified evaluator builds each stratum's frame from.
+    pub fn weight_prefix_shared(&self) -> Arc<[u64]> {
+        Arc::clone(&self.prefix)
     }
 
     /// Number of `Δe` groups (new clusters).
@@ -98,13 +139,12 @@ impl UpdateBatch {
         if self.delta_sizes.is_empty() {
             return;
         }
-        let prefix = Arc::make_mut(prefix);
-        prefix.reserve(self.delta_sizes.len());
-        let mut acc = *prefix.last().expect("checked non-empty");
-        for &s in &self.delta_sizes {
-            acc += s as u64;
-            prefix.push(acc);
-        }
+        let out = Arc::make_mut(prefix);
+        out.reserve(self.delta_sizes.len());
+        let base = *out.last().expect("checked non-empty");
+        // Bulk offset-add from the batch's cached prefix — no per-item
+        // running sum.
+        out.extend(self.prefix[1..].iter().map(|&p| base + p));
     }
 }
 
@@ -133,6 +173,25 @@ mod tests {
         assert!(UpdateBatch::from_sizes(vec![1, 0]).is_err());
         let empty = UpdateBatch::from_sizes(vec![]).unwrap();
         assert_eq!(empty.total_triples(), 0);
+        assert_eq!(empty.weight_prefix(), &[0]);
+    }
+
+    #[test]
+    fn weight_prefix_is_the_cumulative_sizes() {
+        let batch = UpdateBatch::from_sizes(vec![3, 1, 4, 1, 5]).unwrap();
+        assert_eq!(batch.weight_prefix(), &[0, 3, 4, 8, 9, 14]);
+        assert_eq!(
+            *batch.weight_prefix().last().unwrap(),
+            batch.total_triples()
+        );
+        assert_eq!(batch.weight_prefix().len(), batch.num_delta_clusters() + 1);
+        // Grouping materializes the same prefix as from_sizes.
+        let grouped = UpdateBatch::group_by_subject(&[7, 3, 7, 7, 3, 9]);
+        assert_eq!(grouped.weight_prefix(), &[0, 2, 5, 6]);
+        // Shared handles alias the batch's own storage.
+        let sizes = batch.delta_sizes_shared();
+        assert_eq!(&*sizes, batch.delta_sizes());
+        assert_eq!(Arc::strong_count(&sizes), 2);
     }
 
     #[test]

@@ -177,12 +177,26 @@ impl Binomial {
             // Geometric skipping over the rarer outcome.
             let q = p.min(1.0 - p);
             let lq = (1.0 - q).ln();
+            if lq == 0.0 {
+                // q below ~5.6e-17 underflows `1 - q` to 1.0: the skip
+                // `ln(u)/ln(1-q)` would be -∞, which the `as u64` cast
+                // saturates to a ZERO-length jump — an O(n) crawl that
+                // eventually returns the absurd count n (decades of
+                // spinning first when n ~ 10^18). The true per-position
+                // hit probability is under 5.6e-17, so with n·q < 10 the
+                // draw is 0 hits to within ~6e-16.
+                return if p <= 0.5 { 0 } else { n };
+            }
             let mut count = 0u64;
             let mut pos = 0u64;
             loop {
+                // A forced-zero/denormal draw is clamped so `u.ln()` stays
+                // finite (≈ -708); with the lq guard above the skip then
+                // fits u64, and the saturating add below keeps `pos + skip`
+                // from overflowing for n near u64::MAX.
                 let u = rng.gen::<f64>().max(f64::MIN_POSITIVE);
                 let skip = (u.ln() / lq).floor() as u64;
-                if pos + skip >= n {
+                if pos.saturating_add(skip) >= n {
                     break;
                 }
                 pos += skip + 1;
@@ -359,6 +373,40 @@ mod tests {
         let m: RunningMoments = (0..20_000).map(|_| d.sample(&mut rng) as f64).collect();
         // Mean ≈ 1.
         assert!((m.mean() - 1.0).abs() < 0.1, "mean {}", m.mean());
+    }
+
+    use crate::testrng::ScriptedRng;
+
+    #[test]
+    fn binomial_geometric_skip_survives_vanishing_q() {
+        // p = 1e-18 underflows 1 - q to 1.0 (lq == 0): the pre-guard skip
+        // was ln(u)/0 = -∞, saturating on the u64 cast to a zero-length
+        // jump — an O(n) crawl returning the absurd count n after ~10^18
+        // iterations. The guard answers the correct 0 immediately, RNG
+        // untouched.
+        let mut zeros = ScriptedRng::new(vec![]);
+        let d = Binomial::new(1_000_000_000_000_000_000, 1e-18).unwrap();
+        assert_eq!(d.sample(&mut zeros), 0);
+        assert_eq!(zeros.consumed(), 0, "guard must not consume the RNG");
+        let tiny = Binomial::new(1_000_000_000_000_000_000, 1e-300).unwrap();
+        assert_eq!(tiny.sample(&mut zeros), 0);
+    }
+
+    #[test]
+    fn binomial_geometric_skip_survives_forced_zero_draws() {
+        // Forced-zero uniforms exercise the ln(0) clamp on the skip draw:
+        // ln(MIN_POSITIVE) ≈ -708 keeps the skip finite, the saturating
+        // compare breaks on the first jump past n, and the sample
+        // terminates with 0 rare-outcome hits.
+        let mut zeros = ScriptedRng::new(vec![]);
+        let low = Binomial::new(5_000, 1e-3).unwrap();
+        assert_eq!(low.sample(&mut zeros), 0);
+        // Mirrored high-p branch: q = 2^-53 (the smallest non-underflowing
+        // q) gives skips ~6.4e18 that must not overflow `pos + skip`; the
+        // count of misses is 0, so the draw is exactly n.
+        let n = 10_000_000u64;
+        let high = Binomial::new(n, 1.0 - f64::EPSILON / 2.0).unwrap();
+        assert_eq!(high.sample(&mut zeros), n);
     }
 
     #[test]

@@ -60,3 +60,44 @@ pub use normal::{erf, erfc, normal_cdf, normal_quantile, z_critical};
 pub use pps::GrowablePps;
 pub use reservoir::{Reservoir, WeightedReservoir, WeightedReservoirExpJ};
 pub use stratify::{cum_sqrt_f_boundaries, Allocation, StratumBounds};
+
+/// Shared test-only RNG shims for the `ln(0)` edge regressions.
+#[cfg(test)]
+pub(crate) mod testrng {
+    /// Plays a fixed script of raw RNG words, then returns zero forever —
+    /// the forced-zero shim used to pin down every `ln(0)` guard
+    /// (reservoir skip draws, geometric skipping) without hanging on a
+    /// redraw loop.
+    pub struct ScriptedRng {
+        script: Vec<u64>,
+        pos: usize,
+    }
+
+    impl ScriptedRng {
+        /// Shim that plays `script` and then zeros.
+        pub fn new(script: Vec<u64>) -> Self {
+            ScriptedRng { script, pos: 0 }
+        }
+
+        /// Raw words consumed so far.
+        pub fn consumed(&self) -> usize {
+            self.pos
+        }
+    }
+
+    impl rand::RngCore for ScriptedRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let v = self.script.get(self.pos).copied().unwrap_or(0);
+            self.pos += 1;
+            v
+        }
+    }
+
+    /// Raw word whose `gen::<f64>()` image is `u` (53-bit grid).
+    pub fn word_for(u: f64) -> u64 {
+        ((u * (1u64 << 53) as f64) as u64) << 11
+    }
+}

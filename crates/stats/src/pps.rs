@@ -4,17 +4,29 @@
 //! rebuilt from scratch — O(N) — whenever a weight is appended, which is
 //! exactly what an evolving KG does on every update batch. [`GrowablePps`]
 //! trades the O(1) draw for an O(log N) binary search over prefix sums and
-//! in exchange supports **amortized O(1) appends**: the incremental
-//! evaluators (§6) extend it with each batch's `Δe` cluster sizes instead of
-//! rebuilding a table over the whole evolved KG.
+//! in exchange supports cheap growth, two ways:
+//!
+//! * **item-wise** — [`GrowablePps::push`] / bulk
+//!   [`GrowablePps::extend_from_sizes`] /
+//!   [`GrowablePps::extend_from_prefix`] append to a flat *head* array,
+//!   amortized O(1) per item;
+//! * **shared segments** — [`GrowablePps::extend_shared`] adopts an already
+//!   materialized cumulative-weight slice (an evolving-KG `UpdateBatch`
+//!   caches its Δ prefix once at construction) as an `Arc`'d tail segment:
+//!   **O(1) per batch**, no copy at all. This is what makes the §6
+//!   evaluators' per-batch stream bookkeeping sublinear in |Δ| — the only
+//!   per-batch PPS cost is pushing one segment descriptor.
 //!
 //! A draw picks a uniform triple index in `[0, M)` and maps it to its
 //! cluster, so cluster `i` is selected with probability `M_i / M` — the same
 //! first-stage distribution as the alias table (the realized draw *streams*
-//! differ; both are exact PPS).
+//! differ; both are exact PPS). The flat and segmented layouts locate the
+//! same item for every cumulative position, so the two growth styles are
+//! interchangeable without disturbing a single draw.
 
 use crate::error::StatsError;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Sampled stride of the coarse level: one coarse entry per `STRIDE` items.
 /// 64 keeps the fine window at one-to-few cache lines while the coarse
@@ -22,18 +34,39 @@ use rand::Rng;
 /// where the full prefix array (8 MB) is not.
 const STRIDE: usize = 64;
 
+/// An `Arc`-shared tail segment: one adopted batch of cumulative weights.
+#[derive(Debug, Clone)]
+struct Segment {
+    /// Total weight of every item before this segment.
+    abs_start: u64,
+    /// Global index of the segment's first item.
+    first_item: usize,
+    /// The adopted cumulative-weight slice (`local[0]` is an arbitrary
+    /// base; item `j` of the segment weighs `local[j+1] - local[j]`).
+    local: Arc<[u64]>,
+}
+
 /// Prefix-sum PPS sampler over a growing list of integer weights.
 ///
-/// Two-level layout: draws binary-search a coarse array holding every
-/// `STRIDE`-th prefix (cache-resident across a draw loop), then finish
-/// inside one `STRIDE`-item window of the full array — a handful of hot
-/// probes instead of `log N` cold misses over megabytes of prefix sums.
+/// Layout: a flat **head** (coarse + fine two-level search: draws
+/// binary-search a coarse array holding every `STRIDE`-th prefix, then
+/// finish inside one `STRIDE`-item window) plus zero or more `Arc`-shared
+/// **tail segments** adopted whole in O(1). Item-wise growth is only
+/// supported while no shared segment has been adopted — the §6 evaluators
+/// never mix the two styles on one sampler.
 #[derive(Debug, Clone)]
 pub struct GrowablePps {
-    /// `prefix[i]` = total weight of items `0..i`; `prefix.len() == n + 1`.
+    /// `prefix[i]` = total weight of head items `0..i`;
+    /// `prefix.len() == head_items + 1`.
     prefix: Vec<u64>,
-    /// `coarse[j] = prefix[j * STRIDE]`, maintained on push.
+    /// `coarse[j] = prefix[j * STRIDE]`, maintained on growth.
     coarse: Vec<u64>,
+    /// Shared tail segments, ascending.
+    segments: Vec<Segment>,
+    /// Cached total weight `M` (head + all segments).
+    total: u64,
+    /// Cached item count (head + all segments).
+    items: usize,
 }
 
 impl Default for GrowablePps {
@@ -48,6 +81,9 @@ impl GrowablePps {
         GrowablePps {
             prefix: vec![0],
             coarse: vec![0],
+            segments: Vec::new(),
+            total: 0,
+            items: 0,
         }
     }
 
@@ -59,41 +95,201 @@ impl GrowablePps {
         Ok(this)
     }
 
-    /// Append one item with positive weight — amortized O(1).
+    /// Sampler over a copied cumulative-weight slice (item `i` weighs
+    /// `prefix[i+1] - prefix[i]`; `prefix[0]` is an arbitrary base).
+    /// Equivalent to [`GrowablePps::from_sizes`] on the per-item diffs,
+    /// via the bulk head append.
+    pub fn from_prefix(prefix: &[u64]) -> Result<Self, StatsError> {
+        let mut this = Self::new();
+        this.extend_from_prefix(prefix)?;
+        Ok(this)
+    }
+
+    /// Sampler that **adopts** a shared cumulative-weight slice as its
+    /// single segment — O(1), no copy. The §6 stratified evaluator builds
+    /// each stratum's frame this way straight from the update batch's
+    /// cached prefix.
+    pub fn shared(prefix: Arc<[u64]>) -> Result<Self, StatsError> {
+        let mut this = Self::new();
+        this.extend_shared(prefix)?;
+        Ok(this)
+    }
+
+    /// Whether item-wise growth is still allowed (no shared segment yet).
+    fn head_only(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Append one item with positive weight — amortized O(1). Errors after
+    /// a shared segment has been adopted (item-wise and segment growth
+    /// don't mix).
     pub fn push(&mut self, size: u32) -> Result<(), StatsError> {
         if size == 0 {
             return Err(StatsError::invalid("size", "> 0", 0.0));
         }
-        let total = *self.prefix.last().expect("prefix non-empty");
-        self.prefix.push(total + size as u64);
-        if (self.prefix.len() - 1).is_multiple_of(STRIDE) {
-            self.coarse.push(total + size as u64);
+        if !self.head_only() {
+            return Err(StatsError::invalid(
+                "push",
+                "item-wise growth before shared segments",
+                self.segments.len() as f64,
+            ));
         }
+        let new_total = self.total + size as u64;
+        self.prefix.push(new_total);
+        if (self.prefix.len() - 1).is_multiple_of(STRIDE) {
+            self.coarse.push(new_total);
+        }
+        self.total = new_total;
+        self.items += 1;
         Ok(())
     }
 
-    /// Append a batch of items — amortized O(batch), no rebuild.
+    /// Append a batch of items — one bulk pass, no rebuild, identical end
+    /// state to pushing each size. On a zero weight the sampler is left
+    /// unchanged (the partial append is rolled back before returning).
     pub fn extend_from_sizes(&mut self, sizes: &[u32]) -> Result<(), StatsError> {
-        self.prefix.reserve(sizes.len());
-        for &s in sizes {
-            self.push(s)?;
+        if !self.head_only() {
+            return Err(StatsError::invalid(
+                "extend_from_sizes",
+                "item-wise growth before shared segments",
+                self.segments.len() as f64,
+            ));
         }
+        let rollback = self.prefix.len();
+        self.prefix.reserve(sizes.len());
+        let mut acc = self.total;
+        for &s in sizes {
+            if s == 0 {
+                self.prefix.truncate(rollback);
+                return Err(StatsError::invalid("size", "> 0", 0.0));
+            }
+            acc += s as u64;
+            self.prefix.push(acc);
+        }
+        self.total = acc;
+        self.items = self.prefix.len() - 1;
+        self.sync_coarse();
         Ok(())
+    }
+
+    /// Append a batch of items by *copying* their cumulative-weight slice
+    /// into the head — the bulk counterpart of a `push` loop over the
+    /// diffs `prefix[i+1] - prefix[i]`, one offset-add pass plus a
+    /// coarse-frame top-up per batch. `prefix[0]` is an arbitrary base.
+    /// Zero weights (a non-increasing step) are rejected with the sampler
+    /// left unchanged. See [`GrowablePps::extend_shared`] for the O(1)
+    /// no-copy alternative.
+    pub fn extend_from_prefix(&mut self, prefix: &[u64]) -> Result<(), StatsError> {
+        if !self.head_only() {
+            return Err(StatsError::invalid(
+                "extend_from_prefix",
+                "item-wise growth before shared segments",
+                self.segments.len() as f64,
+            ));
+        }
+        let Some((&base_in, rest)) = prefix.split_first() else {
+            return Err(StatsError::invalid("prefix", "non-empty", 0.0));
+        };
+        let rollback = self.prefix.len();
+        let base = self.total;
+        self.prefix.reserve(rest.len());
+        // Fused validate-and-append: one read of the source, one write.
+        let mut prev = base_in;
+        let mut increasing = true;
+        self.prefix.extend(rest.iter().map(|&p| {
+            increasing &= p > prev;
+            prev = p;
+            base + p.wrapping_sub(base_in)
+        }));
+        if !increasing {
+            self.prefix.truncate(rollback);
+            return Err(StatsError::invalid("size", "> 0", 0.0));
+        }
+        self.total = base + (prev - base_in);
+        self.items = self.prefix.len() - 1;
+        self.sync_coarse();
+        Ok(())
+    }
+
+    /// Adopt a shared cumulative-weight slice as a tail segment — **O(1)
+    /// per batch**, no copy: the evolving-KG skeleton cost of growing the
+    /// sampling frame by an update batch is one descriptor push. The slice
+    /// must be strictly increasing (positive integer weights; an
+    /// `UpdateBatch` guarantees this at construction — debug builds
+    /// verify). A slice of length ≤ 1 (an empty batch) is a no-op.
+    pub fn extend_shared(&mut self, prefix: Arc<[u64]>) -> Result<(), StatsError> {
+        if prefix.is_empty() {
+            return Err(StatsError::invalid("prefix", "non-empty", 0.0));
+        }
+        let added = prefix.len() - 1;
+        if added == 0 {
+            return Ok(());
+        }
+        debug_assert!(
+            prefix.windows(2).all(|w| w[0] < w[1]),
+            "shared segment weights must be positive (prefix strictly increasing)"
+        );
+        let weight = prefix[added] - prefix[0];
+        self.segments.push(Segment {
+            abs_start: self.total,
+            first_item: self.items,
+            local: prefix,
+        });
+        self.total += weight;
+        self.items += added;
+        Ok(())
+    }
+
+    /// Top up the coarse level after bulk head growth, restoring the
+    /// push-path invariant `coarse[j] == prefix[j * STRIDE]`.
+    fn sync_coarse(&mut self) {
+        let mut j = self.coarse.len();
+        while j * STRIDE < self.prefix.len() {
+            self.coarse.push(self.prefix[j * STRIDE]);
+            j += 1;
+        }
+    }
+
+    /// The head's cumulative-weight slice: `prefix()[i]` is the total
+    /// weight of items `0..i` (length `len() + 1` while no shared segment
+    /// has been adopted, starting at 0). This is exactly the shape
+    /// [`WeightedReservoirExpJ::offer_batch`] consumes, so a population
+    /// indexed for PPS draws can drive batched reservoir offers with no
+    /// extra materialization.
+    ///
+    /// [`WeightedReservoirExpJ::offer_batch`]:
+    /// crate::reservoir::WeightedReservoirExpJ::offer_batch
+    pub fn prefix(&self) -> &[u64] {
+        &self.prefix
     }
 
     /// Number of items.
     pub fn len(&self) -> usize {
-        self.prefix.len() - 1
+        self.items
     }
 
     /// Whether no items have been appended.
     pub fn is_empty(&self) -> bool {
-        self.prefix.len() == 1
+        self.items == 0
     }
 
     /// Total weight `M`.
     pub fn total(&self) -> u64 {
-        *self.prefix.last().expect("prefix non-empty")
+        self.total
+    }
+
+    /// Weight of item `i` (head or segment). O(1) for head items,
+    /// O(log segments) otherwise. Panics out of range.
+    pub fn weight(&self, i: usize) -> u64 {
+        let head_items = self.prefix.len() - 1;
+        if i < head_items {
+            return self.prefix[i + 1] - self.prefix[i];
+        }
+        assert!(i < self.items, "item {i} out of range ({})", self.items);
+        let si = self.segments.partition_point(|s| s.first_item <= i) - 1;
+        let s = &self.segments[si];
+        let j = i - s.first_item;
+        s.local[j + 1] - s.local[j]
     }
 
     /// Draw an item index with probability proportional to its weight.
@@ -105,17 +301,28 @@ impl GrowablePps {
     }
 
     /// Index of the item whose weight span contains cumulative position
-    /// `t` (`prefix[i] <= t < prefix[i+1]`).
+    /// `t` — identical to a flat `partition_point` over the logical
+    /// global prefix sums, whichever mix of head and segments holds the
+    /// items.
     fn locate(&self, t: u64) -> usize {
-        // Coarse level: the window holding t (hot memory).
-        let j = self.coarse.partition_point(|&p| p <= t) - 1;
-        // Fine level: at most STRIDE entries of the full prefix array.
-        let lo = j * STRIDE;
-        let hi = ((j + 1) * STRIDE + 1).min(self.prefix.len());
-        let window = &self.prefix[lo..hi];
-        let i = lo + window.partition_point(|&p| p <= t) - 1;
-        debug_assert!(self.prefix[i] <= t && t < self.prefix[i + 1]);
-        i
+        let head_total = *self.prefix.last().expect("prefix non-empty");
+        if t < head_total {
+            // Coarse level: the window holding t (hot memory).
+            let j = self.coarse.partition_point(|&p| p <= t) - 1;
+            // Fine level: at most STRIDE entries of the full prefix array.
+            let lo = j * STRIDE;
+            let hi = ((j + 1) * STRIDE + 1).min(self.prefix.len());
+            let window = &self.prefix[lo..hi];
+            let i = lo + window.partition_point(|&p| p <= t) - 1;
+            debug_assert!(self.prefix[i] <= t && t < self.prefix[i + 1]);
+            return i;
+        }
+        // Segment level: the (few, hot) descriptors, then one local search.
+        let si = self.segments.partition_point(|s| s.abs_start <= t) - 1;
+        let s = &self.segments[si];
+        let local_t = t - s.abs_start;
+        let base = s.local[0];
+        s.first_item + s.local.partition_point(|&p| p - base <= local_t) - 1
     }
 }
 
@@ -194,6 +401,150 @@ mod tests {
         pps.extend_from_sizes(&[2; 150]).unwrap();
         check(&pps);
         assert_eq!(pps.len(), 451);
+    }
+
+    #[test]
+    fn bulk_appends_match_push_loop_exactly() {
+        // Same sizes through push, extend_from_sizes, and
+        // extend_from_prefix must yield identical prefix AND coarse
+        // arrays, across stride boundaries and interleaved growth.
+        let sizes: Vec<u32> = (0..777u32).map(|i| 1 + (i * 31) % 11).collect();
+        let mut pushed = GrowablePps::new();
+        for &s in &sizes {
+            pushed.push(s).unwrap();
+        }
+        let bulk = GrowablePps::from_sizes(&sizes).unwrap();
+        assert_eq!(pushed.prefix, bulk.prefix);
+        assert_eq!(pushed.coarse, bulk.coarse);
+        let mut delta_prefix = vec![0u64];
+        let mut acc = 0u64;
+        for &s in &sizes {
+            acc += s as u64;
+            delta_prefix.push(acc);
+        }
+        let from_prefix = GrowablePps::from_prefix(&delta_prefix).unwrap();
+        assert_eq!(pushed.prefix, from_prefix.prefix);
+        assert_eq!(pushed.coarse, from_prefix.coarse);
+        assert_eq!(from_prefix.prefix(), &*pushed.prefix);
+        assert_eq!(pushed.total(), from_prefix.total());
+        assert_eq!(pushed.len(), from_prefix.len());
+        // Interleaved growth: push a few, bulk-extend, push again.
+        let mut a = GrowablePps::from_sizes(&sizes[..100]).unwrap();
+        a.extend_from_prefix(&delta_prefix[100..=500]).unwrap();
+        for &s in &sizes[500..] {
+            a.push(s).unwrap();
+        }
+        assert_eq!(a.prefix, pushed.prefix);
+        assert_eq!(a.coarse, pushed.coarse);
+    }
+
+    #[test]
+    fn shared_segments_locate_identically_to_flat_growth() {
+        // The same logical weights through (a) item-wise pushes and
+        // (b) head + adopted Arc segments must agree on every cumulative
+        // position, every item weight, and the totals — this is what makes
+        // O(1) batch adoption invisible to the draw stream.
+        let head_sizes: Vec<u32> = (0..150u32).map(|i| 1 + (i * 13) % 17).collect();
+        let batch_a: Vec<u32> = (0..70u32).map(|i| 1 + (i * 7) % 23).collect();
+        let batch_b: Vec<u32> = vec![3; 90];
+
+        let mut flat = GrowablePps::new();
+        for &s in head_sizes.iter().chain(&batch_a).chain(&batch_b) {
+            flat.push(s).unwrap();
+        }
+
+        let to_prefix = |sizes: &[u32]| -> Arc<[u64]> {
+            let mut p = vec![0u64];
+            let mut acc = 0u64;
+            for &s in sizes {
+                acc += s as u64;
+                p.push(acc);
+            }
+            p.into()
+        };
+        let mut seg = GrowablePps::from_sizes(&head_sizes).unwrap();
+        seg.extend_shared(to_prefix(&batch_a)).unwrap();
+        seg.extend_shared(to_prefix(&batch_b)).unwrap();
+
+        assert_eq!(flat.total(), seg.total());
+        assert_eq!(flat.len(), seg.len());
+        for t in 0..flat.total() {
+            assert_eq!(flat.locate(t), seg.locate(t), "t {t}");
+        }
+        for i in 0..flat.len() {
+            assert_eq!(flat.weight(i), seg.weight(i), "item {i}");
+        }
+        // Item-wise growth is sealed once a segment is adopted.
+        assert!(seg.push(1).is_err());
+        assert!(seg.extend_from_sizes(&[1]).is_err());
+        assert!(seg.extend_from_prefix(&[0, 1]).is_err());
+        // A purely shared sampler (empty head) also locates correctly.
+        let only = GrowablePps::shared(to_prefix(&batch_a)).unwrap();
+        assert_eq!(only.len(), batch_a.len());
+        let flat_a = GrowablePps::from_sizes(&batch_a).unwrap();
+        for t in 0..only.total() {
+            assert_eq!(only.locate(t), flat_a.locate(t), "t {t}");
+        }
+        // Empty shared batches are no-ops.
+        let before = seg.len();
+        seg.extend_shared(vec![0u64].into()).unwrap();
+        assert_eq!(seg.len(), before);
+        assert!(GrowablePps::shared(Vec::new().into()).is_err());
+    }
+
+    #[test]
+    fn shared_sampler_draw_stream_matches_flat() {
+        // Same seed, same draws: adopting segments must not disturb the
+        // realized sample stream at all.
+        let sizes: Vec<u32> = (0..200u32).map(|i| 1 + (i * 11) % 31).collect();
+        let mut flat = GrowablePps::from_sizes(&sizes).unwrap();
+        flat.extend_from_sizes(&[9; 40]).unwrap();
+        let mut p = vec![0u64];
+        let mut acc = 0u64;
+        for _ in 0..40 {
+            acc += 9;
+            p.push(acc);
+        }
+        let mut seg = GrowablePps::from_sizes(&sizes).unwrap();
+        seg.extend_shared(p.into()).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(33);
+        let mut rng_b = StdRng::seed_from_u64(33);
+        for _ in 0..10_000 {
+            assert_eq!(flat.sample(&mut rng_a), seg.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn bulk_append_errors_leave_sampler_unchanged() {
+        let mut pps = GrowablePps::from_sizes(&[3, 4]).unwrap();
+        let before_prefix = pps.prefix.clone();
+        let before_coarse = pps.coarse.clone();
+        assert!(pps.extend_from_sizes(&[2, 0, 9]).is_err());
+        assert_eq!(pps.prefix, before_prefix);
+        assert_eq!(pps.coarse, before_coarse);
+        // Non-increasing (zero-weight) step in a prefix slice.
+        assert!(pps.extend_from_prefix(&[0, 5, 5]).is_err());
+        assert!(pps.extend_from_prefix(&[]).is_err());
+        assert_eq!(pps.prefix, before_prefix);
+        assert_eq!(pps.coarse, before_coarse);
+        assert_eq!(pps.len(), 2);
+        assert_eq!(pps.total(), 7);
+    }
+
+    #[test]
+    fn prefix_base_offset_is_respected() {
+        // A delta prefix starting at a non-zero base appends the same
+        // diffs as one starting at zero.
+        let mut a = GrowablePps::from_sizes(&[10]).unwrap();
+        let mut b = a.clone();
+        a.extend_from_prefix(&[0, 2, 7]).unwrap();
+        b.extend_from_prefix(&[100, 102, 107]).unwrap();
+        assert_eq!(a.prefix, b.prefix);
+        assert_eq!(a.total(), 17);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.weight(0), 10);
+        assert_eq!(a.weight(1), 2);
+        assert_eq!(a.weight(2), 5);
     }
 
     #[test]

@@ -146,14 +146,12 @@ impl<T> WeightedReservoir<T> {
             "reservoir weights must be positive and finite (got {weight})"
         );
         self.offered += 1;
-        // u ∈ (0,1): rand's gen::<f64>() yields [0,1); nudge zero away so
-        // key is never exactly 0 (which would always lose) nor NaN.
-        let u = loop {
-            let u = rng.gen::<f64>();
-            if u > 0.0 {
-                break u;
-            }
-        };
+        // u ∈ (0,1): rand's gen::<f64>() yields [0,1); clamp zero away so
+        // key is never exactly 0 (which would always lose) nor NaN. A
+        // clamp, not a redraw loop: a degenerate RngCore returning zero
+        // forever would hang a loop, while the clamp yields the smallest
+        // positive key — the correct limit for a zero draw.
+        let u = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         let key = u.powf(1.0 / weight);
         if self.heap.len() < self.capacity {
             self.heap.push(MinKey(Keyed { item, key }));
@@ -245,6 +243,12 @@ impl<T> WeightedReservoir<T> {
 /// reports the same [`OfferOutcome`] as A-Res, so the §6 incremental
 /// evaluator can retire evicted annotations while paying O(1) per skipped
 /// stream item instead of a `powf` + RNG draw for each.
+///
+/// [`WeightedReservoirExpJ::offer_batch`] goes one step further for
+/// integer-weight streams: it binary-searches each jump's landing index
+/// over a cumulative-weight slice, erasing even the O(1)-per-item
+/// subtract-and-compare while staying bitwise stream-identical to the
+/// per-item loop.
 #[derive(Debug, Clone)]
 pub struct WeightedReservoirExpJ<T> {
     inner: WeightedReservoir<T>,
@@ -252,6 +256,15 @@ pub struct WeightedReservoirExpJ<T> {
     /// reservoir fills.
     skip: Option<f64>,
 }
+
+/// Below 2^53, subtracting an integer weight from an f64 skip is exact
+/// (the result is an integer multiple of the minuend's ulp ≤ 1), so the
+/// batched binary search over integer prefix sums reproduces the per-item
+/// subtraction chain bit-for-bit. At or above it, fall back per-item.
+const EXACT_SKIP_LIMIT: f64 = (1u64 << 53) as f64;
+
+/// Batch prefix spans must also stay exactly representable.
+const EXACT_WEIGHT_LIMIT: u64 = 1 << 53;
 
 impl<T> WeightedReservoirExpJ<T> {
     /// New A-ExpJ reservoir of the given capacity.
@@ -264,14 +277,21 @@ impl<T> WeightedReservoirExpJ<T> {
 
     fn draw_skip<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         let t_w = self.inner.min_key().expect("full reservoir");
-        let r = loop {
-            let r = rng.gen::<f64>();
-            if r > 0.0 {
-                break r;
-            }
-        };
-        // X_w = ln(r) / ln(T_w): total incoming weight to skip.
-        self.skip = Some(r.ln() / t_w.ln());
+        let r = rng.gen::<f64>();
+        // X_w = ln(r) / ln(T_w): total incoming weight to skip. The ln(0)
+        // edges are guarded instead of redrawn: `gen::<f64>()` covers
+        // [0, 1), so `r == 0.0` is one draw in 2^53 — the old redraw loop
+        // would hang forever on a degenerate RngCore that keeps returning
+        // zero — and it is exactly the "skip the rest of the stream"
+        // limit. `T_w == 1.0` (a conditioned key that rounded up to 1.0)
+        // means no key in (0, 1] can ever beat the threshold, where
+        // `ln(r)/ln(1.0)` would produce a wrong-signed infinity that
+        // *accepts* every item. Both edges map to an infinite skip.
+        self.skip = Some(if r > 0.0 && t_w < 1.0 {
+            r.ln() / t_w.ln()
+        } else {
+            f64::INFINITY
+        });
     }
 
     /// Offer one item with positive weight. The outcome mirrors A-Res:
@@ -295,15 +315,134 @@ impl<T> WeightedReservoirExpJ<T> {
             *skip -= weight;
             return OfferOutcome::Rejected;
         }
-        // This item crosses the jump: insert it with a key conditioned to
-        // beat the current threshold, k ~ U(T_w^w, 1)^(1/w).
+        let evicted = self.accept_jump(rng, item, weight);
+        OfferOutcome::Replaced(evicted)
+    }
+
+    /// The jump-crossing insertion shared by [`Self::offer`] and
+    /// [`Self::offer_batch`]: insert `item` with a key conditioned to beat
+    /// the current threshold, `k ~ U(T_w^w, 1)^(1/w)`, then draw the next
+    /// skip. Keeping this in one place is what makes the two offer paths
+    /// bitwise identical by construction rather than by parallel
+    /// maintenance.
+    fn accept_jump<R: Rng + ?Sized>(&mut self, rng: &mut R, item: T, weight: f64) -> Keyed<T> {
         let t_w = self.inner.min_key().expect("full reservoir");
         let lo = t_w.powf(weight);
         let u = lo + rng.gen::<f64>() * (1.0 - lo);
         let key = u.powf(1.0 / weight);
         let evicted = self.inner.replace_min(item, key);
         self.draw_skip(rng);
-        OfferOutcome::Replaced(evicted)
+        evicted
+    }
+
+    /// Offer a whole batch of integer-weight items, **bitwise
+    /// stream-identical** to calling [`Self::offer`] once per item.
+    ///
+    /// `prefix` is the batch's cumulative-weight slice: item `i` has weight
+    /// `prefix[i + 1] - prefix[i]` (so `prefix.len()` is the batch size
+    /// plus one, and `prefix[0]` is an arbitrary base — batch prefixes
+    /// start at 0, shared population prefixes at any offset). The weights
+    /// must be positive, i.e. `prefix` strictly increasing, exactly as the
+    /// per-item path asserts.
+    ///
+    /// Instead of one call per stream item, the skip phase binary-searches
+    /// each exponential jump's landing index over `prefix` — O(a·log n)
+    /// for `a` acceptances over `n` items, rather than O(n) subtract-and-
+    /// compare iterations. Because the weights are integers and the prefix
+    /// sums stay below 2^53, the per-item loop's sequential `skip -= w`
+    /// subtractions are all exact, so the landing comparison
+    /// `skip <= prefix[j+1] - prefix[i]` reproduces them bit-for-bit —
+    /// same RNG draws, same insertions, same eviction order, same residual
+    /// skip. The rare exactness gaps — a skip ≥ 2^53, or a batch whose
+    /// total weight reaches 2^53 — automatically fall back to the per-item
+    /// loop, keeping the identity unconditional.
+    ///
+    /// `item(i)` materializes the item at batch index `i` (only called for
+    /// accepted items); `on_accept(rng, i, outcome)` fires for each
+    /// accepted item in stream order, with the RNG handed back so callers
+    /// can interleave their own draws exactly where the per-item loop
+    /// would (annotating a freshly inserted cluster, say). Skipped items
+    /// report nothing, just as they consume nothing.
+    pub fn offer_batch<R, G, F>(
+        &mut self,
+        rng: &mut R,
+        prefix: &[u64],
+        mut item: G,
+        mut on_accept: F,
+    ) where
+        R: Rng + ?Sized,
+        G: FnMut(usize) -> T,
+        F: FnMut(&mut R, usize, OfferOutcome<T>),
+    {
+        assert!(!prefix.is_empty(), "prefix must hold at least a base entry");
+        let n = prefix.len() - 1;
+        debug_assert!(
+            prefix.windows(2).all(|w| w[0] < w[1]),
+            "reservoir weights must be positive and finite (prefix strictly increasing)"
+        );
+        if prefix[n] - prefix[0] >= EXACT_WEIGHT_LIMIT {
+            // A batch this heavy (≥ 2^53 total weight) can make the
+            // integer-exactness argument fail for `(p - base) as f64`
+            // itself, so the binary-search shortcut is off the table:
+            // degrade to the per-item loop for the whole batch — the
+            // identity's definition, just without the speedup.
+            for i in 0..n {
+                let w = (prefix[i + 1] - prefix[i]) as f64;
+                match self.offer(rng, item(i), w) {
+                    OfferOutcome::Rejected => {}
+                    outcome => on_accept(rng, i, outcome),
+                }
+            }
+            return;
+        }
+        let mut i = 0;
+        // Fill phase: each insertion draws a key, so per-item is already
+        // optimal (and is what keeps the RNG stream aligned).
+        while i < n && !self.inner.is_full() {
+            let w = (prefix[i + 1] - prefix[i]) as f64;
+            let outcome = self.offer(rng, item(i), w);
+            on_accept(rng, i, outcome);
+            i += 1;
+        }
+        while i < n {
+            let skip = *self.skip.as_ref().expect("full reservoir has a skip");
+            if skip.is_infinite() {
+                // ln(0)-edge skip: the per-item loop would subtract every
+                // weight from ∞ and reject everything; ∞ - x == ∞, so the
+                // residual is already correct.
+                return;
+            }
+            if skip < EXACT_SKIP_LIMIT {
+                let base = prefix[i];
+                // Landing index: first j with skip <= prefix[j+1] - base,
+                // the exact negation of the per-item skip test
+                // `skip - (prefix[j] - base) > w_j`.
+                let j = i + prefix[i + 1..].partition_point(|&p| ((p - base) as f64) < skip);
+                if j == n {
+                    // Whole remainder skipped: one exact subtraction equals
+                    // the per-item subtraction chain.
+                    *self.skip.as_mut().expect("checked above") = skip - (prefix[n] - base) as f64;
+                    return;
+                }
+                let w = (prefix[j + 1] - prefix[j]) as f64;
+                // Jump-crossing insertion — the same shared accept path
+                // the per-item loop takes.
+                let evicted = self.accept_jump(rng, item(j), w);
+                on_accept(rng, j, OfferOutcome::Replaced(evicted));
+                i = j + 1;
+            } else {
+                // Pathological finite skip (≥ 2^53): sequential f64
+                // subtraction may round, so exactness of the binary-search
+                // shortcut is no longer guaranteed — take the per-item
+                // step, which is the identity's definition.
+                let w = (prefix[i + 1] - prefix[i]) as f64;
+                match self.offer(rng, item(i), w) {
+                    OfferOutcome::Rejected => {}
+                    outcome => on_accept(rng, i, outcome),
+                }
+                i += 1;
+            }
+        }
     }
 
     /// Items currently held, with their keys.
@@ -324,6 +463,14 @@ impl<T> WeightedReservoirExpJ<T> {
     /// Replacement events since creation.
     pub fn replacements(&self) -> u64 {
         self.inner.replacements()
+    }
+
+    /// Items that entered the reservoir (fill-phase insertions plus
+    /// replacements). Skipped items are *not* counted — they never
+    /// materialize, which is the algorithm's whole point — so this equals
+    /// the inner A-Res reservoir's accounting, not the stream length.
+    pub fn offered(&self) -> u64 {
+        self.inner.offered()
     }
 
     /// Reservoir capacity.
@@ -354,7 +501,7 @@ impl<T> OfferOutcome<T> {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     #[test]
     fn uniform_reservoir_is_uniform() {
@@ -584,6 +731,141 @@ mod tests {
             (got - expect).abs() < expect * 0.35,
             "replacements {got} vs expected {expect}"
         );
+    }
+
+    use crate::testrng::{word_for, ScriptedRng};
+
+    #[test]
+    fn forced_zero_rng_draw_skip_is_guarded_not_hung() {
+        // Fill draws get real entropy; the post-fill skip draw gets a hard
+        // zero. The old redraw loop would spin forever here; the guard maps
+        // it to an infinite skip that rejects the rest of the stream.
+        let mut rng = ScriptedRng::new(vec![word_for(0.5), word_for(0.25)]);
+        let mut r = WeightedReservoirExpJ::new(2);
+        assert!(matches!(
+            r.offer(&mut rng, 'a', 3.0),
+            OfferOutcome::Inserted
+        ));
+        assert!(matches!(
+            r.offer(&mut rng, 'b', 5.0),
+            OfferOutcome::Inserted
+        ));
+        // Reservoir filled → draw_skip consumed the zero word.
+        for i in 0..10_000u32 {
+            assert!(matches!(
+                r.offer(&mut rng, 'c', 1.0 + (i % 9) as f64),
+                OfferOutcome::Rejected
+            ));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.replacements(), 0);
+        // The batched path short-circuits the same infinite skip.
+        let prefix: Vec<u64> = (0..=100u64).map(|i| i * 3).collect();
+        r.offer_batch(&mut rng, &prefix, |_| 'd', |_, _, _| panic!("must reject"));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn offer_batch_matches_per_item_stream() {
+        // Long mixed-weight stream split into irregular batches: members,
+        // keys, eviction order, counters, and RNG position must all match
+        // the per-item loop bit-for-bit.
+        let weights: Vec<u32> = (0..5_000u32).map(|i| 1 + (i * 7919) % 97).collect();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let mut per_item = WeightedReservoirExpJ::new(25);
+        let mut batched = WeightedReservoirExpJ::new(25);
+        let mut evictions_a: Vec<(u32, u64)> = Vec::new();
+        let mut evictions_b: Vec<(u32, u64)> = Vec::new();
+        let mut start = 0usize;
+        for batch_len in [1usize, 3, 250, 4, 1200, 100, 3442] {
+            let end = (start + batch_len).min(weights.len());
+            for (i, &w) in weights[start..end].iter().enumerate() {
+                if let OfferOutcome::Replaced(e) =
+                    per_item.offer(&mut rng_a, (start + i) as u32, w as f64)
+                {
+                    evictions_a.push((e.item, e.key.to_bits()));
+                }
+            }
+            let mut prefix = Vec::with_capacity(end - start + 1);
+            prefix.push(0u64);
+            let mut acc = 0u64;
+            for &w in &weights[start..end] {
+                acc += w as u64;
+                prefix.push(acc);
+            }
+            batched.offer_batch(
+                &mut rng_b,
+                &prefix,
+                |i| (start + i) as u32,
+                |_, _, outcome| {
+                    if let OfferOutcome::Replaced(e) = outcome {
+                        evictions_b.push((e.item, e.key.to_bits()));
+                    }
+                },
+            );
+            start = end;
+        }
+        assert_eq!(evictions_a, evictions_b, "eviction sequences diverged");
+        assert_eq!(per_item.replacements(), batched.replacements());
+        assert_eq!(per_item.offered(), batched.offered());
+        let members = |r: &WeightedReservoirExpJ<u32>| {
+            let mut v: Vec<(u32, u64)> = r.iter().map(|k| (k.item, k.key.to_bits())).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(members(&per_item), members(&batched));
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn offer_batch_heavy_batch_falls_back_to_per_item() {
+        // Total batch weight ≥ 2^53: the integer-exactness argument no
+        // longer covers the prefix casts, so the whole batch must degrade
+        // to the per-item loop — still byte-identical to calling offer
+        // once per item, just without the shortcut.
+        let weights: [u64; 4] = [1 << 52, 1 << 52, 7, 1 << 40];
+        let mut prefix = vec![0u64];
+        for &w in &weights {
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        assert!(prefix[4] >= (1 << 53));
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut a = WeightedReservoirExpJ::new(2);
+        let mut b = WeightedReservoirExpJ::new(2);
+        for (i, &w) in weights.iter().enumerate() {
+            a.offer(&mut rng_a, i as u32, w as f64);
+        }
+        let mut accepted = Vec::new();
+        b.offer_batch(
+            &mut rng_b,
+            &prefix,
+            |i| i as u32,
+            |_, i, _| accepted.push(i),
+        );
+        let members = |r: &WeightedReservoirExpJ<u32>| {
+            let mut v: Vec<(u32, u64)> = r.iter().map(|k| (k.item, k.key.to_bits())).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(members(&a), members(&b));
+        assert_eq!(a.replacements(), b.replacements());
+        assert_eq!(a.offered(), b.offered());
+        assert!(accepted.len() >= 2, "fill inserts always reported");
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "RNG streams diverged");
+    }
+
+    #[test]
+    fn offer_batch_with_capacity_exceeding_stream_inserts_all() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut r = WeightedReservoirExpJ::new(64);
+        let prefix: Vec<u64> = (0..=10u64).map(|i| i * 5).collect();
+        let mut accepted = Vec::new();
+        r.offer_batch(&mut rng, &prefix, |i| i, |_, i, _| accepted.push(i));
+        assert_eq!(accepted, (0..10).collect::<Vec<_>>());
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.offered(), 10);
     }
 
     #[test]

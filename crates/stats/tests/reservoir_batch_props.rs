@@ -1,0 +1,143 @@
+//! Property suite: `WeightedReservoirExpJ::offer_batch` is **bitwise
+//! stream-identical** to the per-item `offer` loop — same reservoir
+//! members and keys, same eviction sequence, same `offered()` /
+//! `replacements()` accounting, and the same RNG stream position — over
+//! randomized integer weight streams, capacities (including capacity
+//! exceeding the stream), and arbitrary batch partitions.
+
+use kg_stats::reservoir::{OfferOutcome, WeightedReservoirExpJ};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Accept/evict event: `(stream_index, evicted_item_and_key_bits)`.
+type Event = (u32, Option<(u32, u64)>);
+/// A replay's observables: final reservoir, event log, next RNG word.
+type Replay = (WeightedReservoirExpJ<u32>, Vec<Event>, u64);
+
+/// Replay `weights` through a per-item loop, recording accept/evict
+/// events as `(stream_index, evicted_item, evicted_key_bits)`.
+fn replay_per_item(weights: &[u32], capacity: usize, seed: u64) -> Replay {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = WeightedReservoirExpJ::new(capacity);
+    let mut events = Vec::new();
+    for (i, &w) in weights.iter().enumerate() {
+        match r.offer(&mut rng, i as u32, w as f64) {
+            OfferOutcome::Inserted => events.push((i as u32, None)),
+            OfferOutcome::Replaced(e) => events.push((i as u32, Some((e.item, e.key.to_bits())))),
+            OfferOutcome::Rejected => {}
+        }
+    }
+    (r, events, rng.next_u64())
+}
+
+/// Replay the same stream through `offer_batch`, split at `batch_lens`.
+fn replay_batched(weights: &[u32], capacity: usize, seed: u64, batch_lens: &[usize]) -> Replay {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = WeightedReservoirExpJ::new(capacity);
+    let mut events = Vec::new();
+    let mut start = 0usize;
+    let mut lens = batch_lens
+        .iter()
+        .copied()
+        .chain(std::iter::repeat(weights.len()));
+    while start < weights.len() {
+        let end = (start + lens.next().expect("endless")).min(weights.len());
+        if end == start {
+            continue;
+        }
+        let mut prefix = Vec::with_capacity(end - start + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for &w in &weights[start..end] {
+            acc += w as u64;
+            prefix.push(acc);
+        }
+        r.offer_batch(
+            &mut rng,
+            &prefix,
+            |i| (start + i) as u32,
+            |_, i, outcome| match outcome {
+                OfferOutcome::Inserted => events.push(((start + i) as u32, None)),
+                OfferOutcome::Replaced(e) => {
+                    events.push(((start + i) as u32, Some((e.item, e.key.to_bits()))));
+                }
+                OfferOutcome::Rejected => unreachable!("skipped items are never reported"),
+            },
+        );
+        start = end;
+    }
+    (r, events, rng.next_u64())
+}
+
+fn sorted_members(r: &WeightedReservoirExpJ<u32>) -> Vec<(u32, u64)> {
+    let mut v: Vec<(u32, u64)> = r.iter().map(|k| (k.item, k.key.to_bits())).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    /// The batched offer path must be indistinguishable from the per-item
+    /// loop in every observable, for any partition of the stream into
+    /// batches (zero-length batches allowed — they are no-ops).
+    #[test]
+    fn offer_batch_is_bitwise_identical_to_per_item(
+        weights in prop::collection::vec(1u32..5_000, 0..400),
+        capacity in 1usize..48,
+        batch_lens in prop::collection::vec(0usize..90, 1..12),
+        seed in any::<u64>(),
+    ) {
+        let (r_a, ev_a, rng_a) = replay_per_item(&weights, capacity, seed);
+        let (r_b, ev_b, rng_b) = replay_batched(&weights, capacity, seed, &batch_lens);
+        prop_assert_eq!(&ev_a, &ev_b, "accept/evict sequences diverged");
+        prop_assert_eq!(sorted_members(&r_a), sorted_members(&r_b), "members diverged");
+        prop_assert_eq!(r_a.offered(), r_b.offered(), "offered() diverged");
+        prop_assert_eq!(r_a.replacements(), r_b.replacements());
+        prop_assert_eq!(r_a.len(), r_b.len());
+        prop_assert_eq!(rng_a, rng_b, "RNG stream positions diverged");
+    }
+
+    /// Capacity at or above the stream length: everything is inserted in
+    /// order by both paths and the reservoir never evicts.
+    #[test]
+    fn capacity_exceeding_stream_inserts_everything(
+        weights in prop::collection::vec(1u32..1_000, 1..60),
+        extra in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let capacity = weights.len() + extra;
+        let (r_a, ev_a, rng_a) = replay_per_item(&weights, capacity, seed);
+        let (r_b, ev_b, rng_b) = replay_batched(&weights, capacity, seed, &[7, 1, 30]);
+        prop_assert_eq!(r_a.len(), weights.len());
+        prop_assert_eq!(r_b.len(), weights.len());
+        prop_assert_eq!(r_a.replacements(), 0);
+        prop_assert_eq!(ev_a.len(), weights.len(), "every item inserted, none evicted");
+        prop_assert_eq!(&ev_a, &ev_b);
+        prop_assert_eq!(sorted_members(&r_a), sorted_members(&r_b));
+        prop_assert_eq!(r_a.offered(), weights.len() as u64);
+        prop_assert_eq!(r_b.offered(), weights.len() as u64);
+        prop_assert_eq!(rng_a, rng_b);
+    }
+}
+
+/// Zero weights are rejected identically: the per-item path asserts on the
+/// weight, the batched path asserts on the (therefore non-increasing)
+/// prefix — both with the "positive" weight contract in the message.
+#[test]
+#[should_panic(expected = "positive")]
+fn per_item_rejects_zero_weight() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut r = WeightedReservoirExpJ::new(2);
+    r.offer(&mut rng, 0u32, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "positive")]
+fn offer_batch_rejects_zero_weight() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut r = WeightedReservoirExpJ::new(2);
+    // Item 1 has weight prefix[2] - prefix[1] == 0.
+    r.offer_batch(&mut rng, &[0, 4, 4, 9], |i| i as u32, |_, _, _| {});
+}
