@@ -26,6 +26,7 @@
 use crate::cost::CostModel;
 use crate::oracle::LabelOracle;
 use crate::task::group_into_tasks;
+use kg_model::retract::{map_live_offset, Retraction, TombstoneMap};
 use kg_model::triple::TripleRef;
 use kg_model::update::UpdateBatch;
 use std::collections::{HashMap, HashSet};
@@ -94,6 +95,26 @@ pub trait Annotator {
     fn extend_population(&mut self, first_cluster: u32, delta: &UpdateBatch) {
         let _ = (first_cluster, delta);
     }
+
+    /// Observe a retraction of triples **before** any post-retraction
+    /// annotation of the touched clusters.
+    ///
+    /// After this call the offset-based APIs ([`Annotator::annotate_cluster`],
+    /// [`Annotator::annotate_offsets`]) address the touched clusters in
+    /// **live** coordinates — offset `o` means the `o`-th *surviving*
+    /// triple — and engines translate to raw storage positions via
+    /// `kg_model::retract::map_live_offset`. Clusters without tombstones
+    /// keep the identity mapping, so insert-only callers are unaffected.
+    /// The `TripleRef`-based APIs always stay in raw coordinates.
+    ///
+    /// Retracting charges nothing and forgets nothing: already-annotated
+    /// triples stay memoized (the human effort is sunk — §2.2's cost
+    /// definition counts distinct annotations performed, not surviving
+    /// ones), so `seconds()` is unchanged. The default is a no-op for
+    /// engines that never address by offset.
+    fn retract(&mut self, retraction: &Retraction) {
+        let _ = retraction;
+    }
 }
 
 /// A simulated annotator: label source + cost accounting + memoization.
@@ -102,6 +123,7 @@ pub struct SimulatedAnnotator<'a> {
     cost: CostModel,
     identified: HashSet<u32>,
     labeled: HashMap<TripleRef, bool>,
+    tombs: TombstoneMap,
     timeline: Vec<TimelinePoint>,
     record_timeline: bool,
 }
@@ -128,6 +150,7 @@ impl<'a> SimulatedAnnotator<'a> {
             cost,
             identified: HashSet::new(),
             labeled: HashMap::new(),
+            tombs: TombstoneMap::new(),
             timeline: Vec::new(),
             record_timeline: false,
         }
@@ -220,10 +243,15 @@ impl Annotator for SimulatedAnnotator<'_> {
     }
 
     fn annotate_cluster(&mut self, cluster: u32, size: usize) -> u32 {
+        // `size` is the LIVE size: once tombstones exist for this cluster,
+        // live offset o resolves to a raw storage position past the dead
+        // ones (identity mapping for untouched clusters).
+        let dead = self.tombs.cluster(cluster).unwrap_or(&[]).to_owned();
         let mut first_of_entity = self.identified.insert(cluster);
         let mut tau = 0u32;
         for o in 0..size {
-            let r = TripleRef::new(cluster, o as u32);
+            let raw = map_live_offset(&dead, o as u32);
+            let r = TripleRef::new(cluster, raw);
             let label = match self.labeled.get(&r) {
                 Some(&l) => l,
                 None => {
@@ -238,10 +266,13 @@ impl Annotator for SimulatedAnnotator<'_> {
     }
 
     fn annotate_offsets(&mut self, cluster: u32, offsets: &[usize]) -> u32 {
+        // LIVE offsets, like annotate_cluster.
+        let dead = self.tombs.cluster(cluster).unwrap_or(&[]).to_owned();
         let mut first_of_entity = self.identified.insert(cluster);
         let mut tau = 0u32;
         for &o in offsets {
-            let r = TripleRef::new(cluster, o as u32);
+            let raw = map_live_offset(&dead, o as u32);
+            let r = TripleRef::new(cluster, raw);
             let label = match self.labeled.get(&r) {
                 Some(&l) => l,
                 None => {
@@ -265,6 +296,12 @@ impl Annotator for SimulatedAnnotator<'_> {
 
     fn triples_annotated(&self) -> usize {
         self.labeled.len()
+    }
+
+    fn retract(&mut self, retraction: &Retraction) {
+        // Memos are untouched (sunk cost; see the trait docs) — only the
+        // live→raw offset translation changes.
+        self.tombs.apply(retraction);
     }
 }
 
@@ -417,6 +454,39 @@ mod tests {
         assert_eq!(tl.len(), 2);
         assert!(tl[0].new_entity, "first validated triple carries c1");
         assert!(!tl[1].new_entity);
+    }
+
+    #[test]
+    fn retraction_remaps_offsets_to_live_coordinates() {
+        // Cluster 0 labels: [true, false, true]. Retract raw offset 1: the
+        // live view is [true, true] and live offsets {0, 1} must reach raw
+        // {0, 2}.
+        let o = oracle();
+        let mut a = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0));
+        let r = Retraction::new(vec![(0, vec![1])]).unwrap();
+        a.retract(&r);
+        assert_eq!(a.annotate_cluster(0, 2), 2);
+        assert_eq!(a.triples_annotated(), 2, "dead triple never validated");
+        // Live offset addressing in the subset API too.
+        assert_eq!(a.annotate_offsets(0, &[1]), 1); // raw 2, memoized
+        assert_eq!(a.triples_annotated(), 2);
+        // Untouched clusters keep the identity mapping.
+        assert_eq!(a.annotate_cluster(2, 2), 0);
+    }
+
+    #[test]
+    fn retraction_keeps_sunk_cost_and_memos() {
+        let o = oracle();
+        let mut a = SimulatedAnnotator::new(&o, CostModel::new(45.0, 25.0));
+        assert_eq!(a.annotate_cluster(0, 3), 2);
+        let before = a.seconds();
+        a.retract(&Retraction::new(vec![(0, vec![0])]).unwrap());
+        assert_eq!(a.seconds(), before, "retraction charges nothing");
+        assert_eq!(a.triples_annotated(), 3, "memos are kept");
+        // Re-annotating the live remainder is free: both survivors were
+        // already validated under their raw refs.
+        assert_eq!(a.annotate_cluster(0, 2), 1); // live = [false, true]
+        assert_eq!(a.seconds(), before);
     }
 
     #[test]

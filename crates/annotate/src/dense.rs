@@ -30,8 +30,10 @@ use crate::annotator::Annotator;
 use crate::cost::CostModel;
 use crate::label_store::LabelStore;
 use crate::oracle::LabelOracle;
+use kg_model::retract::{map_live_offset, Retraction, TombstoneMap};
 use kg_model::triple::TripleRef;
 use kg_model::update::UpdateBatch;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One packed bit-set with a touched-word journal for cheap trial resets.
@@ -204,6 +206,17 @@ pub struct DenseAnnotator {
     cluster_full: TrialBitmap,
     n_identified: usize,
     n_labeled: usize,
+    /// **Trial-state** tombstones ([`Annotator::retract`]): per-cluster
+    /// sorted dead raw offsets. Deliberately *not* part of the shared
+    /// [`LabelStore`]: the store stays the immutable raw-label arena
+    /// (replayed trials would otherwise observe final tombstone state
+    /// mid-stream and diverge from the hash reference), and a trial
+    /// [`DenseAnnotator::reset`] drops them in O(retractions this trial).
+    tombs: TombstoneMap,
+    /// Correct-label count among each cluster's dead triples, maintained by
+    /// [`Annotator::retract`] so the cluster fast path can answer live τ as
+    /// `raw τ_i − dead τ_i` without rescanning.
+    dead_tau: HashMap<u32, u32>,
 }
 
 impl DenseAnnotator {
@@ -220,6 +233,8 @@ impl DenseAnnotator {
             cluster_full: TrialBitmap::with_capacity(n),
             n_identified: 0,
             n_labeled: 0,
+            tombs: TombstoneMap::new(),
+            dead_tau: HashMap::new(),
             store,
         }
     }
@@ -352,6 +367,11 @@ impl DenseAnnotator {
         self.cluster_full.reset();
         self.n_identified = 0;
         self.n_labeled = 0;
+        // Tombstones are trial state: a replay re-applies its retraction
+        // events from scratch, so clearing here (O(retracted clusters),
+        // capacity kept) keeps reset footprint-proportional.
+        self.tombs.clear();
+        self.dead_tau.clear();
     }
 
     /// The shared label store.
@@ -412,24 +432,70 @@ impl Annotator for DenseAnnotator {
 
     fn annotate_cluster(&mut self, cluster: u32, size: usize) -> u32 {
         let c = cluster as usize;
-        debug_assert_eq!(size, self.store.cluster_size(c));
+        let dead_n = self.tombs.dead_in(cluster) as usize;
+        if dead_n == 0 {
+            debug_assert_eq!(size, self.store.cluster_size(c));
+            self.identify(cluster);
+            if self.cluster_full.set(cluster as u64) {
+                // First full visit this trial: stamp the cluster's bit
+                // range a word at a time; mixed access (a TWCS subset
+                // followed by a full WCS draw of the same cluster) stays
+                // exactly charged.
+                let base = self.store.cluster_base(c);
+                self.n_labeled += self.labeled.set_range(base, base + size as u64) as usize;
+            }
+            return self.store.cluster_tau(c);
+        }
+        // Tombstoned cluster: `size` is the LIVE size; only surviving raw
+        // offsets are stamped, and live τ answers from raw τ_i minus the
+        // dead correct count — the same distinct-triple set and count the
+        // hash reference produces.
+        debug_assert_eq!(size + dead_n, self.store.cluster_size(c));
         self.identify(cluster);
         if self.cluster_full.set(cluster as u64) {
-            // First full visit this trial: stamp the cluster's bit range a
-            // word at a time; mixed access (a TWCS subset followed by a
-            // full WCS draw of the same cluster) stays exactly charged.
             let base = self.store.cluster_base(c);
-            self.n_labeled += self.labeled.set_range(base, base + size as u64) as usize;
+            let raw_size = self.store.cluster_size(c) as u32;
+            let Self {
+                tombs,
+                labeled,
+                n_labeled,
+                ..
+            } = self;
+            let dead = tombs.cluster(cluster).expect("dead_n > 0");
+            let mut di = 0usize;
+            for o in 0..raw_size {
+                if dead.get(di) == Some(&o) {
+                    di += 1;
+                    continue;
+                }
+                if labeled.set(base + o as u64) {
+                    *n_labeled += 1;
+                }
+            }
         }
-        self.store.cluster_tau(c)
+        self.store.cluster_tau(c) - self.dead_tau.get(&cluster).copied().unwrap_or(0)
     }
 
     fn annotate_offsets(&mut self, cluster: u32, offsets: &[usize]) -> u32 {
+        // LIVE offsets: translated through the trial tombstones (identity
+        // for untombstoned clusters, the overwhelmingly common case).
         self.identify(cluster);
         let base = self.store.cluster_base(cluster as usize);
+        let Self {
+            store,
+            tombs,
+            labeled,
+            n_labeled,
+            ..
+        } = self;
+        let dead = tombs.cluster(cluster).unwrap_or(&[]);
         let mut tau = 0u32;
         for &o in offsets {
-            tau += self.validate(base + o as u64) as u32;
+            let g = base + map_live_offset(dead, o as u32) as u64;
+            if labeled.set(g) {
+                *n_labeled += 1;
+            }
+            tau += store.label_at(g) as u32;
         }
         tau
     }
@@ -449,6 +515,24 @@ impl Annotator for DenseAnnotator {
     fn extend_population(&mut self, first_cluster: u32, delta: &UpdateBatch) {
         self.try_extend_population(first_cluster, delta)
             .unwrap_or_else(|e| panic!("dense annotator cannot absorb update batch: {e}"));
+    }
+
+    fn retract(&mut self, retraction: &Retraction) {
+        // Count the correct labels among the dying triples (from the raw
+        // store — deterministic, independent of annotation history) so the
+        // cluster fast path can answer live τ without rescanning; then
+        // record the tombstones. Memo bits are untouched: sunk cost.
+        for (cluster, offsets) in retraction.entries() {
+            let base = self.store.cluster_base(*cluster as usize);
+            let mut dead_correct = 0u32;
+            for &o in offsets.iter() {
+                dead_correct += self.store.label_at(base + o as u64) as u32;
+            }
+            if dead_correct > 0 {
+                *self.dead_tau.entry(*cluster).or_insert(0) += dead_correct;
+            }
+        }
+        self.tombs.apply(retraction);
     }
 }
 
@@ -694,6 +778,91 @@ mod tests {
         // Errors render actionable messages.
         let msg = DenseGrowthError::NoGrowthOracle.to_string();
         assert!(msg.contains("growable"), "{msg}");
+    }
+
+    #[test]
+    fn retraction_matches_hash_engine_on_live_addressing() {
+        let kg = ImplicitKg::new(vec![6, 3, 5]).unwrap();
+        let oracle = RemOracle::new(0.7, 13);
+        let store = Arc::new(LabelStore::materialize(&kg, &oracle));
+        let cost = CostModel::new(45.0, 25.0);
+        let mut dense = DenseAnnotator::new(store, cost);
+        let mut hash = SimulatedAnnotator::new(&oracle, cost);
+
+        // Annotate some of cluster 0 before anything dies (sunk cost).
+        assert_eq!(dense.annotate_offsets(0, &[1, 4]), {
+            hash.annotate_offsets(0, &[1, 4])
+        });
+        let r = Retraction::new(vec![(0, vec![0, 4]), (2, vec![2])]).unwrap();
+        dense.retract(&r);
+        hash.retract(&r);
+        assert_eq!(dense.seconds(), hash.seconds(), "retraction is free");
+        // Live full-cluster visits agree on τ, cost, and memo counts.
+        assert_eq!(dense.annotate_cluster(0, 4), hash.annotate_cluster(0, 4));
+        assert_eq!(dense.annotate_cluster(2, 4), hash.annotate_cluster(2, 4));
+        assert_eq!(dense.seconds(), hash.seconds());
+        assert_eq!(dense.triples_annotated(), hash.triples_annotated());
+        // Live subset addressing agrees too (and re-visits stay free).
+        assert_eq!(dense.annotate_offsets(0, &[0, 3]), {
+            hash.annotate_offsets(0, &[0, 3])
+        });
+        assert_eq!(dense.annotate_offsets(2, &[1, 3]), {
+            hash.annotate_offsets(2, &[1, 3])
+        });
+        assert_eq!(dense.seconds(), hash.seconds());
+        // Untouched cluster 1 keeps identity addressing.
+        assert_eq!(dense.annotate_cluster(1, 3), hash.annotate_cluster(1, 3));
+        assert_eq!(dense.seconds(), hash.seconds());
+        assert_eq!(dense.entities_identified(), hash.entities_identified());
+    }
+
+    #[test]
+    fn stacked_retractions_shrink_the_live_view_consistently() {
+        let kg = ImplicitKg::new(vec![8]).unwrap();
+        let oracle = RemOracle::new(0.5, 21);
+        let store = Arc::new(LabelStore::materialize(&kg, &oracle));
+        let cost = CostModel::new(45.0, 25.0);
+        let mut dense = DenseAnnotator::new(store, cost);
+        let mut hash = SimulatedAnnotator::new(&oracle, cost);
+        // Full visit, then two successive retractions of the same cluster.
+        assert_eq!(dense.annotate_cluster(0, 8), hash.annotate_cluster(0, 8));
+        let r1 = Retraction::new(vec![(0, vec![1, 5])]).unwrap();
+        dense.retract(&r1);
+        hash.retract(&r1);
+        assert_eq!(dense.annotate_cluster(0, 6), hash.annotate_cluster(0, 6));
+        // Second retraction addresses RAW offsets of previously-live
+        // triples (raw 0 and raw 7).
+        let r2 = Retraction::new(vec![(0, vec![0, 7])]).unwrap();
+        dense.retract(&r2);
+        hash.retract(&r2);
+        assert_eq!(dense.annotate_cluster(0, 4), hash.annotate_cluster(0, 4));
+        assert_eq!(dense.annotate_offsets(0, &[0, 1, 2, 3]), {
+            hash.annotate_offsets(0, &[0, 1, 2, 3])
+        });
+        // Everything was memoized pre-retraction: no new charges at all.
+        assert_eq!(dense.seconds(), hash.seconds());
+        assert_eq!(dense.triples_annotated(), 8);
+        assert_eq!(hash.triples_annotated(), 8);
+    }
+
+    #[test]
+    fn reset_clears_tombstones_for_the_next_replay() {
+        let kg = ImplicitKg::new(vec![4, 2]).unwrap();
+        let oracle = RemOracle::new(0.6, 5);
+        let store = Arc::new(LabelStore::materialize(&kg, &oracle));
+        let mut dense = DenseAnnotator::new(store.clone(), CostModel::default());
+        let r = Retraction::new(vec![(0, vec![0, 2])]).unwrap();
+        dense.retract(&r);
+        let live_tau = dense.annotate_cluster(0, 2);
+        dense.reset();
+        // Fresh trial: the full raw cluster is live again.
+        assert_eq!(dense.annotate_cluster(0, 4), store.cluster_tau(0));
+        assert_eq!(dense.triples_annotated(), 4);
+        // And replaying the retraction reproduces the first trial exactly.
+        dense.reset();
+        dense.retract(&r);
+        assert_eq!(dense.annotate_cluster(0, 2), live_tau);
+        assert_eq!(dense.triples_annotated(), 2);
     }
 
     #[test]

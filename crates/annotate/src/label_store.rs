@@ -16,6 +16,7 @@
 
 use crate::oracle::LabelOracle;
 use kg_model::implicit::ClusterPopulation;
+use kg_model::retract::Retraction;
 use kg_model::triple::TripleRef;
 use kg_model::update::UpdateBatch;
 use std::sync::Arc;
@@ -33,6 +34,13 @@ pub struct LabelStore {
     cluster_tau: Vec<u32>,
     /// Total correct triples `τ`.
     correct: u64,
+    /// Tombstone bitmap, same global addressing as `bits` (empty until the
+    /// first [`LabelStore::retract`] — insert-only stores pay nothing).
+    dead: Vec<u64>,
+    /// Total retracted triples.
+    dead_total: u64,
+    /// Retracted triples whose label was `true`.
+    dead_correct: u64,
 }
 
 impl LabelStore {
@@ -84,6 +92,9 @@ impl LabelStore {
             prefix,
             cluster_tau,
             correct,
+            dead: Vec::new(),
+            dead_total: 0,
+            dead_correct: 0,
         }
     }
 
@@ -109,6 +120,9 @@ impl LabelStore {
         let base_total = self.total_triples();
         let new_total = base_total + delta.total_triples();
         self.bits.resize(new_total.div_ceil(64) as usize, 0);
+        if !self.dead.is_empty() {
+            self.dead.resize(new_total.div_ceil(64) as usize, 0);
+        }
         delta.extend_prefix(&mut self.prefix);
         self.cluster_tau.reserve(delta.num_delta_clusters());
         let mut base = base_total;
@@ -169,14 +183,59 @@ impl LabelStore {
         self.cluster_tau[cluster]
     }
 
-    /// Exact population accuracy `μ(G) = τ / M` (free: counted at build).
+    /// Exact **live** population accuracy `μ(G) = τ / M` over the
+    /// surviving triples (free: counted at build and maintained by
+    /// [`LabelStore::retract`]). Equal to the raw accuracy while nothing
+    /// has been retracted.
     pub fn true_accuracy(&self) -> f64 {
-        let m = self.total_triples();
+        let m = self.total_triples() - self.dead_total;
         if m == 0 {
             0.0
         } else {
-            self.correct as f64 / m as f64
+            (self.correct - self.dead_correct) as f64 / m as f64
         }
+    }
+
+    /// Mark triples dead for **truth accounting**. The labels themselves
+    /// are *not* erased — raw global addressing, [`LabelStore::label_at`],
+    /// and the per-cluster raw `τ_i` stay valid, so a retracted store can
+    /// still back a dense annotation arena (whose per-trial tombstones are
+    /// replayed independently). Only the live aggregates move:
+    /// [`LabelStore::true_accuracy`] and
+    /// [`LabelStore::live_total_triples`] now describe the surviving
+    /// population. Retracting the same triple twice is a caller bug
+    /// (debug-asserted).
+    pub fn retract(&mut self, retraction: &Retraction) {
+        if self.dead.is_empty() {
+            self.dead = vec![0u64; self.bits.len()];
+        }
+        for (cluster, offsets) in retraction.entries() {
+            let base = self.cluster_base(*cluster as usize);
+            let size = self.cluster_size(*cluster as usize);
+            for &o in offsets.iter() {
+                assert!((o as usize) < size, "retracted offset out of range");
+                let g = base + o as u64;
+                let (w, b) = ((g >> 6) as usize, 1u64 << (g & 63));
+                debug_assert_eq!(self.dead[w] & b, 0, "triple retracted twice");
+                self.dead[w] |= b;
+                self.dead_total += 1;
+                self.dead_correct += self.label_at(g) as u64;
+            }
+        }
+    }
+
+    /// Number of surviving (non-retracted) triples.
+    pub fn live_total_triples(&self) -> u64 {
+        self.total_triples() - self.dead_total
+    }
+
+    /// Whether the triple at a global index has been retracted.
+    #[inline]
+    pub fn is_retracted(&self, global: u64) -> bool {
+        if self.dead.is_empty() {
+            return false;
+        }
+        self.dead[(global >> 6) as usize] >> (global & 63) & 1 != 0
     }
 
     /// The shared prefix-sum vector.
@@ -299,6 +358,41 @@ mod tests {
         store.extend_with_batch(&UpdateBatch::from_sizes(vec![2]).unwrap(), &oracle);
         assert_eq!(store.total_triples(), 17);
         assert_eq!(&**base_prefix, &[0, 4, 9]);
+    }
+
+    #[test]
+    fn retraction_moves_live_accuracy_but_keeps_raw_labels() {
+        // Third label group feeds the post-retraction growth below.
+        let gold = GoldLabels::new(vec![
+            vec![true, false, true],
+            vec![false, true],
+            vec![true, false],
+        ]);
+        let kg = ImplicitKg::new(vec![3, 2]).unwrap();
+        let mut store = LabelStore::materialize(&kg, &gold);
+        assert_eq!(store.true_accuracy(), 3.0 / 5.0);
+        // Retract one correct (0,0) and one incorrect (1,0) triple.
+        store.retract(&Retraction::new(vec![(0, vec![0]), (1, vec![0])]).unwrap());
+        assert_eq!(store.live_total_triples(), 3);
+        assert_eq!(store.true_accuracy(), 2.0 / 3.0);
+        assert!(store.is_retracted(0));
+        assert!(!store.is_retracted(1));
+        assert!(store.is_retracted(3));
+        // Raw addressing is untouched: labels, τ_i, sizes all raw.
+        assert_eq!(store.total_triples(), 5);
+        assert_eq!(store.cluster_size(0), 3);
+        assert_eq!(store.cluster_tau(0), 2);
+        assert!(store.label_at(0));
+        // Growth after retraction keeps both books straight.
+        store.extend_with_batch(&UpdateBatch::from_sizes(vec![2]).unwrap(), &gold);
+        assert_eq!(store.total_triples(), 7);
+        assert_eq!(store.live_total_triples(), 5);
+        assert!(!store.is_retracted(5));
+        // And a retraction in the new region works: killing all of cluster
+        // 2 leaves exactly the 3 survivors of clusters 0/1 (2 correct).
+        store.retract(&Retraction::new(vec![(2, vec![0, 1])]).unwrap());
+        assert_eq!(store.live_total_triples(), 3);
+        assert_eq!(store.true_accuracy(), 2.0 / 3.0);
     }
 
     #[test]

@@ -56,9 +56,9 @@ impl DenseArenaPool {
     /// one otherwise. The arena is handed out in the reset (fresh-trial)
     /// state and returns to the pool — reset again — when the lease drops.
     pub fn checkout(&self) -> ArenaLease<'_> {
-        let reused = self.idle.lock().expect("arena pool poisoned").pop();
+        let reused = lock_unpoisoned(&self.idle).pop();
         let arena = reused.unwrap_or_else(|| {
-            *self.built.lock().expect("arena pool poisoned") += 1;
+            *lock_unpoisoned(&self.built) += 1;
             DenseAnnotator::new(self.store.clone(), self.cost)
         });
         ArenaLease {
@@ -70,12 +70,12 @@ impl DenseArenaPool {
     /// Total arenas ever built — with one long-lived lease per worker this
     /// stays at the peak concurrent worker count.
     pub fn arenas_built(&self) -> usize {
-        *self.built.lock().expect("arena pool poisoned")
+        *lock_unpoisoned(&self.built)
     }
 
     /// Arenas currently idle in the pool.
     pub fn idle_arenas(&self) -> usize {
-        self.idle.lock().expect("arena pool poisoned").len()
+        lock_unpoisoned(&self.idle).len()
     }
 }
 
@@ -116,15 +116,30 @@ impl std::ops::DerefMut for ArenaLease<'_> {
     }
 }
 
+/// Lock a pool mutex, shrugging off poison: the guarded state (a `Vec` of
+/// arenas, a counter) is never left mid-mutation across a panic — the only
+/// writes are single `push`/`pop`/`+= 1` operations — so a poisoned flag
+/// carries no integrity information here. Ignoring it keeps one worker's
+/// panic from cascading `checkout` panics through every sibling worker.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 impl Drop for ArenaLease<'_> {
     fn drop(&mut self) {
         if let Some(mut arena) = self.arena.take() {
-            arena.reset();
-            // A poisoned pool is already propagating a panic elsewhere;
-            // dropping the arena on the floor is fine then.
-            if let Ok(mut idle) = self.pool.idle.lock() {
-                idle.push(arena);
+            // A lease dropped during a panic unwind discards its arena
+            // instead of pooling it: the trial died mid-annotation, so the
+            // memo bitmaps, journals, and trial tombstones may be mutually
+            // inconsistent — resetting relies on the journal being
+            // complete, which a panic can no longer guarantee. The slot is
+            // not leaked: `built` only tracks construction count, and the
+            // next checkout simply builds a fresh arena.
+            if std::thread::panicking() {
+                return;
             }
+            arena.reset();
+            lock_unpoisoned(&self.pool.idle).push(arena);
         }
     }
 }
@@ -185,6 +200,35 @@ mod tests {
         let tau = ann.annotate_cluster(1, 4);
         assert!(tau <= 4);
         assert_eq!(ann.entities_identified(), 1);
+    }
+
+    #[test]
+    fn panicking_trial_discards_its_arena_without_poisoning_the_pool() {
+        let pool = pool();
+        // Warm the pool so the panicking trial checks out a *reused* arena —
+        // the discard must not repool it in a half-annotated state.
+        drop(pool.checkout());
+        assert_eq!(pool.idle_arenas(), 1);
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut lease = pool.checkout();
+            lease.annotate_cluster(0, 4);
+            panic!("trial blew up mid-annotation");
+        }));
+        assert!(result.is_err());
+
+        // The arena was discarded, not leaked back into `idle` dirty.
+        assert_eq!(pool.idle_arenas(), 0);
+        // The pool stays fully usable: the next checkout builds fresh and
+        // hands out a clean-slate arena.
+        let mut lease = pool.checkout();
+        assert_eq!(pool.arenas_built(), 2);
+        assert_eq!(lease.seconds(), 0.0);
+        assert_eq!(lease.triples_annotated(), 0);
+        let tau = lease.annotate_cluster(0, 4);
+        assert!(tau <= 4);
+        drop(lease);
+        assert_eq!(pool.idle_arenas(), 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! runtime, writing the tracked benchmark JSON.
 //!
 //! Usage:
-//!   bench-report [--streaming | --parallel | --skeleton] [--quick] [--seed N] [--out PATH]
+//!   bench-report [--streaming | --parallel | --skeleton | --churn] [--quick] [--seed N] [--out PATH]
 //!
 //! Default mode times the hot *static* sampling designs (SRS/WCS/TWCS
 //! trial loops) and writes `BENCH_throughput.json`. `--streaming` instead
@@ -16,7 +16,11 @@
 //! engine-independent per-batch stream bookkeeping (reservoir offers +
 //! PPS appends) under the per-item and batched offer paths and writes
 //! `BENCH_skeleton.json` (schema `kg-bench-skeleton/v1`), including the
-//! byte-identity check between the two.
+//! byte-identity check between the two. `--churn` replays deletion-aware
+//! event streams (inserts + retractions at 0%/25%/50% delete fractions)
+//! through RS/SS under both engines and writes `BENCH_churn.json` (schema
+//! `kg-bench-churn/v1`), with a per-fraction cross-engine and cross-offer-
+//! path identity check.
 //!
 //! `--quick` shrinks scales and trial counts (CI); the default output path
 //! is `BENCH_<mode>.json` in the working directory. All artifacts are
@@ -25,13 +29,14 @@
 //! --bin bench-report`.
 
 use kg_bench::artifact::write_atomic;
-use kg_bench::{parallel, skeleton, streaming, throughput};
+use kg_bench::{churn, parallel, skeleton, streaming, throughput};
 
 enum Mode {
     Throughput,
     Streaming,
     Parallel,
     Skeleton,
+    Churn,
 }
 
 fn main() {
@@ -45,6 +50,7 @@ fn main() {
             "--streaming" => mode = Mode::Streaming,
             "--parallel" => mode = Mode::Parallel,
             "--skeleton" => mode = Mode::Skeleton,
+            "--churn" => mode = Mode::Churn,
             "--quick" => quick = true,
             "--seed" => {
                 seed = Some(
@@ -58,7 +64,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "bench-report [--streaming | --parallel | --skeleton] [--quick] [--seed N] [--out PATH]"
+                    "bench-report [--streaming | --parallel | --skeleton | --churn] [--quick] [--seed N] [--out PATH]"
                 );
                 return;
             }
@@ -112,6 +118,21 @@ fn main() {
                 skeleton::render_table(&report),
                 skeleton::to_json(&report),
                 out.unwrap_or_else(|| String::from("BENCH_skeleton.json")),
+            )
+        }
+        Mode::Churn => {
+            let mut opts = churn::ChurnOpts {
+                quick,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                opts.seed = s;
+            }
+            let report = churn::run(&opts);
+            (
+                churn::render_table(&report),
+                churn::to_json(&report),
+                out.unwrap_or_else(|| String::from("BENCH_churn.json")),
             )
         }
         Mode::Throughput => {

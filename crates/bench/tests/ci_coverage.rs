@@ -24,14 +24,15 @@ use kg_annotate::cost::CostModel;
 use kg_annotate::dense::DenseAnnotator;
 use kg_annotate::label_store::LabelStore;
 use kg_annotate::oracle::RemOracle;
-use kg_datagen::evolve::UpdateGenerator;
+use kg_datagen::evolve::{ChurnGenerator, UpdateGenerator};
 use kg_eval::config::EvalConfig;
-use kg_eval::dynamic::monitor::run_sequence;
+use kg_eval::dynamic::monitor::{run_event_sequence, run_sequence};
 use kg_eval::dynamic::reservoir::ReservoirEvaluator;
 use kg_eval::dynamic::stratified::StratifiedIncremental;
 use kg_eval::executor::run_trials;
 use kg_eval::framework::Evaluator;
 use kg_model::implicit::ImplicitKg;
+use kg_model::retract::KgEvent;
 use kg_model::update::UpdateBatch;
 use kg_sampling::PopulationIndex;
 use rand::rngs::StdRng;
@@ -148,6 +149,166 @@ fn assert_coverage(cov: &[f64], trials: u64, label: &str) {
             "{label}: batch {} coverage {c:.3} outside [{lo:.3}, 1.0] (trials {trials})",
             k + 1
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Churn coverage: the same guarantee under interleaved inserts, deletions,
+// and revisions. The truth after each event is the **live** accuracy of an
+// event-folded LabelStore (retracted triples excluded from both numerator
+// and denominator), so the interval must track the KG's deletions as well
+// as its growth.
+// ---------------------------------------------------------------------------
+
+struct ChurnCoverageSetup {
+    base: ImplicitKg,
+    base_index: Arc<PopulationIndex>,
+    oracle: RemOracle,
+    events: Vec<KgEvent>,
+    /// Live truth after each event, from an event-folded label store.
+    truths: Vec<f64>,
+    /// Fully evolved store for dense replays (raw addressing is unaffected
+    /// by the fold's retraction accounting).
+    evolved_store: Arc<LabelStore>,
+    config: EvalConfig,
+}
+
+fn churn_coverage_setup(
+    base_clusters: usize,
+    fraction: f64,
+    per_event: u64,
+    num_events: usize,
+    config: EvalConfig,
+    seed: u64,
+) -> ChurnCoverageSetup {
+    let base = ImplicitKg::new((0..base_clusters).map(|i| 1 + (i % 12) as u32).collect()).unwrap();
+    let oracle = RemOracle::new(0.9, seed);
+    // All three event kinds interleaved: the generator emits revisions, and
+    // every third one is split into a pure retraction + pure insertion.
+    let generated =
+        ChurnGenerator::movie_like(fraction).events(&base, num_events, per_event, seed ^ 0xcafe);
+    let mut events = Vec::new();
+    for (i, event) in generated.into_iter().enumerate() {
+        match event {
+            KgEvent::Revise(r, b) if i % 3 == 2 => {
+                events.push(KgEvent::Retract(r));
+                events.push(KgEvent::Insert(b));
+            }
+            event => events.push(event),
+        }
+    }
+    let mut store = LabelStore::materialize(&base, &oracle);
+    let mut truths = Vec::with_capacity(events.len());
+    for event in &events {
+        if let Some(r) = event.retracted() {
+            store.retract(r);
+        }
+        if let Some(b) = event.inserted() {
+            store.extend_with_batch(b, &oracle);
+        }
+        truths.push(store.true_accuracy());
+    }
+    ChurnCoverageSetup {
+        base_index: Arc::new(PopulationIndex::from_population(&base).unwrap()),
+        base,
+        oracle,
+        events,
+        truths,
+        evolved_store: Arc::new(store),
+        config,
+    }
+}
+
+/// One replay of the churn stream; returns the per-event CI-coverage hits.
+fn churn_coverage_hits(
+    s: &ChurnCoverageSetup,
+    evaluator: &str,
+    annotator: &mut dyn Annotator,
+    trial_seed: u64,
+) -> Vec<f64> {
+    let m = 5;
+    let mut rng = StdRng::seed_from_u64(trial_seed);
+    let outcomes = match evaluator {
+        "RS" => {
+            let mut rs =
+                ReservoirEvaluator::evaluate_base(&s.base, 60, m, s.config, annotator, &mut rng);
+            run_event_sequence(&mut rs, &s.events, s.config.alpha, annotator, &mut rng)
+        }
+        "SS" => {
+            let report = Evaluator::twcs(m)
+                .run_with_index(s.base_index.clone(), &s.oracle, &s.config, &mut rng)
+                .expect("valid base population");
+            let mut ss = StratifiedIncremental::from_base(&s.base, report.estimate, m, s.config);
+            run_event_sequence(&mut ss, &s.events, s.config.alpha, annotator, &mut rng)
+        }
+        other => panic!("unknown evaluator {other}"),
+    };
+    outcomes
+        .iter()
+        .zip(&s.truths)
+        .map(|(o, &truth)| ((o.estimate.mean - truth).abs() <= o.moe) as u64 as f64)
+        .collect()
+}
+
+/// Per-event coverage over `trials` seeded churn replays.
+fn churn_coverage_per_event(
+    s: &ChurnCoverageSetup,
+    evaluator: &'static str,
+    engine: &'static str,
+    trials: u64,
+    base_seed: u64,
+) -> Vec<f64> {
+    let stats = run_trials(
+        trials,
+        base_seed,
+        s.events.len(),
+        |trial_seed| match engine {
+            "hash" => {
+                let mut ann = SimulatedAnnotator::new(&s.oracle, CostModel::default());
+                churn_coverage_hits(s, evaluator, &mut ann, trial_seed)
+            }
+            "dense" => {
+                let mut ann = DenseAnnotator::new(s.evolved_store.clone(), CostModel::default());
+                churn_coverage_hits(s, evaluator, &mut ann, trial_seed)
+            }
+            other => panic!("unknown engine {other}"),
+        },
+    );
+    stats.iter().map(|m| m.mean()).collect()
+}
+
+#[test]
+fn churn_ci_coverage_stays_nominal_across_engines() {
+    // 200 trials, both evaluators, both engines, 25% deletions.
+    let trials = 200;
+    let s = churn_coverage_setup(600, 0.25, 400, 5, EvalConfig::default(), 20190923);
+    assert!(s.events.len() > 5, "revision splits lengthen the stream");
+    assert!(s.truths.iter().all(|t| (0.85..0.95).contains(t)));
+    for evaluator in ["RS", "SS"] {
+        for engine in ["hash", "dense"] {
+            let cov = churn_coverage_per_event(&s, evaluator, engine, trials, 7);
+            assert_coverage(&cov, trials, &format!("churn {evaluator}/{engine}"));
+        }
+    }
+}
+
+#[test]
+#[ignore = "slow statistical suite — run in the scheduled CI job"]
+fn churn_ci_coverage_extended() {
+    // Heavier churn (50% deletions), longer stream, tighter MoE target,
+    // 500 trials.
+    let trials = 500;
+    let config = EvalConfig::default().with_target_moe(0.03);
+    let s = churn_coverage_setup(2500, 0.5, 2000, 8, config, 4242);
+    for evaluator in ["RS", "SS"] {
+        for engine in ["hash", "dense"] {
+            let cov = churn_coverage_per_event(&s, evaluator, engine, trials, 11);
+            assert_coverage(
+                &cov,
+                trials,
+                &format!("extended churn {evaluator}/{engine}"),
+            );
+        }
     }
 }
 

@@ -13,13 +13,19 @@
 //!   the newest stratum is sampled, combined by Eq. 13.
 //!
 //! [`monitor`] drives either over a sequence of update batches (§7.3.2),
-//! recording per-batch estimates and cumulative cost.
+//! recording per-batch estimates and cumulative cost. Churny streams —
+//! interleaved insertions, deletions, and revisions — run through the same
+//! machinery as [`kg_model::retract::KgEvent`] sequences: retractions
+//! tombstone triples in the annotator's live view, decrement PPS weights,
+//! and evict fully-dead reservoir members, keeping both annotation engines
+//! byte-identical under churn.
 
 pub mod monitor;
 pub mod reservoir;
 pub mod stratified;
 
 use kg_annotate::annotator::Annotator;
+use kg_model::retract::{KgEvent, Retraction};
 use kg_model::update::UpdateBatch;
 use kg_stats::PointEstimate;
 use rand::RngCore;
@@ -49,6 +55,46 @@ pub trait IncrementalEvaluator {
         annotator: &mut dyn Annotator,
         rng: &mut dyn RngCore,
     ) -> PointEstimate;
+
+    /// Absorb a retraction of previously inserted triples and return the
+    /// estimate of `μ(G − r)`.
+    ///
+    /// The retraction addresses triples by **raw** coordinates — `(cluster,
+    /// offset-at-insertion)` — exactly as minted by `apply_update`.
+    /// Implementations must forward it to [`Annotator::retract`] *before*
+    /// re-annotating any affected cluster, so both engines agree on the
+    /// live coordinate view, and must correct their own weight/size
+    /// bookkeeping (PPS frames, stratum triple counts, reservoir
+    /// membership) so subsequent sampling never lands on a dead triple.
+    /// Retraction charges no annotation cost by itself — sunk labels stay
+    /// paid for — but evaluators may re-annotate shrunken sample members.
+    fn apply_retraction(
+        &mut self,
+        retraction: &Retraction,
+        annotator: &mut dyn Annotator,
+        rng: &mut dyn RngCore,
+    ) -> PointEstimate;
+
+    /// Dispatch one [`KgEvent`]: insertions go to [`Self::apply_update`],
+    /// retractions to [`Self::apply_retraction`], and a revision applies
+    /// its retraction first, then its insertion, returning the
+    /// post-insertion estimate (one estimate per event, matching the
+    /// monitor's per-event bookkeeping).
+    fn apply_event(
+        &mut self,
+        event: &KgEvent,
+        annotator: &mut dyn Annotator,
+        rng: &mut dyn RngCore,
+    ) -> PointEstimate {
+        match event {
+            KgEvent::Insert(delta) => self.apply_update(delta, annotator, rng),
+            KgEvent::Retract(r) => self.apply_retraction(r, annotator, rng),
+            KgEvent::Revise(r, delta) => {
+                self.apply_retraction(r, annotator, rng);
+                self.apply_update(delta, annotator, rng)
+            }
+        }
+    }
 
     /// Current estimate.
     fn estimate(&self) -> PointEstimate;

@@ -17,6 +17,7 @@
 use crate::dynamic::IncrementalEvaluator;
 use crate::executor::TrialExecutor;
 use kg_annotate::annotator::Annotator;
+use kg_model::retract::KgEvent;
 use kg_model::update::UpdateBatch;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
@@ -49,6 +50,39 @@ pub fn run_sequence(
     let mut prev_cost = annotator.seconds();
     for (i, delta) in batches.iter().enumerate() {
         let estimate = evaluator.apply_update(delta, annotator, rng);
+        let now = annotator.seconds();
+        outcomes.push(BatchOutcome {
+            batch: i + 1,
+            estimate,
+            moe: estimate.moe(alpha).expect("valid alpha"),
+            batch_cost_seconds: now - prev_cost,
+            cumulative_cost_seconds: now,
+        });
+        prev_cost = now;
+    }
+    outcomes
+}
+
+/// Apply a churny event sequence — interleaved insertions, retractions,
+/// and revisions — to an incremental evaluator, recording one
+/// [`BatchOutcome`] per event.
+///
+/// Each event yields exactly one estimate (a revision's retraction and
+/// insertion count as one event, per [`IncrementalEvaluator::apply_event`])
+/// and the cost bookkeeping is identical to [`run_sequence`]: retraction
+/// itself is sunk-cost-free, so an event's `batch_cost_seconds` reflects
+/// only the re-annotation and top-up work it triggered.
+pub fn run_event_sequence(
+    evaluator: &mut dyn IncrementalEvaluator,
+    events: &[KgEvent],
+    alpha: f64,
+    annotator: &mut dyn Annotator,
+    rng: &mut dyn RngCore,
+) -> Vec<BatchOutcome> {
+    let mut outcomes = Vec::with_capacity(events.len());
+    let mut prev_cost = annotator.seconds();
+    for (i, event) in events.iter().enumerate() {
+        let estimate = evaluator.apply_event(event, annotator, rng);
         let now = annotator.seconds();
         outcomes.push(BatchOutcome {
             batch: i + 1,
@@ -214,6 +248,79 @@ mod tests {
     }
 
     #[test]
+    fn churny_event_sequences_are_engine_identical() {
+        use kg_annotate::annotator::Annotator;
+        use kg_annotate::dense::DenseAnnotator;
+        use kg_annotate::label_store::LabelStore;
+        use kg_model::retract::{KgEvent, Retraction};
+        use std::sync::Arc;
+
+        let base = ImplicitKg::new(vec![4; 500]).unwrap();
+        let oracle = RemOracle::new(0.85, 29);
+        // Interleaved churn: a pure insert, a pure retraction (full + partial
+        // kills), a revision, and a trailing insert. Every retraction
+        // addresses raw (insertion-time) offsets of distinct live triples.
+        let events = vec![
+            KgEvent::Insert(UpdateBatch::from_sizes(vec![3; 60]).unwrap()),
+            KgEvent::Retract(
+                Retraction::new(vec![
+                    (2, vec![0, 1, 2, 3]), // base cluster, fully dead
+                    (5, vec![1, 3]),       // base cluster, half dead
+                    (500, vec![0, 1, 2]),  // delta cluster, fully dead
+                ])
+                .unwrap(),
+            ),
+            KgEvent::Revise(
+                Retraction::new(vec![(7, vec![0]), (501, vec![2])]).unwrap(),
+                UpdateBatch::from_sizes(vec![4; 40]).unwrap(),
+            ),
+            KgEvent::Insert(UpdateBatch::from_sizes(vec![2; 50]).unwrap()),
+        ];
+
+        let run = |annotator: &mut dyn Annotator| {
+            let mut rng = StdRng::seed_from_u64(31);
+            let mut rs = ReservoirEvaluator::evaluate_base(
+                &base,
+                50,
+                5,
+                EvalConfig::default(),
+                annotator,
+                &mut rng,
+            );
+            run_event_sequence(&mut rs, &events, 0.05, annotator, &mut rng)
+        };
+
+        let mut hash = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let hash_out = run(&mut hash);
+
+        let store = Arc::new(LabelStore::materialize(&base, &oracle));
+        let mut dense = DenseAnnotator::growable(store, CostModel::default(), Arc::new(oracle));
+        let dense_out = run(&mut dense);
+
+        assert_eq!(hash_out.len(), dense_out.len());
+        for (h, d) in hash_out.iter().zip(&dense_out) {
+            assert_eq!(
+                h.estimate.mean.to_bits(),
+                d.estimate.mean.to_bits(),
+                "event {} estimate diverged across engines",
+                h.batch
+            );
+            assert_eq!(
+                h.estimate.var_of_mean.to_bits(),
+                d.estimate.var_of_mean.to_bits()
+            );
+            assert_eq!(h.estimate.units, d.estimate.units);
+            assert_eq!(h.moe.to_bits(), d.moe.to_bits());
+            assert_eq!(
+                h.cumulative_cost_seconds.to_bits(),
+                d.cumulative_cost_seconds.to_bits()
+            );
+        }
+        assert_eq!(hash.seconds().to_bits(), dense.seconds().to_bits());
+        assert_eq!(hash.triples_annotated(), dense.triples_annotated());
+    }
+
+    #[test]
     fn batched_offers_replay_byte_identically_to_per_item_under_both_engines() {
         use crate::dynamic::reservoir::OfferMode;
         use kg_annotate::annotator::Annotator;
@@ -352,6 +459,59 @@ mod tests {
                 assert_eq!(a.estimate.count(), 10);
                 assert!((a.estimate.mean() - 0.9).abs() < 0.08, "{evaluator}");
             }
+        }
+    }
+
+    #[test]
+    fn churny_trial_fanout_is_worker_invariant() {
+        use crate::executor::TrialExecutor;
+        use kg_model::retract::{KgEvent, Retraction};
+
+        let base = ImplicitKg::new(vec![4; 400]).unwrap();
+        let oracle = RemOracle::new(0.9, 19);
+        let events = vec![
+            KgEvent::Insert(UpdateBatch::from_sizes(vec![4; 50]).unwrap()),
+            KgEvent::Revise(
+                Retraction::new(vec![(1, vec![0, 2]), (400, vec![0, 1, 2, 3])]).unwrap(),
+                UpdateBatch::from_sizes(vec![3; 40]).unwrap(),
+            ),
+            KgEvent::Retract(Retraction::new(vec![(9, vec![1]), (402, vec![0])]).unwrap()),
+        ];
+        let replay = |trial_seed: u64| {
+            let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+            let mut rng = StdRng::seed_from_u64(trial_seed);
+            let mut rs = ReservoirEvaluator::evaluate_base(
+                &base,
+                40,
+                5,
+                EvalConfig::default(),
+                &mut annotator,
+                &mut rng,
+            );
+            run_event_sequence(&mut rs, &events, 0.05, &mut annotator, &mut rng)
+        };
+        let one = run_sequence_trials(
+            &TrialExecutor::new().with_workers(1),
+            10,
+            29,
+            events.len(),
+            replay,
+        );
+        let many = run_sequence_trials(
+            &TrialExecutor::new().with_workers(4),
+            10,
+            29,
+            events.len(),
+            replay,
+        );
+        assert_eq!(one.len(), events.len());
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.estimate.mean().to_bits(), b.estimate.mean().to_bits());
+            assert_eq!(a.moe.mean().to_bits(), b.moe.mean().to_bits());
+            assert_eq!(
+                a.batch_cost_seconds.mean().to_bits(),
+                b.batch_cost_seconds.mean().to_bits()
+            );
         }
     }
 

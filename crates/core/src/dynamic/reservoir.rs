@@ -14,13 +14,14 @@ use crate::config::EvalConfig;
 use crate::dynamic::IncrementalEvaluator;
 use kg_annotate::annotator::Annotator;
 use kg_model::implicit::ImplicitKg;
+use kg_model::retract::Retraction;
 use kg_model::update::UpdateBatch;
 use kg_sampling::twcs::annotate_cluster_subset;
 use kg_stats::pps::GrowablePps;
 use kg_stats::reservoir::{OfferOutcome, WeightedReservoirExpJ};
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How the evaluator feeds cluster streams into its A-ExpJ reservoir.
 /// Both modes are **bitwise identical** in every observable — RNG draws,
@@ -164,7 +165,8 @@ impl ReservoirEvaluator {
         self.reservoir.capacity()
     }
 
-    /// Current total triples in the evolved KG skeleton.
+    /// Current **live** triples in the evolved KG skeleton — insertions
+    /// minus retractions.
     pub fn total_triples(&self) -> u64 {
         self.pps.total()
     }
@@ -310,6 +312,64 @@ impl IncrementalEvaluator for ReservoirEvaluator {
         self.estimate()
     }
 
+    fn apply_retraction(
+        &mut self,
+        retraction: &Retraction,
+        annotator: &mut dyn Annotator,
+        rng: &mut dyn RngCore,
+    ) -> PointEstimate {
+        // Tombstone the annotator's view first: every re-annotation below
+        // must address the post-retraction live coordinate space.
+        annotator.retract(retraction);
+        // Decrement the skeleton's weights — the PPS overlay keeps the
+        // Arc-shared segments intact and compacts only when dead weight
+        // crosses its threshold. Entries are sorted by cluster, so this
+        // walk (and everything derived from it) is deterministic.
+        let mut fully_dead: BTreeSet<u32> = BTreeSet::new();
+        for (cluster, offsets) in retraction.entries() {
+            self.pps
+                .decrement(*cluster as usize, offsets.len() as u64)
+                .expect("retraction addresses live triples of known clusters");
+            if self.pps.weight(*cluster as usize) == 0 {
+                fully_dead.insert(*cluster);
+            }
+        }
+        // Evict fully-dead reservoir members: their cluster no longer
+        // exists in the live KG, so their annotations are retired (the
+        // cost stays sunk) and the reservoir re-enters fill mode if it
+        // dropped below capacity.
+        if !fully_dead.is_empty() {
+            self.reservoir.retain(|c| !fully_dead.contains(c));
+            for c in &fully_dead {
+                self.member_accuracy.remove(c);
+            }
+        }
+        // Partially-dead members keep their seat (their survival keys are
+        // still valid for the reduced weight, conditional on having won)
+        // but their second-stage accuracy was sampled from a frame that
+        // included now-dead triples — re-annotate over the live remainder.
+        for (cluster, _) in retraction.entries() {
+            if fully_dead.contains(cluster) || !self.member_accuracy.contains_key(cluster) {
+                continue;
+            }
+            let acc = annotate_cluster_subset(
+                *cluster,
+                self.pps.weight(*cluster as usize) as usize,
+                self.m,
+                rng,
+                annotator,
+                &mut self.scratch,
+            );
+            self.member_accuracy.insert(*cluster, acc);
+        }
+        // Extras were drawn from the pre-retraction frame — stale now.
+        self.extras.clear();
+        if self.pps.total() > 0 {
+            self.top_up(annotator, rng);
+        }
+        self.estimate()
+    }
+
     fn estimate(&self) -> PointEstimate {
         let moments = self.moments();
         let n = moments.count() as usize;
@@ -416,6 +476,51 @@ mod tests {
             growth < 3 * 50,
             "replacements grew by {growth}, expected ≈ 50·ln2 ≈ 35"
         );
+    }
+
+    #[test]
+    fn retraction_evicts_dead_members_and_shrinks_the_frame() {
+        use kg_model::retract::Retraction;
+
+        let base = base_kg();
+        let oracle = RemOracle::new(0.9, 11);
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut eval = ReservoirEvaluator::evaluate_base(
+            &base,
+            60,
+            5,
+            EvalConfig::default(),
+            &mut annotator,
+            &mut rng,
+        );
+        let live_before = eval.total_triples();
+        // Fully retract one reservoir member and partially retract another.
+        let members: Vec<u32> = {
+            let mut m: Vec<u32> = eval.member_accuracy.keys().copied().collect();
+            m.sort_unstable();
+            m
+        };
+        let full = members[0];
+        let partial = *members
+            .iter()
+            .find(|&&c| eval.pps.weight(c as usize) >= 2 && c != full)
+            .expect("some member has ≥ 2 triples");
+        let full_size = eval.pps.weight(full as usize) as u32;
+        let r =
+            Retraction::new(vec![(full, (0..full_size).collect()), (partial, vec![0])]).unwrap();
+        let est = eval.apply_retraction(&r, &mut annotator, &mut rng);
+        assert_eq!(eval.total_triples(), live_before - u64::from(full_size) - 1);
+        // The fully-dead cluster left the reservoir and the sample; the
+        // partially-dead one kept its seat with a refreshed accuracy.
+        assert!(!eval.member_accuracy.contains_key(&full));
+        assert!(eval.member_accuracy.contains_key(&partial));
+        assert_eq!(eval.pps.weight(full as usize), 0);
+        assert!(est.moe(0.05).unwrap() <= 0.05);
+        // Later updates still work over the decremented frame.
+        let delta = UpdateBatch::from_sizes(vec![5; 50]).unwrap();
+        let est = eval.apply_update(&delta, &mut annotator, &mut rng);
+        assert!(est.moe(0.05).unwrap() <= 0.05);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::config::EvalConfig;
 use crate::dynamic::IncrementalEvaluator;
 use kg_annotate::annotator::Annotator;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
+use kg_model::retract::Retraction;
 use kg_model::update::UpdateBatch;
 use kg_sampling::twcs::annotate_cluster_subset;
 use kg_stats::pps::GrowablePps;
@@ -25,7 +26,14 @@ use rand::RngCore;
 /// One stratum: a segment of the evolving KG with its (possibly frozen)
 /// estimate.
 struct StratumEval {
-    /// Triples in the stratum (its weight numerator).
+    /// Global cluster id of the stratum's first cluster — strata partition
+    /// the id space into contiguous runs, so a retraction routes to its
+    /// stratum by binary search over these.
+    first_cluster: u32,
+    /// Clusters minted by the stratum's batch.
+    num_clusters: u32,
+    /// **Live** triples in the stratum (its weight numerator) — decremented
+    /// by retractions.
     triples: u64,
     /// Estimate source: frozen (reused from a previous round) or live
     /// accumulation.
@@ -33,17 +41,15 @@ struct StratumEval {
 }
 
 enum StratumState {
-    /// Reused verbatim; never sampled again.
+    /// Reused verbatim; never sampled again. Retractions only shrink the
+    /// stratum's weight — Algorithm 2 never revisits its sample.
     Frozen(PointEstimate),
     /// The stratum currently being sampled.
     Live {
-        /// Global cluster id of the stratum's first cluster.
-        first_cluster: u32,
-        /// Cluster sizes within the stratum — shared with the update
-        /// batch itself (refcount bump, no O(|Δ|) copy).
-        sizes: std::sync::Arc<[u32]>,
-        /// PPS frame over `sizes` — adopts the batch's cached weight
-        /// prefix as a shared segment, O(1) to build.
+        /// PPS frame over the stratum's cluster sizes — adopts the batch's
+        /// cached weight prefix as a shared segment, O(1) to build, and
+        /// doubles as the live size table (`pps.weight(local)`), so
+        /// retraction decrements flow straight into the sampling frame.
         pps: GrowablePps,
         /// Per-draw second-stage accuracies.
         accs: RunningMoments,
@@ -103,6 +109,8 @@ impl StratifiedIncremental {
             m,
             config,
             strata: vec![StratumEval {
+                first_cluster: 0,
+                num_clusters: base.num_clusters() as u32,
                 triples: base.total_triples(),
                 state: StratumState::Frozen(base_estimate),
             }],
@@ -159,18 +167,18 @@ impl IncrementalEvaluator for StratifiedIncremental {
         if delta.num_delta_clusters() == 0 {
             return self.combined();
         }
-        let sizes = delta.delta_sizes_shared();
         // O(1): the stratum's PPS frame *adopts* the batch's cached weight
         // prefix — nothing per-cluster happens here at all.
         let pps =
             GrowablePps::shared(delta.weight_prefix_shared()).expect("Δe groups are non-empty");
         let first_cluster = self.next_cluster_id;
-        self.next_cluster_id += sizes.len() as u32;
+        let num_clusters = delta.num_delta_clusters() as u32;
+        self.next_cluster_id += num_clusters;
         self.strata.push(StratumEval {
+            first_cluster,
+            num_clusters,
             triples: delta.total_triples(),
             state: StratumState::Live {
-                first_cluster,
-                sizes,
                 pps,
                 accs: RunningMoments::new(),
             },
@@ -195,19 +203,14 @@ impl IncrementalEvaluator for StratifiedIncremental {
                 }
             }
             let live = self.strata.last_mut().expect("just pushed");
-            if let StratumState::Live {
-                first_cluster,
-                sizes,
-                pps,
-                accs,
-            } = &mut live.state
-            {
+            let first_cluster = live.first_cluster;
+            if let StratumState::Live { pps, accs } = &mut live.state {
                 for _ in 0..self.config.batch_size {
                     let local = pps.sample(rng);
-                    let cluster = *first_cluster + local as u32;
+                    let cluster = first_cluster + local as u32;
                     let acc = annotate_cluster_subset(
                         cluster,
-                        sizes[local] as usize,
+                        pps.weight(local) as usize,
                         self.m,
                         rng,
                         annotator,
@@ -218,6 +221,49 @@ impl IncrementalEvaluator for StratifiedIncremental {
                 }
             }
         }
+        self.combined()
+    }
+
+    fn apply_retraction(
+        &mut self,
+        retraction: &Retraction,
+        annotator: &mut dyn Annotator,
+        _rng: &mut dyn RngCore,
+    ) -> PointEstimate {
+        // Tombstone the annotator's view so any later sampling of touched
+        // live-stratum clusters addresses the shrunken coordinate space.
+        annotator.retract(retraction);
+        // Route each entry to its stratum (strata partition the cluster id
+        // space into contiguous, increasing runs) and shrink the stratum's
+        // weight numerator. Frozen strata keep their estimate verbatim —
+        // Algorithm 2 never re-samples old strata, so a retraction there
+        // is pure weight correction; the live stratum additionally
+        // decrements its PPS frame so dead triples leave the sampling
+        // frame immediately.
+        for (cluster, offsets) in retraction.entries() {
+            let dead = offsets.len() as u64;
+            let idx = self
+                .strata
+                .partition_point(|s| s.first_cluster <= *cluster)
+                .checked_sub(1)
+                .expect("strata start at cluster 0");
+            let stratum = &mut self.strata[idx];
+            assert!(
+                *cluster < stratum.first_cluster + stratum.num_clusters,
+                "retraction addresses a cluster no stratum minted"
+            );
+            stratum.triples = stratum
+                .triples
+                .checked_sub(dead)
+                .expect("stratum triple count covers its retractions");
+            if let StratumState::Live { pps, .. } = &mut stratum.state {
+                pps.decrement((*cluster - stratum.first_cluster) as usize, dead)
+                    .expect("retraction addresses live triples");
+            }
+        }
+        // No fresh sampling: SS stays the cheapest strategy — deletions
+        // shift stratum weights, and the combined estimate follows Eq. 13
+        // with the corrected weights.
         self.combined()
     }
 
@@ -321,6 +367,45 @@ mod tests {
             "bias should persist, estimate {}",
             est.mean
         );
+    }
+
+    #[test]
+    fn retraction_shifts_stratum_weights_toward_the_survivors() {
+        use kg_model::retract::Retraction;
+
+        // Base at 90%; an equal-size update at ~0% drags the combined
+        // estimate to ≈45%; retracting most of the bad stratum restores it.
+        let base = base_kg();
+        let mut oracle = PiecewiseOracle::new(Box::new(RemOracle::new(0.9, 8)));
+        oracle.push_segment(1000, Box::new(RemOracle::new(0.0, 9)));
+        let mut ss =
+            StratifiedIncremental::from_base(&base, base_estimate(0.9), 5, EvalConfig::default());
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(10);
+        let delta = UpdateBatch::from_sizes(vec![4; 1000]).unwrap();
+        let est = ss.apply_update(&delta, &mut annotator, &mut rng);
+        assert!((est.mean - 0.45).abs() < 0.05);
+        // Retract 3 of 4 triples from 900 of the bad stratum's clusters:
+        // live bad weight falls from 4000 to 1300.
+        let entries: Vec<(u32, Vec<u32>)> = (1000..1900).map(|c| (c, vec![0, 1, 2])).collect();
+        let r = Retraction::new(entries).unwrap();
+        let cost_before = annotator.seconds();
+        let est = ss.apply_retraction(&r, &mut annotator, &mut rng);
+        // Weight correction only — no fresh annotation was charged.
+        assert_eq!(annotator.seconds(), cost_before);
+        let expected = (4000.0 * 0.9 + 1300.0 * 0.0) / 5300.0;
+        assert!(
+            (est.mean - expected).abs() < 0.05,
+            "estimate {} should approach {expected}",
+            est.mean
+        );
+        let w = ss.weights();
+        assert!((w[1] - 1300.0 / 5300.0).abs() < 1e-9);
+        // The live stratum keeps sampling correctly after the decrement.
+        let delta = UpdateBatch::from_sizes(vec![4; 100]).unwrap();
+        let est = ss.apply_update(&delta, &mut annotator, &mut rng);
+        assert!(est.moe(0.05).unwrap() <= 0.05);
+        assert_eq!(ss.num_strata(), 3);
     }
 
     #[test]

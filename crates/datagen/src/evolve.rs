@@ -11,7 +11,11 @@ use crate::generator::cluster_sizes;
 use kg_annotate::oracle::{LabelOracle, RemOracle};
 use kg_annotate::piecewise::PiecewiseOracle;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
+use kg_model::retract::{map_live_offset, KgEvent, Retraction};
 use kg_model::update::UpdateBatch;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet};
 
 /// Generates update batches structurally matching a base profile.
 #[derive(Debug, Clone)]
@@ -57,6 +61,127 @@ impl UpdateGenerator {
         (0..count)
             .map(|i| self.batch(total_triples, seed.wrapping_add(i as u64 * 7919)))
             .collect()
+    }
+}
+
+/// Generates churny [`KgEvent`] streams: each event inserts a fresh
+/// movie-like batch and — at a configurable fraction of the batch volume —
+/// retracts uniformly random *live* triples from the KG built so far.
+///
+/// The generator tracks the evolving live view itself (per-cluster live
+/// sizes plus sorted dead raw-offset lists), so every emitted
+/// [`Retraction`] addresses raw insertion-time coordinates of triples that
+/// are genuinely still live — never double-retracting — exactly as the
+/// evaluators and annotation engines require. Streams are deterministic in
+/// `seed`, and a `delete_fraction` of `0.0` degenerates to a pure
+/// [`KgEvent::Insert`] sequence matching [`UpdateGenerator::sequence`]'s
+/// shape.
+#[derive(Debug, Clone)]
+pub struct ChurnGenerator {
+    updates: UpdateGenerator,
+    delete_fraction: f64,
+}
+
+impl ChurnGenerator {
+    /// Churn stream whose insertions come from `updates` and whose
+    /// per-event deletions total `delete_fraction` × the insert volume
+    /// (rounded), drawn uniformly over the live triples.
+    pub fn new(updates: UpdateGenerator, delete_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&delete_fraction),
+            "delete fraction must be in [0, 1]"
+        );
+        ChurnGenerator {
+            updates,
+            delete_fraction,
+        }
+    }
+
+    /// MOVIE-shaped insertions (the paper's evolving-KG setting) with the
+    /// given deletion fraction.
+    pub fn movie_like(delete_fraction: f64) -> Self {
+        Self::new(UpdateGenerator::movie_like(), delete_fraction)
+    }
+
+    /// The configured deletion fraction.
+    pub fn delete_fraction(&self) -> f64 {
+        self.delete_fraction
+    }
+
+    /// A deterministic sequence of `count` events over `base`, each
+    /// inserting (about) `per_batch` triples and retracting
+    /// `round(delete_fraction · per_batch)` live ones sampled before the
+    /// event's insertion. Events with deletions are [`KgEvent::Revise`];
+    /// with a zero fraction every event is a plain [`KgEvent::Insert`].
+    pub fn events(
+        &self,
+        base: &ImplicitKg,
+        count: usize,
+        per_batch: u64,
+        seed: u64,
+    ) -> Vec<KgEvent> {
+        let mut live: Vec<u32> = base.sizes().to_vec();
+        // Sorted raw offsets already retracted, per cluster — the live →
+        // raw translation table.
+        let mut dead: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        let mut total_live: u64 = base.total_triples();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6368_7572_6e21);
+        let per_event_deletes = (self.delete_fraction * per_batch as f64).round() as u64;
+
+        let mut events = Vec::with_capacity(count);
+        for i in 0..count {
+            let k = per_event_deletes.min(total_live.saturating_sub(1));
+            let retraction = (k > 0).then(|| {
+                // k distinct global live indices, uniform without
+                // replacement by rejection (k ≪ total_live in any
+                // realistic stream).
+                let mut picked: HashSet<u64> = HashSet::with_capacity(k as usize);
+                while picked.len() < k as usize {
+                    picked.insert(rng.gen_range(0..total_live));
+                }
+                let mut picked: Vec<u64> = picked.into_iter().collect();
+                picked.sort_unstable();
+                // Walk the live prefix once to turn global indices into
+                // (cluster, live offset), then translate live → raw
+                // through the cluster's dead list.
+                let mut by_cluster: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+                let mut cluster = 0usize;
+                let mut cluster_start = 0u64;
+                for g in picked {
+                    while cluster_start + u64::from(live[cluster]) <= g {
+                        cluster_start += u64::from(live[cluster]);
+                        cluster += 1;
+                    }
+                    let live_off = (g - cluster_start) as u32;
+                    let empty = Vec::new();
+                    let dead_here = dead.get(&(cluster as u32)).unwrap_or(&empty);
+                    let raw = map_live_offset(dead_here, live_off);
+                    by_cluster.entry(cluster as u32).or_default().push(raw);
+                }
+                // Commit the kills to the generator's own live view.
+                for (&c, offsets) in &by_cluster {
+                    live[c as usize] -= offsets.len() as u32;
+                    total_live -= offsets.len() as u64;
+                    let list = dead.entry(c).or_default();
+                    list.extend_from_slice(offsets);
+                    list.sort_unstable();
+                }
+                Retraction::new(by_cluster.into_iter().collect())
+                    .expect("sampled kills are non-empty and distinct")
+            });
+
+            let batch = self
+                .updates
+                .batch(per_batch, seed.wrapping_add(i as u64 * 7919));
+            total_live += batch.total_triples();
+            live.extend_from_slice(batch.delta_sizes());
+
+            events.push(match retraction {
+                Some(r) => KgEvent::Revise(r, batch),
+                None => KgEvent::Insert(batch),
+            });
+        }
+        events
     }
 }
 
@@ -136,6 +261,69 @@ mod tests {
         // Second update all right.
         assert!(oracle.label(TripleRef::new(100 + n1, 0)));
         assert!(total > 100 + n1);
+    }
+
+    #[test]
+    fn churn_streams_retract_only_live_triples() {
+        use kg_annotate::label_store::LabelStore;
+        use kg_annotate::oracle::RemOracle;
+
+        let base = ImplicitKg::new(vec![3; 200]).unwrap();
+        let churn = ChurnGenerator::new(UpdateGenerator::new(1.5, 50, 2.0), 0.25);
+        let events = churn.events(&base, 8, 100, 42);
+        assert_eq!(events.len(), 8);
+        // Folding the stream over a LabelStore exercises the store's own
+        // never-double-retract / offset-in-range assertions — the ground
+        // truth every churn test builds on.
+        let oracle = RemOracle::new(0.9, 1);
+        let mut store = LabelStore::materialize(&base, &oracle);
+        let mut retracted = 0u64;
+        let mut inserted = 0u64;
+        for event in &events {
+            match event {
+                KgEvent::Insert(b) => {
+                    store.extend_with_batch(b, &oracle);
+                    inserted += b.total_triples();
+                }
+                KgEvent::Retract(r) => {
+                    store.retract(r);
+                    retracted += r.total_retracted();
+                }
+                KgEvent::Revise(r, b) => {
+                    store.retract(r);
+                    store.extend_with_batch(b, &oracle);
+                    retracted += r.total_retracted();
+                    inserted += b.total_triples();
+                }
+            }
+        }
+        assert_eq!(retracted, 8 * 25, "25% of every 100-triple event");
+        assert_eq!(
+            store.live_total_triples(),
+            base.total_triples() + inserted - retracted
+        );
+    }
+
+    #[test]
+    fn churn_streams_are_deterministic_and_fraction_zero_is_insert_only() {
+        let base = ImplicitKg::new(vec![3; 100]).unwrap();
+        let churn = ChurnGenerator::movie_like(0.5);
+        let a = churn.events(&base, 4, 200, 7);
+        let b = churn.events(&base, 4, 200, 7);
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (KgEvent::Revise(rx, bx), KgEvent::Revise(ry, by)) => {
+                    assert_eq!(rx.entries(), ry.entries());
+                    assert_eq!(bx.delta_sizes(), by.delta_sizes());
+                }
+                _ => panic!("50% churn events should all be revisions"),
+            }
+        }
+        let pure = ChurnGenerator::movie_like(0.0);
+        assert_eq!(pure.delete_fraction(), 0.0);
+        for event in pure.events(&base, 4, 200, 7) {
+            assert!(matches!(event, KgEvent::Insert(_)));
+        }
     }
 
     #[test]

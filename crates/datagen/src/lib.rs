@@ -23,5 +23,5 @@ pub mod evolve;
 pub mod generator;
 pub mod profile;
 
-pub use evolve::UpdateGenerator;
+pub use evolve::{ChurnGenerator, UpdateGenerator};
 pub use profile::{Dataset, DatasetProfile, LabelModel};

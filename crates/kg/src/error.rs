@@ -21,6 +21,14 @@ pub enum KgError {
         /// Cluster size.
         size: usize,
     },
+    /// A retraction batch (or one of its per-cluster entries) was empty.
+    EmptyRetraction,
+    /// A retraction named the same cluster twice, or the same offset twice
+    /// within a cluster.
+    DuplicateRetraction {
+        /// Cluster index containing the duplicate.
+        cluster: usize,
+    },
     /// A malformed line was encountered while parsing a triple file.
     Parse {
         /// 1-based line number.
@@ -49,6 +57,12 @@ impl fmt::Display for KgError {
                 f,
                 "offset {offset} out of range in cluster {cluster} of size {size}"
             ),
+            KgError::EmptyRetraction => {
+                write!(f, "retraction batches and their entries must be non-empty")
+            }
+            KgError::DuplicateRetraction { cluster } => {
+                write!(f, "duplicate retraction target in cluster {cluster}")
+            }
             KgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             KgError::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -84,6 +98,9 @@ mod tests {
             size: 4,
         };
         assert!(e.to_string().contains('9'));
+        assert!(KgError::EmptyRetraction.to_string().contains("non-empty"));
+        let e = KgError::DuplicateRetraction { cluster: 3 };
+        assert!(e.to_string().contains('3'));
         let e = KgError::Parse {
             line: 12,
             message: "expected 3 fields".into(),

@@ -20,7 +20,9 @@
 //!
 //! Evolving KGs (§2.1, §6) are modeled as a base graph plus a sequence of
 //! [`update::UpdateBatch`]es of triple insertions, clustered by subject
-//! (`Δe`).
+//! (`Δe`). Deletions and revisions ride alongside as [`retract::Retraction`]
+//! tombstones — raw `(cluster, offset)` coordinates never change, and live
+//! sampling coordinates are translated via [`retract::map_live_offset`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,6 +33,7 @@ pub mod graph;
 pub mod implicit;
 pub mod interner;
 pub mod io;
+pub mod retract;
 pub mod stats;
 pub mod triple;
 pub mod update;
@@ -40,5 +43,6 @@ pub use error::KgError;
 pub use graph::{EntityCluster, KnowledgeGraph};
 pub use implicit::{ClusterPopulation, ImplicitKg};
 pub use interner::Interner;
+pub use retract::{map_live_offset, KgEvent, Retraction, TombstoneMap};
 pub use triple::{EntityId, Object, PredicateId, Triple, TripleRef};
 pub use update::UpdateBatch;

@@ -56,8 +56,29 @@ impl UpdateBatch {
         })
     }
 
+    /// Build from per-`Δe` sizes, silently dropping zero-size groups
+    /// instead of rejecting them.
+    ///
+    /// This is the normalization applied to *derived* size vectors —
+    /// grouping pipelines, churn generators, or profile samplers whose
+    /// arithmetic can legitimately produce empty groups. A zero-size `Δe`
+    /// carries no triples, no weight, and no sampling mass, so the only
+    /// consistent treatment is for it to never become a cluster at all:
+    /// cluster ids stay dense and `apply_to` accounting is unaffected.
+    /// Hand-authored size vectors should use [`UpdateBatch::from_sizes`],
+    /// where a zero is a bug worth surfacing.
+    pub fn from_sizes_pruned(delta_sizes: Vec<u32>) -> Self {
+        let pruned: Vec<u32> = delta_sizes.into_iter().filter(|&s| s > 0).collect();
+        Self::from_sizes(pruned).expect("zero-size groups were pruned")
+    }
+
     /// Cluster raw insertions by subject id (the `Δe` grouping of §2.1).
     /// `subjects[k]` is the subject id of the `k`-th inserted triple.
+    ///
+    /// Grouping counts occurrences, so every group it produces has size
+    /// ≥ 1; it is nevertheless routed through the same zero-pruning
+    /// normalization as [`UpdateBatch::from_sizes_pruned`] so that both
+    /// derived-batch paths share one construction invariant.
     pub fn group_by_subject(subjects: &[u32]) -> Self {
         let mut counts: HashMap<u32, u32> = HashMap::new();
         for &s in subjects {
@@ -67,7 +88,7 @@ impl UpdateBatch {
         let mut pairs: Vec<(u32, u32)> = counts.into_iter().collect();
         pairs.sort_unstable();
         let delta_sizes: Vec<u32> = pairs.into_iter().map(|(_, c)| c).collect();
-        Self::from_sizes(delta_sizes).expect("grouped counts are positive")
+        Self::from_sizes_pruned(delta_sizes)
     }
 
     /// Per-`Δe` sizes.
@@ -226,6 +247,40 @@ mod tests {
         assert!(Arc::ptr_eq(&shared, &prefix));
         // Grouping an empty insertion stream yields the empty batch.
         assert_eq!(UpdateBatch::group_by_subject(&[]), empty);
+    }
+
+    #[test]
+    fn pruned_construction_drops_zero_size_groups() {
+        // Zero-size Δe groups vanish instead of erroring: the pruned batch
+        // is indistinguishable from one built without the zeros.
+        let pruned = UpdateBatch::from_sizes_pruned(vec![2, 0, 3, 0]);
+        assert_eq!(pruned, UpdateBatch::from_sizes(vec![2, 3]).unwrap());
+        assert_eq!(pruned.num_delta_clusters(), 2);
+        assert_eq!(pruned.total_triples(), 5);
+        assert_eq!(pruned.weight_prefix(), &[0, 2, 5]);
+        // All-zero input collapses to the empty batch …
+        let all_dead = UpdateBatch::from_sizes_pruned(vec![0, 0]);
+        assert_eq!(all_dead, UpdateBatch::from_sizes(vec![]).unwrap());
+        // … and apply_to accounting treats it as a pure no-op: no clusters
+        // minted, no triples added, first_new still past the base.
+        let base = ImplicitKg::new(vec![4, 1]).unwrap();
+        let (evolved, first_new) = all_dead.apply_to(&base);
+        assert_eq!(first_new, 2);
+        assert_eq!(evolved.num_clusters(), 2);
+        assert_eq!(evolved.total_triples(), base.total_triples());
+        // The strict constructor still rejects what pruning would hide.
+        assert!(UpdateBatch::from_sizes(vec![2, 0, 3]).is_err());
+    }
+
+    #[test]
+    fn group_by_subject_never_mints_empty_clusters() {
+        // Counting guarantees positivity, and the shared pruned path keeps
+        // it that way even for degenerate inputs.
+        for subjects in [vec![], vec![0u32], vec![3, 3, 3], vec![1, 2, 1, 2]] {
+            let batch = UpdateBatch::group_by_subject(&subjects);
+            assert!(batch.delta_sizes().iter().all(|&s| s > 0));
+            assert_eq!(batch.total_triples(), subjects.len() as u64);
+        }
     }
 
     #[test]

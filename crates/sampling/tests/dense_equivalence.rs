@@ -15,12 +15,13 @@ use kg_annotate::cost::CostModel;
 use kg_annotate::dense::DenseAnnotator;
 use kg_annotate::label_store::LabelStore;
 use kg_annotate::oracle::RemOracle;
-use kg_datagen::evolve::UpdateGenerator;
+use kg_datagen::evolve::{ChurnGenerator, UpdateGenerator};
 use kg_eval::config::EvalConfig;
-use kg_eval::dynamic::monitor::run_sequence;
+use kg_eval::dynamic::monitor::{run_event_sequence, run_sequence};
 use kg_eval::dynamic::reservoir::ReservoirEvaluator;
 use kg_eval::dynamic::stratified::StratifiedIncremental;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
+use kg_model::retract::KgEvent;
 use kg_model::triple::TripleRef;
 use kg_model::update::UpdateBatch;
 use kg_sampling::design::Design;
@@ -190,6 +191,154 @@ fn incremental_replay_over_pre_evolved_store_matches_live_growth() {
     for _ in 0..3 {
         replayed.reset();
         let r = run_incremental("RS", &base, &batches, config, &mut replayed, 9);
+        assert_eq!(g.per_batch, r.per_batch);
+        assert_eq!(g.seconds.to_bits(), r.seconds.to_bits());
+        assert_eq!(g.triples, r.triples);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Churn suite: the §6 evaluators under interleaved inserts, deletions, and
+// revisions.
+//
+// Retractions tombstone the annotators' live coordinate view, decrement the
+// evaluators' PPS weights, and evict fully-dead reservoir members — all of
+// it trial state on the engine side, so the hash and dense engines must
+// remain byte-identical event by event, and replays over a pre-evolved
+// store must match grow-as-you-go runs.
+// ---------------------------------------------------------------------------
+
+/// A movie-like churn stream with all three event kinds interleaved: the
+/// generator emits revisions, and every third one is split into a pure
+/// retraction followed by a pure insertion.
+fn churn_events(
+    base: &ImplicitKg,
+    fraction: f64,
+    count: usize,
+    per_batch: u64,
+    seed: u64,
+) -> Vec<KgEvent> {
+    let events = ChurnGenerator::movie_like(fraction).events(base, count, per_batch, seed);
+    let mut out = Vec::new();
+    for (i, event) in events.into_iter().enumerate() {
+        match event {
+            KgEvent::Revise(r, b) if i % 3 == 2 => {
+                out.push(KgEvent::Retract(r));
+                out.push(KgEvent::Insert(b));
+            }
+            event => out.push(event),
+        }
+    }
+    out
+}
+
+fn run_churn(
+    evaluator: &'static str,
+    base: &ImplicitKg,
+    events: &[KgEvent],
+    config: EvalConfig,
+    annotator: &mut dyn Annotator,
+    seed: u64,
+) -> SequenceTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let outcomes = match evaluator {
+        "RS" => {
+            let mut rs =
+                ReservoirEvaluator::evaluate_base(base, 40, 5, config, annotator, &mut rng);
+            run_event_sequence(&mut rs, events, config.alpha, annotator, &mut rng)
+        }
+        "SS" => {
+            let base_est = PointEstimate::new(0.9, 0.0004, 60).unwrap();
+            let mut ss = StratifiedIncremental::from_base(base, base_est, 5, config);
+            run_event_sequence(&mut ss, events, config.alpha, annotator, &mut rng)
+        }
+        other => panic!("unknown evaluator {other}"),
+    };
+    SequenceTrace {
+        per_batch: outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.estimate.mean.to_bits(),
+                    o.estimate.var_of_mean.to_bits(),
+                    o.cumulative_cost_seconds,
+                )
+            })
+            .collect(),
+        seconds: annotator.seconds(),
+        entities: annotator.entities_identified(),
+        triples: annotator.triples_annotated(),
+    }
+}
+
+#[test]
+fn churny_streams_are_byte_identical_across_engines() {
+    let base = ImplicitKg::new((0..800).map(|i| 1 + (i % 12)).collect()).unwrap();
+    let oracle = RemOracle::new(0.88, 43);
+    for (fi, fraction) in [0.25, 0.5].into_iter().enumerate() {
+        let events = churn_events(&base, fraction, 8, base.total_triples() / 10, 0x0dd);
+        // All three event kinds actually appear in the stream.
+        assert!(events.iter().any(|e| matches!(e, KgEvent::Insert(_))));
+        assert!(events.iter().any(|e| matches!(e, KgEvent::Retract(_))));
+        assert!(events.iter().any(|e| matches!(e, KgEvent::Revise(..))));
+        for evaluator in ["RS", "SS"] {
+            let seed = 2000 + fi as u64;
+            let config = EvalConfig::default();
+            let mut hash = SimulatedAnnotator::new(&oracle, CostModel::default());
+            let h = run_churn(evaluator, &base, &events, config, &mut hash, seed);
+
+            let store = Arc::new(LabelStore::materialize(&base, &oracle));
+            let mut dense = DenseAnnotator::growable(store, CostModel::default(), Arc::new(oracle));
+            let d = run_churn(evaluator, &base, &events, config, &mut dense, seed);
+
+            assert_eq!(h.per_batch.len(), events.len(), "{evaluator} {fraction}");
+            for (b, (hb, db)) in h.per_batch.iter().zip(&d.per_batch).enumerate() {
+                assert_eq!(
+                    hb.0, db.0,
+                    "{evaluator} fraction {fraction} event {b}: mean bits"
+                );
+                assert_eq!(
+                    hb.1, db.1,
+                    "{evaluator} fraction {fraction} event {b}: var bits"
+                );
+                assert_eq!(
+                    hb.2.to_bits(),
+                    db.2.to_bits(),
+                    "{evaluator} fraction {fraction} event {b}: cumulative cost"
+                );
+            }
+            assert_eq!(h.seconds.to_bits(), d.seconds.to_bits(), "{evaluator}");
+            assert_eq!(h.entities, d.entities, "{evaluator}");
+            assert_eq!(h.triples, d.triples, "{evaluator}");
+        }
+    }
+}
+
+#[test]
+fn churny_replay_over_pre_evolved_store_matches_live_growth() {
+    // Same shape as the insert-only replay test, but with deletions in the
+    // stream: tombstones are trial state cleared by reset(), so replays
+    // over the pre-extended store must stay byte-identical to the
+    // grow-as-you-go run — and to each other.
+    let base = ImplicitKg::new(vec![5; 400]).unwrap();
+    let oracle = RemOracle::new(0.92, 79);
+    let events = churn_events(&base, 0.4, 6, 200, 5);
+    let config = EvalConfig::default();
+
+    let grow_store = Arc::new(LabelStore::materialize(&base, &oracle));
+    let mut grown = DenseAnnotator::growable(grow_store, CostModel::default(), Arc::new(oracle));
+    let g = run_churn("RS", &base, &events, config, &mut grown, 13);
+
+    let mut evolved = LabelStore::materialize(&base, &oracle);
+    for event in &events {
+        if let Some(b) = event.inserted() {
+            evolved.extend_with_batch(b, &oracle);
+        }
+    }
+    let mut replayed = DenseAnnotator::new(Arc::new(evolved), CostModel::default());
+    for _ in 0..3 {
+        replayed.reset();
+        let r = run_churn("RS", &base, &events, config, &mut replayed, 13);
         assert_eq!(g.per_batch, r.per_batch);
         assert_eq!(g.seconds.to_bits(), r.seconds.to_bits());
         assert_eq!(g.triples, r.triples);

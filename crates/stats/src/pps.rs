@@ -23,6 +23,21 @@
 //! differ; both are exact PPS). The flat and segmented layouts locate the
 //! same item for every cumulative position, so the two growth styles are
 //! interchangeable without disturbing a single draw.
+//!
+//! **Deletions** ride on top as a pending-decrement overlay
+//! ([`GrowablePps::decrement`]): the head prefix and the `Arc`-shared
+//! segments stay append-only (other holders of a segment are unaffected),
+//! while a small sorted side table records how much weight each touched
+//! item has lost. Draws then address the **live** cumulative space — item
+//! `i` is selected with probability `live_i / live_total`, fully-dead items
+//! are never selected — at the cost of one extra binary search per draw
+//! while the overlay is non-empty. When dead weight crosses a quarter of
+//! the gross total, the sampler **compacts**: the live weights are rebuilt
+//! into a fresh flat head (fully-dead items become zero-width plateau
+//! entries so item indices never shift), the overlay empties, and draws
+//! return to the overlay-free fast path. Locating over the compacted
+//! plateau prefix is exact: `partition_point(p <= t)` lands past every
+//! zero-width entry, so a dead item's empty span can never be selected.
 
 use crate::error::StatsError;
 use rand::Rng;
@@ -63,10 +78,16 @@ pub struct GrowablePps {
     coarse: Vec<u64>,
     /// Shared tail segments, ascending.
     segments: Vec<Segment>,
-    /// Cached total weight `M` (head + all segments).
+    /// Cached **gross** total weight (head + all segments, before any
+    /// decrements). The live total is `total - dead_weight()`.
     total: u64,
     /// Cached item count (head + all segments).
     items: usize,
+    /// Pending-decrement overlay: item indices with dead weight, sorted.
+    dead_items: Vec<usize>,
+    /// `dead_cum[k]` = total dead weight of `dead_items[0..k]`
+    /// (`dead_cum.len() == dead_items.len() + 1`, starting at 0).
+    dead_cum: Vec<u64>,
 }
 
 impl Default for GrowablePps {
@@ -84,6 +105,8 @@ impl GrowablePps {
             segments: Vec::new(),
             total: 0,
             items: 0,
+            dead_items: Vec::new(),
+            dead_cum: vec![0],
         }
     }
 
@@ -196,10 +219,13 @@ impl GrowablePps {
         // Fused validate-and-append: one read of the source, one write.
         let mut prev = base_in;
         let mut increasing = true;
+        // Wrapping arithmetic: a decreasing source step wraps the diff,
+        // but `increasing` flips false and the garbage rows are truncated
+        // away below, so only validated values ever survive.
         self.prefix.extend(rest.iter().map(|&p| {
             increasing &= p > prev;
             prev = p;
-            base + p.wrapping_sub(base_in)
+            base.wrapping_add(p.wrapping_sub(base_in))
         }));
         if !increasing {
             self.prefix.truncate(rollback);
@@ -224,6 +250,20 @@ impl GrowablePps {
         let added = prefix.len() - 1;
         if added == 0 {
             return Ok(());
+        }
+        // All validation happens before the first mutation, so a rejected
+        // adoption leaves totals, item counts, and the segment list exactly
+        // as they were — the same all-or-nothing contract as the rollback
+        // in `extend_from_prefix`. The O(1) endpoint check catches a batch
+        // with non-positive net weight even in release builds; the O(n)
+        // per-step strictness scan stays a debug assertion because every
+        // `UpdateBatch` guarantees it at construction.
+        if prefix[added] <= prefix[0] {
+            return Err(StatsError::invalid(
+                "prefix",
+                "strictly increasing (positive total weight)",
+                (prefix[added] as i128 - prefix[0] as i128) as f64,
+            ));
         }
         debug_assert!(
             prefix.windows(2).all(|w| w[0] < w[1]),
@@ -273,14 +313,28 @@ impl GrowablePps {
         self.items == 0
     }
 
-    /// Total weight `M`.
+    /// Total **live** weight `M` — gross appended weight minus every
+    /// pending decrement. Equal to the gross total while nothing has been
+    /// retracted.
     pub fn total(&self) -> u64 {
-        self.total
+        self.total - self.dead_weight()
     }
 
-    /// Weight of item `i` (head or segment). O(1) for head items,
-    /// O(log segments) otherwise. Panics out of range.
+    /// Total weight removed by [`GrowablePps::decrement`] since the last
+    /// compaction (the pending overlay mass).
+    pub fn dead_weight(&self) -> u64 {
+        *self.dead_cum.last().expect("dead_cum non-empty")
+    }
+
+    /// **Live** weight of item `i` (head or segment, minus its pending
+    /// decrements). O(log) at worst; fully-dead items report 0. Panics out
+    /// of range.
     pub fn weight(&self, i: usize) -> u64 {
+        self.gross_weight(i) - self.dead_of(i)
+    }
+
+    /// Weight of item `i` as appended, before any decrements.
+    fn gross_weight(&self, i: usize) -> u64 {
         let head_items = self.prefix.len() - 1;
         if i < head_items {
             return self.prefix[i + 1] - self.prefix[i];
@@ -292,19 +346,135 @@ impl GrowablePps {
         s.local[j + 1] - s.local[j]
     }
 
-    /// Draw an item index with probability proportional to its weight.
-    /// Panics if empty (use [`GrowablePps::is_empty`] to guard).
+    /// Pending dead weight of item `i`.
+    fn dead_of(&self, i: usize) -> u64 {
+        match self.dead_items.binary_search(&i) {
+            Ok(k) => self.dead_cum[k + 1] - self.dead_cum[k],
+            Err(_) => 0,
+        }
+    }
+
+    /// Remove `w` units of weight from item `i` — a retraction of `w`
+    /// triples from cluster `i`. The stored prefix arrays (including
+    /// `Arc`-shared segments, whose other holders are unaffected) are not
+    /// touched; the loss is recorded in the pending-decrement overlay and
+    /// every subsequent draw addresses the live weights. Errors (leaving
+    /// the sampler unchanged) if `i` is out of range, `w` is zero, or `w`
+    /// exceeds item `i`'s current live weight.
+    ///
+    /// When accumulated dead weight crosses a quarter of the gross total,
+    /// the sampler compacts into a fresh flat head and the overlay
+    /// empties; see the module docs.
+    pub fn decrement(&mut self, i: usize, w: u64) -> Result<(), StatsError> {
+        if i >= self.items {
+            return Err(StatsError::invalid("item", "< len()", i as f64));
+        }
+        if w == 0 {
+            return Err(StatsError::invalid("w", "> 0", 0.0));
+        }
+        let live = self.weight(i);
+        if w > live {
+            return Err(StatsError::invalid("w", "<= live weight of item", w as f64));
+        }
+        let k = self.dead_items.partition_point(|&d| d < i);
+        if self.dead_items.get(k) != Some(&i) {
+            self.dead_items.insert(k, i);
+            let run = self.dead_cum[k];
+            self.dead_cum.insert(k + 1, run);
+        }
+        for c in &mut self.dead_cum[k + 1..] {
+            *c += w;
+        }
+        if self.dead_weight() * 4 > self.total {
+            self.compact();
+        }
+        Ok(())
+    }
+
+    /// Cumulative **gross** weight of items `0..j` (`0 <= j <= items`),
+    /// whichever mix of head and segments holds them.
+    fn gross_prefix(&self, j: usize) -> u64 {
+        let head_items = self.prefix.len() - 1;
+        if j <= head_items {
+            return self.prefix[j];
+        }
+        let si = self.segments.partition_point(|s| s.first_item < j) - 1;
+        let s = &self.segments[si];
+        s.abs_start + (s.local[j - s.first_item] - s.local[0])
+    }
+
+    /// Total pending dead weight of items `0..j`.
+    fn dead_before(&self, j: usize) -> u64 {
+        let k = self.dead_items.partition_point(|&d| d < j);
+        self.dead_cum[k]
+    }
+
+    /// Cumulative **live** weight of items `0..=j` — the exclusive end of
+    /// item `j`'s span in live cumulative space.
+    fn live_end(&self, j: usize) -> u64 {
+        self.gross_prefix(j + 1) - self.dead_before(j + 1)
+    }
+
+    /// Fold the pending overlay into a fresh flat head: item `j`'s stored
+    /// weight becomes its live weight, with fully-dead items kept as
+    /// zero-width plateau entries so item indices (cluster ids) never
+    /// shift. Segments are released and item-wise growth is re-enabled.
+    fn compact(&mut self) {
+        let mut prefix = Vec::with_capacity(self.items + 1);
+        prefix.push(0u64);
+        let mut acc = 0u64;
+        for j in 0..self.items {
+            acc += self.weight(j);
+            prefix.push(acc);
+        }
+        self.prefix = prefix;
+        self.coarse.clear();
+        self.coarse.push(0);
+        self.sync_coarse();
+        self.segments.clear();
+        self.dead_items.clear();
+        self.dead_cum.clear();
+        self.dead_cum.push(0);
+        self.total = acc;
+    }
+
+    /// Draw an item index with probability proportional to its **live**
+    /// weight. Panics if empty or if every unit of weight has been
+    /// decremented away (guard with [`GrowablePps::is_empty`] /
+    /// [`GrowablePps::total`]).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         assert!(!self.is_empty(), "cannot sample from an empty PPS sampler");
+        assert!(
+            self.total() > 0,
+            "cannot sample from a PPS sampler with no live weight"
+        );
         let t = rng.gen_range(0..self.total());
         self.locate(t)
     }
 
-    /// Index of the item whose weight span contains cumulative position
-    /// `t` — identical to a flat `partition_point` over the logical
-    /// global prefix sums, whichever mix of head and segments holds the
-    /// items.
+    /// Index of the item whose **live** weight span contains live
+    /// cumulative position `t` — identical to a flat `partition_point`
+    /// over the logical live prefix sums, whichever mix of head, segments,
+    /// and pending decrements holds the items.
     fn locate(&self, t: u64) -> usize {
+        if !self.dead_items.is_empty() {
+            // Overlay path: binary-search live item ends. `live_end` is
+            // non-decreasing, and the first item whose end exceeds `t` has
+            // positive live width (a fully-dead item shares its end with
+            // its predecessor, so it can never be the first to exceed).
+            let mut lo = 0usize;
+            let mut hi = self.items;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if self.live_end(mid) <= t {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            debug_assert!(lo < self.items);
+            return lo;
+        }
         let head_total = *self.prefix.last().expect("prefix non-empty");
         if t < head_total {
             // Coarse level: the window holding t (hot memory).
@@ -553,5 +723,214 @@ mod tests {
         let pps = GrowablePps::new();
         let mut rng = StdRng::seed_from_u64(2);
         pps.sample(&mut rng);
+    }
+
+    /// Reference live prefix: cumulative live weights with zero-width
+    /// plateaus for fully-dead items — the flat rebuild the overlay must
+    /// be draw-identical to.
+    fn live_prefix(pps: &GrowablePps) -> Vec<u64> {
+        let mut p = vec![0u64];
+        let mut acc = 0u64;
+        for i in 0..pps.len() {
+            acc += pps.weight(i);
+            p.push(acc);
+        }
+        p
+    }
+
+    fn assert_locates_like_flat(pps: &GrowablePps) {
+        let live = live_prefix(pps);
+        assert_eq!(*live.last().unwrap(), pps.total());
+        for t in 0..pps.total() {
+            let flat = live.partition_point(|&p| p <= t) - 1;
+            assert_eq!(pps.locate(t), flat, "t {t}");
+        }
+    }
+
+    #[test]
+    fn decrement_reduces_live_weight_and_total() {
+        let mut pps = GrowablePps::from_sizes(&[4, 6, 2]).unwrap();
+        pps.decrement(1, 2).unwrap();
+        assert_eq!(pps.weight(1), 4);
+        assert_eq!(pps.total(), 10);
+        assert_eq!(pps.dead_weight(), 2);
+        // A second decrement on the same item accumulates.
+        pps.decrement(1, 1).unwrap();
+        assert_eq!(pps.weight(1), 3);
+        assert_eq!(pps.total(), 9);
+        // Untouched items keep their gross weight.
+        assert_eq!(pps.weight(0), 4);
+        assert_eq!(pps.weight(2), 2);
+    }
+
+    #[test]
+    fn decrement_validates_and_leaves_sampler_unchanged_on_error() {
+        let mut pps = GrowablePps::from_sizes(&[4, 6]).unwrap();
+        pps.decrement(0, 1).unwrap();
+        let before_total = pps.total();
+        assert!(pps.decrement(2, 1).is_err()); // out of range
+        assert!(pps.decrement(0, 0).is_err()); // zero
+        assert!(pps.decrement(0, 4).is_err()); // exceeds live weight (3)
+        assert_eq!(pps.total(), before_total);
+        assert_eq!(pps.weight(0), 3);
+        // Decrementing down to exactly zero is allowed; the item just can
+        // never be drawn again.
+        pps.decrement(0, 3).unwrap();
+        assert_eq!(pps.weight(0), 0);
+        assert!(pps.decrement(0, 1).is_err());
+    }
+
+    #[test]
+    fn overlay_locate_matches_flat_live_reference() {
+        // Head + two adopted segments, then decrements spread across all
+        // three regions, including full kills: every live cumulative
+        // position must resolve exactly as a flat rebuild would.
+        let to_prefix = |sizes: &[u32]| -> Arc<[u64]> {
+            let mut p = vec![0u64];
+            let mut acc = 0u64;
+            for &s in sizes {
+                acc += s as u64;
+                p.push(acc);
+            }
+            p.into()
+        };
+        let head: Vec<u32> = (0..130u32).map(|i| 1 + (i * 13) % 9).collect();
+        let seg_a: Vec<u32> = (0..40u32).map(|i| 1 + (i * 5) % 7).collect();
+        let seg_b: Vec<u32> = vec![2; 50];
+        let mut pps = GrowablePps::from_sizes(&head).unwrap();
+        pps.extend_shared(to_prefix(&seg_a)).unwrap();
+        pps.extend_shared(to_prefix(&seg_b)).unwrap();
+        assert_locates_like_flat(&pps);
+        // Partial decrements in head and both segments.
+        pps.decrement(0, 1).unwrap();
+        pps.decrement(65, 1).unwrap();
+        pps.decrement(135, 2).unwrap();
+        pps.decrement(200, 1).unwrap();
+        assert_locates_like_flat(&pps);
+        // Full kills, including adjacent runs and the last item.
+        let n = pps.len();
+        for i in [3usize, 4, 5, 140, n - 1] {
+            let w = pps.weight(i);
+            pps.decrement(i, w).unwrap();
+        }
+        assert_locates_like_flat(&pps);
+        // Draw stream is identical to sampling the flat live reference.
+        let live = live_prefix(&pps);
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        for _ in 0..5_000 {
+            let t = rng_b.gen_range(0..*live.last().unwrap());
+            let expect = live.partition_point(|&p| p <= t) - 1;
+            assert_eq!(pps.sample(&mut rng_a), expect);
+        }
+    }
+
+    #[test]
+    fn compaction_folds_overlay_and_reopens_item_growth() {
+        let to_prefix = |sizes: &[u32]| -> Arc<[u64]> {
+            let mut p = vec![0u64];
+            let mut acc = 0u64;
+            for &s in sizes {
+                acc += s as u64;
+                p.push(acc);
+            }
+            p.into()
+        };
+        let mut pps = GrowablePps::from_sizes(&[10; 20]).unwrap();
+        pps.extend_shared(to_prefix(&[10; 20])).unwrap();
+        // Segments seal item-wise growth.
+        assert!(pps.push(1).is_err());
+        let live_before: Vec<u64> = (0..pps.len()).map(|i| pps.weight(i)).collect();
+        // Kill whole items until dead weight crosses a quarter of gross
+        // (400): the 11th full kill (110 > 100) triggers compaction.
+        for i in 0..11 {
+            pps.decrement(2 * i, 10).unwrap();
+        }
+        assert_eq!(pps.dead_weight(), 0, "overlay folded away");
+        assert_eq!(pps.total(), 290);
+        assert_eq!(pps.len(), 40, "item indices survive compaction");
+        for (i, &w) in live_before.iter().enumerate() {
+            let expect = if i < 22 && i % 2 == 0 { 0 } else { w };
+            assert_eq!(pps.weight(i), expect, "item {i}");
+        }
+        assert_locates_like_flat(&pps);
+        // Compaction released the segments: item-wise growth works again,
+        // and new items land at fresh indices past the plateau prefix.
+        pps.push(7).unwrap();
+        assert_eq!(pps.len(), 41);
+        assert_eq!(pps.weight(40), 7);
+        assert_eq!(pps.total(), 297);
+        assert_locates_like_flat(&pps);
+        // And further decrements start a fresh overlay.
+        pps.decrement(40, 3).unwrap();
+        assert_eq!(pps.weight(40), 4);
+        assert_locates_like_flat(&pps);
+    }
+
+    #[test]
+    fn decremented_sampler_never_draws_dead_items() {
+        let mut pps = GrowablePps::from_sizes(&[5, 1, 5, 1, 5]).unwrap();
+        pps.decrement(1, 1).unwrap();
+        pps.decrement(3, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2_000 {
+            let i = pps.sample(&mut rng);
+            assert!(i.is_multiple_of(2), "drew dead item {i}");
+        }
+        // Frequencies follow the live weights (uniform thirds here).
+        let mut counts = [0u32; 5];
+        for _ in 0..30_000 {
+            counts[pps.sample(&mut rng)] += 1;
+        }
+        for i in [0, 2, 4] {
+            let freq = counts[i] as f64 / 30_000.0;
+            assert!((freq - 1.0 / 3.0).abs() < 0.02, "item {i}: {freq}");
+        }
+    }
+
+    #[test]
+    fn shared_adoption_failures_leave_sampler_unchanged() {
+        // Forced mid-validation failures for extend_shared: the endpoint
+        // check fires before any state is touched, so totals, item count,
+        // and the draw stream are exactly those of a never-failed sampler.
+        let mut pps = GrowablePps::from_sizes(&[3, 4]).unwrap();
+        pps.extend_shared(vec![0u64, 2, 5].into()).unwrap();
+        let before_prefix = pps.prefix.clone();
+        let before_segments = pps.segments.len();
+        assert!(pps.extend_shared(vec![9u64, 4].into()).is_err()); // decreasing
+        assert!(pps.extend_shared(vec![7u64, 7].into()).is_err()); // zero net
+        assert!(pps.extend_shared(Vec::new().into()).is_err()); // empty
+        assert_eq!(pps.prefix, before_prefix);
+        assert_eq!(pps.segments.len(), before_segments);
+        assert_eq!(pps.total(), 12);
+        assert_eq!(pps.len(), 4);
+        // Growth after the failures matches a sampler that never failed.
+        pps.extend_shared(vec![0u64, 6].into()).unwrap();
+        let mut clean = GrowablePps::from_sizes(&[3, 4]).unwrap();
+        clean.extend_shared(vec![0u64, 2, 5].into()).unwrap();
+        clean.extend_shared(vec![0u64, 6].into()).unwrap();
+        assert_eq!(pps.total(), clean.total());
+        assert_eq!(pps.len(), clean.len());
+        for t in 0..pps.total() {
+            assert_eq!(pps.locate(t), clean.locate(t), "t {t}");
+        }
+    }
+
+    #[test]
+    fn prefix_copy_failures_leave_sampler_unchanged_then_growth_matches() {
+        // The extend_from_prefix rollback counterpart: after a rejected
+        // batch, continuing growth yields a sampler indistinguishable from
+        // one that never saw the bad batch.
+        let mut pps = GrowablePps::from_sizes(&[2, 2, 2]).unwrap();
+        assert!(pps.extend_from_prefix(&[0, 3, 3, 8]).is_err());
+        assert!(pps.extend_from_prefix(&[5, 4]).is_err());
+        pps.extend_from_prefix(&[0, 1, 4]).unwrap();
+        pps.push(6).unwrap();
+        let mut clean = GrowablePps::from_sizes(&[2, 2, 2]).unwrap();
+        clean.extend_from_prefix(&[0, 1, 4]).unwrap();
+        clean.push(6).unwrap();
+        assert_eq!(pps.prefix, clean.prefix);
+        assert_eq!(pps.coarse, clean.coarse);
+        assert_eq!(pps.total(), clean.total());
     }
 }

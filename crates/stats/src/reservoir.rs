@@ -218,6 +218,30 @@ impl<T> WeightedReservoir<T> {
         self.heap.into_iter().map(|m| m.0).collect()
     }
 
+    /// Remove every member failing `keep`, returning the removed keyed
+    /// items (arbitrary order). Used when stream items are *retracted*:
+    /// a deleted cluster can no longer represent the population.
+    ///
+    /// Survivors keep their A-Res keys — conditional on surviving, each
+    /// key is still a valid `u^(1/w)` variate, so the reservoir remains a
+    /// weighted sample of the retained stream and future replacement
+    /// behavior is untouched. The freed slots refill from subsequent
+    /// offers exactly like the initial fill phase.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) -> Vec<Keyed<T>> {
+        let members = std::mem::take(&mut self.heap).into_vec();
+        let mut removed = Vec::new();
+        let mut kept = Vec::with_capacity(members.len());
+        for m in members {
+            if keep(&m.0.item) {
+                kept.push(m);
+            } else {
+                removed.push(m.0);
+            }
+        }
+        self.heap = BinaryHeap::from(kept);
+        removed
+    }
+
     /// Replace the minimum-key member with `(item, key)` unconditionally
     /// (A-ExpJ already conditioned the key to beat the threshold),
     /// returning the evicted member. Panics if the reservoir is not full.
@@ -476,6 +500,24 @@ impl<T> WeightedReservoirExpJ<T> {
     /// Reservoir capacity.
     pub fn capacity(&self) -> usize {
         self.inner.capacity()
+    }
+
+    /// Remove every member failing `keep` (a retraction of stream items),
+    /// returning the removed keyed items. See
+    /// [`WeightedReservoir::retain`] for why survivors keep their keys.
+    ///
+    /// Any pending exponential jump is discarded when members are actually
+    /// removed: the jump was drawn against a threshold `T_w` that may just
+    /// have left the reservoir. With the reservoir below capacity the
+    /// offer path re-enters the fill phase, and a fresh jump is drawn from
+    /// the new threshold the moment it refills — the same deterministic
+    /// sequence a reservoir that had never reached capacity would produce.
+    pub fn retain(&mut self, keep: impl FnMut(&T) -> bool) -> Vec<Keyed<T>> {
+        let removed = self.inner.retain(keep);
+        if !removed.is_empty() {
+            self.skip = None;
+        }
+        removed
     }
 }
 
@@ -866,6 +908,65 @@ mod tests {
         assert_eq!(accepted, (0..10).collect::<Vec<_>>());
         assert_eq!(r.len(), 10);
         assert_eq!(r.offered(), 10);
+    }
+
+    #[test]
+    fn retain_removes_members_and_keeps_survivor_keys() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut r = WeightedReservoir::new(6);
+        for i in 0..6u32 {
+            r.offer(&mut rng, i, 1.0 + i as f64);
+        }
+        let before: Vec<(u32, u64)> = {
+            let mut v: Vec<_> = r.iter().map(|k| (k.item, k.key.to_bits())).collect();
+            v.sort_unstable();
+            v
+        };
+        let removed = r.retain(|&i| i % 2 == 0);
+        let mut gone: Vec<u32> = removed.iter().map(|k| k.item).collect();
+        gone.sort_unstable();
+        assert_eq!(gone, vec![1, 3, 5]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_full());
+        // Survivors keep their exact keys.
+        for k in r.iter() {
+            assert!(before.contains(&(k.item, k.key.to_bits())));
+        }
+        // Freed slots refill like the initial fill phase.
+        r.offer(&mut rng, 100, 2.0);
+        assert_eq!(r.len(), 4);
+        // Retaining everything removes nothing.
+        assert!(r.retain(|_| true).is_empty());
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn expj_retain_resets_pending_jump_and_refills() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut r = WeightedReservoirExpJ::new(4);
+        for i in 0..50u32 {
+            r.offer(&mut rng, i, 1.0 + (i % 7) as f64);
+        }
+        assert_eq!(r.len(), 4);
+        let survivors: Vec<u32> = r.iter().map(|k| k.item).collect();
+        let victim = survivors[0];
+        let removed = r.retain(|&i| i != victim);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].item, victim);
+        assert_eq!(r.len(), 3);
+        // Below capacity again: the next offer is a fill-phase insert.
+        let outcome = r.offer(&mut rng, 999, 3.0);
+        assert!(outcome.accepted());
+        assert_eq!(r.len(), 4);
+        // Back at capacity the stream keeps flowing (jump re-armed).
+        let mut accepted_any = false;
+        for i in 1000..4000u32 {
+            if r.offer(&mut rng, i, 1.0 + (i % 5) as f64).accepted() {
+                accepted_any = true;
+            }
+        }
+        assert!(accepted_any, "re-armed reservoir never accepted again");
+        assert_eq!(r.len(), 4);
     }
 
     #[test]
