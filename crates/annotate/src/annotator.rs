@@ -61,6 +61,19 @@ pub trait Annotator {
     /// number of correct triples `τ` in it.
     fn annotate_cluster(&mut self, cluster: u32, size: usize) -> u32;
 
+    /// [`Annotator::annotate_cluster`] with the cluster's global `base`
+    /// offset supplied by the caller (must equal the engine's own notion of
+    /// the cluster's first triple index). PPS draw loops get the base from
+    /// the alias slot they already loaded; an engine that addresses its
+    /// arena by global index (the dense engine) can then stamp
+    /// `[base, base + size)` without first chaining a dependent
+    /// cluster-directory load. Engines with no use for the hint ignore it —
+    /// this default does exactly that.
+    fn annotate_cluster_sited(&mut self, cluster: u32, base: u64, size: usize) -> u32 {
+        let _ = base;
+        self.annotate_cluster(cluster, size)
+    }
+
     /// Annotate a subset of one cluster given by triple `offsets`,
     /// returning the number of correct triples among them.
     fn annotate_offsets(&mut self, cluster: u32, offsets: &[usize]) -> u32;

@@ -13,20 +13,23 @@
 //!   bit per triple the whole memo for a 10^6-triple KG is ~125 KB, small
 //!   enough to stay cache-resident where a 4-byte-per-entry table thrashes;
 //! * **labels** come from the store's packed bitset — no virtual dispatch;
-//! * **reset** between trials zeroes only the words the trial actually
-//!   touched (each write to a fresh word logs it in a journal), so the
-//!   arena is reused across trials at a cost proportional to the trial's
-//!   own sample — independent of KG size — instead of reallocating and
-//!   rehashing;
+//! * **reset** between trials zeroes only the spans the trial actually
+//!   touched (each mutating call logs one span in the bitmap's journal),
+//!   so the arena is reused across trials at a cost proportional to the
+//!   trial's own sample — independent of KG size — instead of
+//!   reallocating and rehashing;
 //! * **cluster fast path**: a fully-annotated cluster re-drawn by WCS (a
 //!   with-replacement design!) answers from the precomputed `τ_i`, and a
-//!   first full-cluster visit stamps its bits a word at a time.
+//!   first full-cluster visit stamps its bits through the multi-word
+//!   [`BitsetJournal::set_range`] kernel (head mask / `memset` interior /
+//!   tail mask — see [`crate::bitset`]).
 //!
 //! Cost accounting is the same `Cost(G') = |E'|·c1 + |G'|·c2` (Definition
 //! 3) derived from the memo counts, so on identical draw sequences the two
 //! engines report byte-identical seconds.
 
 use crate::annotator::Annotator;
+use crate::bitset::BitsetJournal;
 use crate::cost::CostModel;
 use crate::label_store::LabelStore;
 use crate::oracle::LabelOracle;
@@ -35,84 +38,6 @@ use kg_model::triple::TripleRef;
 use kg_model::update::UpdateBatch;
 use std::collections::HashMap;
 use std::sync::Arc;
-
-/// One packed bit-set with a touched-word journal for cheap trial resets.
-#[derive(Debug, Default)]
-struct TrialBitmap {
-    words: Vec<u64>,
-    /// Indices of words written since the last reset (each pushed exactly
-    /// once: a word is journaled only on its first 0 → nonzero flip).
-    touched: Vec<u32>,
-}
-
-impl TrialBitmap {
-    fn with_capacity(bits: u64) -> Self {
-        TrialBitmap {
-            words: vec![0; bits.div_ceil(64) as usize],
-            touched: Vec::new(),
-        }
-    }
-
-    /// Set bit `i`; returns whether it was previously clear.
-    #[inline]
-    fn set(&mut self, i: u64) -> bool {
-        let w = &mut self.words[(i >> 6) as usize];
-        let bit = 1u64 << (i & 63);
-        if *w & bit != 0 {
-            return false;
-        }
-        if *w == 0 {
-            self.touched.push((i >> 6) as u32);
-        }
-        *w |= bit;
-        true
-    }
-
-    /// Set every bit in `[start, end)` word-at-a-time; returns how many
-    /// were previously clear.
-    fn set_range(&mut self, start: u64, end: u64) -> u64 {
-        debug_assert!(start <= end);
-        let mut newly = 0u64;
-        let mut i = start;
-        while i < end {
-            let wi = (i >> 6) as usize;
-            let lo = i & 63;
-            let span = (end - i).min(64 - lo);
-            let mask = if span == 64 {
-                u64::MAX
-            } else {
-                ((1u64 << span) - 1) << lo
-            };
-            let w = &mut self.words[wi];
-            if *w == 0 {
-                self.touched.push(wi as u32);
-            }
-            newly += (mask & !*w).count_ones() as u64;
-            *w |= mask;
-            i += span;
-        }
-        newly
-    }
-
-    /// Zero every touched word — O(words the trial wrote), not O(capacity).
-    fn reset(&mut self) {
-        for &w in &self.touched {
-            self.words[w as usize] = 0;
-        }
-        self.touched.clear();
-    }
-
-    /// Grow the word arena to cover `bits` (appended words start clear, so
-    /// the touched-word journal and any in-flight trial state stay valid —
-    /// mid-sequence growth preserves the memo, which is exactly what
-    /// incremental evaluation reuses across batches).
-    fn grow(&mut self, bits: u64) {
-        let words = bits.div_ceil(64) as usize;
-        if words > self.words.len() {
-            self.words.resize(words, 0);
-        }
-    }
-}
 
 /// Error from [`DenseAnnotator::try_extend_population`]: the update batch
 /// cannot be reconciled with the engine's label store.
@@ -199,11 +124,11 @@ pub struct DenseAnnotator {
     /// ([`Annotator::extend_population`]); `None` for fixed populations.
     growth_oracle: Option<Arc<dyn LabelOracle + Send + Sync>>,
     /// Per-cluster identification bits.
-    identified: TrialBitmap,
+    identified: BitsetJournal,
     /// Per-triple validation bits (global index space).
-    labeled: TrialBitmap,
+    labeled: BitsetJournal,
     /// Per-cluster "every triple labeled" bits (WCS/RCS fast path).
-    cluster_full: TrialBitmap,
+    cluster_full: BitsetJournal,
     n_identified: usize,
     n_labeled: usize,
     /// **Trial-state** tombstones ([`Annotator::retract`]): per-cluster
@@ -228,9 +153,9 @@ impl DenseAnnotator {
         DenseAnnotator {
             cost,
             growth_oracle: None,
-            identified: TrialBitmap::with_capacity(n),
-            labeled: TrialBitmap::with_capacity(m),
-            cluster_full: TrialBitmap::with_capacity(n),
+            identified: BitsetJournal::with_capacity(n),
+            labeled: BitsetJournal::with_capacity(m),
+            cluster_full: BitsetJournal::with_capacity(n),
             n_identified: 0,
             n_labeled: 0,
             tombs: TombstoneMap::new(),
@@ -303,8 +228,9 @@ impl DenseAnnotator {
             // range total plus both boundary clusters (catches wrong
             // sequences, reorderings, and off-by-one shifts).
             let first = first_cluster as usize;
+            let last = first + sizes.len() - 1;
             let lo = self.store.cluster_base(first);
-            let hi = self.store.cluster_base(first + sizes.len());
+            let hi = self.store.cluster_base(last) + self.store.cluster_size(last) as u64;
             let boundary_mismatch = |j: usize| {
                 let have = self.store.cluster_size(first + j) as u32;
                 (have != sizes[j]).then_some((first_cluster + j as u32, have, sizes[j]))
@@ -430,9 +356,38 @@ impl Annotator for DenseAnnotator {
         self.validate(g)
     }
 
+    fn annotate_cluster_sited(&mut self, cluster: u32, base: u64, size: usize) -> u32 {
+        // Fast path for PPS draw loops that carry the cluster's base in the
+        // alias slot: the arena stamp `[base, base + size)` depends only on
+        // values the caller already has, so the only store access left on
+        // the visit's serial chain is the τ read — one dependent load
+        // shallower than `annotate_cluster`, which must fetch the base from
+        // the cluster directory before it can touch the arena.
+        if self.tombs.is_empty() {
+            debug_assert_eq!(size, self.store.cluster_size(cluster as usize));
+            debug_assert_eq!(base, self.store.cluster_base(cluster as usize));
+            self.identify(cluster);
+            if self.cluster_full.set(cluster as u64) {
+                self.n_labeled += self.labeled.set_range(base, base + size as u64) as usize;
+            }
+            return self.store.cluster_tau(cluster as usize);
+        }
+        // Tombstones present: `size` is the live size and the stamp must
+        // skip dead offsets — take the full path (the base hint is
+        // recomputed there).
+        self.annotate_cluster(cluster, size)
+    }
+
     fn annotate_cluster(&mut self, cluster: u32, size: usize) -> u32 {
         let c = cluster as usize;
-        let dead_n = self.tombs.dead_in(cluster) as usize;
+        // `dead_in` is a hash probe; skip it on the overwhelmingly common
+        // tombstone-free path (one integer compare) — this sits inside
+        // every full-cluster visit of every WCS/RCS trial.
+        let dead_n = if self.tombs.is_empty() {
+            0
+        } else {
+            self.tombs.dead_in(cluster) as usize
+        };
         if dead_n == 0 {
             debug_assert_eq!(size, self.store.cluster_size(c));
             self.identify(cluster);
@@ -488,7 +443,11 @@ impl Annotator for DenseAnnotator {
             n_labeled,
             ..
         } = self;
-        let dead = tombs.cluster(cluster).unwrap_or(&[]);
+        let dead: &[u32] = if tombs.is_empty() {
+            &[]
+        } else {
+            tombs.cluster(cluster).unwrap_or(&[])
+        };
         let mut tau = 0u32;
         for &o in offsets {
             let g = base + map_live_offset(dead, o as u32) as u64;
@@ -638,21 +597,6 @@ mod tests {
             assert_eq!(a.annotate_cluster(2, 2), 0);
             assert_eq!(a.triples_annotated(), 2);
         }
-    }
-
-    #[test]
-    fn set_range_counts_only_fresh_bits_across_word_boundaries() {
-        let mut bm = TrialBitmap::with_capacity(200);
-        assert!(bm.set(70));
-        // Range spanning three words, one bit pre-set.
-        assert_eq!(bm.set_range(60, 190), 129);
-        assert_eq!(bm.set_range(60, 190), 0);
-        // Full-word interior span.
-        assert_eq!(bm.set_range(0, 60), 60);
-        bm.reset();
-        assert!(bm.words.iter().all(|&w| w == 0));
-        assert!(bm.touched.is_empty());
-        assert_eq!(bm.set_range(0, 64), 64);
     }
 
     #[test]

@@ -14,12 +14,29 @@
 //! the store is built from an existing index
 //! (`PopulationIndex::materialize_labels`).
 
+use crate::bitset::popcount_range;
 use crate::oracle::LabelOracle;
 use kg_model::implicit::ClusterPopulation;
 use kg_model::retract::Retraction;
 use kg_model::triple::TripleRef;
 use kg_model::update::UpdateBatch;
 use std::sync::Arc;
+
+/// Per-cluster directory record: everything the full-cluster annotation
+/// fast path needs — base global index, correct count `τ_i`, and size —
+/// in one 16-byte load. The hot WCS loop visits clusters in random order,
+/// so each visit's metadata reads are cache misses; folding three
+/// parallel-array lookups (`prefix[c]`, `prefix[c+1]`, `tau[c]`) into one
+/// record turns three potential misses into one.
+#[derive(Debug, Clone, Copy)]
+struct ClusterDir {
+    /// Global index of the cluster's first triple (`prefix[c]`).
+    base: u64,
+    /// Correct-triple count `τ_i`.
+    tau: u32,
+    /// Cluster size `M_i`.
+    size: u32,
+}
 
 /// Packed per-triple labels for a clustered population, with per-cluster
 /// correct counts (`τ_i`) precomputed at build time.
@@ -30,8 +47,15 @@ pub struct LabelStore {
     /// Prefix sums over cluster sizes: `prefix[c]` is the global index of
     /// cluster `c`'s first triple; `prefix[N]` is the total `M`.
     prefix: Arc<Vec<u64>>,
-    /// Correct-triple count `τ_i` per cluster.
-    cluster_tau: Vec<u32>,
+    /// Per-cluster directory records (base, τ_i, size).
+    dir: Vec<ClusterDir>,
+    /// Dense τ_i mirror of `dir` for the full-cluster visit fast path:
+    /// 16 entries per cache line against the directory's 4, and small
+    /// enough (4 bytes/cluster) to stay cache-resident at scales where the
+    /// 16-byte directory records spill to DRAM. `cluster_tau` is the one
+    /// load left on a sited PPS visit's dependent chain after the alias
+    /// slot, so its cache density directly bounds visit throughput.
+    taus: Vec<u32>,
     /// Total correct triples `τ`.
     correct: u64,
     /// Tombstone bitmap, same global addressing as `bits` (empty until the
@@ -71,26 +95,34 @@ impl LabelStore {
         let n = prefix.len() - 1;
         let total = prefix[n];
         let mut bits = vec![0u64; total.div_ceil(64) as usize];
-        let mut cluster_tau = Vec::with_capacity(n);
+        let mut dir = Vec::with_capacity(n);
+        let mut taus = Vec::with_capacity(n);
         let mut correct = 0u64;
         for c in 0..n {
             let base = prefix[c];
             let size = (prefix[c + 1] - base) as usize;
-            let mut tau = 0u32;
             for o in 0..size {
                 if oracle.label(TripleRef::new(c as u32, o as u32)) {
                     let g = base + o as u64;
                     bits[(g >> 6) as usize] |= 1u64 << (g & 63);
-                    tau += 1;
                 }
             }
-            cluster_tau.push(tau);
+            // τ_i from the packed bits via the batched popcount kernel —
+            // the oracle loop stays a pure bit-setter.
+            let tau = popcount_range(&bits, base, base + size as u64) as u32;
+            dir.push(ClusterDir {
+                base,
+                tau,
+                size: size as u32,
+            });
+            taus.push(tau);
             correct += tau as u64;
         }
         LabelStore {
             bits,
             prefix,
-            cluster_tau,
+            dir,
+            taus,
             correct,
             dead: Vec::new(),
             dead_total: 0,
@@ -124,20 +156,21 @@ impl LabelStore {
             self.dead.resize(new_total.div_ceil(64) as usize, 0);
         }
         delta.extend_prefix(&mut self.prefix);
-        self.cluster_tau.reserve(delta.num_delta_clusters());
+        self.dir.reserve(delta.num_delta_clusters());
+        self.taus.reserve(delta.num_delta_clusters());
         let mut base = base_total;
         for (j, &size) in delta.delta_sizes().iter().enumerate() {
             let cluster = first + j as u32;
-            let mut tau = 0u32;
             for o in 0..size {
                 if oracle.label(TripleRef::new(cluster, o)) {
                     let g = base + o as u64;
                     self.bits[(g >> 6) as usize] |= 1u64 << (g & 63);
-                    tau += 1;
                 }
             }
+            let tau = popcount_range(&self.bits, base, base + size as u64) as u32;
+            self.dir.push(ClusterDir { base, tau, size });
+            self.taus.push(tau);
             base += size as u64;
-            self.cluster_tau.push(tau);
             self.correct += tau as u64;
         }
         debug_assert_eq!(self.total_triples(), new_total);
@@ -154,8 +187,9 @@ impl LabelStore {
     }
 
     /// Size of one cluster.
+    #[inline]
     pub fn cluster_size(&self, cluster: usize) -> usize {
-        (self.prefix[cluster + 1] - self.prefix[cluster]) as usize
+        self.dir[cluster].size as usize
     }
 
     /// Global triple index of a reference.
@@ -167,7 +201,7 @@ impl LabelStore {
     /// Global index of a cluster's first triple.
     #[inline]
     pub fn cluster_base(&self, cluster: usize) -> u64 {
-        self.prefix[cluster]
+        self.dir[cluster].base
     }
 
     /// Label of the triple at a global index.
@@ -177,10 +211,11 @@ impl LabelStore {
         self.bits[(global >> 6) as usize] >> (global & 63) & 1 != 0
     }
 
-    /// Precomputed correct count `τ_i` of one cluster.
+    /// Precomputed correct count `τ_i` of one cluster (served from the
+    /// dense τ mirror — see the `taus` field note).
     #[inline]
     pub fn cluster_tau(&self, cluster: usize) -> u32 {
-        self.cluster_tau[cluster]
+        self.taus[cluster]
     }
 
     /// Exact **live** population accuracy `μ(G) = τ / M` over the
@@ -254,7 +289,7 @@ impl LabelOracle for LabelStore {
             return 0.0;
         }
         debug_assert_eq!(size, self.cluster_size(cluster as usize));
-        self.cluster_tau[cluster as usize] as f64 / size as f64
+        self.dir[cluster as usize].tau as f64 / size as f64
     }
 }
 

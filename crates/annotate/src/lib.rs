@@ -26,8 +26,10 @@
 //!   reference above and the zero-allocation fast path coexist:
 //!   [`label_store::LabelStore`] materializes any oracle into a packed
 //!   bitset indexed by global triple index, and [`dense::DenseAnnotator`]
-//!   memoizes via packed bitmaps with a touched-word journal, so one arena
-//!   serves every trial with resets costing only the trial's footprint.
+//!   memoizes via packed bitmaps with a touched-span journal
+//!   ([`bitset::BitsetJournal`], multi-word `set_range`/`reset` kernels),
+//!   so one arena serves every trial with resets costing only the trial's
+//!   footprint.
 //! * [`lease::DenseArenaPool`] — arena checkout for parallel trial
 //!   runtimes: each worker leases one reusable dense arena for its
 //!   lifetime instead of rebuilding per trial.
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 
 pub mod annotator;
+pub mod bitset;
 pub mod cost;
 pub mod dense;
 pub mod label_store;
@@ -46,6 +49,7 @@ pub mod pool;
 pub mod task;
 
 pub use annotator::{Annotator, SimulatedAnnotator};
+pub use bitset::BitsetJournal;
 pub use cost::CostModel;
 pub use dense::{DenseAnnotator, DenseGrowthError};
 pub use label_store::LabelStore;

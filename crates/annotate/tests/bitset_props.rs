@@ -1,0 +1,155 @@
+//! Property tests for the multi-word [`BitsetJournal`] kernels.
+//!
+//! Oracle: a plain `Vec<bool>` model driven by the same operation
+//! sequence. The interesting surface is word-boundary arithmetic — spans
+//! of exactly 64 bits, ranges ending on a word edge, empty ranges, and
+//! growth mid-trial — so the generators bias start/end points toward
+//! multiples of 64 and their neighbours.
+
+use kg_annotate::bitset::{popcount_range, BitsetJournal};
+use proptest::prelude::*;
+
+/// One step of the replayed operation sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    Set(u64),
+    SetRange(u64, u64),
+    CountRange(u64, u64),
+    Reset,
+    Grow(u64),
+}
+
+/// Bit positions biased toward word edges: exact multiples of 64 and the
+/// bits just either side of them, plus uniform filler. (The offline
+/// proptest shim has no `prop_oneof`, so the variant choice is an explicit
+/// selector value mapped through the raw inputs.)
+fn edge_biased_bit(max: u64) -> impl Strategy<Value = u64> {
+    (0u8..8, 0..=max / 64, -1i64..=1, 0..=max).prop_map(move |(sel, w, d, uniform)| match sel {
+        0..=2 => (w * 64).min(max),
+        3..=5 => (w * 64).saturating_add_signed(d).min(max),
+        _ => uniform,
+    })
+}
+
+fn op_strategy(max_bits: u64) -> impl Strategy<Value = Op> {
+    (
+        0u8..14,
+        edge_biased_bit(max_bits),
+        edge_biased_bit(max_bits),
+        1u64..=3,
+    )
+        .prop_map(move |(sel, a, b, extra)| match sel {
+            // Single-bit sets.
+            0..=2 => Op::Set(a.min(max_bits - 1)),
+            // General ranges (word-edge biased at both ends).
+            3..=6 => Op::SetRange(a.min(b), a.max(b)),
+            // Spans of exactly one word, aligned and unaligned.
+            7 | 8 => {
+                let s = a.min(max_bits - 64);
+                Op::SetRange(s, s + 64)
+            }
+            // Empty ranges must be no-ops.
+            9 => Op::SetRange(a, a),
+            10 | 11 => Op::CountRange(a.min(b), a.max(b)),
+            12 => Op::Reset,
+            _ => Op::Grow(extra * 64),
+        })
+}
+
+/// Drive the journal and the model together, checking every observable
+/// return value along the way, then compare final states bit-for-bit.
+fn run_ops(initial_bits: u64, ops: Vec<Op>) {
+    let mut bm = BitsetJournal::with_capacity(initial_bits);
+    let mut model = vec![false; bm.capacity() as usize];
+    for op in ops {
+        match op {
+            Op::Set(i) => {
+                let i = i.min(model.len() as u64 - 1);
+                let fresh = bm.set(i);
+                assert_eq!(fresh, !model[i as usize], "set({i}) fresh flag");
+                model[i as usize] = true;
+            }
+            Op::SetRange(a, b) => {
+                let (a, b) = (a.min(model.len() as u64), b.min(model.len() as u64));
+                let expected = model[a as usize..b as usize]
+                    .iter()
+                    .filter(|&&set| !set)
+                    .count() as u64;
+                assert_eq!(bm.set_range(a, b), expected, "set_range({a}, {b}) fresh");
+                model[a as usize..b as usize].fill(true);
+            }
+            Op::CountRange(a, b) => {
+                let (a, b) = (a.min(model.len() as u64), b.min(model.len() as u64));
+                let expected = model[a as usize..b as usize]
+                    .iter()
+                    .filter(|&&set| set)
+                    .count() as u64;
+                assert_eq!(bm.count_range(a, b), expected, "count_range({a}, {b})");
+            }
+            Op::Reset => {
+                bm.reset();
+                model.fill(false);
+                assert_eq!(bm.journaled_spans(), 0);
+            }
+            Op::Grow(extra) => {
+                // Mid-trial growth: existing bits and the journal must
+                // survive (incremental evaluation grows the arena between
+                // batches without resetting).
+                bm.grow(bm.capacity() + extra);
+                model.resize(bm.capacity() as usize, false);
+            }
+        }
+    }
+    for (i, &set) in model.iter().enumerate() {
+        assert_eq!(bm.get(i as u64), set, "final state bit {i}");
+    }
+    // After a reset, the journal must have cleared every touched word —
+    // the central span-journal invariant (over-coverage is allowed,
+    // under-coverage is corruption).
+    bm.reset();
+    for i in 0..model.len() as u64 {
+        assert!(!bm.get(i), "bit {i} survived reset — journal under-covered");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn journal_matches_bool_vec_model(
+        initial_words in 1u64..6,
+        ops in proptest::collection::vec(op_strategy(64 * 8), 1..60),
+    ) {
+        run_ops(initial_words * 64, ops);
+    }
+
+    #[test]
+    fn set_range_then_reset_restores_all_clear(
+        spans in proptest::collection::vec(
+            (edge_biased_bit(64 * 6), edge_biased_bit(64 * 6)),
+            1..12,
+        ),
+    ) {
+        let mut bm = BitsetJournal::with_capacity(64 * 6);
+        for &(a, b) in &spans {
+            bm.set_range(a.min(b), a.max(b));
+        }
+        bm.reset();
+        prop_assert_eq!(bm.count_range(0, bm.capacity()), 0);
+        prop_assert_eq!(bm.journaled_spans(), 0);
+    }
+
+    #[test]
+    fn popcount_range_matches_naive(
+        words in proptest::collection::vec(any::<u64>(), 1..24),
+        bounds in (0u64..=64 * 24, 0u64..=64 * 24),
+    ) {
+        let max = words.len() as u64 * 64;
+        let (a, b) = (bounds.0.min(max), bounds.1.min(max));
+        let (a, b) = (a.min(b), a.max(b));
+        let naive: u64 = (a..b)
+            .filter(|&i| words[(i >> 6) as usize] >> (i & 63) & 1 != 0)
+            .count() as u64;
+        prop_assert_eq!(popcount_range(&words, a, b), naive);
+    }
+}

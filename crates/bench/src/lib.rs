@@ -24,6 +24,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod granular;
 pub mod parallel;
+pub mod sharded;
 pub mod skeleton;
 pub mod streaming;
 pub mod table;
@@ -76,7 +77,7 @@ impl Opts {
 /// All experiment ids in presentation order.
 pub const EXPERIMENTS: &[&str] = &[
     "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table3", "table4", "table5",
-    "table6", "table7", "table8", "ablation", "granular",
+    "table6", "table7", "table8", "ablation", "granular", "sharded",
 ];
 
 /// Run one experiment by id.
@@ -98,6 +99,7 @@ pub fn run_experiment(id: &str, opts: &Opts) -> Option<String> {
         "table8" => table8::run(opts),
         "ablation" => ablation::run(opts),
         "granular" => granular::run(opts),
+        "sharded" => sharded::run(opts),
         _ => return None,
     };
     Some(out)
@@ -127,7 +129,8 @@ mod tests {
     fn catalog_is_complete() {
         // Every listed id dispatches (checked cheaply via fig4/table8 which
         // are instant; the rest compile-time match the same function).
-        assert_eq!(EXPERIMENTS.len(), 16);
+        assert_eq!(EXPERIMENTS.len(), 17);
         assert!(EXPERIMENTS.contains(&"table8"));
+        assert!(EXPERIMENTS.contains(&"sharded"));
     }
 }

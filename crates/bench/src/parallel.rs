@@ -1,26 +1,33 @@
 //! Tracked parallel-scaling harness: the static TWCS workload on the
-//! [`kg_eval::executor::TrialExecutor`] at forced worker counts.
+//! [`kg_eval::executor::TrialExecutor`] at forced worker counts, plus an
+//! **intra-trial** shard sweep on [`kg_eval::sharded::ShardedReplay`].
 //!
 //! `bench-report --parallel` times the same seeded trial set — iterative
 //! TWCS(m=5) evaluation to a tight ε = 1% MoE target, the configuration
 //! whose per-trial sample is large enough to be annotation-bound — at 1,
 //! 2, 4, and 8 workers, under both annotation engines (fresh hash
-//! annotator per trial vs one leased dense arena per worker), and writes
-//! `BENCH_parallel.json` (schema `kg-bench-parallel/v1`).
+//! annotator per trial vs one leased dense arena per worker). Schema v2
+//! adds a second sweep one level down: a single fixed-size WCS sharded
+//! replay at 1, 2, 4, and 8 *shard workers* per scale, measuring
+//! single-replay latency rather than trial throughput. The artifact is
+//! `BENCH_parallel.json` (schema `kg-bench-parallel/v2`).
 //!
-//! Two properties are recorded, and both matter:
+//! Two properties are recorded per sweep, and both matter:
 //!
-//! * **scaling** — trials/sec per worker count, with speedups relative to
-//!   the 1-worker row. Wall-clock scaling is a property of the *host*:
-//!   the committed baseline was generated inside a single-hardware-thread
-//!   container (`host_workers: 1`), where the honest curve is flat; the
-//!   CI determinism job regenerates the artifact on multi-core runners,
-//!   where the curve is the point.
+//! * **scaling** — trials/sec (or replay visits/sec) per worker count,
+//!   with speedups relative to the 1-worker row. Wall-clock scaling is a
+//!   property of the *host*: the committed baseline was generated inside a
+//!   single-hardware-thread container (`host_workers: 1`, `affinity`
+//!   recorded alongside), where the honest curve is flat; the CI
+//!   determinism job regenerates the artifact on multi-core runners, where
+//!   the curve is the point.
 //! * **invariance** — the aggregated estimate mean/std must be **bitwise
 //!   identical across every worker count and both engines**. This is the
-//!   correctness half of the executor's contract and is asserted by
+//!   correctness half of both contracts ([`TrialExecutor`] across trials,
+//!   `ShardedReplay` across shard workers) and is asserted by
 //!   [`ParallelScaleReport::bitwise_invariant`] /
-//!   [`ParallelScaleReport::engines_agree`], which the JSON records.
+//!   [`ParallelScaleReport::engines_agree`] and their
+//!   [`ShardSweep`] counterparts, which the JSON records.
 
 use crate::throughput::synthetic_sizes;
 use kg_annotate::cost::CostModel;
@@ -29,6 +36,7 @@ use kg_annotate::oracle::RemOracle;
 use kg_eval::config::EvalConfig;
 use kg_eval::executor::TrialExecutor;
 use kg_eval::framework::{Evaluator, TrialAggregate};
+use kg_eval::sharded::{ShardDesign, ShardedReplay};
 use kg_sampling::PopulationIndex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,8 +61,25 @@ impl Default for ParallelOpts {
 
 /// Forced worker counts of the scaling sweep.
 pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Forced shard-worker counts of the intra-trial sweep.
+pub const SHARD_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Second-stage cap of the TWCS workload.
 pub const M: usize = 5;
+
+/// The CPUs this process may run on (`Cpus_allowed_list` from
+/// `/proc/self/status`), or `"unknown"` where unavailable — context for
+/// reading the scaling curves next to `host_workers`.
+pub fn cpu_affinity() -> String {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Cpus_allowed_list:"))
+                .map(|l| l.split(':').nth(1).unwrap_or("").trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 fn workload_config() -> EvalConfig {
     // ε = 1% sizes per-trial samples into the thousands of units, making
@@ -85,6 +110,87 @@ pub struct WorkerMeasurement {
     pub mean_cost_seconds: f64,
 }
 
+/// One (engine, shard-worker-count) cell of the intra-trial sweep.
+#[derive(Debug, Clone)]
+pub struct ShardMeasurement {
+    /// Engine name (`hash` / `dense`).
+    pub engine: &'static str,
+    /// Forced shard-worker count.
+    pub shard_workers: usize,
+    /// Wall-clock seconds for the single sharded replay.
+    pub elapsed_sec: f64,
+    /// `units / elapsed_sec` — cluster visits per second.
+    pub visits_per_sec: f64,
+    /// Replay estimate mean — must be bitwise identical across rows.
+    pub estimate_mean: f64,
+    /// Replay estimator variance — must be bitwise identical too.
+    pub estimate_var: f64,
+    /// Simulated human seconds of the replay (bitwise-checked as well).
+    pub cost_seconds: f64,
+}
+
+/// The intra-trial shard sweep at one KG scale: one fixed-size WCS sharded
+/// replay per (engine, shard-worker-count) cell.
+#[derive(Debug, Clone)]
+pub struct ShardSweep {
+    /// Cluster visits per replay.
+    pub units: u64,
+    /// Shards the fixed partition yields.
+    pub shards: u64,
+    /// Visits per shard (the partition key).
+    pub shard_units: usize,
+    /// Per-engine, per-shard-worker-count measurements.
+    pub measurements: Vec<ShardMeasurement>,
+}
+
+impl ShardSweep {
+    fn cell(&self, engine: &str, shard_workers: usize) -> Option<&ShardMeasurement> {
+        self.measurements
+            .iter()
+            .find(|m| m.engine == engine && m.shard_workers == shard_workers)
+    }
+
+    /// Replay speedup of `shard_workers` over the 1-worker row.
+    pub fn speedup(&self, engine: &str, shard_workers: usize) -> Option<f64> {
+        Some(self.cell(engine, 1)?.elapsed_sec / self.cell(engine, shard_workers)?.elapsed_sec)
+    }
+
+    /// Whether every shard-worker count produced bitwise-identical
+    /// estimate mean/variance and cost within each engine — the sharded
+    /// replay's invariance contract.
+    pub fn bitwise_invariant(&self) -> bool {
+        for engine in ["hash", "dense"] {
+            let rows: Vec<_> = self
+                .measurements
+                .iter()
+                .filter(|m| m.engine == engine)
+                .collect();
+            if !rows.windows(2).all(|w| {
+                w[0].estimate_mean.to_bits() == w[1].estimate_mean.to_bits()
+                    && w[0].estimate_var.to_bits() == w[1].estimate_var.to_bits()
+                    && w[0].cost_seconds.to_bits() == w[1].cost_seconds.to_bits()
+            }) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether hash and dense agree bitwise at every shard-worker count.
+    pub fn engines_agree(&self) -> bool {
+        SHARD_WORKER_COUNTS
+            .iter()
+            .all(|&w| match (self.cell("hash", w), self.cell("dense", w)) {
+                (Some(h), Some(d)) => {
+                    h.estimate_mean.to_bits() == d.estimate_mean.to_bits()
+                        && h.estimate_var.to_bits() == d.estimate_var.to_bits()
+                        && h.cost_seconds.to_bits() == d.cost_seconds.to_bits()
+                }
+                _ => false,
+            })
+    }
+}
+
 /// All measurements at one KG scale.
 #[derive(Debug, Clone)]
 pub struct ParallelScaleReport {
@@ -98,6 +204,8 @@ pub struct ParallelScaleReport {
     pub store_build_sec: f64,
     /// Per-engine, per-worker-count measurements.
     pub measurements: Vec<WorkerMeasurement>,
+    /// The intra-trial shard sweep at this scale (schema v2).
+    pub shard_sweep: ShardSweep,
 }
 
 impl ParallelScaleReport {
@@ -164,11 +272,13 @@ pub struct ParallelReport {
     /// The host's default worker resolution (available parallelism unless
     /// `KG_EVAL_WORKERS` caps it) — the context for reading the curves.
     pub host_workers: usize,
+    /// CPU affinity mask of the run ([`cpu_affinity`]).
+    pub affinity: String,
     /// Per-scale results, ascending.
     pub scales: Vec<ParallelScaleReport>,
 }
 
-fn run_scale(target: u64, trials: u64, seed: u64) -> ParallelScaleReport {
+fn run_scale(target: u64, trials: u64, replay_units: u64, seed: u64) -> ParallelScaleReport {
     let sizes = synthetic_sizes(target);
     let oracle = RemOracle::new(0.9, seed ^ target);
     let idx = Arc::new(PopulationIndex::from_sizes(sizes).expect("non-empty synthetic KG"));
@@ -213,44 +323,101 @@ fn run_scale(target: u64, trials: u64, seed: u64) -> ParallelScaleReport {
             });
         }
     }
+    // Intra-trial sweep: one fixed-size WCS sharded replay per cell —
+    // WCS because its full-cluster visits are the dense engine's SIMD
+    // fast path, so this measures single-replay latency on the hottest
+    // kernel. The replay seed is fixed; only the claiming thread count
+    // varies, so every cell must agree bitwise.
+    let replay_seed = seed ^ 0x51AD;
+    let mut shard_measurements = Vec::new();
+    let sharded = ShardedReplay::new();
+    for engine in ["hash", "dense"] {
+        let run = |shard_workers: usize| {
+            let replay = ShardedReplay::new().with_shard_workers(shard_workers);
+            match engine {
+                "hash" => replay.replay_hash(
+                    ShardDesign::FullCluster,
+                    &idx,
+                    &oracle,
+                    CostModel::default(),
+                    replay_units,
+                    replay_seed,
+                ),
+                _ => replay.replay_dense(
+                    ShardDesign::FullCluster,
+                    &idx,
+                    &pool,
+                    replay_units,
+                    replay_seed,
+                ),
+            }
+        };
+        // Untimed warmup at both endpoints, as above.
+        run(1);
+        run(*SHARD_WORKER_COUNTS.last().expect("non-empty sweep"));
+        for shard_workers in SHARD_WORKER_COUNTS {
+            let t0 = Instant::now();
+            let r = run(shard_workers);
+            let elapsed = t0.elapsed().as_secs_f64();
+            shard_measurements.push(ShardMeasurement {
+                engine,
+                shard_workers,
+                elapsed_sec: elapsed,
+                visits_per_sec: replay_units as f64 / elapsed,
+                estimate_mean: r.estimate.mean,
+                estimate_var: r.estimate.var_of_mean,
+                cost_seconds: r.cost_seconds,
+            });
+        }
+    }
     ParallelScaleReport {
         triples: idx.total_triples(),
         clusters: idx.num_clusters() as u64,
         trials,
         store_build_sec,
         measurements,
+        shard_sweep: ShardSweep {
+            units: replay_units,
+            shards: sharded.num_shards(replay_units),
+            shard_units: sharded.shard_units(),
+            measurements: shard_measurements,
+        },
     }
 }
 
 /// Run the harness.
 pub fn run(opts: &ParallelOpts) -> ParallelReport {
-    let scales: &[(u64, u64)] = if opts.quick {
-        // (target triples, trials per cell)
-        &[(100_000, 32), (1_000_000, 16)]
+    let scales: &[(u64, u64, u64)] = if opts.quick {
+        // (target triples, trials per cell, visits per sharded replay)
+        &[(100_000, 32, 2_000), (1_000_000, 16, 4_000)]
     } else {
-        &[(1_000_000, 128), (10_000_000, 48)]
+        &[(1_000_000, 128, 20_000), (10_000_000, 48, 40_000)]
     };
     ParallelReport {
         quick: opts.quick,
         seed: opts.seed,
         host_workers: TrialExecutor::new().workers(),
+        affinity: cpu_affinity(),
         scales: scales
             .iter()
-            .map(|&(target, trials)| run_scale(target, trials, opts.seed))
+            .map(|&(target, trials, replay_units)| {
+                run_scale(target, trials, replay_units, opts.seed)
+            })
             .collect(),
     }
 }
 
 /// Render the report as the `BENCH_parallel.json` document
-/// (schema `kg-bench-parallel/v1`; see README § Parallel execution).
+/// (schema `kg-bench-parallel/v2`; see README § Parallel execution).
 pub fn to_json(report: &ParallelReport) -> String {
     let cfg = workload_config();
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"kg-bench-parallel/v1\",\n");
+    s.push_str("  \"schema\": \"kg-bench-parallel/v2\",\n");
     s.push_str(&format!("  \"quick\": {},\n", report.quick));
     s.push_str(&format!("  \"seed\": {},\n", report.seed));
     s.push_str(&format!("  \"host_workers\": {},\n", report.host_workers));
+    s.push_str(&format!("  \"affinity\": \"{}\",\n", report.affinity));
     s.push_str("  \"metric\": \"trials_per_second\",\n");
     s.push_str(&format!(
         "  \"workload\": {{\"design\": \"TWCS\", \"m\": {M}, \"target_moe\": {}, \
@@ -314,9 +481,59 @@ pub fn to_json(report: &ParallelReport) -> String {
             sc.bitwise_invariant()
         ));
         s.push_str(&format!(
-            "      \"engines_agree\": {}\n",
+            "      \"engines_agree\": {},\n",
             sc.engines_agree()
         ));
+        let sw = &sc.shard_sweep;
+        s.push_str("      \"intra_trial\": {\n");
+        s.push_str("        \"metric\": \"replay_visits_per_second\",\n");
+        s.push_str(&format!(
+            "        \"design\": \"WCS\", \"units\": {}, \"shards\": {}, \"shard_units\": {},\n",
+            sw.units, sw.shards, sw.shard_units
+        ));
+        s.push_str("        \"measurements\": [\n");
+        for (j, m) in sw.measurements.iter().enumerate() {
+            s.push_str(&format!(
+                "          {{\"engine\": \"{}\", \"shard_workers\": {}, \
+                 \"elapsed_sec\": {:.6}, \"visits_per_sec\": {:.1}, \
+                 \"estimate_mean\": {:.9}, \"estimate_var\": {:.12}, \
+                 \"cost_seconds\": {:.3}}}{}\n",
+                m.engine,
+                m.shard_workers,
+                m.elapsed_sec,
+                m.visits_per_sec,
+                m.estimate_mean,
+                m.estimate_var,
+                m.cost_seconds,
+                if j + 1 < sw.measurements.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("        ],\n");
+        let shard_sweep_speedups = |engine: &str| -> Vec<String> {
+            SHARD_WORKER_COUNTS
+                .iter()
+                .skip(1)
+                .filter_map(|&w| sw.speedup(engine, w).map(|x| format!("\"{w}\": {x:.2}")))
+                .collect()
+        };
+        s.push_str(&format!(
+            "        \"speedup_over_1_shard_worker\": {{\"hash\": {{{}}}, \"dense\": {{{}}}}},\n",
+            shard_sweep_speedups("hash").join(", "),
+            shard_sweep_speedups("dense").join(", ")
+        ));
+        s.push_str(&format!(
+            "        \"bitwise_invariant\": {},\n",
+            sw.bitwise_invariant()
+        ));
+        s.push_str(&format!(
+            "        \"engines_agree\": {}\n",
+            sw.engines_agree()
+        ));
+        s.push_str("      }\n");
         s.push_str(&format!(
             "    }}{}\n",
             if i + 1 < report.scales.len() { "," } else { "" }
@@ -329,8 +546,8 @@ pub fn to_json(report: &ParallelReport) -> String {
 /// Human-readable table for the console.
 pub fn render_table(report: &ParallelReport) -> String {
     let mut s = format!(
-        "parallel scaling — TWCS(m={M}) to MoE 1%, host workers {}\n",
-        report.host_workers
+        "parallel scaling — TWCS(m={M}) to MoE 1%, host workers {} (affinity {})\n",
+        report.host_workers, report.affinity
     );
     for sc in &report.scales {
         s.push_str(&format!(
@@ -355,9 +572,26 @@ pub fn render_table(report: &ParallelReport) -> String {
             }
         }
         s.push_str(&format!(
-            "  bitwise invariant across worker counts: {}; engines agree: {}\n\n",
+            "  bitwise invariant across worker counts: {}; engines agree: {}\n",
             sc.bitwise_invariant(),
             sc.engines_agree()
+        ));
+        let sw = &sc.shard_sweep;
+        s.push_str(&format!(
+            "  intra-trial WCS replay: {} visits in {} shards of {}\n",
+            sw.units, sw.shards, sw.shard_units
+        ));
+        s.push_str("  engine  shard-workers   elapsed(s)   visits/s\n");
+        for m in &sw.measurements {
+            s.push_str(&format!(
+                "  {:<6}  {:>13}  {:>11.4}  {:>9.1}\n",
+                m.engine, m.shard_workers, m.elapsed_sec, m.visits_per_sec
+            ));
+        }
+        s.push_str(&format!(
+            "  sharded replay bitwise invariant: {}; engines agree: {}\n\n",
+            sw.bitwise_invariant(),
+            sw.engines_agree()
         ));
     }
     s
@@ -369,7 +603,7 @@ mod tests {
 
     #[test]
     fn tiny_run_is_invariant_across_workers_and_engines() {
-        let sc = run_scale(5_000, 6, 42);
+        let sc = run_scale(5_000, 6, 700, 42);
         assert!(sc.triples >= 5_000);
         assert_eq!(sc.measurements.len(), 2 * WORKER_COUNTS.len());
         assert!(sc.bitwise_invariant(), "worker counts disagree: {sc:?}");
@@ -380,18 +614,34 @@ mod tests {
         let m = &sc.measurements[0];
         assert!((m.mean_estimate - 0.9).abs() < 0.05, "{}", m.mean_estimate);
         assert!(m.mean_cost_seconds > 0.0);
+        // The intra-trial sweep ran both engines at every cell and is
+        // invariant to the shard-worker count.
+        let sw = &sc.shard_sweep;
+        assert_eq!(sw.units, 700);
+        assert_eq!(sw.shards, 3); // 700 visits / 256 per shard
+        assert_eq!(sw.measurements.len(), 2 * SHARD_WORKER_COUNTS.len());
+        assert!(sw.bitwise_invariant(), "shard workers disagree: {sw:?}");
+        assert!(sw.engines_agree(), "sharded engines disagree: {sw:?}");
+        assert!(sw.speedup("dense", 8).is_some());
         let report = ParallelReport {
             quick: true,
             seed: 42,
             host_workers: TrialExecutor::new().workers(),
+            affinity: cpu_affinity(),
             scales: vec![sc],
         };
+        assert!(!report.affinity.is_empty());
         let json = to_json(&report);
-        assert!(json.contains("\"schema\": \"kg-bench-parallel/v1\""));
+        assert!(json.contains("\"schema\": \"kg-bench-parallel/v2\""));
+        assert!(json.contains("\"affinity\": \""));
         assert!(json.contains("\"bitwise_invariant\": true"));
+        assert!(!json.contains("\"bitwise_invariant\": false"));
         assert!(json.contains("\"engines_agree\": true"));
         assert!(json.contains("speedup_over_1_worker"));
+        assert!(json.contains("\"intra_trial\""));
+        assert!(json.contains("speedup_over_1_shard_worker"));
         let table = render_table(&report);
         assert!(table.contains("combined speedup at 4 workers"));
+        assert!(table.contains("intra-trial WCS replay"));
     }
 }

@@ -16,9 +16,15 @@
 
 use crate::dynamic::IncrementalEvaluator;
 use crate::executor::TrialExecutor;
+use crate::sharded::{ShardDesign, ShardReplayReport, ShardedReplay};
 use kg_annotate::annotator::Annotator;
+use kg_annotate::cost::CostModel;
+use kg_annotate::oracle::LabelOracle;
+use kg_model::implicit::ClusterPopulation;
 use kg_model::retract::KgEvent;
 use kg_model::update::UpdateBatch;
+use kg_sampling::PopulationIndex;
+use kg_stats::error::StatsError;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
 
@@ -94,6 +100,29 @@ pub fn run_event_sequence(
         prev_cost = now;
     }
     outcomes
+}
+
+/// On-demand sharded audit of the *current* evolving population: build a
+/// point-in-time PPS index over `pop` and run one fixed-size sharded
+/// replay on it (see [`crate::sharded`]).
+///
+/// The incremental evaluators above amortize annotation across the update
+/// stream; their estimates track the stream cheaply but at reservoir
+/// fidelity. When a checkpoint needs a *full-fidelity* snapshot estimate —
+/// an audit between batches — that is one large replay, exactly the shape
+/// intra-trial sharding accelerates. Latency scales with the shard-worker
+/// count while the report stays bitwise invariant to it.
+pub fn audit_sharded<P: ClusterPopulation + ?Sized>(
+    pop: &P,
+    design: ShardDesign,
+    oracle: &dyn LabelOracle,
+    cost: CostModel,
+    replay: &ShardedReplay,
+    units: u64,
+    seed: u64,
+) -> Result<ShardReplayReport, StatsError> {
+    let index = PopulationIndex::from_population(pop)?;
+    Ok(replay.replay_hash(design, &index, oracle, cost, units, seed))
 }
 
 /// Trial-aggregated outcome of one update batch position, from
@@ -513,6 +542,35 @@ mod tests {
                 b.batch_cost_seconds.mean().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn sharded_audit_snapshots_the_evolved_population() {
+        let mut kg = ImplicitKg::new((0..700).map(|i| 1 + (i % 11)).collect()).unwrap();
+        for _ in 0..3 {
+            let (next, _) = UpdateBatch::from_sizes(vec![5; 80]).unwrap().apply_to(&kg);
+            kg = next;
+        }
+        let oracle = RemOracle::new(0.9, 3);
+        let audit = |workers| {
+            audit_sharded(
+                &kg,
+                ShardDesign::TwoStage { m: 4 },
+                &oracle,
+                CostModel::default(),
+                &ShardedReplay::new().with_shard_workers(workers),
+                1200,
+                0xA0D1,
+            )
+            .unwrap()
+        };
+        let one = audit(1);
+        let many = audit(6);
+        assert_eq!(one.units, 1200);
+        assert!((one.estimate.mean - 0.9).abs() < 0.05);
+        assert_eq!(one.estimate.mean.to_bits(), many.estimate.mean.to_bits());
+        assert_eq!(one.cost_seconds.to_bits(), many.cost_seconds.to_bits());
+        assert_eq!(one.labeled, many.labeled);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::config::EvalConfig;
 use crate::executor::TrialExecutor;
 use crate::report::EvaluationReport;
+use crate::sharded::{ShardDesign, ShardReplayReport, ShardedReplay};
 use crate::static_eval::run_static;
 use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
@@ -260,6 +261,40 @@ impl Evaluator {
             },
         );
         TrialAggregate::from_stats(trials, stats)
+    }
+
+    /// Sharded single-trial replay on the hash engine: the trial's cluster
+    /// walk is partitioned into fixed shards and fanned out across
+    /// `replay`'s workers (see [`crate::sharded`] for the invariance
+    /// recipe and the one-time stream change vs. the adaptive loop).
+    /// Returns `None` when the design's visit sequence is not
+    /// flat-partitionable (SRS, RCS, stratified designs).
+    pub fn replay_sharded(
+        &self,
+        index: &PopulationIndex,
+        oracle: &dyn LabelOracle,
+        replay: &ShardedReplay,
+        units: u64,
+        trial_seed: u64,
+    ) -> Option<ShardReplayReport> {
+        let design = ShardDesign::from_design(&self.design)?;
+        Some(replay.replay_hash(design, index, oracle, self.cost, units, trial_seed))
+    }
+
+    /// [`Evaluator::replay_sharded`] on the dense engine: one arena per
+    /// shard worker, leased from `pool` in a single lock acquisition.
+    /// Byte-identical to the hash path over the matching oracle and cost
+    /// model.
+    pub fn replay_sharded_dense(
+        &self,
+        index: &PopulationIndex,
+        pool: &DenseArenaPool,
+        replay: &ShardedReplay,
+        units: u64,
+        trial_seed: u64,
+    ) -> Option<ShardReplayReport> {
+        let design = ShardDesign::from_design(&self.design)?;
+        Some(replay.replay_dense(design, index, pool, units, trial_seed))
     }
 }
 

@@ -18,6 +18,10 @@
 //!   identical at any worker count**; every evaluator's trial fan-out
 //!   (static, granular, RS/SS replays, the benchmark harnesses) runs on
 //!   it.
+//! * [`sharded`] — intra-trial sharded replay: one trial's cluster walk
+//!   partitioned into fixed shards with counter-based shard substreams and
+//!   a fixed-shape merge, bitwise identical at any shard-worker count
+//!   (`KG_EVAL_SHARDS`).
 //! * [`dynamic`] — evolving-KG evaluation (§6): reservoir incremental
 //!   evaluation (Algorithm 1) and stratified incremental evaluation
 //!   (Algorithm 2), plus a monitor driving either over a sequence of
@@ -34,9 +38,11 @@ pub mod executor;
 pub mod framework;
 pub mod granular;
 pub mod report;
+pub mod sharded;
 pub mod static_eval;
 
 pub use config::EvalConfig;
 pub use executor::TrialExecutor;
 pub use framework::Evaluator;
 pub use report::EvaluationReport;
+pub use sharded::{ShardDesign, ShardReplayReport, ShardedReplay};

@@ -1,0 +1,658 @@
+//! Intra-trial sharded replay: one trial's cluster walk partitioned into
+//! fixed shards and fanned out across workers, bitwise identical at any
+//! shard-worker count.
+//!
+//! [`crate::executor::TrialExecutor`] parallelizes *across* trials; a
+//! single 10^7-triple replay still ran on one core, and single-replay
+//! latency is what a serving layer exposes to users. This module takes the
+//! same invariance recipe one level down, into the trial itself:
+//!
+//! * **Fixed shard partition** — a replay of `units` cluster visits is cut
+//!   into `units.div_ceil(shard_units)` shards of [`ShardedReplay::shard_units`]
+//!   visits each. The partition is a pure function of `(units,
+//!   shard_units)`; [`ShardedReplay::with_shard_workers`] (and the
+//!   `KG_EVAL_SHARDS` environment variable) only choose how many threads
+//!   *claim* those shards. Results are therefore invariant to the worker
+//!   count **by construction** — the same split PR 4 made between trial
+//!   count and `KG_EVAL_WORKERS`.
+//! * **Counter-based shard substreams** — shard `s` draws from
+//!   [`crate::executor::shard_seed`]`(trial_seed, s)`; what a shard
+//!   computes depends only on `(trial_seed, s)`, never on which worker ran
+//!   it or when.
+//! * **Shard-local annotation scratch** — each worker leases one arena
+//!   ([`DenseArenaPool::checkout_many`] — one lock acquisition for the
+//!   whole worker set) or builds one hash annotator, reset at every shard
+//!   boundary so a shard's memo state is self-contained.
+//! * **Fixed-shape tree reduction** — per-shard aggregates (accuracy
+//!   moments, labeled / correct / entity counts, cost seconds) merge
+//!   pairwise over the *shard index*, fixing the float summation order
+//!   regardless of completion schedule.
+//!
+//! # The one-time stream change
+//!
+//! Exactly as PR 4 re-keyed per-trial streams once to make them
+//! schedule-free, sharded replay is a **different stream** from the
+//! unsharded adaptive loop — and then frozen. Two deliberate differences:
+//!
+//! 1. The adaptive margin-of-error stopping rule of
+//!    [`run_static`](crate::static_eval::run_static) is inherently
+//!    sequential (each batch decides whether the next exists), so sharded
+//!    replay takes a **fixed visit count** up front and the estimate is
+//!    computed once at the end. Shard 0 of a 1-shard replay consumes the
+//!    seed stream `shard_seed(trial_seed, 0) == trial_seed`, but the walk
+//!    is batched differently from the adaptive loop, so numbers are not
+//!    comparable across the two entry points — only across shard-worker
+//!    counts within this one.
+//! 2. Annotation memoization is **scoped to the shard**: a cluster visited
+//!    by two shards is annotated (and charged) by both. The `labeled` /
+//!    `entities` / `cost_seconds` fields of [`ShardReplayReport`] are
+//!    therefore sums of shard-scoped counters — deterministic and
+//!    shard-partition-stable, but an upper bound on the unsharded
+//!    distinct-annotation cost. The estimator itself is unaffected:
+//!    accuracy draws depend only on labels, not on memo hits.
+
+use crate::executor::{shard_seed, ENV_SHARDS};
+use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
+use kg_annotate::cost::CostModel;
+use kg_annotate::lease::DenseArenaPool;
+use kg_annotate::oracle::LabelOracle;
+use kg_sampling::design::Design;
+use kg_sampling::twcs::floored_variance_of_mean;
+use kg_sampling::PopulationIndex;
+use kg_stats::srswor::sample_without_replacement_into;
+use kg_stats::{PointEstimate, RunningMoments};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The shardable subset of [`Design`]: designs whose draw loop is a flat
+/// sequence of independent PPS cluster visits. The adaptive /
+/// stratified designs carry sequential state between draws and fall back
+/// to the unsharded path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardDesign {
+    /// WCS (§5.2.2): every sampled cluster fully annotated.
+    FullCluster,
+    /// TWCS (§5.2.3): per sampled cluster, `min{size, m}` triples drawn
+    /// without replacement.
+    TwoStage {
+        /// Second-stage cap.
+        m: usize,
+    },
+}
+
+impl ShardDesign {
+    /// The sharded counterpart of `design`, if its visit sequence is
+    /// flat-partitionable. SRS visits triples rather than clusters and the
+    /// stratified designs allocate draws across strata sequentially, so
+    /// they return `None`.
+    pub fn from_design(design: &Design) -> Option<Self> {
+        match design {
+            Design::Wcs => Some(ShardDesign::FullCluster),
+            Design::Twcs { m } => Some(ShardDesign::TwoStage { m: *m }),
+            _ => None,
+        }
+    }
+
+    /// Report label for the design.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardDesign::FullCluster => "WCS/sharded",
+            ShardDesign::TwoStage { .. } => "TWCS/sharded",
+        }
+    }
+}
+
+/// Configuration for a sharded replay: how large the fixed shards are and
+/// how many workers claim them.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedReplay {
+    shard_workers: Option<NonZeroUsize>,
+    shard_units: usize,
+}
+
+/// Default cluster visits per shard. Part of the stream contract: changing
+/// it re-keys every shard substream past the first.
+pub const DEFAULT_SHARD_UNITS: usize = 256;
+
+impl Default for ShardedReplay {
+    fn default() -> Self {
+        ShardedReplay {
+            shard_workers: None,
+            shard_units: DEFAULT_SHARD_UNITS,
+        }
+    }
+}
+
+impl ShardedReplay {
+    /// Replay with the default shard size and worker resolution
+    /// (`KG_EVAL_SHARDS`, else available parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Force an exact shard-worker count (≥ 1), overriding the
+    /// environment. Results are bitwise identical for every choice; this
+    /// exists for regression tests and scaling benchmarks.
+    pub fn with_shard_workers(mut self, workers: usize) -> Self {
+        self.shard_workers =
+            Some(NonZeroUsize::new(workers).expect("shard worker count must be at least 1"));
+        self
+    }
+
+    /// Override the shard size (≥ 1 visits per shard). **Changes the
+    /// stream**: the shard partition and every shard substream past the
+    /// first are keyed by this value, so two replays agree bitwise only
+    /// when their shard sizes agree.
+    pub fn with_shard_units(mut self, shard_units: usize) -> Self {
+        assert!(shard_units >= 1, "shard size must be at least 1");
+        self.shard_units = shard_units;
+        self
+    }
+
+    /// Visits per shard.
+    pub fn shard_units(&self) -> usize {
+        self.shard_units
+    }
+
+    /// The shard-worker count this replay resolves to right now (before
+    /// the per-run cap at the shard count).
+    pub fn shard_workers(&self) -> usize {
+        if let Some(n) = self.shard_workers {
+            return n.get();
+        }
+        if let Ok(v) = std::env::var(ENV_SHARDS) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// How many shards a replay of `units` visits splits into.
+    pub fn num_shards(&self, units: u64) -> u64 {
+        units.div_ceil(self.shard_units as u64)
+    }
+
+    /// Sharded replay on the hash engine: each worker owns one
+    /// [`SimulatedAnnotator`], rebuilt at every shard boundary.
+    pub fn replay_hash(
+        &self,
+        design: ShardDesign,
+        index: &PopulationIndex,
+        oracle: &dyn LabelOracle,
+        cost: CostModel,
+        units: u64,
+        trial_seed: u64,
+    ) -> ShardReplayReport {
+        let workers = self.resolved_workers(units);
+        let ctxs: Vec<SimulatedAnnotator> = (0..workers)
+            .map(|_| SimulatedAnnotator::new(oracle, cost))
+            .collect();
+        self.replay_core(design, index, units, trial_seed, ctxs, |a| {
+            *a = SimulatedAnnotator::new(oracle, cost);
+            a
+        })
+    }
+
+    /// Sharded replay on the dense engine: one arena per worker, all
+    /// leased from `pool` in a single lock acquisition, reset at every
+    /// shard boundary. Byte-identical to [`ShardedReplay::replay_hash`]
+    /// with the matching oracle and cost model.
+    pub fn replay_dense(
+        &self,
+        design: ShardDesign,
+        index: &PopulationIndex,
+        pool: &DenseArenaPool,
+        units: u64,
+        trial_seed: u64,
+    ) -> ShardReplayReport {
+        let workers = self.resolved_workers(units);
+        let ctxs = pool.checkout_many(workers);
+        self.replay_core(design, index, units, trial_seed, ctxs, |lease| {
+            lease.reset();
+            lease.arena_mut()
+        })
+    }
+
+    fn resolved_workers(&self, units: u64) -> usize {
+        self.shard_workers()
+            .min(usize::try_from(self.num_shards(units)).unwrap_or(usize::MAX))
+            .max(1)
+    }
+
+    /// Engine-generic core: `ctxs` holds one annotation context per
+    /// worker; `prep` readies a context for a fresh shard (reset or
+    /// rebuild) and hands back its engine. Shards are claimed from an
+    /// atomic cursor — the schedule is free to be nondeterministic because
+    /// every shard is a pure function of `(trial_seed, shard)` and the
+    /// merge is a fixed-shape tree over the shard index.
+    fn replay_core<C: Send>(
+        &self,
+        design: ShardDesign,
+        index: &PopulationIndex,
+        units: u64,
+        trial_seed: u64,
+        mut ctxs: Vec<C>,
+        prep: impl for<'c> Fn(&'c mut C) -> &'c mut (dyn Annotator + 'c) + Sync,
+    ) -> ShardReplayReport {
+        let shards = self.num_shards(units);
+        let parts: Vec<ShardPart> = if ctxs.len() <= 1 && shards <= 1 {
+            if units == 0 {
+                Vec::new()
+            } else {
+                let ctx = ctxs.first_mut().expect("resolved_workers is at least 1");
+                vec![run_shard(
+                    design,
+                    index,
+                    units,
+                    trial_seed,
+                    0,
+                    self.shard_units,
+                    prep(ctx),
+                )]
+            }
+        } else {
+            let cursor = AtomicU64::new(0);
+            let mut slots: Vec<Option<ShardPart>> = Vec::new();
+            slots.resize_with(shards as usize, || None);
+            let collected: Vec<Vec<(u64, ShardPart)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ctxs
+                    .iter_mut()
+                    .map(|ctx| {
+                        let (cursor, prep) = (&cursor, &prep);
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let s = cursor.fetch_add(1, Ordering::Relaxed);
+                                if s >= shards {
+                                    break;
+                                }
+                                let part = run_shard(
+                                    design,
+                                    index,
+                                    units,
+                                    trial_seed,
+                                    s,
+                                    self.shard_units,
+                                    prep(ctx),
+                                );
+                                done.push((s, part));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            });
+            // Reassemble in shard order; the schedule's nondeterminism
+            // ends here.
+            for (s, part) in collected.into_iter().flatten() {
+                slots[s as usize] = Some(part);
+            }
+            slots
+                .into_iter()
+                .enumerate()
+                .map(|(s, p)| p.unwrap_or_else(|| panic!("shard {s} was never executed")))
+                .collect()
+        };
+        let merged = tree_merge(parts);
+        ShardReplayReport::from_merged(design, units, shards, self.shard_units, merged)
+    }
+}
+
+/// Aggregates of one shard's walk; merged pairwise in shard-index order.
+#[derive(Debug, Clone, Default)]
+struct ShardPart {
+    accuracies: RunningMoments,
+    labeled: u64,
+    correct: u64,
+    entities: u64,
+    cost_seconds: f64,
+}
+
+impl ShardPart {
+    fn merge(&mut self, other: &ShardPart) {
+        self.accuracies.merge(&other.accuracies);
+        self.labeled += other.labeled;
+        self.correct += other.correct;
+        self.entities += other.entities;
+        self.cost_seconds += other.cost_seconds;
+    }
+}
+
+/// Walk one shard's slice of the visit sequence on a freshly prepared
+/// engine, drawing from the shard's counter-based substream.
+fn run_shard(
+    design: ShardDesign,
+    index: &PopulationIndex,
+    units: u64,
+    trial_seed: u64,
+    shard: u64,
+    shard_units: usize,
+    annotator: &mut dyn Annotator,
+) -> ShardPart {
+    let start = shard * shard_units as u64;
+    let end = (start + shard_units as u64).min(units);
+    let mut rng = StdRng::seed_from_u64(shard_seed(trial_seed, shard));
+    let mut part = ShardPart::default();
+    match design {
+        ShardDesign::FullCluster => {
+            // Sited draw + sited annotation: id, size, and base all come
+            // from the one alias-slot line, so each visit's serial miss
+            // chain is slot load → arena stamp (same fast path as
+            // `WcsDesign::draw`). Stream-identical to the unsited calls —
+            // same RNG consumption, same clusters.
+            for _ in start..end {
+                let (c, size, base) = index.sample_cluster_pps_sited(&mut rng);
+                let tau = annotator.annotate_cluster_sited(c as u32, base, size);
+                part.correct += u64::from(tau);
+                part.accuracies.push(f64::from(tau) / size as f64);
+            }
+        }
+        ShardDesign::TwoStage { m } => {
+            // The second stage draws from the same stream, so visits stay
+            // strictly interleaved: hoisting first-stage picks would move
+            // their RNG calls ahead of earlier visits' subset draws.
+            let mut scratch = Vec::new();
+            for _ in start..end {
+                let (c, size) = index.sample_cluster_pps_sized(&mut rng);
+                // Inlined `annotate_cluster_subset` so the integer τ feeds
+                // the `correct` aggregate; the RNG consumption is
+                // identical.
+                let take = size.min(m.max(1));
+                sample_without_replacement_into(&mut rng, size, take, &mut scratch);
+                let tau = annotator.annotate_offsets(c as u32, &scratch);
+                part.correct += u64::from(tau);
+                part.accuracies.push(f64::from(tau) / take as f64);
+            }
+        }
+    }
+    part.labeled = annotator.triples_annotated() as u64;
+    part.entities = annotator.entities_identified() as u64;
+    part.cost_seconds = annotator.seconds();
+    part
+}
+
+/// Pairwise tree merge over the shard index — the same fixed-shape
+/// reduction [`crate::executor`] uses over trials, so the float summation
+/// order is a pure function of the shard count.
+fn tree_merge(parts: Vec<ShardPart>) -> ShardPart {
+    if parts.is_empty() {
+        return ShardPart::default();
+    }
+    let mut level = parts;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut nodes = level.into_iter();
+        while let Some(mut left) = nodes.next() {
+            if let Some(right) = nodes.next() {
+                left.merge(&right);
+            }
+            next.push(left);
+        }
+        level = next;
+    }
+    level.pop().expect("non-empty level")
+}
+
+/// The outcome of one sharded replay. All fields are bitwise invariant to
+/// the shard-worker count; see the module docs for how `labeled` /
+/// `entities` / `cost_seconds` relate to the unsharded path.
+#[derive(Debug, Clone)]
+pub struct ShardReplayReport {
+    /// Design label (e.g. `"WCS/sharded"`).
+    pub design: &'static str,
+    /// Cluster visits walked.
+    pub units: u64,
+    /// Shards the walk was partitioned into.
+    pub shards: u64,
+    /// Visits per shard (the partition key).
+    pub shard_units: usize,
+    /// The design's accuracy estimate over all visits.
+    pub estimate: PointEstimate,
+    /// Per-visit accuracy moments behind the estimate.
+    pub accuracies: RunningMoments,
+    /// Triples annotated, summed over shard-scoped memos.
+    pub labeled: u64,
+    /// Correct triples observed (estimator numerator, with multiplicity).
+    pub correct: u64,
+    /// Entities identified, summed over shard-scoped memos.
+    pub entities: u64,
+    /// Simulated human seconds, summed over shard-scoped memos in
+    /// fixed-shape tree order.
+    pub cost_seconds: f64,
+}
+
+impl ShardReplayReport {
+    fn from_merged(
+        design: ShardDesign,
+        units: u64,
+        shards: u64,
+        shard_units: usize,
+        merged: ShardPart,
+    ) -> Self {
+        let n = merged.accuracies.count() as usize;
+        let estimate = if n == 0 {
+            PointEstimate::uninformative()
+        } else {
+            let var = match design {
+                ShardDesign::FullCluster => merged.accuracies.variance_of_mean(),
+                ShardDesign::TwoStage { m } => floored_variance_of_mean(&merged.accuracies, m),
+            };
+            PointEstimate::new(merged.accuracies.mean(), var, n)
+                .expect("plug-in variance is non-negative")
+        };
+        ShardReplayReport {
+            design: design.name(),
+            units,
+            shards,
+            shard_units,
+            estimate,
+            accuracies: merged.accuracies,
+            labeled: merged.labeled,
+            correct: merged.correct,
+            entities: merged.entities,
+            cost_seconds: merged.cost_seconds,
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: μ̂={:.4} ±{:.4} (95%) over {} visits in {} shards — {} labeled, {} entities, {:.1} s",
+            self.design,
+            self.estimate.mean,
+            self.estimate.moe(0.05).unwrap_or(f64::NAN),
+            self.units,
+            self.shards,
+            self.labeled,
+            self.entities,
+            self.cost_seconds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::oracle::{true_accuracy, RemOracle};
+    use kg_model::implicit::ImplicitKg;
+    use std::sync::Arc;
+
+    fn setup() -> (ImplicitKg, RemOracle, PopulationIndex) {
+        let kg = ImplicitKg::new((0..800).map(|i| 1 + (i % 13)).collect()).unwrap();
+        let oracle = RemOracle::new(0.87, 5);
+        let idx = PopulationIndex::from_population(&kg).unwrap();
+        (kg, oracle, idx)
+    }
+
+    fn report_bits(r: &ShardReplayReport) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            r.estimate.mean.to_bits(),
+            r.estimate.var_of_mean.to_bits(),
+            r.accuracies.sample_std().to_bits(),
+            r.cost_seconds.to_bits(),
+            r.labeled,
+            r.correct,
+            r.entities,
+        )
+    }
+
+    #[test]
+    fn bitwise_invariant_across_shard_worker_counts_and_engines() {
+        let (_, oracle, idx) = setup();
+        let store = Arc::new(idx.materialize_labels(&oracle));
+        let pool = DenseArenaPool::new(store, CostModel::default());
+        for design in [ShardDesign::FullCluster, ShardDesign::TwoStage { m: 4 }] {
+            let reference = ShardedReplay::new().with_shard_workers(1).replay_hash(
+                design,
+                &idx,
+                &oracle,
+                CostModel::default(),
+                1000,
+                0xFEED,
+            );
+            assert_eq!(reference.units, 1000);
+            assert_eq!(reference.shards, 4); // 1000 visits / 256 per shard
+            assert_eq!(reference.accuracies.count(), 1000);
+            for workers in [2, 3, 7, 16] {
+                let replay = ShardedReplay::new().with_shard_workers(workers);
+                let hash =
+                    replay.replay_hash(design, &idx, &oracle, CostModel::default(), 1000, 0xFEED);
+                let dense = replay.replay_dense(design, &idx, &pool, 1000, 0xFEED);
+                assert_eq!(
+                    report_bits(&reference),
+                    report_bits(&hash),
+                    "{design:?} hash at {workers} workers"
+                );
+                assert_eq!(
+                    report_bits(&reference),
+                    report_bits(&dense),
+                    "{design:?} dense at {workers} workers"
+                );
+            }
+        }
+        // One arena per peak concurrent worker, not per shard.
+        assert!(pool.arenas_built() <= 16, "built {}", pool.arenas_built());
+    }
+
+    #[test]
+    fn estimates_are_statistically_sane() {
+        let (kg, oracle, idx) = setup();
+        let truth = true_accuracy(&kg, &oracle);
+        let r = ShardedReplay::new().with_shard_workers(3).replay_hash(
+            ShardDesign::FullCluster,
+            &idx,
+            &oracle,
+            CostModel::default(),
+            3000,
+            99,
+        );
+        assert!(
+            (r.estimate.mean - truth).abs() < 0.03,
+            "{} vs truth {truth}",
+            r.estimate.mean
+        );
+        assert!(r.estimate.moe(0.05).unwrap() < 0.05);
+        assert!(r.cost_seconds > 0.0);
+        assert!(r.correct > 0 && r.labeled > 0 && r.entities > 0);
+        assert!(r.summary().contains("WCS/sharded"));
+    }
+
+    #[test]
+    fn shard_units_partitions_the_walk() {
+        let replay = ShardedReplay::new().with_shard_units(100);
+        assert_eq!(replay.num_shards(1000), 10);
+        assert_eq!(replay.num_shards(1001), 11);
+        assert_eq!(replay.num_shards(0), 0);
+        assert_eq!(replay.shard_units(), 100);
+        // Different shard size ⇒ different stream (documented contract).
+        let (_, oracle, idx) = setup();
+        let a = ShardedReplay::new().with_shard_workers(1).replay_hash(
+            ShardDesign::TwoStage { m: 3 },
+            &idx,
+            &oracle,
+            CostModel::default(),
+            600,
+            7,
+        );
+        let b = replay.with_shard_workers(1).replay_hash(
+            ShardDesign::TwoStage { m: 3 },
+            &idx,
+            &oracle,
+            CostModel::default(),
+            600,
+            7,
+        );
+        assert_eq!(a.units, b.units);
+        assert_ne!(a.estimate.mean.to_bits(), b.estimate.mean.to_bits());
+    }
+
+    #[test]
+    fn zero_units_is_total_and_uninformative() {
+        let (_, oracle, idx) = setup();
+        let r = ShardedReplay::new().with_shard_workers(4).replay_hash(
+            ShardDesign::FullCluster,
+            &idx,
+            &oracle,
+            CostModel::default(),
+            0,
+            1,
+        );
+        assert_eq!(r.units, 0);
+        assert_eq!(r.shards, 0);
+        assert_eq!(r.estimate.units, 0);
+        assert_eq!(r.labeled, 0);
+        assert!(r.estimate.moe(0.05).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn design_mapping_covers_only_flat_walks() {
+        assert_eq!(
+            ShardDesign::from_design(&Design::Wcs),
+            Some(ShardDesign::FullCluster)
+        );
+        assert_eq!(
+            ShardDesign::from_design(&Design::Twcs { m: 5 }),
+            Some(ShardDesign::TwoStage { m: 5 })
+        );
+        assert_eq!(ShardDesign::from_design(&Design::Srs), None);
+        assert_eq!(ShardDesign::from_design(&Design::Rcs), None);
+        assert_eq!(ShardDesign::from_design(&Design::TsRcs { m: 2 }), None);
+    }
+
+    #[test]
+    fn env_var_caps_default_shard_workers() {
+        // Only this test touches KG_EVAL_SHARDS; results are invariant to
+        // the resolved count anyway.
+        std::env::set_var(ENV_SHARDS, "3");
+        assert_eq!(ShardedReplay::new().shard_workers(), 3);
+        std::env::set_var(ENV_SHARDS, "zero?");
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(ShardedReplay::new().shard_workers(), fallback);
+        std::env::set_var(ENV_SHARDS, "5");
+        assert_eq!(
+            ShardedReplay::new().with_shard_workers(2).shard_workers(),
+            2
+        );
+        std::env::remove_var(ENV_SHARDS);
+        assert_eq!(ShardedReplay::new().shard_workers(), fallback);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_shard_workers_rejected() {
+        let _ = ShardedReplay::new().with_shard_workers(0);
+    }
+}

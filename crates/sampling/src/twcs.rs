@@ -137,8 +137,7 @@ impl StaticDesign for TwcsDesign {
         batch: usize,
     ) -> usize {
         for _ in 0..batch {
-            let c = self.index.sample_cluster_pps(rng);
-            let size = self.index.cluster_size(c);
+            let (c, size) = self.index.sample_cluster_pps_sized(rng);
             let acc = annotate_cluster_subset(
                 c as u32,
                 size,

@@ -41,10 +41,16 @@ impl StaticDesign for WcsDesign {
         annotator: &mut dyn Annotator,
         batch: usize,
     ) -> usize {
+        // The sited draw serves the cluster id, size, and global base from
+        // the one alias-slot cache line, and the sited annotation stamps
+        // `[base, base + size)` directly — the visit's serial miss chain is
+        // slot load → arena stamp, with no dependent directory load in
+        // between. At 10^6+ triples every level of that chain is a cache
+        // miss, so chain depth (not instruction count) is what bounds
+        // throughput here.
         for _ in 0..batch {
-            let c = self.index.sample_cluster_pps(rng);
-            let size = self.index.cluster_size(c);
-            let tau = annotator.annotate_cluster(c as u32, size);
+            let (c, size, base) = self.index.sample_cluster_pps_sited(rng);
+            let tau = annotator.annotate_cluster_sited(c as u32, base, size);
             self.accuracies.push(tau as f64 / size as f64);
         }
         batch

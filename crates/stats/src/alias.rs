@@ -10,11 +10,49 @@
 use crate::error::StatsError;
 use rand::Rng;
 
+/// One alias slot: acceptance threshold, alias category, and — when the
+/// table was built from integer sizes — the weights and cumulative base
+/// offsets of both candidate categories. Padded to 32 bytes so a slot
+/// never straddles a cache line: a random draw touches exactly one line
+/// where split `prob[]`/`alias[]` arrays cost two misses (and size/base
+/// lookups at the call site more still). Carrying the base matters for
+/// latency, not just miss count: a consumer that needs the drawn
+/// category's range (`[base, base + size)`) would otherwise chain a
+/// second dependent random load (slot → prefix array) before it can
+/// touch the range, and that serial depth is what bounds a
+/// memory-latency-bound draw loop. Bases are stored narrow (`u32`) to
+/// keep the slot at 32 bytes — tables whose total weight needs more than
+/// 32 bits (beyond 4.3G triples; far past every population in this
+/// repository, including the paper's 130M-triple scalability run) simply
+/// report no bases and consumers fall back to their own prefix lookup.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(32))]
+struct Slot {
+    /// Acceptance threshold for this slot's own category.
+    prob: f64,
+    /// Redirect category when the acceptance draw fails.
+    alias: u32,
+    /// Integer weight of this slot's own category (0 unless built via
+    /// [`AliasTable::from_sizes`]).
+    size_self: u32,
+    /// Integer weight of the alias category (0 unless built via
+    /// [`AliasTable::from_sizes`]).
+    size_alias: u32,
+    /// Cumulative weight before this slot's own category (0 unless the
+    /// table [`AliasTable::has_bases`]).
+    base_self: u32,
+    /// Cumulative weight before the alias category (0 unless the table
+    /// [`AliasTable::has_bases`]).
+    base_alias: u32,
+}
+
 /// Pre-processed alias table over `n` weights.
 #[derive(Debug, Clone)]
 pub struct AliasTable {
-    prob: Vec<f64>,
-    alias: Vec<u32>,
+    slots: Vec<Slot>,
+    /// Whether the slots carry valid cumulative base offsets (built via
+    /// [`AliasTable::from_sizes`] with a total weight below `2^32`).
+    has_bases: bool,
 }
 
 impl AliasTable {
@@ -68,35 +106,117 @@ impl AliasTable {
             prob[i as usize] = 1.0;
             alias[i as usize] = i;
         }
-        Ok(AliasTable { prob, alias })
+        let slots = prob
+            .iter()
+            .zip(&alias)
+            .map(|(&p, &a)| Slot {
+                prob: p,
+                alias: a,
+                size_self: 0,
+                size_alias: 0,
+                base_self: 0,
+                base_alias: 0,
+            })
+            .collect();
+        Ok(AliasTable {
+            slots,
+            has_bases: false,
+        })
     }
 
-    /// Build from integer weights (e.g. cluster sizes).
+    /// Build from integer weights (e.g. cluster sizes). Tables built this
+    /// way additionally support [`AliasTable::sample_sized`], which
+    /// returns the drawn category's weight from the same cache line as
+    /// the draw itself.
     pub fn from_sizes(sizes: &[u32]) -> Result<Self, StatsError> {
         // Avoid an intermediate Vec<f64> allocation being optimized badly:
         // the conversion is exact for u32.
         let weights: Vec<f64> = sizes.iter().map(|&s| s as f64).collect();
-        Self::new(&weights)
+        let mut t = Self::new(&weights)?;
+        let mut bases = Vec::with_capacity(sizes.len());
+        let mut acc = 0u64;
+        for &s in sizes {
+            bases.push(acc);
+            acc += u64::from(s);
+        }
+        t.has_bases = acc <= u64::from(u32::MAX);
+        for (i, slot) in t.slots.iter_mut().enumerate() {
+            slot.size_self = sizes[i];
+            slot.size_alias = sizes[slot.alias as usize];
+            if t.has_bases {
+                slot.base_self = bases[i] as u32;
+                slot.base_alias = bases[slot.alias as usize] as u32;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Whether [`AliasTable::sample_sited`] returns genuine cumulative base
+    /// offsets (see the slot layout note: totals at or beyond `2^32` do not
+    /// fit the narrow base fields).
+    #[inline]
+    pub fn has_bases(&self) -> bool {
+        self.has_bases
     }
 
     /// Number of categories.
     pub fn len(&self) -> usize {
-        self.prob.len()
+        self.slots.len()
     }
 
     /// Whether the table is empty (never true for a constructed table).
     pub fn is_empty(&self) -> bool {
-        self.prob.is_empty()
+        self.slots.is_empty()
     }
 
     /// Draw one index with probability proportional to its weight.
+    #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let n = self.prob.len();
+        let n = self.slots.len();
         let i = rng.gen_range(0..n);
-        if rng.gen::<f64>() < self.prob[i] {
+        let s = &self.slots[i];
+        if rng.gen::<f64>() < s.prob {
             i
         } else {
-            self.alias[i] as usize
+            s.alias as usize
+        }
+    }
+
+    /// Draw one index plus its integer weight — stream-identical to
+    /// [`AliasTable::sample`] (same RNG consumption, same category), but
+    /// the weight comes from the already-loaded slot instead of a second
+    /// random array access at the call site. Only meaningful for tables
+    /// built with [`AliasTable::from_sizes`] (others report weight 0).
+    #[inline]
+    pub fn sample_sized<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, u32) {
+        let n = self.slots.len();
+        let i = rng.gen_range(0..n);
+        let s = &self.slots[i];
+        if rng.gen::<f64>() < s.prob {
+            (i, s.size_self)
+        } else {
+            (s.alias as usize, s.size_alias)
+        }
+    }
+
+    /// Draw one index plus its integer weight and cumulative base offset —
+    /// stream-identical to [`AliasTable::sample`] (same RNG consumption,
+    /// same category), with both companions served from the already-loaded
+    /// slot. A consumer that walks the drawn category's cumulative range
+    /// `[base, base + size)` can start immediately after the slot arrives
+    /// instead of waiting on a second dependent prefix-array load. Only
+    /// meaningful for tables built with [`AliasTable::from_sizes`] whose
+    /// total weight fits 32 bits ([`AliasTable::has_bases`]); others report
+    /// weight and base 0.
+    #[inline]
+    pub fn sample_sited<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, u32, u64) {
+        let n = self.slots.len();
+        let i = rng.gen_range(0..n);
+        let s = &self.slots[i];
+        if rng.gen::<f64>() < s.prob {
+            (i, s.size_self, u64::from(s.base_self))
+        } else {
+            (s.alias as usize, s.size_alias, u64::from(s.base_alias))
         }
     }
 
