@@ -56,5 +56,5 @@ pub use label_store::LabelStore;
 pub use lease::{ArenaLease, DenseArenaPool};
 pub use oracle::{BmmOracle, GoldLabels, LabelOracle, RemOracle};
 pub use piecewise::PiecewiseOracle;
-pub use pool::{AnnotatorPool, AnnotatorProfile};
+pub use pool::{AnnotatorPool, AnnotatorProfile, PoolOracle, TieBreak};
 pub use task::EvaluationTask;

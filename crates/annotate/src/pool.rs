@@ -9,12 +9,113 @@
 //! label quality: majority voting suppresses individual annotator error,
 //! which otherwise biases the accuracy estimate directly (a worker who
 //! mislabels 10% of triples shifts μ̂ by up to 10%).
+//!
+//! Two adversarial extensions feed the scenario matrix:
+//!
+//! * **Correlated errors** ([`AnnotatorPool::with_shared_confusion`]): with
+//!   probability `ρ` per triple, a *shared* confusion event flips every
+//!   member's perception of the truth before their individual errors apply.
+//!   Majority voting cannot suppress this component — all the votes move
+//!   together — so pool accuracy degrades by ≈ `ρ` no matter how many
+//!   annotators vote, modeling genuinely ambiguous triples (conflated
+//!   entities, stale facts) that fool whole crowds.
+//! * **Configurable tie-breaking** ([`AnnotatorPool::with_tie_break`]):
+//!   even pools can split `k/2 : k/2`; [`TieBreak::Incorrect`] (the
+//!   documented default) keeps the historical strict-majority behavior,
+//!   [`TieBreak::CoinFlip`] resolves each tie on the pool's own hash
+//!   substream — still deterministic per (seed, triple) and independent of
+//!   batching.
+//!
+//! [`PoolOracle`] exposes the identical resolved labeling as a stateless
+//! [`LabelOracle`], so both annotation engines (hash and dense) can audit a
+//! KG *through* a noisy pool and agree byte-for-byte.
 
 use crate::cost::CostModel;
-use crate::oracle::LabelOracle;
+use crate::oracle::{hash_uniform, LabelOracle};
 use crate::task::group_into_tasks;
 use kg_model::triple::TripleRef;
 use std::collections::{HashMap, HashSet};
+
+/// Substream salt for shared-confusion events (one draw per triple).
+const SHARED_CONFUSION_SALT: u64 = 0xC04F_05ED;
+/// Substream salt for coin-flip tie resolution (one draw per tied triple).
+const TIE_COIN_SALT: u64 = 0x71EC_0114;
+
+/// How an even pool resolves a `k/2 : k/2` vote split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Ties resolve to **incorrect** — the conservative call for an
+    /// accuracy audit (a triple the pool cannot agree on should not
+    /// inflate the estimate). This is the documented default and the
+    /// historical strict-majority behavior.
+    #[default]
+    Incorrect,
+    /// Ties resolve by a fair coin on the pool's own hash substream:
+    /// deterministic per (pool seed, triple), independent of annotator
+    /// order and batching, and unbiased in expectation.
+    CoinFlip,
+}
+
+/// The pool's pure vote-resolution model: everything that determines a
+/// resolved label except cost accounting. Shared between
+/// [`AnnotatorPool::annotate`] and [`PoolOracle::label`] so the two can
+/// never drift apart.
+fn resolve_vote(
+    truth: bool,
+    profiles: &[AnnotatorProfile],
+    seed: u64,
+    shared_confusion: f64,
+    tie: TieBreak,
+    r: TripleRef,
+) -> bool {
+    let perceived = if shared_confusion > 0.0
+        && hash_uniform(
+            seed ^ SHARED_CONFUSION_SALT,
+            r.cluster as u64,
+            r.offset as u64,
+        ) < shared_confusion
+    {
+        !truth
+    } else {
+        truth
+    };
+    let mut yes = 0usize;
+    for (w, profile) in profiles.iter().enumerate() {
+        if worker_vote(perceived, profile.error_rate, seed, w, r) {
+            yes += 1;
+        }
+    }
+    if yes * 2 > profiles.len() {
+        true
+    } else if yes * 2 == profiles.len() {
+        match tie {
+            TieBreak::Incorrect => false,
+            TieBreak::CoinFlip => {
+                hash_uniform(seed ^ TIE_COIN_SALT, r.cluster as u64, r.offset as u64) < 0.5
+            }
+        }
+    } else {
+        false
+    }
+}
+
+/// One member's vote given their (possibly shared-confused) perception.
+fn worker_vote(perceived: bool, error_rate: f64, seed: u64, worker: usize, r: TripleRef) -> bool {
+    if error_rate == 0.0 {
+        return perceived;
+    }
+    // Deterministic per-(worker, triple) flip.
+    let u = hash_uniform(
+        seed ^ (worker as u64).wrapping_mul(0x9E37_79B9),
+        r.cluster as u64,
+        r.offset as u64,
+    );
+    if u < error_rate {
+        !perceived
+    } else {
+        perceived
+    }
+}
 
 /// One pool member: relative speed and label noise.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,18 +152,22 @@ impl AnnotatorProfile {
 ///
 /// A label is resolved "correct" iff a **strict majority** of the pool
 /// votes correct (`yes · 2 > k`). With an even pool a `k/2 : k/2` split is
-/// possible; the strict inequality resolves every such tie to
-/// **incorrect** — the conservative call for an accuracy audit (a triple
-/// the pool cannot agree on should not inflate the accuracy estimate).
-/// Ties are therefore deterministic: the same pool profiles, seed, and
-/// task stream always produce the same labels, regardless of annotator
-/// order or how tasks are batched (votes are memoized per triple on first
-/// resolution).
+/// possible; how it resolves is configurable via
+/// [`AnnotatorPool::with_tie_break`]. The default, [`TieBreak::Incorrect`],
+/// resolves every such tie to **incorrect** — the conservative call for an
+/// accuracy audit (a triple the pool cannot agree on should not inflate
+/// the accuracy estimate). [`TieBreak::CoinFlip`] instead flips a fair
+/// coin on the pool's own hash substream. Either way ties are
+/// deterministic: the same pool profiles, seed, and task stream always
+/// produce the same labels, regardless of annotator order or how tasks
+/// are batched (votes are memoized per triple on first resolution).
 pub struct AnnotatorPool<'a> {
     oracle: &'a dyn LabelOracle,
     cost: CostModel,
     profiles: Vec<AnnotatorProfile>,
     seed: u64,
+    shared_confusion: f64,
+    tie: TieBreak,
     /// Entities identified per annotator (identification is per person —
     /// each must build their own mental model of the entity).
     identified: Vec<HashSet<u32>>,
@@ -73,8 +178,8 @@ pub struct AnnotatorPool<'a> {
 
 impl<'a> AnnotatorPool<'a> {
     /// Pool with the given member profiles (at least one; odd counts avoid
-    /// ties — even pools break ties toward "incorrect", the conservative
-    /// call for an accuracy audit).
+    /// ties — even pools resolve them per the configured [`TieBreak`],
+    /// defaulting to the conservative tie→incorrect rule).
     pub fn new(
         oracle: &'a dyn LabelOracle,
         cost: CostModel,
@@ -94,34 +199,47 @@ impl<'a> AnnotatorPool<'a> {
             cost,
             profiles,
             seed,
+            shared_confusion: 0.0,
+            tie: TieBreak::default(),
             identified,
             labels: HashMap::new(),
             seconds: 0.0,
         }
     }
 
-    fn worker_label(&self, worker: usize, r: TripleRef) -> bool {
-        let truth = self.oracle.label(r);
-        let e = self.profiles[worker].error_rate;
-        if e == 0.0 {
-            return truth;
-        }
-        // Deterministic per-(worker, triple) flip.
-        let u = crate::oracle::hash_uniform(
-            self.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9),
-            r.cluster as u64,
-            r.offset as u64,
+    /// Set the even-pool tie-breaking rule (default:
+    /// [`TieBreak::Incorrect`]). Must be called before any annotation —
+    /// memoized votes are not re-resolved.
+    pub fn with_tie_break(mut self, tie: TieBreak) -> Self {
+        assert!(
+            self.labels.is_empty(),
+            "tie rule must be fixed before annotation starts"
         );
-        if u < e {
-            !truth
-        } else {
-            truth
-        }
+        self.tie = tie;
+        self
+    }
+
+    /// Set the shared-confusion rate `ρ ∈ [0, 1]`: per triple, with
+    /// probability `ρ` (on the pool's own substream) every member
+    /// perceives the *flipped* truth before individual errors apply.
+    /// Majority voting cannot suppress this correlated component.
+    pub fn with_shared_confusion(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "shared confusion rate must be in [0, 1], got {rate}"
+        );
+        assert!(
+            self.labels.is_empty(),
+            "confusion rate must be fixed before annotation starts"
+        );
+        self.shared_confusion = rate;
+        self
     }
 
     /// Annotate a batch: every task goes to every pool member; labels are
-    /// resolved by strict majority vote (even-pool ties → incorrect; see
-    /// the [type docs](AnnotatorPool#tie-breaking-with-an-even-number-of-annotators)).
+    /// resolved by strict majority vote (even-pool ties per the configured
+    /// [`TieBreak`]; see the
+    /// [type docs](AnnotatorPool#tie-breaking-with-an-even-number-of-annotators)).
     /// Returns labels in the order of `refs`.
     pub fn annotate(&mut self, refs: &[TripleRef]) -> Vec<bool> {
         for task in group_into_tasks(refs) {
@@ -134,14 +252,18 @@ impl<'a> AnnotatorPool<'a> {
                 if self.labels.contains_key(&r) {
                     continue;
                 }
-                let mut yes = 0usize;
-                for (w, profile) in self.profiles.iter().enumerate() {
-                    if self.worker_label(w, r) {
-                        yes += 1;
-                    }
+                for profile in &self.profiles {
                     self.seconds += self.cost.c2 * profile.speed;
                 }
-                self.labels.insert(r, yes * 2 > self.profiles.len());
+                let resolved = resolve_vote(
+                    self.oracle.label(r),
+                    &self.profiles,
+                    self.seed,
+                    self.shared_confusion,
+                    self.tie,
+                    r,
+                );
+                self.labels.insert(r, resolved);
             }
         }
         refs.iter()
@@ -162,6 +284,84 @@ impl<'a> AnnotatorPool<'a> {
     /// Number of pool members.
     pub fn size(&self) -> usize {
         self.profiles.len()
+    }
+}
+
+/// The pool's resolved labeling as a stateless [`LabelOracle`].
+///
+/// `PoolOracle` applies exactly the vote-resolution model of
+/// [`AnnotatorPool::annotate`] — same substreams, same tie rule, same
+/// shared-confusion layer — but carries no memoization or cost state, so
+/// it can serve as the ground-truth oracle of *both* annotation engines
+/// (the dense engine materializes it into a `LabelStore`). The estimand it
+/// defines is the **pool-resolved accuracy**: what a real crowd audit
+/// would converge to, biased away from the underlying gold accuracy by
+/// whatever error the pool cannot suppress.
+pub struct PoolOracle {
+    oracle: Box<dyn LabelOracle + Send + Sync>,
+    profiles: Vec<AnnotatorProfile>,
+    seed: u64,
+    shared_confusion: f64,
+    tie: TieBreak,
+}
+
+impl PoolOracle {
+    /// Wrap `oracle` behind a voting pool with the given profiles.
+    pub fn new(
+        oracle: Box<dyn LabelOracle + Send + Sync>,
+        profiles: Vec<AnnotatorProfile>,
+        seed: u64,
+    ) -> Self {
+        assert!(!profiles.is_empty(), "pool needs at least one annotator");
+        for p in &profiles {
+            assert!(
+                (0.0..=1.0).contains(&p.error_rate) && p.speed > 0.0,
+                "invalid annotator profile {p:?}"
+            );
+        }
+        PoolOracle {
+            oracle,
+            profiles,
+            seed,
+            shared_confusion: 0.0,
+            tie: TieBreak::default(),
+        }
+    }
+
+    /// Set the even-pool tie-breaking rule (default:
+    /// [`TieBreak::Incorrect`]).
+    pub fn with_tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie = tie;
+        self
+    }
+
+    /// Set the shared-confusion rate `ρ ∈ [0, 1]` (see
+    /// [`AnnotatorPool::with_shared_confusion`]).
+    pub fn with_shared_confusion(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "shared confusion rate must be in [0, 1], got {rate}"
+        );
+        self.shared_confusion = rate;
+        self
+    }
+
+    /// The underlying (gold) oracle, for bias comparisons.
+    pub fn inner(&self) -> &dyn LabelOracle {
+        self.oracle.as_ref()
+    }
+}
+
+impl LabelOracle for PoolOracle {
+    fn label(&self, t: TripleRef) -> bool {
+        resolve_vote(
+            self.oracle.label(t),
+            &self.profiles,
+            self.seed,
+            self.shared_confusion,
+            self.tie,
+            t,
+        )
     }
 }
 
@@ -307,5 +507,115 @@ mod tests {
     fn empty_pool_rejected() {
         let oracle = RemOracle::new(0.9, 1);
         AnnotatorPool::new(&oracle, CostModel::default(), vec![], 1);
+    }
+
+    #[test]
+    fn coin_flip_ties_are_deterministic_and_roughly_fair() {
+        // reliable + always-wrong: every triple is a 1:1 tie, so the
+        // coin-flip rule decides *every* label on the pool's substream.
+        let always_wrong = AnnotatorProfile {
+            speed: 1.0,
+            error_rate: 1.0,
+        };
+        let profiles = vec![AnnotatorProfile::reliable(), always_wrong];
+        let oracle = RemOracle::new(1.0, 13);
+        let make = || {
+            AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 8)
+                .with_tie_break(TieBreak::CoinFlip)
+        };
+        let all = make().annotate(&refs(400));
+        // Deterministic across runs and batching.
+        assert_eq!(make().annotate(&refs(400)), all);
+        let mut split = make();
+        let refs_all = refs(400);
+        let mut split_labels = split.annotate(&refs_all[..170]);
+        split_labels.extend(split.annotate(&refs_all[170..]));
+        assert_eq!(split_labels, all);
+        // Fair coin: close to half resolve correct (binomial 5σ ≈ 0.125).
+        let acc = all.iter().filter(|&&b| b).count() as f64 / all.len() as f64;
+        assert!((acc - 0.5).abs() < 0.13, "coin-flip tie accuracy {acc}");
+        // And distinct from the conservative default, which pins all to false.
+        let strict = AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 8)
+            .annotate(&refs(400));
+        assert!(strict.iter().all(|&l| !l));
+        assert_ne!(all, strict);
+    }
+
+    #[test]
+    fn tie_rule_changes_nothing_for_odd_pools() {
+        let profiles = vec![AnnotatorProfile::hasty(0.4); 3];
+        let oracle = RemOracle::new(0.7, 17);
+        let strict = AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 5)
+            .annotate(&refs(80));
+        let flip = AnnotatorPool::new(&oracle, CostModel::default(), profiles, 5)
+            .with_tie_break(TieBreak::CoinFlip)
+            .annotate(&refs(80));
+        assert_eq!(strict, flip, "odd pools never tie");
+    }
+
+    #[test]
+    fn shared_confusion_defeats_a_reliable_majority() {
+        // Five perfectly reliable annotators, ρ = 0.3 shared confusion on
+        // a perfect KG: every member perceives the same flipped truth on
+        // confused triples, so majority voting cannot recover — pool
+        // accuracy lands at 1 − ρ, not 1.
+        let oracle = RemOracle::new(1.0, 23);
+        let profiles = vec![AnnotatorProfile::reliable(); 5];
+        let mut pool = AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 11)
+            .with_shared_confusion(0.3);
+        let labels = pool.annotate(&refs(2000));
+        let acc = labels.iter().filter(|&&b| b).count() as f64 / labels.len() as f64;
+        assert!(
+            (acc - 0.7).abs() < 0.05,
+            "correlated errors must survive voting: accuracy {acc}"
+        );
+        // Independent errors of the same magnitude *are* suppressed.
+        let mut indep = AnnotatorPool::new(
+            &oracle,
+            CostModel::default(),
+            vec![AnnotatorProfile::hasty(0.3); 5],
+            11,
+        );
+        let indep_labels = indep.annotate(&refs(2000));
+        let indep_acc =
+            indep_labels.iter().filter(|&&b| b).count() as f64 / indep_labels.len() as f64;
+        assert!(
+            indep_acc > acc + 0.1,
+            "independent {indep_acc} vs correlated {acc}"
+        );
+    }
+
+    #[test]
+    fn pool_oracle_matches_annotator_pool_labels() {
+        // The stateless oracle view must reproduce AnnotatorPool::annotate
+        // exactly, in both tie modes and with shared confusion active.
+        let profiles = vec![AnnotatorProfile::hasty(0.35); 4];
+        let all = refs(150);
+        for tie in [TieBreak::Incorrect, TieBreak::CoinFlip] {
+            let oracle = RemOracle::new(0.8, 29);
+            let mut pool = AnnotatorPool::new(&oracle, CostModel::default(), profiles.clone(), 14)
+                .with_tie_break(tie)
+                .with_shared_confusion(0.15);
+            let pooled = pool.annotate(&all);
+            let po = PoolOracle::new(Box::new(RemOracle::new(0.8, 29)), profiles.clone(), 14)
+                .with_tie_break(tie)
+                .with_shared_confusion(0.15);
+            let direct: Vec<bool> = all.iter().map(|&r| po.label(r)).collect();
+            assert_eq!(pooled, direct, "tie mode {tie:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before annotation")]
+    fn tie_rule_locked_after_first_annotation() {
+        let oracle = RemOracle::new(0.9, 1);
+        let mut pool = AnnotatorPool::new(
+            &oracle,
+            CostModel::default(),
+            vec![AnnotatorProfile::reliable()],
+            1,
+        );
+        pool.annotate(&refs(1));
+        let _ = pool.with_tie_break(TieBreak::CoinFlip);
     }
 }

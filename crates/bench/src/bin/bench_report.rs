@@ -2,7 +2,7 @@
 //! runtime, writing the tracked benchmark JSON.
 //!
 //! Usage:
-//!   bench-report [--streaming | --parallel | --skeleton | --churn] [--quick] [--seed N] [--out PATH]
+//!   bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios] [--quick] [--seed N] [--out PATH]
 //!
 //! Default mode times the hot *static* sampling designs (SRS/WCS/TWCS
 //! trial loops) and writes `BENCH_throughput.json`. `--streaming` instead
@@ -20,7 +20,11 @@
 //! event streams (inserts + retractions at 0%/25%/50% delete fractions)
 //! through RS/SS under both engines and writes `BENCH_churn.json` (schema
 //! `kg-bench-churn/v1`), with a per-fraction cross-engine and cross-offer-
-//! path identity check.
+//! path identity check. `--scenarios` sweeps the adversarial scenario
+//! matrix — every `kg_datagen::scenario` family through all eight
+//! evaluators under both engines — and writes `BENCH_scenarios.json`
+//! (schema `kg-bench-scenarios/v1`) with per-cell byte-identity and CI
+//! coverage flags.
 //!
 //! `--quick` shrinks scales and trial counts (CI); the default output path
 //! is `BENCH_<mode>.json` in the working directory. All artifacts are
@@ -29,7 +33,7 @@
 //! --bin bench-report`.
 
 use kg_bench::artifact::write_atomic;
-use kg_bench::{churn, parallel, skeleton, streaming, throughput};
+use kg_bench::{churn, parallel, scenarios, skeleton, streaming, throughput};
 
 enum Mode {
     Throughput,
@@ -37,6 +41,7 @@ enum Mode {
     Parallel,
     Skeleton,
     Churn,
+    Scenarios,
 }
 
 fn main() {
@@ -51,6 +56,7 @@ fn main() {
             "--parallel" => mode = Mode::Parallel,
             "--skeleton" => mode = Mode::Skeleton,
             "--churn" => mode = Mode::Churn,
+            "--scenarios" => mode = Mode::Scenarios,
             "--quick" => quick = true,
             "--seed" => {
                 seed = Some(
@@ -64,7 +70,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "bench-report [--streaming | --parallel | --skeleton | --churn] [--quick] [--seed N] [--out PATH]"
+                    "bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios] [--quick] [--seed N] [--out PATH]"
                 );
                 return;
             }
@@ -133,6 +139,21 @@ fn main() {
                 churn::render_table(&report),
                 churn::to_json(&report),
                 out.unwrap_or_else(|| String::from("BENCH_churn.json")),
+            )
+        }
+        Mode::Scenarios => {
+            let mut opts = scenarios::ScenarioOpts {
+                quick,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                opts.seed = s;
+            }
+            let report = scenarios::run(&opts);
+            (
+                scenarios::render_table(&report),
+                scenarios::to_json(&report),
+                out.unwrap_or_else(|| String::from("BENCH_scenarios.json")),
             )
         }
         Mode::Throughput => {

@@ -24,6 +24,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod granular;
 pub mod parallel;
+pub mod scenarios;
 pub mod sharded;
 pub mod skeleton;
 pub mod streaming;

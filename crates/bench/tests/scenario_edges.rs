@@ -1,0 +1,141 @@
+//! Degenerate corners of the scenario matrix: workloads that collapse an
+//! axis to its boundary — one giant cluster, all singleton clusters, a
+//! perfectly wrong and a perfectly right KG, and an insert burst larger
+//! than the whole base KG. Every evaluator × engine cell must still
+//! replay byte-identically across engines (and offer paths for RS), and
+//! the zero/one-accuracy corners must estimate the truth *exactly* (zero
+//! variance ⇒ zero MoE ⇒ 100% coverage by equality, not luck).
+
+use kg_bench::scenarios::sweep_scenario;
+use kg_datagen::scenario::{AccuracyDrift, EventSchedule, Scenario, SizeDistribution};
+
+fn edge(name: &'static str, sizes: SizeDistribution, base_accuracy: f64) -> Scenario {
+    Scenario {
+        name,
+        sizes,
+        base_accuracy,
+        drift: AccuracyDrift::None,
+        schedule: EventSchedule::steady(3, 0.2),
+        pool: None,
+        costs: None,
+    }
+}
+
+/// Identity + bitwise engine agreement in all 16 cells.
+fn assert_cells_identical(report: &kg_bench::scenarios::ScenarioReport, name: &str) {
+    assert_eq!(
+        report.cells.len(),
+        16,
+        "{name}: expected 8 evaluators × 2 engines"
+    );
+    for cell in &report.cells {
+        assert!(
+            cell.identity,
+            "{name}/{}/{}: engines (or offer paths) diverged",
+            cell.evaluator, cell.engine
+        );
+    }
+    for pair in report.cells.chunks(2) {
+        assert_eq!(pair[0].evaluator, pair[1].evaluator);
+        assert_eq!(
+            pair[0].mean_estimate.to_bits(),
+            pair[1].mean_estimate.to_bits(),
+            "{name}/{}: engine trial estimates disagree",
+            pair[0].evaluator
+        );
+    }
+}
+
+#[test]
+fn single_giant_cluster_sweeps_identically() {
+    // The whole KG is one cluster: every design degenerates to sampling
+    // inside it, and the stratifier must cope with fewer clusters than
+    // requested strata.
+    let s = edge(
+        "single_cluster",
+        SizeDistribution::Uniform { size: 400 },
+        0.85,
+    );
+    let report = sweep_scenario(&s, 400, 8, 13);
+    assert_eq!(report.base_triples, 400);
+    assert_cells_identical(&report, "single_cluster");
+    assert!(report.truth > 0.0 && report.truth < 1.0);
+}
+
+#[test]
+fn all_singleton_clusters_sweep_identically() {
+    // Every cluster holds one triple: cluster sampling and triple sampling
+    // coincide, second-stage m is always capped at 1.
+    let s = edge("all_singletons", SizeDistribution::Uniform { size: 1 }, 0.8);
+    let report = sweep_scenario(&s, 400, 8, 17);
+    assert_cells_identical(&report, "all_singletons");
+}
+
+#[test]
+fn zero_and_perfect_accuracy_estimate_exactly() {
+    // All-false and all-true KGs have zero label variance: every mean-type
+    // evaluator must return the truth bit-exactly with certainty, in every
+    // cell. The one exception is TSRCS, whose expansion estimator
+    // `(N/T)·M_c·ā_c` is scaled by the sampled cluster sizes — it is exact
+    // only when the numerator vanishes (all-false), and merely close at
+    // all-true.
+    for (name, acc) in [("zero_accuracy", 0.0), ("perfect_accuracy", 1.0)] {
+        let s = edge(name, SizeDistribution::MovieZipf, acc);
+        let report = sweep_scenario(&s, 600, 8, 19);
+        assert_eq!(report.truth, acc, "{name}: truth must be exact");
+        assert_cells_identical(&report, name);
+        for cell in &report.cells {
+            if cell.evaluator == "TSRCS" && acc == 1.0 {
+                assert!(
+                    (cell.mean_estimate - acc).abs() < 0.1,
+                    "{name}/TSRCS/{}: expansion estimate {} too far from 1",
+                    cell.engine,
+                    cell.mean_estimate
+                );
+                continue;
+            }
+            assert_eq!(
+                cell.mean_estimate, acc,
+                "{name}/{}/{}: estimate must equal the degenerate truth",
+                cell.evaluator, cell.engine
+            );
+            assert_eq!(
+                cell.coverage, 1.0,
+                "{name}/{}/{}: zero-variance CI must always cover",
+                cell.evaluator, cell.engine
+            );
+            assert!(cell.covered, "{name}: covered flag");
+        }
+    }
+}
+
+#[test]
+fn burst_larger_than_base_kg_sweeps_identically() {
+    // A single event inserts 1.8× the base KG: the stream more than
+    // doubles the population and the fresh mass dominates every frame.
+    let s = Scenario {
+        name: "mega_burst",
+        sizes: SizeDistribution::MovieZipf,
+        base_accuracy: 0.9,
+        drift: AccuracyDrift::None,
+        schedule: EventSchedule {
+            num_events: 3,
+            update_fraction: 0.6,
+            burst_every: 2,
+            burst_multiplier: 3,
+            delete_fraction: 0.0,
+            churn_burst_every: 0,
+            churn_burst_fraction: 0.0,
+        },
+        pool: None,
+        costs: None,
+    };
+    let report = sweep_scenario(&s, 500, 8, 23);
+    assert!(
+        report.inserted > report.base_triples,
+        "burst stream must out-insert the base KG ({} vs {})",
+        report.inserted,
+        report.base_triples
+    );
+    assert_cells_identical(&report, "mega_burst");
+}

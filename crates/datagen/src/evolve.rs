@@ -17,6 +17,21 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet};
 
+/// Per-event insert/delete volumes for a scheduled churn stream.
+///
+/// A flat schedule (`insert = per_batch`, `delete = round(fraction ·
+/// per_batch)` everywhere) reproduces [`ChurnGenerator::events`] exactly;
+/// bursty scenarios spike individual entries instead (see
+/// `kg_datagen::scenario::EventSchedule`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventVolume {
+    /// Triples inserted by this event's update batch.
+    pub insert: u64,
+    /// Live triples retracted before the insertion (clamped so at least
+    /// one triple always stays live).
+    pub delete: u64,
+}
+
 /// Generates update batches structurally matching a base profile.
 #[derive(Debug, Clone)]
 pub struct UpdateGenerator {
@@ -120,17 +135,39 @@ impl ChurnGenerator {
         per_batch: u64,
         seed: u64,
     ) -> Vec<KgEvent> {
+        let per_event_deletes = (self.delete_fraction * per_batch as f64).round() as u64;
+        let schedule = vec![
+            EventVolume {
+                insert: per_batch,
+                delete: per_event_deletes,
+            };
+            count
+        ];
+        self.events_with_schedule(base, &schedule, seed)
+    }
+
+    /// Like [`events`](Self::events), but with explicit per-event
+    /// insert/delete volumes — the hook burst scenarios use to spike
+    /// individual events. A flat schedule is byte-identical to `events`
+    /// (same RNG stream, same batch seeds `seed + i·7919`). The
+    /// generator's own `delete_fraction` is ignored here; the schedule is
+    /// authoritative.
+    pub fn events_with_schedule(
+        &self,
+        base: &ImplicitKg,
+        schedule: &[EventVolume],
+        seed: u64,
+    ) -> Vec<KgEvent> {
         let mut live: Vec<u32> = base.sizes().to_vec();
         // Sorted raw offsets already retracted, per cluster — the live →
         // raw translation table.
         let mut dead: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
         let mut total_live: u64 = base.total_triples();
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6368_7572_6e21);
-        let per_event_deletes = (self.delete_fraction * per_batch as f64).round() as u64;
 
-        let mut events = Vec::with_capacity(count);
-        for i in 0..count {
-            let k = per_event_deletes.min(total_live.saturating_sub(1));
+        let mut events = Vec::with_capacity(schedule.len());
+        for (i, vol) in schedule.iter().enumerate() {
+            let k = vol.delete.min(total_live.saturating_sub(1));
             let retraction = (k > 0).then(|| {
                 // k distinct global live indices, uniform without
                 // replacement by rejection (k ≪ total_live in any
@@ -172,7 +209,7 @@ impl ChurnGenerator {
 
             let batch = self
                 .updates
-                .batch(per_batch, seed.wrapping_add(i as u64 * 7919));
+                .batch(vol.insert, seed.wrapping_add(i as u64 * 7919));
             total_live += batch.total_triples();
             live.extend_from_slice(batch.delta_sizes());
 
@@ -323,6 +360,86 @@ mod tests {
         assert_eq!(pure.delete_fraction(), 0.0);
         for event in pure.events(&base, 4, 200, 7) {
             assert!(matches!(event, KgEvent::Insert(_)));
+        }
+    }
+
+    #[test]
+    fn flat_schedule_is_byte_identical_to_events() {
+        let base = ImplicitKg::new(vec![3; 150]).unwrap();
+        let churn = ChurnGenerator::new(UpdateGenerator::new(1.5, 50, 2.0), 0.3);
+        let plain = churn.events(&base, 6, 120, 33);
+        let schedule = vec![
+            EventVolume {
+                insert: 120,
+                delete: 36
+            };
+            6
+        ];
+        let scheduled = churn.events_with_schedule(&base, &schedule, 33);
+        assert_eq!(plain.len(), scheduled.len());
+        for (x, y) in plain.iter().zip(&scheduled) {
+            match (x, y) {
+                (KgEvent::Revise(rx, bx), KgEvent::Revise(ry, by)) => {
+                    assert_eq!(rx.entries(), ry.entries());
+                    assert_eq!(bx.delta_sizes(), by.delta_sizes());
+                }
+                (KgEvent::Insert(bx), KgEvent::Insert(by)) => {
+                    assert_eq!(bx.delta_sizes(), by.delta_sizes());
+                }
+                _ => panic!("event kinds diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_schedules_spike_single_events() {
+        let base = ImplicitKg::new(vec![3; 100]).unwrap();
+        let churn = ChurnGenerator::new(UpdateGenerator::new(1.5, 50, 2.0), 0.0);
+        let schedule = [
+            EventVolume {
+                insert: 50,
+                delete: 0,
+            },
+            // Burst: insert 10× the steady volume and churn out a third
+            // of what the base held.
+            EventVolume {
+                insert: 500,
+                delete: 100,
+            },
+            EventVolume {
+                insert: 50,
+                delete: 5,
+            },
+        ];
+        let events = churn.events_with_schedule(&base, &schedule, 9);
+        assert_eq!(events.len(), 3);
+        assert!(matches!(&events[0], KgEvent::Insert(b) if b.total_triples() == 50));
+        match &events[1] {
+            KgEvent::Revise(r, b) => {
+                assert_eq!(r.total_retracted(), 100);
+                assert_eq!(b.total_triples(), 500);
+            }
+            other => panic!("expected burst revision, got {other:?}"),
+        }
+        match &events[2] {
+            KgEvent::Revise(r, b) => {
+                assert_eq!(r.total_retracted(), 5);
+                assert_eq!(b.total_triples(), 50);
+            }
+            other => panic!("expected steady revision, got {other:?}"),
+        }
+        // Deterministic replay.
+        let again = churn.events_with_schedule(&base, &schedule, 9);
+        for (x, y) in events.iter().zip(&again) {
+            match (x, y) {
+                (KgEvent::Revise(rx, _), KgEvent::Revise(ry, _)) => {
+                    assert_eq!(rx.entries(), ry.entries())
+                }
+                (KgEvent::Insert(bx), KgEvent::Insert(by)) => {
+                    assert_eq!(bx.delta_sizes(), by.delta_sizes())
+                }
+                _ => panic!("replay diverged"),
+            }
         }
     }
 

@@ -5,9 +5,37 @@ use kg_annotate::oracle::GoldLabels;
 use kg_model::builder::KgBuilder;
 use kg_model::graph::KnowledgeGraph;
 use kg_model::implicit::ImplicitKg;
-use kg_stats::distr::Zipf;
+use kg_stats::distr::{BoundedPareto, Zipf};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Nudge `sizes` until their total is exactly `target`: a bulk rescale
+/// first when the gap is large (preserves the tail shape), then random
+/// ±1 fix-ups on the same RNG stream. Shared by the Zipf and Pareto
+/// generators so both hit Table-3-style exact counts.
+fn fix_total(sizes: &mut [u32], target: i64, rng: &mut StdRng) {
+    let n = sizes.len();
+    let mut current: i64 = sizes.iter().map(|&s| s as i64).sum();
+    if (current - target).unsigned_abs() > (n as u64) * 4 {
+        let scale = target as f64 / current as f64;
+        for s in sizes.iter_mut() {
+            *s = ((*s as f64 * scale).round() as u32).max(1);
+        }
+        current = sizes.iter().map(|&s| s as i64).sum();
+    }
+    while current < target {
+        let i = rng.gen_range(0..n);
+        sizes[i] += 1;
+        current += 1;
+    }
+    while current > target {
+        let i = rng.gen_range(0..n);
+        if sizes[i] > 1 {
+            sizes[i] -= 1;
+            current -= 1;
+        }
+    }
+}
 
 /// Generate `n` cluster sizes with a bounded-Zipf long tail whose total is
 /// **exactly** `total_triples`.
@@ -31,29 +59,38 @@ pub fn cluster_sizes(
     let mut rng = StdRng::seed_from_u64(seed);
     let zipf = Zipf::new(max_size, exponent).expect("valid Zipf parameters");
     let mut sizes: Vec<u32> = (0..n).map(|_| zipf.sample(&mut rng) as u32).collect();
-    let mut current: i64 = sizes.iter().map(|&s| s as i64).sum();
-    let target = total_triples as i64;
+    fix_total(&mut sizes, total_triples as i64, &mut rng);
+    sizes
+}
 
-    // Bulk correction first (scales the tail uniformly), then ±1 fix-up.
-    if (current - target).unsigned_abs() > (n as u64) * 4 {
-        let scale = target as f64 / current as f64;
-        for s in &mut sizes {
-            *s = ((*s as f64 * scale).round() as u32).max(1);
-        }
-        current = sizes.iter().map(|&s| s as i64).sum();
-    }
-    while current < target {
-        let i = rng.gen_range(0..n);
-        sizes[i] += 1;
-        current += 1;
-    }
-    while current > target {
-        let i = rng.gen_range(0..n);
-        if sizes[i] > 1 {
-            sizes[i] -= 1;
-            current -= 1;
-        }
-    }
+/// Generate `n` cluster sizes from a bounded Pareto tail whose total is
+/// **exactly** `total_triples`.
+///
+/// Heavier-tailed than the Zipf profile at the same nominal exponent:
+/// a continuous `BoundedPareto(1, shape, max_size)` draw is floored to an
+/// integer size, so small `shape` values (`< 1`) put a macroscopic share
+/// of all triples in a handful of giant clusters — the hostile skew
+/// regime the scenario matrix exercises. Deterministic in `seed`; totals
+/// are fixed up exactly like [`cluster_sizes`].
+pub fn pareto_cluster_sizes(
+    n: usize,
+    total_triples: u64,
+    shape: f64,
+    max_size: usize,
+    seed: u64,
+) -> Vec<u32> {
+    assert!(n > 0, "need at least one cluster");
+    assert!(
+        total_triples >= n as u64,
+        "total triples {total_triples} < clusters {n}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x007a_7e70);
+    let pareto =
+        BoundedPareto::new(1.0, shape, max_size.max(2) as f64).expect("valid Pareto parameters");
+    let mut sizes: Vec<u32> = (0..n)
+        .map(|_| pareto.sample_size(&mut rng) as u32)
+        .collect();
+    fix_total(&mut sizes, total_triples as i64, &mut rng);
     sizes
 }
 
@@ -185,6 +222,33 @@ mod tests {
     #[should_panic(expected = "total triples")]
     fn rejects_impossible_totals() {
         cluster_sizes(10, 5, 1.5, 10, 1);
+    }
+
+    #[test]
+    fn pareto_sizes_hit_exact_totals_deterministically() {
+        let sizes = pareto_cluster_sizes(800, 9_000, 1.1, 2000, 6);
+        assert_eq!(sizes.len(), 800);
+        assert_eq!(sizes.iter().map(|&s| s as u64).sum::<u64>(), 9_000);
+        assert!(sizes.iter().all(|&s| s >= 1));
+        assert_eq!(sizes, pareto_cluster_sizes(800, 9_000, 1.1, 2000, 6));
+        assert_ne!(sizes, pareto_cluster_sizes(800, 9_000, 1.1, 2000, 7));
+    }
+
+    #[test]
+    fn pareto_sizes_are_heavily_skewed() {
+        // shape < 1: a handful of giant clusters hold a macroscopic share
+        // of all triples while most clusters stay tiny.
+        let mut p = pareto_cluster_sizes(5_000, 60_000, 0.8, 4000, 8);
+        assert_eq!(p.iter().map(|&s| s as u64).sum::<u64>(), 60_000);
+        p.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(p[0] > 500, "top cluster {}", p[0]);
+        let top10: u64 = p[..10].iter().map(|&s| u64::from(s)).sum();
+        assert!(
+            top10 as f64 > 0.15 * 60_000.0,
+            "top-10 clusters hold only {top10} of 60000 triples"
+        );
+        let tiny = p.iter().filter(|&&s| s <= 2).count();
+        assert!(tiny > 2_500, "tiny clusters {tiny} of 5000");
     }
 
     #[test]

@@ -22,6 +22,11 @@
 pub mod evolve;
 pub mod generator;
 pub mod profile;
+pub mod scenario;
 
-pub use evolve::{ChurnGenerator, UpdateGenerator};
+pub use evolve::{ChurnGenerator, EventVolume, UpdateGenerator};
 pub use profile::{Dataset, DatasetProfile, LabelModel};
+pub use scenario::{
+    AccuracyDrift, EventSchedule, MaterializedScenario, PoolSpec, PredicateCosts, Scenario,
+    SizeDistribution,
+};

@@ -1,0 +1,760 @@
+//! Adversarial scenario descriptors for the sweep harness.
+//!
+//! Every committed bench artifact before this module replayed one benign
+//! movie-like profile. A [`Scenario`] instead composes the hostile axes
+//! that stress the paper's guarantees independently:
+//!
+//! * **cluster-size skew** — bounded Zipf or Pareto tails (or degenerate
+//!   uniform profiles), via [`SizeDistribution`];
+//! * **accuracy drift** — per-batch true accuracy following a linear
+//!   ramp, a step change, or a triangle-wave oscillation, via
+//!   [`AccuracyDrift`];
+//! * **bursty evolution** — insert bursts and churn bursts layered on the
+//!   steady [`ChurnGenerator`] stream, via [`EventSchedule`];
+//! * **annotator pathology** — correlated-error voting pools wrapping the
+//!   gold oracle, via [`PoolSpec`] (see [`kg_annotate::PoolOracle`]);
+//! * **heterogeneous costs** — per-predicate-class cost models collapsed
+//!   to their exact expectation, via [`PredicateCosts`].
+//!
+//! [`Scenario::materialize`] turns a descriptor into concrete inputs —
+//! base KG, event stream, label oracle, cost model — all deterministic in
+//! a single seed, so every cell of the evaluator × engine sweep replays
+//! bit-identically. [`Scenario::families`] is the committed matrix.
+
+use crate::evolve::{ChurnGenerator, EventVolume, UpdateGenerator};
+use crate::generator::{cluster_sizes, pareto_cluster_sizes};
+use kg_annotate::oracle::{LabelOracle, RemOracle};
+use kg_annotate::piecewise::PiecewiseOracle;
+use kg_annotate::{AnnotatorProfile, CostModel, PoolOracle, TieBreak};
+use kg_model::implicit::{ClusterPopulation, ImplicitKg};
+use kg_model::retract::KgEvent;
+use std::sync::Arc;
+
+/// Cluster-size profile of the base KG and its update batches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDistribution {
+    /// The MOVIE profile (bounded Zipf, exponent 1.9, cap 4000,
+    /// average cluster ≈ 9.2) — the benign reference shape.
+    MovieZipf,
+    /// Bounded Zipf with explicit shape, cap, and target mean size.
+    Zipf {
+        /// Zipf exponent (smaller → heavier tail).
+        exponent: f64,
+        /// Largest admissible cluster size.
+        max_size: usize,
+        /// Target mean cluster size (sets the cluster count).
+        avg_size: f64,
+    },
+    /// Bounded Pareto: heavier than any Zipf profile here; `shape < 1`
+    /// puts a macroscopic triple share into a handful of giant clusters.
+    Pareto {
+        /// Pareto tail index α.
+        shape: f64,
+        /// Largest admissible cluster size.
+        max_size: usize,
+        /// Target mean cluster size (sets the cluster count).
+        avg_size: f64,
+    },
+    /// Every cluster the same size — the degenerate corners (one giant
+    /// cluster via `size = total`, or all singletons via `size = 1`).
+    Uniform {
+        /// Common cluster size.
+        size: u32,
+    },
+}
+
+impl SizeDistribution {
+    /// Cluster sizes totalling exactly `total_triples`, deterministic in
+    /// `seed`.
+    pub fn sizes(&self, total_triples: u64, seed: u64) -> Vec<u32> {
+        assert!(total_triples > 0, "need at least one triple");
+        let n_for = |avg: f64| {
+            (((total_triples as f64 / avg).round() as usize).max(1)).min(total_triples as usize)
+        };
+        match *self {
+            SizeDistribution::MovieZipf => {
+                cluster_sizes(n_for(9.2), total_triples, 1.9, 4000, seed)
+            }
+            SizeDistribution::Zipf {
+                exponent,
+                max_size,
+                avg_size,
+            } => cluster_sizes(n_for(avg_size), total_triples, exponent, max_size, seed),
+            SizeDistribution::Pareto {
+                shape,
+                max_size,
+                avg_size,
+            } => pareto_cluster_sizes(n_for(avg_size), total_triples, shape, max_size, seed),
+            SizeDistribution::Uniform { size } => {
+                let size = u64::from(size.max(1)).min(total_triples);
+                let n = (total_triples / size).max(1);
+                let base = total_triples / n;
+                let rem = total_triples % n;
+                (0..n).map(|i| (base + u64::from(i < rem)) as u32).collect()
+            }
+        }
+    }
+
+    /// Update-batch generator matching this profile's shape.
+    fn update_generator(&self) -> UpdateGenerator {
+        match *self {
+            SizeDistribution::MovieZipf => UpdateGenerator::movie_like(),
+            SizeDistribution::Zipf {
+                exponent,
+                max_size,
+                avg_size,
+            } => UpdateGenerator::new(exponent, max_size.max(2), avg_size.max(1.0)),
+            // UpdateGenerator draws Zipf; α + 1 is the Zipf exponent whose
+            // tail decay matches a Pareto of index α.
+            SizeDistribution::Pareto {
+                shape,
+                max_size,
+                avg_size,
+            } => UpdateGenerator::new(shape + 1.0, max_size.max(2), avg_size.max(1.0)),
+            SizeDistribution::Uniform { size } => UpdateGenerator::new(
+                3.0,
+                (size.max(1) as usize).saturating_mul(2).max(2),
+                f64::from(size.max(1)),
+            ),
+        }
+    }
+}
+
+/// Time-varying true accuracy: the value each update batch's oracle
+/// segment is drawn at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccuracyDrift {
+    /// Every batch at the scenario's base accuracy.
+    None,
+    /// Linear ramp from `from` (first batch) to `to` (last batch).
+    Ramp {
+        /// Accuracy of the first update batch.
+        from: f64,
+        /// Accuracy of the last update batch.
+        to: f64,
+    },
+    /// Step change at a fixed batch index.
+    Step {
+        /// Accuracy before the step.
+        before: f64,
+        /// Accuracy from `at_batch` on.
+        after: f64,
+        /// First batch index at the post-step accuracy.
+        at_batch: usize,
+    },
+    /// Triangle-wave oscillation (deterministic and platform-exact, unlike
+    /// a trig wave): peaks at `center + amplitude` mid-period, troughs at
+    /// `center − amplitude` at period boundaries.
+    Oscillation {
+        /// Mean accuracy.
+        center: f64,
+        /// Peak deviation from the mean.
+        amplitude: f64,
+        /// Batches per full wave (min 2).
+        period: usize,
+    },
+}
+
+impl AccuracyDrift {
+    /// Accuracy of batch `i` of `n`, given the scenario's base accuracy.
+    pub fn batch_accuracy(&self, base: f64, i: usize, n: usize) -> f64 {
+        let acc = match *self {
+            AccuracyDrift::None => base,
+            AccuracyDrift::Ramp { from, to } => {
+                let t = if n <= 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
+                from + (to - from) * t
+            }
+            AccuracyDrift::Step {
+                before,
+                after,
+                at_batch,
+            } => {
+                if i < at_batch {
+                    before
+                } else {
+                    after
+                }
+            }
+            AccuracyDrift::Oscillation {
+                center,
+                amplitude,
+                period,
+            } => {
+                let p = period.max(2);
+                let frac = (i % p) as f64 / p as f64;
+                let tri = 1.0 - 4.0 * (frac - 0.5).abs();
+                center + amplitude * tri
+            }
+        };
+        acc.clamp(0.0, 1.0)
+    }
+}
+
+/// Event-stream shape: a steady insert/delete cadence with optional
+/// insert bursts and churn bursts at fixed periods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventSchedule {
+    /// Number of events in the stream.
+    pub num_events: usize,
+    /// Steady per-event insert volume as a fraction of the base KG.
+    pub update_fraction: f64,
+    /// Insert-burst period (`0` = never): every `burst_every`-th event
+    /// inserts `burst_multiplier ×` the steady volume.
+    pub burst_every: usize,
+    /// Insert multiplier on burst events.
+    pub burst_multiplier: u64,
+    /// Steady deletes as a fraction of the event's insert volume.
+    pub delete_fraction: f64,
+    /// Churn-burst period (`0` = never).
+    pub churn_burst_every: usize,
+    /// On churn bursts, deletes as a fraction of the *base KG* size —
+    /// deliberately large enough to gut whole strata.
+    pub churn_burst_fraction: f64,
+}
+
+impl EventSchedule {
+    /// A steady stream: `num_events` events of `update_fraction` each, no
+    /// deletions, no bursts.
+    pub fn steady(num_events: usize, update_fraction: f64) -> Self {
+        EventSchedule {
+            num_events,
+            update_fraction,
+            burst_every: 0,
+            burst_multiplier: 1,
+            delete_fraction: 0.0,
+            churn_burst_every: 0,
+            churn_burst_fraction: 0.0,
+        }
+    }
+
+    /// Concrete per-event volumes for a base KG of `base_triples`.
+    pub fn volumes(&self, base_triples: u64) -> Vec<EventVolume> {
+        let steady = ((self.update_fraction * base_triples as f64).round() as u64).max(1);
+        (0..self.num_events)
+            .map(|i| {
+                let burst = self.burst_every > 0 && (i + 1) % self.burst_every == 0;
+                let churn_burst =
+                    self.churn_burst_every > 0 && (i + 1) % self.churn_burst_every == 0;
+                let insert = if burst {
+                    steady * self.burst_multiplier.max(1)
+                } else {
+                    steady
+                };
+                let delete = if churn_burst {
+                    (self.churn_burst_fraction * base_triples as f64).round() as u64
+                } else {
+                    (self.delete_fraction * insert as f64).round() as u64
+                };
+                EventVolume { insert, delete }
+            })
+            .collect()
+    }
+}
+
+/// A correlated-error annotator pool layered over the gold oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolSpec {
+    /// Pool size (votes per triple).
+    pub annotators: usize,
+    /// Independent per-member flip rate.
+    pub error_rate: f64,
+    /// Shared-confusion rate ρ — the correlated component majority voting
+    /// cannot suppress (see [`kg_annotate::AnnotatorPool::with_shared_confusion`]).
+    pub shared_confusion: f64,
+    /// Even-pool tie rule.
+    pub tie: TieBreak,
+}
+
+impl PoolSpec {
+    fn wrap(&self, oracle: Box<dyn LabelOracle + Send + Sync>, seed: u64) -> PoolOracle {
+        let profiles = vec![
+            AnnotatorProfile {
+                speed: 1.0,
+                error_rate: self.error_rate,
+            };
+            self.annotators.max(1)
+        ];
+        PoolOracle::new(oracle, profiles, seed ^ 0x9001)
+            .with_tie_break(self.tie)
+            .with_shared_confusion(self.shared_confusion)
+    }
+}
+
+/// Per-predicate-class cost heterogeneity.
+///
+/// Clusters are assigned a cost class by a seeded hash (uniform over the
+/// classes), modelling predicates whose facts are cheap (birth dates) or
+/// expensive (filmography claims) to verify. The annotation engines charge
+/// a single [`CostModel`]; [`PredicateCosts::effective`] collapses the
+/// class mix to its exact expectation so the charged model equals the
+/// scenario's mean cost — cell throughput numbers stay comparable while
+/// the *composition* differs per scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateCosts {
+    /// One cost model per predicate class.
+    pub models: Vec<CostModel>,
+}
+
+impl PredicateCosts {
+    /// Three-class movie-like mix: cheap literals, default facts, and
+    /// expensive multi-hop claims.
+    pub fn movie_like() -> Self {
+        PredicateCosts {
+            models: vec![
+                CostModel::new(15.0, 8.0),
+                CostModel::new(45.0, 25.0),
+                CostModel::new(120.0, 60.0),
+            ],
+        }
+    }
+
+    /// The cost class of `cluster` under `seed` (uniform seeded hash).
+    pub fn class_of(&self, cluster: u32, seed: u64) -> usize {
+        (splitmix_uniform(seed ^ 0xC057, u64::from(cluster)) * self.models.len() as f64) as usize
+            % self.models.len()
+    }
+
+    /// The exact mean cost model over a uniform class mix.
+    pub fn effective(&self) -> CostModel {
+        assert!(!self.models.is_empty(), "need at least one cost class");
+        let n = self.models.len() as f64;
+        CostModel::new(
+            self.models.iter().map(|m| m.c1).sum::<f64>() / n,
+            self.models.iter().map(|m| m.c2).sum::<f64>() / n,
+        )
+    }
+}
+
+/// SplitMix64-based uniform in `[0, 1)` — local copy (the kg-annotate
+/// equivalent is crate-private) used only for cost-class assignment.
+fn splitmix_uniform(seed: u64, x: u64) -> f64 {
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One adversarial workload: the composition of all five hostile axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Stable scenario-family name (JSON key in the bench artifact).
+    pub name: &'static str,
+    /// Cluster-size profile.
+    pub sizes: SizeDistribution,
+    /// Base-KG true accuracy (update batches follow `drift`).
+    pub base_accuracy: f64,
+    /// Per-batch accuracy drift.
+    pub drift: AccuracyDrift,
+    /// Event-stream shape.
+    pub schedule: EventSchedule,
+    /// Optional correlated annotator pool wrapping the gold oracle.
+    pub pool: Option<PoolSpec>,
+    /// Optional heterogeneous per-predicate costs.
+    pub costs: Option<PredicateCosts>,
+}
+
+/// A [`Scenario`] made concrete at a size and seed: the exact inputs the
+/// sweep harness replays through every evaluator × engine cell.
+pub struct MaterializedScenario {
+    /// The base KG.
+    pub base: ImplicitKg,
+    /// The scheduled event stream over `base`.
+    pub events: Vec<KgEvent>,
+    /// Ground-truth oracle for base + all update segments (pool-resolved
+    /// when the scenario has a [`PoolSpec`] — that *is* the estimand a
+    /// crowd audit converges to).
+    pub oracle: Arc<dyn LabelOracle + Send + Sync>,
+    /// The cost model engines charge (class-mix expectation when the
+    /// scenario has [`PredicateCosts`]).
+    pub cost: CostModel,
+    /// Accuracy each update batch's oracle segment was drawn at.
+    pub batch_accuracies: Vec<f64>,
+}
+
+impl Scenario {
+    /// Materialize at roughly `target_triples` base triples. Everything —
+    /// sizes, events, labels, pool votes — is a pure function of `seed`.
+    pub fn materialize(&self, target_triples: u64, seed: u64) -> MaterializedScenario {
+        let sizes = self.sizes.sizes(target_triples, seed);
+        let base = ImplicitKg::new(sizes).expect("scenario sizes are non-empty");
+
+        let volumes = self.schedule.volumes(base.total_triples());
+        let churn = ChurnGenerator::new(self.sizes.update_generator(), 0.0);
+        let events = churn.events_with_schedule(&base, &volumes, seed);
+
+        let n = events.len();
+        let batch_accuracies: Vec<f64> = (0..n)
+            .map(|i| self.drift.batch_accuracy(self.base_accuracy, i, n))
+            .collect();
+
+        let mut piecewise =
+            PiecewiseOracle::new(Box::new(RemOracle::new(self.base_accuracy, seed)));
+        let mut next_cluster = base.num_clusters() as u32;
+        for (i, event) in events.iter().enumerate() {
+            if let Some(batch) = event.inserted() {
+                if batch.num_delta_clusters() > 0 {
+                    piecewise.push_segment(
+                        next_cluster,
+                        Box::new(RemOracle::new(
+                            batch_accuracies[i],
+                            seed.wrapping_add(1000 + i as u64),
+                        )),
+                    );
+                    next_cluster += batch.num_delta_clusters() as u32;
+                }
+            }
+        }
+
+        let oracle: Arc<dyn LabelOracle + Send + Sync> = match &self.pool {
+            Some(spec) => Arc::new(spec.wrap(Box::new(piecewise), seed)),
+            None => Arc::new(piecewise),
+        };
+
+        let cost = self
+            .costs
+            .as_ref()
+            .map(PredicateCosts::effective)
+            .unwrap_or_default();
+
+        MaterializedScenario {
+            base,
+            events,
+            oracle,
+            cost,
+            batch_accuracies,
+        }
+    }
+
+    /// The committed scenario matrix: each family isolates one hostile
+    /// axis against the benign baseline (plus the baseline itself).
+    pub fn families() -> Vec<Scenario> {
+        let benign = Scenario {
+            name: "baseline",
+            sizes: SizeDistribution::MovieZipf,
+            base_accuracy: 0.9,
+            drift: AccuracyDrift::None,
+            schedule: EventSchedule::steady(6, 0.2),
+            pool: None,
+            costs: None,
+        };
+        vec![
+            benign.clone(),
+            Scenario {
+                name: "heavy_tail_zipf",
+                sizes: SizeDistribution::Zipf {
+                    exponent: 1.1,
+                    max_size: 2000,
+                    avg_size: 20.0,
+                },
+                base_accuracy: 0.85,
+                ..benign.clone()
+            },
+            Scenario {
+                name: "pareto_tail",
+                sizes: SizeDistribution::Pareto {
+                    shape: 0.8,
+                    max_size: 2000,
+                    avg_size: 15.0,
+                },
+                base_accuracy: 0.85,
+                ..benign.clone()
+            },
+            // The drift families bound cluster sizes (cap 60) so the drift
+            // axis is isolated from the size-skew axis: a giant cluster
+            // whose inclusion probability saturates (K·w/W ≥ 1) in the
+            // weighted reservoir under-weights its (drifted, low-accuracy)
+            // cohort in the plain-mean PPS estimate. Constant-accuracy
+            // families keep unbounded tails — without a weight–accuracy
+            // correlation saturation cannot bias the estimand.
+            Scenario {
+                name: "ramp_drift",
+                sizes: SizeDistribution::Zipf {
+                    exponent: 1.9,
+                    max_size: 60,
+                    avg_size: 9.2,
+                },
+                drift: AccuracyDrift::Ramp {
+                    from: 0.95,
+                    to: 0.6,
+                },
+                ..benign.clone()
+            },
+            Scenario {
+                name: "step_drift",
+                sizes: SizeDistribution::Zipf {
+                    exponent: 1.9,
+                    max_size: 60,
+                    avg_size: 9.2,
+                },
+                drift: AccuracyDrift::Step {
+                    before: 0.9,
+                    after: 0.55,
+                    at_batch: 3,
+                },
+                ..benign.clone()
+            },
+            Scenario {
+                name: "oscillating_drift",
+                sizes: SizeDistribution::Zipf {
+                    exponent: 1.9,
+                    max_size: 60,
+                    avg_size: 9.2,
+                },
+                drift: AccuracyDrift::Oscillation {
+                    center: 0.8,
+                    amplitude: 0.15,
+                    period: 4,
+                },
+                ..benign.clone()
+            },
+            Scenario {
+                name: "burst_churn",
+                schedule: EventSchedule {
+                    num_events: 6,
+                    update_fraction: 0.1,
+                    burst_every: 3,
+                    burst_multiplier: 5,
+                    delete_fraction: 0.15,
+                    churn_burst_every: 4,
+                    churn_burst_fraction: 0.08,
+                },
+                ..benign.clone()
+            },
+            Scenario {
+                name: "correlated_pool",
+                pool: Some(PoolSpec {
+                    annotators: 5,
+                    error_rate: 0.1,
+                    shared_confusion: 0.2,
+                    tie: TieBreak::CoinFlip,
+                }),
+                ..benign.clone()
+            },
+            Scenario {
+                name: "hetero_cost",
+                costs: Some(PredicateCosts::movie_like()),
+                ..benign
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg_annotate::label_store::LabelStore;
+    use kg_model::triple::TripleRef;
+
+    fn fold(m: &MaterializedScenario) -> LabelStore {
+        let mut store = LabelStore::materialize(&m.base, m.oracle.as_ref());
+        for event in &m.events {
+            if let Some(r) = event.retracted() {
+                store.retract(r);
+            }
+            if let Some(b) = event.inserted() {
+                store.extend_with_batch(b, m.oracle.as_ref());
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn families_are_distinctly_named_and_materialize() {
+        let families = Scenario::families();
+        assert!(families.len() >= 6, "matrix needs ≥ 6 families");
+        let mut names: Vec<&str> = families.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), families.len(), "duplicate scenario names");
+        for s in &families {
+            let m = s.materialize(2_000, 77);
+            assert_eq!(m.base.total_triples(), 2_000, "{}", s.name);
+            assert_eq!(m.events.len(), s.schedule.num_events, "{}", s.name);
+            assert_eq!(m.batch_accuracies.len(), m.events.len());
+            // The stream must fold cleanly over a label store (validity of
+            // every retraction and insertion).
+            let store = fold(&m);
+            assert!(store.live_total_triples() > 0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn materialization_is_deterministic_in_seed() {
+        for s in Scenario::families() {
+            let a = s.materialize(1_500, 5);
+            let b = s.materialize(1_500, 5);
+            assert_eq!(a.base.sizes(), b.base.sizes(), "{}", s.name);
+            assert_eq!(a.events.len(), b.events.len());
+            // Oracle labels replay bit-identically, pool votes included.
+            let probe: Vec<bool> = (0..a.base.num_clusters() as u32)
+                .map(|c| a.oracle.label(TripleRef::new(c, 0)))
+                .collect();
+            let probe_b: Vec<bool> = (0..b.base.num_clusters() as u32)
+                .map(|c| b.oracle.label(TripleRef::new(c, 0)))
+                .collect();
+            assert_eq!(probe, probe_b, "{}", s.name);
+            let c = s.materialize(1_500, 6);
+            let probe_c: Vec<bool> = (0..c.base.num_clusters().min(a.base.num_clusters()) as u32)
+                .map(|x| c.oracle.label(TripleRef::new(x, 0)))
+                .collect();
+            assert_ne!(
+                probe[..probe_c.len()],
+                probe_c[..],
+                "{}: different seeds must differ",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn drift_schedules_shape_batch_accuracies() {
+        let ramp = AccuracyDrift::Ramp { from: 1.0, to: 0.5 };
+        assert!((ramp.batch_accuracy(0.9, 0, 6) - 1.0).abs() < 1e-12);
+        assert!((ramp.batch_accuracy(0.9, 5, 6) - 0.5).abs() < 1e-12);
+        assert!((ramp.batch_accuracy(0.9, 1, 6) - 0.9).abs() < 1e-12);
+        // Single-batch ramp pins to `from`.
+        assert!((ramp.batch_accuracy(0.9, 0, 1) - 1.0).abs() < 1e-12);
+
+        let step = AccuracyDrift::Step {
+            before: 0.9,
+            after: 0.5,
+            at_batch: 3,
+        };
+        assert_eq!(step.batch_accuracy(0.9, 2, 6), 0.9);
+        assert_eq!(step.batch_accuracy(0.9, 3, 6), 0.5);
+
+        let osc = AccuracyDrift::Oscillation {
+            center: 0.8,
+            amplitude: 0.1,
+            period: 4,
+        };
+        // Triangle wave: trough at period boundary, peak mid-period.
+        assert!((osc.batch_accuracy(0.8, 0, 8) - 0.7).abs() < 1e-12);
+        assert!((osc.batch_accuracy(0.8, 2, 8) - 0.9).abs() < 1e-12);
+        assert!((osc.batch_accuracy(0.8, 4, 8) - 0.7).abs() < 1e-12);
+        // Everything clamps into [0, 1].
+        let wild = AccuracyDrift::Ramp {
+            from: 1.5,
+            to: -0.5,
+        };
+        for i in 0..10 {
+            let a = wild.batch_accuracy(0.9, i, 10);
+            assert!((0.0..=1.0).contains(&a));
+        }
+        assert_eq!(AccuracyDrift::None.batch_accuracy(0.77, 3, 6), 0.77);
+    }
+
+    #[test]
+    fn burst_schedules_spike_the_right_events() {
+        let schedule = EventSchedule {
+            num_events: 6,
+            update_fraction: 0.1,
+            burst_every: 3,
+            burst_multiplier: 5,
+            delete_fraction: 0.2,
+            churn_burst_every: 4,
+            churn_burst_fraction: 0.5,
+        };
+        let v = schedule.volumes(1_000);
+        assert_eq!(v.len(), 6);
+        // Steady events insert 100; events 3 and 6 (1-based) burst ×5.
+        assert_eq!(
+            v[0],
+            EventVolume {
+                insert: 100,
+                delete: 20
+            }
+        );
+        assert_eq!(
+            v[2],
+            EventVolume {
+                insert: 500,
+                delete: 100
+            }
+        );
+        assert_eq!(
+            v[5],
+            EventVolume {
+                insert: 500,
+                delete: 100
+            }
+        );
+        // Event 4 (1-based) churn-bursts: deletes half the base KG.
+        assert_eq!(
+            v[3],
+            EventVolume {
+                insert: 100,
+                delete: 500
+            }
+        );
+        // Steady schedule helper: no deletes, no bursts.
+        for vol in EventSchedule::steady(4, 0.25).volumes(400) {
+            assert_eq!(
+                vol,
+                EventVolume {
+                    insert: 100,
+                    delete: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_sizes_cover_the_degenerate_corners() {
+        let single = SizeDistribution::Uniform { size: 500 }.sizes(500, 1);
+        assert_eq!(single, vec![500]);
+        let singletons = SizeDistribution::Uniform { size: 1 }.sizes(300, 1);
+        assert_eq!(singletons.len(), 300);
+        assert!(singletons.iter().all(|&s| s == 1));
+        // Non-divisible totals distribute the remainder.
+        let uneven = SizeDistribution::Uniform { size: 7 }.sizes(100, 1);
+        assert_eq!(uneven.iter().map(|&s| u64::from(s)).sum::<u64>(), 100);
+        assert!(uneven.iter().all(|&s| s == 7 || s == 8));
+    }
+
+    #[test]
+    fn pool_scenarios_shift_the_estimand() {
+        // ρ = 0.2 shared confusion over a 0.9-accurate base: the
+        // pool-resolved accuracy must sit clearly below the gold accuracy.
+        let families = Scenario::families();
+        let pooled = families
+            .iter()
+            .find(|s| s.name == "correlated_pool")
+            .unwrap();
+        let plain = families.iter().find(|s| s.name == "baseline").unwrap();
+        let mp = pooled.materialize(4_000, 3);
+        let mb = plain.materialize(4_000, 3);
+        let acc = |m: &MaterializedScenario| {
+            let store = fold(m);
+            store.true_accuracy()
+        };
+        let (pool_acc, gold_acc) = (acc(&mp), acc(&mb));
+        assert!(
+            pool_acc < gold_acc - 0.05,
+            "pool {pool_acc} vs gold {gold_acc}"
+        );
+    }
+
+    #[test]
+    fn hetero_costs_collapse_to_the_exact_mean() {
+        let costs = PredicateCosts::movie_like();
+        let eff = costs.effective();
+        assert!((eff.c1 - 60.0).abs() < 1e-12, "c1 {}", eff.c1);
+        assert!((eff.c2 - 31.0).abs() < 1e-12, "c2 {}", eff.c2);
+        // Class assignment: deterministic, in-range, and non-degenerate.
+        let classes: Vec<usize> = (0..3000).map(|c| costs.class_of(c, 9)).collect();
+        assert_eq!(
+            classes,
+            (0..3000).map(|c| costs.class_of(c, 9)).collect::<Vec<_>>()
+        );
+        for k in 0..costs.models.len() {
+            let share = classes.iter().filter(|&&c| c == k).count() as f64 / 3000.0;
+            assert!((share - 1.0 / 3.0).abs() < 0.05, "class {k} share {share}");
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`Zipf`] — bounded Zipf via an inverted CDF table; models the long-tail
 //!   cluster-size distributions of real KGs (NELL: >98% of clusters below
 //!   size 5, §7.2.2).
+//! * [`BoundedPareto`] — truncated Pareto via inverse CDF; the adversarial
+//!   heavy-tail generator for hostile scenario profiles (tail indices near
+//!   1 put most of the mass in a few giant clusters).
 //! * [`Binomial`] — exact inversion for small `n`, Normal approximation with
 //!   continuity correction for large `n`; used by the Binomial Mixture Model
 //!   label generator (§7.1.2) and by test harnesses.
@@ -118,6 +121,27 @@ impl Zipf {
         idx.min(self.cdf.len() - 1) + 1
     }
 
+    /// Exact pmf `P(k) = k^{-s} / H_{n,s}` of the bounded support — the
+    /// analytic reference the sampler's empirical frequencies are tested
+    /// against (chi-square exactness suite).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(
+            (1..=self.cdf.len()).contains(&k),
+            "k = {k} outside support 1..={}",
+            self.cdf.len()
+        );
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// Upper bound `n` of the support `1..=n`.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
     /// Theoretical mean of the bounded distribution.
     pub fn mean(&self) -> f64 {
         let n = self.cdf.len();
@@ -129,6 +153,92 @@ impl Zipf {
         }
         let _ = n;
         mean
+    }
+}
+
+/// Bounded (truncated) Pareto distribution on `[scale, bound]` with tail
+/// index `shape`: the classic Pareto `P(X > x) ∝ x^{-shape}` renormalized
+/// to a finite support, sampled exactly by inverse CDF in O(1) per draw.
+///
+/// This is the adversarial counterpart of [`Zipf`]: tail indices near 1
+/// concentrate most of the triple mass in a handful of giant clusters —
+/// the hostile skew regime the scenario matrix stresses cluster-sampling
+/// designs with. [`BoundedPareto::sample_size`] floors draws into integer
+/// cluster sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPareto {
+    scale: f64,
+    shape: f64,
+    bound: f64,
+    /// `1 − (L/H)^α` — the truncated tail mass, precomputed.
+    tail: f64,
+}
+
+impl BoundedPareto {
+    /// Create a truncated Pareto on `[scale, bound]` with tail index
+    /// `shape`; requires `0 < scale < bound` and `shape > 0`, all finite.
+    pub fn new(scale: f64, shape: f64, bound: f64) -> Result<Self, StatsError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(StatsError::invalid("scale", "> 0 and finite", scale));
+        }
+        if !(bound > scale && bound.is_finite()) {
+            return Err(StatsError::invalid("bound", "> scale and finite", bound));
+        }
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(StatsError::invalid("shape", "> 0 and finite", shape));
+        }
+        Ok(BoundedPareto {
+            scale,
+            shape,
+            bound,
+            tail: 1.0 - (scale / bound).powf(shape),
+        })
+    }
+
+    /// Exact CDF `F(x)` on the truncated support (0 below, 1 above).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= self.scale {
+            return 0.0;
+        }
+        if x >= self.bound {
+            return 1.0;
+        }
+        (1.0 - (self.scale / x).powf(self.shape)) / self.tail
+    }
+
+    /// Inverse CDF: the `u`-quantile of the truncated support, `u ∈ [0, 1]`.
+    pub fn quantile(&self, u: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&u),
+            "quantile needs u in [0,1], got {u}"
+        );
+        let x = self.scale / (1.0 - u * self.tail).powf(1.0 / self.shape);
+        // Floating-point guard: u → 1 may overshoot the bound by an ulp.
+        x.clamp(self.scale, self.bound)
+    }
+
+    /// Draw one variate in `[scale, bound]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+
+    /// Draw one integer cluster size: the variate floored, clamped into
+    /// `[max(1, ⌈scale⌉), ⌊bound⌋]`.
+    pub fn sample_size<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let lo = self.scale.ceil().max(1.0);
+        let hi = self.bound.floor().max(lo);
+        (self.sample(rng).floor().clamp(lo, hi)) as usize
+    }
+
+    /// Theoretical mean of the truncated distribution.
+    pub fn mean(&self) -> f64 {
+        let (l, h, a) = (self.scale, self.bound, self.shape);
+        if (a - 1.0).abs() < 1e-12 {
+            // α = 1: E = (L·H / (H − L)) · ln(H/L) after truncation.
+            l * h / (h - l) * (h / l).ln()
+        } else {
+            l.powf(a) / self.tail * a / (a - 1.0) * (l.powf(1.0 - a) - h.powf(1.0 - a))
+        }
     }
 }
 
@@ -324,6 +434,80 @@ mod tests {
         assert!(Zipf::new(0, 1.0).is_err());
         assert!(Zipf::new(10, 0.0).is_err());
         assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_matches_ratios() {
+        let d = Zipf::new(200, 1.3).unwrap();
+        assert_eq!(d.support(), 200);
+        let total: f64 = (1..=200).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf total {total}");
+        // P(1)/P(2) = 2^1.3.
+        let ratio = d.pmf(1) / d.pmf(2);
+        assert!((ratio - 2f64.powf(1.3)).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside support")]
+    fn zipf_pmf_rejects_zero() {
+        Zipf::new(10, 1.0).unwrap().pmf(0);
+    }
+
+    #[test]
+    fn pareto_samples_stay_in_bounds_with_matching_mean() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let d = BoundedPareto::new(1.0, 1.3, 500.0).unwrap();
+        let m: RunningMoments = (0..200_000)
+            .map(|_| {
+                let x = d.sample(&mut rng);
+                assert!((1.0..=500.0).contains(&x));
+                x
+            })
+            .collect();
+        assert!(
+            (m.mean() - d.mean()).abs() / d.mean() < 0.03,
+            "mean {} vs {}",
+            m.mean(),
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn pareto_cdf_quantile_round_trip() {
+        let d = BoundedPareto::new(2.0, 1.0, 100.0).unwrap();
+        for u in [0.0, 0.1, 0.5, 0.9, 0.999, 1.0] {
+            let x = d.quantile(u);
+            assert!((d.cdf(x) - u).abs() < 1e-12, "u {u} → x {x} → {}", d.cdf(x));
+        }
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(1e9), 1.0);
+        // α = 1 mean branch: L·H/(H−L)·ln(H/L).
+        let want = 2.0 * 100.0 / 98.0 * 50f64.ln();
+        assert!((d.mean() - want).abs() < 1e-9, "mean {}", d.mean());
+    }
+
+    #[test]
+    fn pareto_integer_sizes_and_determinism() {
+        let d = BoundedPareto::new(1.0, 1.1, 4000.0).unwrap();
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..500).map(|_| d.sample_size(&mut rng)).collect()
+        };
+        let a = draw(5);
+        assert_eq!(a, draw(5), "same seed must replay identically");
+        assert_ne!(a, draw(6));
+        assert!(a.iter().all(|&s| (1..=4000).contains(&s)));
+        // Heavy tail: some draw far above the mean.
+        assert!(*a.iter().max().unwrap() > 50);
+    }
+
+    #[test]
+    fn pareto_rejects_bad_parameters() {
+        assert!(BoundedPareto::new(0.0, 1.0, 10.0).is_err());
+        assert!(BoundedPareto::new(5.0, 1.0, 5.0).is_err());
+        assert!(BoundedPareto::new(1.0, 0.0, 10.0).is_err());
+        assert!(BoundedPareto::new(1.0, f64::NAN, 10.0).is_err());
+        assert!(BoundedPareto::new(1.0, 1.0, f64::INFINITY).is_err());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Exactness suite for the heavy-tailed samplers the scenario matrix
+//! builds hostile cluster-size profiles from.
+//!
+//! The inverted-CDF [`Zipf`] and inverse-CDF [`BoundedPareto`] samplers
+//! are *exact* — their empirical frequencies must match the analytic
+//! pmf / per-bin probabilities up to sampling noise. Each check computes
+//! Pearson's chi-square statistic over the support (Zipf) or over
+//! equal-probability quantile bins (Pareto) and bounds it by
+//! `df + 5·√(2·df)` — five standard deviations above the χ²(df) mean,
+//! far beyond its 99.9% quantile, so a correct sampler never trips it
+//! while an off-by-one in the CDF search or a mis-normalized table fails
+//! deterministically. All draws are seeded: the suite is bit-reproducible.
+
+use kg_stats::distr::{BoundedPareto, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Chi-square bound: mean + 5σ of χ²(df).
+fn chi_square_bound(df: usize) -> f64 {
+    df as f64 + 5.0 * (2.0 * df as f64).sqrt()
+}
+
+/// Pearson statistic of observed counts vs expected probabilities.
+fn chi_square(observed: &[u64], expected_p: &[f64], draws: u64) -> f64 {
+    assert_eq!(observed.len(), expected_p.len());
+    observed
+        .iter()
+        .zip(expected_p)
+        .map(|(&o, &p)| {
+            let e = p * draws as f64;
+            (o as f64 - e).powi(2) / e
+        })
+        .sum()
+}
+
+#[test]
+fn zipf_empirical_frequencies_match_analytic_pmf() {
+    // Full-support chi-square at three (n, s) corners, including the
+    // near-critical s ≈ 1 regime. Supports are small enough that every
+    // value has expected count ≫ 5 (the classic chi-square validity bar).
+    for (n, s, seed) in [(50usize, 1.5f64, 101u64), (30, 1.01, 102), (80, 2.5, 103)] {
+        let d = Zipf::new(n, s).unwrap();
+        let draws = 400_000u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[d.sample(&mut rng) - 1] += 1;
+        }
+        let pmf: Vec<f64> = (1..=n).map(|k| d.pmf(k)).collect();
+        let stat = chi_square(&counts, &pmf, draws);
+        let bound = chi_square_bound(n - 1);
+        assert!(
+            stat < bound,
+            "Zipf({n}, {s}): chi-square {stat:.1} over bound {bound:.1}"
+        );
+    }
+}
+
+#[test]
+fn pareto_empirical_frequencies_match_analytic_bins() {
+    // Equal-probability quantile bins: each bin has probability 1/B by
+    // construction, so mismatches localize CDF/inverse-CDF errors anywhere
+    // on the support, tail included.
+    for (shape, bound, seed) in [
+        (1.1f64, 4000.0f64, 201u64),
+        (0.7, 500.0, 202),
+        (2.0, 50.0, 203),
+    ] {
+        let d = BoundedPareto::new(1.0, shape, bound).unwrap();
+        let bins = 40usize;
+        let edges: Vec<f64> = (1..bins)
+            .map(|b| d.quantile(b as f64 / bins as f64))
+            .collect();
+        let draws = 300_000u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; bins];
+        for _ in 0..draws {
+            let x = d.sample(&mut rng);
+            let b = edges.partition_point(|&e| e < x);
+            counts[b] += 1;
+        }
+        let uniform = vec![1.0 / bins as f64; bins];
+        let stat = chi_square(&counts, &uniform, draws);
+        let bound_stat = chi_square_bound(bins - 1);
+        assert!(
+            stat < bound_stat,
+            "Pareto(α={shape}, H={bound}): chi-square {stat:.1} over bound {bound_stat:.1}"
+        );
+    }
+}
+
+#[test]
+fn chi_square_detects_a_wrong_pmf() {
+    // Negative control: scoring Zipf(1.5) draws against a Zipf(1.6) pmf
+    // must blow through the same bound, proving the statistic has power.
+    let d = Zipf::new(50, 1.5).unwrap();
+    let wrong = Zipf::new(50, 1.6).unwrap();
+    let draws = 400_000u64;
+    let mut rng = StdRng::seed_from_u64(104);
+    let mut counts = vec![0u64; 50];
+    for _ in 0..draws {
+        counts[d.sample(&mut rng) - 1] += 1;
+    }
+    let pmf: Vec<f64> = (1..=50).map(|k| wrong.pmf(k)).collect();
+    let stat = chi_square(&counts, &pmf, draws);
+    assert!(
+        stat > chi_square_bound(49),
+        "mis-specified pmf must be detected, stat {stat:.1}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every Zipf draw lands in the declared support, for arbitrary
+    /// bounded parameters and seeds.
+    #[test]
+    fn zipf_draws_stay_in_support(n in 1usize..300, s in 0.2f64..4.0, seed in any::<u64>()) {
+        let d = Zipf::new(n, s).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let k = d.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// Every Pareto draw lands in `[scale, bound]`, the CDF round-trips
+    /// the draw, and integer sizes stay in the integer support.
+    #[test]
+    fn pareto_draws_stay_in_support(
+        shape in 0.2f64..4.0,
+        span in 1.5f64..5000.0,
+        seed in any::<u64>(),
+    ) {
+        let d = BoundedPareto::new(1.0, shape, span).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = d.sample(&mut rng);
+            prop_assert!((1.0..=span).contains(&x));
+            let u = d.cdf(x);
+            prop_assert!((d.quantile(u) - x).abs() < 1e-6 * x.max(1.0));
+            let k = d.sample_size(&mut rng);
+            prop_assert!((1..=span.floor() as usize).contains(&k));
+        }
+    }
+
+    /// The sampler is a pure function of the seed: identical streams on
+    /// replay, for arbitrary parameters.
+    #[test]
+    fn heavy_tail_samplers_are_deterministic(seed in any::<u64>(), shape in 0.5f64..3.0) {
+        let z = Zipf::new(120, shape.max(0.6)).unwrap();
+        let p = BoundedPareto::new(1.0, shape, 900.0).unwrap();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let zs: Vec<usize> = (0..32).map(|_| z.sample(&mut rng)).collect();
+            let ps: Vec<u64> = (0..32).map(|_| p.sample(&mut rng).to_bits()).collect();
+            (zs, ps)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
