@@ -2,7 +2,7 @@
 //! runtime, writing the tracked benchmark JSON.
 //!
 //! Usage:
-//!   bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios] [--quick] [--seed N] [--out PATH]
+//!   bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios | --serve] [--quick] [--seed N] [--out PATH]
 //!
 //! Default mode times the hot *static* sampling designs (SRS/WCS/TWCS
 //! trial loops) and writes `BENCH_throughput.json`. `--streaming` instead
@@ -24,7 +24,11 @@
 //! matrix — every `kg_datagen::scenario` family through all eight
 //! evaluators under both engines — and writes `BENCH_scenarios.json`
 //! (schema `kg-bench-scenarios/v1`) with per-cell byte-identity and CI
-//! coverage flags.
+//! coverage flags. `--serve` load-tests the kg-serve session service over
+//! real TCP — thousands of tenant monitors registered and driven through
+//! churn scripts, with served estimates byte-checked against in-process
+//! evaluation and checkpoint/restore round-trips — and writes
+//! `BENCH_serve.json` (schema `kg-bench-serve/v1`).
 //!
 //! `--quick` shrinks scales and trial counts (CI); the default output path
 //! is `BENCH_<mode>.json` in the working directory. All artifacts are
@@ -33,7 +37,7 @@
 //! --bin bench-report`.
 
 use kg_bench::artifact::write_atomic;
-use kg_bench::{churn, parallel, scenarios, skeleton, streaming, throughput};
+use kg_bench::{churn, parallel, scenarios, serve, skeleton, streaming, throughput};
 
 enum Mode {
     Throughput,
@@ -42,6 +46,7 @@ enum Mode {
     Skeleton,
     Churn,
     Scenarios,
+    Serve,
 }
 
 fn main() {
@@ -57,6 +62,7 @@ fn main() {
             "--skeleton" => mode = Mode::Skeleton,
             "--churn" => mode = Mode::Churn,
             "--scenarios" => mode = Mode::Scenarios,
+            "--serve" => mode = Mode::Serve,
             "--quick" => quick = true,
             "--seed" => {
                 seed = Some(
@@ -70,7 +76,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios] [--quick] [--seed N] [--out PATH]"
+                    "bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios | --serve] [--quick] [--seed N] [--out PATH]"
                 );
                 return;
             }
@@ -154,6 +160,21 @@ fn main() {
                 scenarios::render_table(&report),
                 scenarios::to_json(&report),
                 out.unwrap_or_else(|| String::from("BENCH_scenarios.json")),
+            )
+        }
+        Mode::Serve => {
+            let mut opts = serve::ServeOpts {
+                quick,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                opts.seed = s;
+            }
+            let report = serve::run(&opts);
+            (
+                serve::render_table(&report),
+                serve::to_json(&report),
+                out.unwrap_or_else(|| String::from("BENCH_serve.json")),
             )
         }
         Mode::Throughput => {

@@ -25,6 +25,7 @@ pub mod fig9;
 pub mod granular;
 pub mod parallel;
 pub mod scenarios;
+pub mod serve;
 pub mod sharded;
 pub mod skeleton;
 pub mod streaming;

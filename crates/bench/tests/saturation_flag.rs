@@ -1,0 +1,114 @@
+//! Regression for the reservoir **saturation flag** on the drift-family
+//! bias repro: `drift_coverage` documents that with the movie profile's
+//! cluster cap of 4000 a single giant update cluster saturates its
+//! reservoir inclusion probability (`K·w/W ≥ 1`) and biases the RS
+//! plain-mean estimate upward by ≈ +0.02, which is why that suite bounds
+//! update clusters at 60. The monitor now *surfaces* that regime instead
+//! of silently biasing: every [`kg_eval::dynamic::monitor::BatchOutcome`]
+//! carries `saturated`, true exactly while some appended cluster's
+//! `K·w/W ≥ 1` against the live total.
+
+use kg_annotate::annotator::SimulatedAnnotator;
+use kg_annotate::cost::CostModel;
+use kg_annotate::oracle::RemOracle;
+use kg_datagen::evolve::UpdateGenerator;
+use kg_eval::config::EvalConfig;
+use kg_eval::dynamic::monitor::{run_sequence, BatchOutcome};
+use kg_eval::dynamic::reservoir::ReservoirEvaluator;
+use kg_eval::dynamic::stratified::StratifiedIncremental;
+use kg_eval::dynamic::IncrementalEvaluator;
+use kg_model::implicit::{ClusterPopulation, ImplicitKg};
+use kg_model::update::UpdateBatch;
+use kg_stats::PointEstimate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 20190923;
+const CAPACITY: usize = 60;
+
+fn base_kg(clusters: usize) -> ImplicitKg {
+    ImplicitKg::new((0..clusters).map(|i| 1 + (i % 12) as u32).collect()).unwrap()
+}
+
+fn replay_rs(base: &ImplicitKg, batches: &[UpdateBatch]) -> Vec<BatchOutcome> {
+    let config = EvalConfig::default();
+    let oracle = RemOracle::new(0.9, SEED);
+    let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rs =
+        ReservoirEvaluator::evaluate_base(base, CAPACITY, 5, config, &mut annotator, &mut rng);
+    assert!(!rs.saturated(), "bounded base must start unsaturated");
+    run_sequence(&mut rs, batches, config.alpha, &mut annotator, &mut rng)
+}
+
+/// The flag's exact per-batch truth on an insert-only stream: `K·w/W ≥ 1`
+/// for the largest cluster appended so far against the live total.
+fn expected_flags(base: &ImplicitKg, batches: &[UpdateBatch]) -> Vec<bool> {
+    let mut max_w = u64::from(base.sizes().iter().copied().max().unwrap());
+    let mut live = base.total_triples();
+    batches
+        .iter()
+        .map(|b| {
+            live += b.total_triples();
+            let batch_max = b.delta_sizes().iter().copied().max().unwrap_or(0);
+            max_w = max_w.max(u64::from(batch_max));
+            (CAPACITY as u128) * (max_w as u128) >= live as u128
+        })
+        .collect()
+}
+
+#[test]
+fn saturation_flag_fires_on_the_drift_bias_repro_stream() {
+    // The repro family: movie-profile cap 4000 (vs drift_coverage's 60)
+    // over the drift suite's 600-cluster base.
+    let base = base_kg(600);
+    let batches = UpdateGenerator::new(1.9, 4000, 9.2).sequence(5, 400, SEED ^ 0xcafe);
+    let expected = expected_flags(&base, &batches);
+    assert!(
+        expected.iter().any(|&f| f),
+        "repro stream must contain a saturating cluster (regenerate the seed)"
+    );
+    let outcomes = replay_rs(&base, &batches);
+    for (k, (o, &want)) in outcomes.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            o.saturated,
+            want,
+            "batch {}: saturated flag disagrees with K·w/W",
+            k + 1
+        );
+    }
+}
+
+#[test]
+fn bounded_streams_never_raise_the_flag() {
+    // A frame where every cluster stays below W/K — the cap-60 update
+    // stream against a 39k-triple base (the generator's remainder cluster
+    // can exceed the nominal cap, so the base must dominate it) — is
+    // never flagged.
+    let base = base_kg(6000);
+    let batches = UpdateGenerator::new(1.9, 60, 9.2).sequence(5, 400, SEED ^ 0xcafe);
+    assert!(
+        expected_flags(&base, &batches).iter().all(|&f| !f),
+        "bounded stream must stay unsaturated"
+    );
+    for o in replay_rs(&base, &batches) {
+        assert!(!o.saturated, "batch {} wrongly flagged", o.batch);
+    }
+}
+
+#[test]
+fn stratified_monitor_never_saturates() {
+    // SS samples each stratum with a fresh TWCS frame — no reservoir
+    // inclusion probability exists to saturate, even on the repro stream.
+    let base = base_kg(600);
+    let batches = UpdateGenerator::new(1.9, 4000, 9.2).sequence(5, 400, SEED ^ 0xcafe);
+    let config = EvalConfig::default();
+    let oracle = RemOracle::new(0.9, SEED);
+    let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let est = PointEstimate::new(0.9, 0.0004, 60).unwrap();
+    let mut ss = StratifiedIncremental::from_base(&base, est, 5, config);
+    for o in run_sequence(&mut ss, &batches, config.alpha, &mut annotator, &mut rng) {
+        assert!(!o.saturated, "SS flagged batch {}", o.batch);
+    }
+}

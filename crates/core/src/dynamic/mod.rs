@@ -22,6 +22,7 @@
 
 pub mod monitor;
 pub mod reservoir;
+pub mod state;
 pub mod stratified;
 
 use kg_annotate::annotator::Annotator;
@@ -98,6 +99,16 @@ pub trait IncrementalEvaluator {
 
     /// Current estimate.
     fn estimate(&self) -> PointEstimate;
+
+    /// Whether the evaluator's sampling design has left its exactness
+    /// regime. The reservoir evaluator reports `true` once some appended
+    /// cluster satisfies `K·w/W ≥ 1` (its inclusion probability saturates,
+    /// biasing the plain-mean estimate — the drift-family effect); the
+    /// stratified evaluator's per-stratum frames never saturate this way,
+    /// so it keeps the default `false`.
+    fn saturated(&self) -> bool {
+        false
+    }
 
     /// Strategy name for reports.
     fn name(&self) -> &'static str;

@@ -41,6 +41,11 @@ pub struct BatchOutcome {
     pub batch_cost_seconds: f64,
     /// Cumulative human seconds since monitoring began.
     pub cumulative_cost_seconds: f64,
+    /// Whether the evaluator's sampling design had left its exactness
+    /// regime when this estimate was produced (see
+    /// [`IncrementalEvaluator::saturated`]) — `true` flags the estimate as
+    /// potentially biased rather than merely wide.
+    pub saturated: bool,
 }
 
 /// Apply a sequence of update batches to an incremental evaluator,
@@ -63,6 +68,7 @@ pub fn run_sequence(
             moe: estimate.moe(alpha).expect("valid alpha"),
             batch_cost_seconds: now - prev_cost,
             cumulative_cost_seconds: now,
+            saturated: evaluator.saturated(),
         });
         prev_cost = now;
     }
@@ -96,6 +102,7 @@ pub fn run_event_sequence(
             moe: estimate.moe(alpha).expect("valid alpha"),
             batch_cost_seconds: now - prev_cost,
             cumulative_cost_seconds: now,
+            saturated: evaluator.saturated(),
         });
         prev_cost = now;
     }

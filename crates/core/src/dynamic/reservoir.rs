@@ -9,8 +9,14 @@
 //! from the *current* KG state top the sample up, exactly as the paper
 //! prescribes ("we again run Static Evaluation on G + Δ … iteratively
 //! until MoE is no more than ε").
+//!
+//! All mutable state lives in [`ReservoirState`] (see
+//! [`crate::dynamic::state`]): the evaluator is thin logic over it, so a
+//! session can extract, checkpoint, and restore the state mid-stream with
+//! byte-identical estimates thereafter.
 
 use crate::config::EvalConfig;
+use crate::dynamic::state::{MonitorState, ReservoirState};
 use crate::dynamic::IncrementalEvaluator;
 use kg_annotate::annotator::Annotator;
 use kg_model::implicit::ImplicitKg;
@@ -56,20 +62,9 @@ pub struct ReservoirEvaluator {
     m: usize,
     config: EvalConfig,
     offer_mode: OfferMode,
-    reservoir: WeightedReservoirExpJ<u32>,
-    /// Second-stage accuracy of each current reservoir member. Ordered by
-    /// cluster id so the estimate's summation order is deterministic (a
-    /// hash map would make the last float bits depend on its random state).
-    member_accuracy: BTreeMap<u32, f64>,
-    /// Top-up accuracies drawn from the current KG state (cleared on each
-    /// update because their sampling frame becomes stale).
-    extras: Vec<f64>,
-    /// Evolving KG skeleton: PPS frame over every cluster seen so far,
-    /// doubling as the size table (`pps.weight(c)` is cluster `c`'s size).
-    /// In batched mode each update batch is adopted as an `Arc`-shared
-    /// segment — O(1) per batch, no weight copied.
-    pps: GrowablePps,
-    /// Reusable second-stage offset buffer.
+    /// Every mutable field — extractable for checkpoint/restore.
+    pub(crate) state: ReservoirState,
+    /// Reusable second-stage offset buffer (pure scratch — not state).
     scratch: Vec<usize>,
 }
 
@@ -129,15 +124,52 @@ impl ReservoirEvaluator {
             m,
             config,
             offer_mode,
-            reservoir,
-            member_accuracy: BTreeMap::new(),
-            extras: Vec::new(),
-            pps,
+            state: ReservoirState {
+                reservoir,
+                member_accuracy: BTreeMap::new(),
+                extras: Vec::new(),
+                pps,
+                max_gross_weight: base.sizes().iter().copied().max().unwrap_or(0).into(),
+            },
             scratch: Vec::with_capacity(m),
         };
         this.annotate_new_members(annotator, rng);
         this.top_up(annotator, rng);
         this
+    }
+
+    /// Rebuild an evaluator around restored [`ReservoirState`] — the
+    /// checkpoint/restore path. `m`, `config`, and `offer_mode` are spec,
+    /// not state: the session record carries them alongside the state
+    /// bytes.
+    pub fn from_state(
+        state: ReservoirState,
+        m: usize,
+        config: EvalConfig,
+        offer_mode: OfferMode,
+    ) -> Self {
+        ReservoirEvaluator {
+            m,
+            config,
+            offer_mode,
+            state,
+            scratch: Vec::with_capacity(m),
+        }
+    }
+
+    /// Borrow the extractable state.
+    pub fn state(&self) -> &ReservoirState {
+        &self.state
+    }
+
+    /// Extract the state, consuming the evaluator.
+    pub fn into_state(self) -> MonitorState {
+        MonitorState::Reservoir(self.state)
+    }
+
+    /// The configured offer mode.
+    pub fn offer_mode(&self) -> OfferMode {
+        self.offer_mode
     }
 
     /// Shift every *currently annotated* accuracy by `bias` (clamped to
@@ -147,52 +179,53 @@ impl ReservoirEvaluator {
     /// recovers as biased members are evicted and diluted, while the same
     /// bias frozen into a stratified evaluator's base estimate persists.
     pub fn inject_initial_bias(&mut self, bias: f64) {
-        for acc in self.member_accuracy.values_mut() {
+        for acc in self.state.member_accuracy.values_mut() {
             *acc = (*acc + bias).clamp(0.0, 1.0);
         }
-        for acc in &mut self.extras {
+        for acc in &mut self.state.extras {
             *acc = (*acc + bias).clamp(0.0, 1.0);
         }
     }
 
     /// Number of reservoir replacement events so far (Proposition 3).
     pub fn replacements(&self) -> u64 {
-        self.reservoir.replacements()
+        self.state.reservoir.replacements()
     }
 
     /// Reservoir capacity `|R|`.
     pub fn capacity(&self) -> usize {
-        self.reservoir.capacity()
+        self.state.reservoir.capacity()
     }
 
     /// Current **live** triples in the evolved KG skeleton — insertions
     /// minus retractions.
     pub fn total_triples(&self) -> u64 {
-        self.pps.total()
+        self.state.pps.total()
     }
 
     fn annotate_new_members(&mut self, annotator: &mut dyn Annotator, rng: &mut dyn RngCore) {
-        let members: Vec<u32> = self.reservoir.iter().map(|k| k.item).collect();
+        let members: Vec<u32> = self.state.reservoir.iter().map(|k| k.item).collect();
         for c in members {
-            if !self.member_accuracy.contains_key(&c) {
+            if !self.state.member_accuracy.contains_key(&c) {
                 let acc = annotate_cluster_subset(
                     c,
-                    self.pps.weight(c as usize) as usize,
+                    self.state.pps.weight(c as usize) as usize,
                     self.m,
                     rng,
                     annotator,
                     &mut self.scratch,
                 );
-                self.member_accuracy.insert(c, acc);
+                self.state.member_accuracy.insert(c, acc);
             }
         }
     }
 
     fn moments(&self) -> RunningMoments {
-        self.member_accuracy
+        self.state
+            .member_accuracy
             .values()
             .copied()
-            .chain(self.extras.iter().copied())
+            .chain(self.state.extras.iter().copied())
             .collect()
     }
 
@@ -201,7 +234,7 @@ impl ReservoirEvaluator {
     fn top_up(&mut self, annotator: &mut dyn Annotator, rng: &mut dyn RngCore) {
         loop {
             let est = self.estimate();
-            let n = self.member_accuracy.len() + self.extras.len();
+            let n = self.state.member_accuracy.len() + self.state.extras.len();
             let moe = est.moe(self.config.alpha).expect("valid alpha");
             if n >= self.config.min_units && moe <= self.config.target_moe {
                 break;
@@ -209,18 +242,18 @@ impl ReservoirEvaluator {
             if n >= self.config.max_units {
                 break;
             }
-            assert!(!self.pps.is_empty(), "non-empty evolved KG");
+            assert!(!self.state.pps.is_empty(), "non-empty evolved KG");
             for _ in 0..self.config.batch_size {
-                let c = self.pps.sample(rng) as u32;
+                let c = self.state.pps.sample(rng) as u32;
                 let acc = annotate_cluster_subset(
                     c,
-                    self.pps.weight(c as usize) as usize,
+                    self.state.pps.weight(c as usize) as usize,
                     self.m,
                     rng,
                     annotator,
                     &mut self.scratch,
                 );
-                self.extras.push(acc);
+                self.state.extras.push(acc);
             }
         }
     }
@@ -236,9 +269,11 @@ impl IncrementalEvaluator for ReservoirEvaluator {
         // Announce the batch before annotating any of its fresh ids, so a
         // materialized engine can grow its label state (no-op for the hash
         // engine, and for replays over a pre-evolved store).
-        annotator.extend_population(self.pps.len() as u32, delta);
+        annotator.extend_population(self.state.pps.len() as u32, delta);
         // Stale after growth: extras were drawn from the previous frame.
-        self.extras.clear();
+        self.state.extras.clear();
+        let batch_max = delta.delta_sizes().iter().copied().max().unwrap_or(0);
+        self.state.max_gross_weight = self.state.max_gross_weight.max(batch_max.into());
         match self.offer_mode {
             OfferMode::Batched => {
                 // O(1) skeleton growth: the batch's cached weight prefix is
@@ -247,15 +282,20 @@ impl IncrementalEvaluator for ReservoirEvaluator {
                 // offer call per Δe cluster. Annotation draws interleave
                 // with the offer stream through the callback exactly where
                 // the per-item loop puts them.
-                let first = self.pps.len() as u32;
-                self.pps
+                let first = self.state.pps.len() as u32;
+                self.state
+                    .pps
                     .extend_shared(delta.weight_prefix_shared())
                     .expect("Δe groups are non-empty");
                 let m = self.m;
-                let member_accuracy = &mut self.member_accuracy;
+                let ReservoirState {
+                    reservoir,
+                    member_accuracy,
+                    ..
+                } = &mut self.state;
                 let scratch = &mut self.scratch;
                 let delta_sizes = delta.delta_sizes();
-                self.reservoir.offer_batch(
+                reservoir.offer_batch(
                     rng,
                     delta.weight_prefix(),
                     |i| first + i as u32,
@@ -277,9 +317,9 @@ impl IncrementalEvaluator for ReservoirEvaluator {
             }
             OfferMode::PerItem => {
                 for &dsize in delta.delta_sizes() {
-                    let id = self.pps.len() as u32;
-                    self.pps.push(dsize).expect("Δe groups are non-empty");
-                    match self.reservoir.offer(rng, id, dsize as f64) {
+                    let id = self.state.pps.len() as u32;
+                    self.state.pps.push(dsize).expect("Δe groups are non-empty");
+                    match self.state.reservoir.offer(rng, id, dsize as f64) {
                         OfferOutcome::Inserted => {
                             let acc = annotate_cluster_subset(
                                 id,
@@ -289,10 +329,10 @@ impl IncrementalEvaluator for ReservoirEvaluator {
                                 annotator,
                                 &mut self.scratch,
                             );
-                            self.member_accuracy.insert(id, acc);
+                            self.state.member_accuracy.insert(id, acc);
                         }
                         OfferOutcome::Replaced(evicted) => {
-                            self.member_accuracy.remove(&evicted.item);
+                            self.state.member_accuracy.remove(&evicted.item);
                             let acc = annotate_cluster_subset(
                                 id,
                                 dsize as usize,
@@ -301,7 +341,7 @@ impl IncrementalEvaluator for ReservoirEvaluator {
                                 annotator,
                                 &mut self.scratch,
                             );
-                            self.member_accuracy.insert(id, acc);
+                            self.state.member_accuracy.insert(id, acc);
                         }
                         OfferOutcome::Rejected => {}
                     }
@@ -327,10 +367,11 @@ impl IncrementalEvaluator for ReservoirEvaluator {
         // walk (and everything derived from it) is deterministic.
         let mut fully_dead: BTreeSet<u32> = BTreeSet::new();
         for (cluster, offsets) in retraction.entries() {
-            self.pps
+            self.state
+                .pps
                 .decrement(*cluster as usize, offsets.len() as u64)
                 .expect("retraction addresses live triples of known clusters");
-            if self.pps.weight(*cluster as usize) == 0 {
+            if self.state.pps.weight(*cluster as usize) == 0 {
                 fully_dead.insert(*cluster);
             }
         }
@@ -339,9 +380,9 @@ impl IncrementalEvaluator for ReservoirEvaluator {
         // cost stays sunk) and the reservoir re-enters fill mode if it
         // dropped below capacity.
         if !fully_dead.is_empty() {
-            self.reservoir.retain(|c| !fully_dead.contains(c));
+            self.state.reservoir.retain(|c| !fully_dead.contains(c));
             for c in &fully_dead {
-                self.member_accuracy.remove(c);
+                self.state.member_accuracy.remove(c);
             }
         }
         // Partially-dead members keep their seat (their survival keys are
@@ -349,22 +390,22 @@ impl IncrementalEvaluator for ReservoirEvaluator {
         // but their second-stage accuracy was sampled from a frame that
         // included now-dead triples — re-annotate over the live remainder.
         for (cluster, _) in retraction.entries() {
-            if fully_dead.contains(cluster) || !self.member_accuracy.contains_key(cluster) {
+            if fully_dead.contains(cluster) || !self.state.member_accuracy.contains_key(cluster) {
                 continue;
             }
             let acc = annotate_cluster_subset(
                 *cluster,
-                self.pps.weight(*cluster as usize) as usize,
+                self.state.pps.weight(*cluster as usize) as usize,
                 self.m,
                 rng,
                 annotator,
                 &mut self.scratch,
             );
-            self.member_accuracy.insert(*cluster, acc);
+            self.state.member_accuracy.insert(*cluster, acc);
         }
         // Extras were drawn from the pre-retraction frame — stale now.
-        self.extras.clear();
-        if self.pps.total() > 0 {
+        self.state.extras.clear();
+        if self.state.pps.total() > 0 {
             self.top_up(annotator, rng);
         }
         self.estimate()
@@ -382,6 +423,10 @@ impl IncrementalEvaluator for ReservoirEvaluator {
             n,
         )
         .expect("plug-in variance is non-negative")
+    }
+
+    fn saturated(&self) -> bool {
+        self.state.saturated()
     }
 
     fn name(&self) -> &'static str {
@@ -497,25 +542,25 @@ mod tests {
         let live_before = eval.total_triples();
         // Fully retract one reservoir member and partially retract another.
         let members: Vec<u32> = {
-            let mut m: Vec<u32> = eval.member_accuracy.keys().copied().collect();
+            let mut m: Vec<u32> = eval.state.member_accuracy.keys().copied().collect();
             m.sort_unstable();
             m
         };
         let full = members[0];
         let partial = *members
             .iter()
-            .find(|&&c| eval.pps.weight(c as usize) >= 2 && c != full)
+            .find(|&&c| eval.state.pps.weight(c as usize) >= 2 && c != full)
             .expect("some member has ≥ 2 triples");
-        let full_size = eval.pps.weight(full as usize) as u32;
+        let full_size = eval.state.pps.weight(full as usize) as u32;
         let r =
             Retraction::new(vec![(full, (0..full_size).collect()), (partial, vec![0])]).unwrap();
         let est = eval.apply_retraction(&r, &mut annotator, &mut rng);
         assert_eq!(eval.total_triples(), live_before - u64::from(full_size) - 1);
         // The fully-dead cluster left the reservoir and the sample; the
         // partially-dead one kept its seat with a refreshed accuracy.
-        assert!(!eval.member_accuracy.contains_key(&full));
-        assert!(eval.member_accuracy.contains_key(&partial));
-        assert_eq!(eval.pps.weight(full as usize), 0);
+        assert!(!eval.state.member_accuracy.contains_key(&full));
+        assert!(eval.state.member_accuracy.contains_key(&partial));
+        assert_eq!(eval.state.pps.weight(full as usize), 0);
         assert!(est.moe(0.05).unwrap() <= 0.05);
         // Later updates still work over the decremented frame.
         let delta = UpdateBatch::from_sizes(vec![5; 50]).unwrap();
@@ -549,5 +594,44 @@ mod tests {
             "estimate {} should approach 0.45",
             est.mean
         );
+    }
+
+    #[test]
+    fn saturation_flag_fires_when_a_cluster_overflows_its_inclusion_probability() {
+        // The PR 8 drift-family repro in miniature: a modest base whose
+        // largest cluster is far below K·w/W = 1, then one giant update
+        // cluster (the movie-profile cap) that saturates it.
+        let base = ImplicitKg::new((0..600).map(|i| 1 + (i % 12)).collect()).unwrap();
+        let oracle = RemOracle::new(0.9, 21);
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut eval = ReservoirEvaluator::evaluate_base(
+            &base,
+            60,
+            5,
+            EvalConfig::default(),
+            &mut annotator,
+            &mut rng,
+        );
+        assert!(
+            !eval.saturated(),
+            "base max weight 12 at K=60 over {} triples must not saturate",
+            eval.total_triples()
+        );
+        let delta = UpdateBatch::from_sizes(vec![4000]).unwrap();
+        eval.apply_update(&delta, &mut annotator, &mut rng);
+        assert!(
+            eval.saturated(),
+            "a 4000-triple cluster at K=60 over {} live triples saturates K·w/W",
+            eval.total_triples()
+        );
+        // Conservative under churn: the flag stays up even after the giant
+        // cluster is fully retracted, because the biased draws already
+        // happened.
+        use kg_model::retract::Retraction;
+        let giant = 600u32;
+        let r = Retraction::new(vec![(giant, (0..4000).collect())]).unwrap();
+        eval.apply_retraction(&r, &mut annotator, &mut rng);
+        assert!(eval.saturated(), "saturation is monotone under retraction");
     }
 }

@@ -11,8 +11,14 @@
 //! strategy, 20–67% below RS in §7.3) and its weakness: a bad early
 //! estimate persists, since nothing ever refreshes old strata — the
 //! fault-tolerance trade-off of Fig. 9.
+//!
+//! All mutable state lives in [`StratifiedState`] (see
+//! [`crate::dynamic::state`]): the evaluator is thin logic over it, so a
+//! session can extract, checkpoint, and restore the state mid-stream with
+//! byte-identical estimates thereafter.
 
 use crate::config::EvalConfig;
+use crate::dynamic::state::{MonitorState, StratifiedState, StratumEval, StratumState};
 use crate::dynamic::IncrementalEvaluator;
 use kg_annotate::annotator::Annotator;
 use kg_model::implicit::{ClusterPopulation, ImplicitKg};
@@ -23,63 +29,6 @@ use kg_stats::pps::GrowablePps;
 use kg_stats::{PointEstimate, RunningMoments};
 use rand::RngCore;
 
-/// One stratum: a segment of the evolving KG with its (possibly frozen)
-/// estimate.
-struct StratumEval {
-    /// Global cluster id of the stratum's first cluster — strata partition
-    /// the id space into contiguous runs, so a retraction routes to its
-    /// stratum by binary search over these.
-    first_cluster: u32,
-    /// Clusters minted by the stratum's batch.
-    num_clusters: u32,
-    /// **Live** triples in the stratum (its weight numerator) — decremented
-    /// by retractions.
-    triples: u64,
-    /// Estimate source: frozen (reused from a previous round) or live
-    /// accumulation.
-    state: StratumState,
-}
-
-enum StratumState {
-    /// Reused verbatim; never sampled again. Retractions only shrink the
-    /// stratum's weight — Algorithm 2 never revisits its sample.
-    Frozen(PointEstimate),
-    /// The stratum currently being sampled.
-    Live {
-        /// PPS frame over the stratum's cluster sizes — adopts the batch's
-        /// cached weight prefix as a shared segment, O(1) to build, and
-        /// doubles as the live size table (`pps.weight(local)`), so
-        /// retraction decrements flow straight into the sampling frame.
-        pps: GrowablePps,
-        /// Per-draw second-stage accuracies.
-        accs: RunningMoments,
-    },
-}
-
-impl StratumEval {
-    fn estimate(&self, m: usize) -> PointEstimate {
-        match &self.state {
-            StratumState::Frozen(e) => *e,
-            StratumState::Live { accs, .. } => {
-                let n = accs.count() as usize;
-                if n < 2 {
-                    // Conservative until the within-stratum variance is
-                    // estimable, mirroring `kg_sampling::stratified`.
-                    PointEstimate::new(if n == 1 { accs.mean() } else { 0.5 }, 0.25, n)
-                        .expect("constant variance is valid")
-                } else {
-                    PointEstimate::new(
-                        accs.mean(),
-                        kg_sampling::twcs::floored_variance_of_mean(accs, m),
-                        n,
-                    )
-                    .expect("plug-in variance is non-negative")
-                }
-            }
-        }
-    }
-}
-
 /// Stratified incremental evaluator (SS in §7.3).
 ///
 /// Engine-agnostic: `apply_update` announces each batch to the annotator
@@ -89,8 +38,8 @@ impl StratumEval {
 pub struct StratifiedIncremental {
     m: usize,
     config: EvalConfig,
-    strata: Vec<StratumEval>,
-    next_cluster_id: u32,
+    /// Every mutable field — extractable for checkpoint/restore.
+    pub(crate) state: StratifiedState,
 }
 
 impl StratifiedIncremental {
@@ -108,25 +57,45 @@ impl StratifiedIncremental {
         StratifiedIncremental {
             m,
             config,
-            strata: vec![StratumEval {
-                first_cluster: 0,
-                num_clusters: base.num_clusters() as u32,
-                triples: base.total_triples(),
-                state: StratumState::Frozen(base_estimate),
-            }],
-            next_cluster_id: base.num_clusters() as u32,
+            state: StratifiedState {
+                strata: vec![StratumEval {
+                    first_cluster: 0,
+                    num_clusters: base.num_clusters() as u32,
+                    triples: base.total_triples(),
+                    state: StratumState::Frozen(base_estimate),
+                }],
+                next_cluster_id: base.num_clusters() as u32,
+            },
         }
+    }
+
+    /// Rebuild an evaluator around restored [`StratifiedState`] — the
+    /// checkpoint/restore path. `m` and `config` are spec, not state: the
+    /// session record carries them alongside the state bytes.
+    pub fn from_state(state: StratifiedState, m: usize, config: EvalConfig) -> Self {
+        StratifiedIncremental { m, config, state }
+    }
+
+    /// Borrow the extractable state.
+    pub fn state(&self) -> &StratifiedState {
+        &self.state
+    }
+
+    /// Extract the state, consuming the evaluator.
+    pub fn into_state(self) -> MonitorState {
+        MonitorState::Stratified(self.state)
     }
 
     /// Number of strata (base + one per applied update).
     pub fn num_strata(&self) -> usize {
-        self.strata.len()
+        self.state.strata.len()
     }
 
     /// Current stratum weights `W_h` (triple shares).
     pub fn weights(&self) -> Vec<f64> {
-        let total: u64 = self.strata.iter().map(|s| s.triples).sum();
-        self.strata
+        let total: u64 = self.state.strata.iter().map(|s| s.triples).sum();
+        self.state
+            .strata
             .iter()
             .map(|s| s.triples as f64 / total as f64)
             .collect()
@@ -138,7 +107,7 @@ impl StratifiedIncremental {
         PointEstimate::stratified(
             weights
                 .into_iter()
-                .zip(self.strata.iter().map(|s| s.estimate(m))),
+                .zip(self.state.strata.iter().map(|s| s.estimate(m))),
         )
         .expect("weights sum to one over non-empty strata")
     }
@@ -154,11 +123,11 @@ impl IncrementalEvaluator for StratifiedIncremental {
         // Announce the batch before annotating any of its fresh ids, so a
         // materialized engine can grow its label state (no-op for the hash
         // engine, and for replays over a pre-evolved store).
-        annotator.extend_population(self.next_cluster_id, delta);
+        annotator.extend_population(self.state.next_cluster_id, delta);
         // Freeze the previous live stratum (if any): Algorithm 2 reuses its
         // estimate from now on.
         let m = self.m;
-        if let Some(last) = self.strata.last_mut() {
+        if let Some(last) = self.state.strata.last_mut() {
             let est = last.estimate(m);
             if matches!(last.state, StratumState::Live { .. }) {
                 last.state = StratumState::Frozen(est);
@@ -171,10 +140,10 @@ impl IncrementalEvaluator for StratifiedIncremental {
         // prefix — nothing per-cluster happens here at all.
         let pps =
             GrowablePps::shared(delta.weight_prefix_shared()).expect("Δe groups are non-empty");
-        let first_cluster = self.next_cluster_id;
+        let first_cluster = self.state.next_cluster_id;
         let num_clusters = delta.num_delta_clusters() as u32;
-        self.next_cluster_id += num_clusters;
-        self.strata.push(StratumEval {
+        self.state.next_cluster_id += num_clusters;
+        self.state.strata.push(StratumEval {
             first_cluster,
             num_clusters,
             triples: delta.total_triples(),
@@ -191,7 +160,7 @@ impl IncrementalEvaluator for StratifiedIncremental {
         let mut drawn = 0usize;
         let mut scratch: Vec<usize> = Vec::with_capacity(self.m);
         loop {
-            let live_units = match &self.strata.last().expect("just pushed").state {
+            let live_units = match &self.state.strata.last().expect("just pushed").state {
                 StratumState::Live { accs, .. } => accs.count(),
                 StratumState::Frozen(_) => unreachable!("last stratum is live"),
             };
@@ -202,7 +171,7 @@ impl IncrementalEvaluator for StratifiedIncremental {
                     break;
                 }
             }
-            let live = self.strata.last_mut().expect("just pushed");
+            let live = self.state.strata.last_mut().expect("just pushed");
             let first_cluster = live.first_cluster;
             if let StratumState::Live { pps, accs } = &mut live.state {
                 for _ in 0..self.config.batch_size {
@@ -243,11 +212,12 @@ impl IncrementalEvaluator for StratifiedIncremental {
         for (cluster, offsets) in retraction.entries() {
             let dead = offsets.len() as u64;
             let idx = self
+                .state
                 .strata
                 .partition_point(|s| s.first_cluster <= *cluster)
                 .checked_sub(1)
                 .expect("strata start at cluster 0");
-            let stratum = &mut self.strata[idx];
+            let stratum = &mut self.state.strata[idx];
             assert!(
                 *cluster < stratum.first_cluster + stratum.num_clusters,
                 "retraction addresses a cluster no stratum minted"
@@ -421,5 +391,39 @@ mod tests {
         assert_eq!(ss.num_strata(), 1);
         assert!((est.mean - 0.9).abs() < 1e-9);
         assert_eq!(annotator.triples_annotated(), 0);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_live_stratum() {
+        // Checkpoint after one update, restore, and verify both copies
+        // produce byte-identical estimates for the rest of the stream.
+        let base = base_kg();
+        let oracle = RemOracle::new(0.9, 12);
+        let mut ss =
+            StratifiedIncremental::from_base(&base, base_estimate(0.9), 5, EvalConfig::default());
+        let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut rng = StdRng::seed_from_u64(13);
+        let delta = UpdateBatch::from_sizes(vec![4; 100]).unwrap();
+        ss.apply_update(&delta, &mut annotator, &mut rng);
+        let rng_state = rng.state();
+        let bytes = ss.into_state().snapshot();
+        let restored = match MonitorState::restore(&bytes).unwrap() {
+            MonitorState::Stratified(s) => s,
+            _ => panic!("stratified state expected"),
+        };
+        let mut a = StratifiedIncremental::from_state(restored.clone(), 5, EvalConfig::default());
+        let mut b = StratifiedIncremental::from_state(restored, 5, EvalConfig::default());
+        let mut rng_a = StdRng::from_state(rng_state);
+        let mut rng_b = StdRng::from_state(rng_state);
+        let mut ann_a = SimulatedAnnotator::new(&oracle, CostModel::default());
+        let mut ann_b = SimulatedAnnotator::new(&oracle, CostModel::default());
+        for round in 0..3 {
+            let delta = UpdateBatch::from_sizes(vec![3; 80]).unwrap();
+            let ea = a.apply_update(&delta, &mut ann_a, &mut rng_a);
+            let eb = b.apply_update(&delta, &mut ann_b, &mut rng_b);
+            assert_eq!(ea.mean.to_bits(), eb.mean.to_bits(), "round {round}");
+            assert_eq!(ea.var_of_mean.to_bits(), eb.var_of_mean.to_bits());
+            assert_eq!(ea.units, eb.units);
+        }
     }
 }

@@ -38,6 +38,7 @@ pub mod executor;
 pub mod framework;
 pub mod granular;
 pub mod report;
+pub mod session;
 pub mod sharded;
 pub mod static_eval;
 
@@ -45,4 +46,5 @@ pub use config::EvalConfig;
 pub use executor::TrialExecutor;
 pub use framework::Evaluator;
 pub use report::EvaluationReport;
+pub use session::{EstimateReport, SessionRegistry, SessionSpec};
 pub use sharded::{ShardDesign, ShardReplayReport, ShardedReplay};

@@ -1,0 +1,1262 @@
+//! Session-scoped monitor runtime: tenant sessions over the §6
+//! incremental evaluators, with versioned checkpoint/restore.
+//!
+//! A [`SessionRegistry`] owns many tenant *sessions*. Each session is the
+//! complete, explicit state of one accuracy monitor — an
+//! `Arc<`[`LabelStore`]`>` gross-population record, an extractable
+//! [`MonitorState`], and an RNG cursor — while heavyweight machinery (the
+//! [`TrialExecutor`], and one [`DenseArenaPool`] per distinct base KG) is
+//! shared across tenants through an interned catalog.
+//!
+//! # Request model and the checkpoint invariant
+//!
+//! Every request (a batch of [`KgEvent`]s, an estimate read, an audit)
+//! rebuilds its evaluator from the session's [`MonitorState`] and drives
+//! it with a **fresh annotator** over the session's store, after
+//! re-applying the session's merged tombstones so the live coordinate view
+//! matches the uninterrupted stream. Estimates are a pure function of
+//! `(MonitorState, RNG cursor, oracle labels under the live view)`, so a
+//! session checkpointed mid-stream ([`SessionRegistry::checkpoint`]) and
+//! restored in a fresh process ([`SessionRegistry::restore`]) produces
+//! **byte-identical** estimates to the uninterrupted run — and the
+//! estimate stream is invariant to how events are partitioned into
+//! requests.
+//!
+//! Annotation *cost* is the one quantity that is not: annotator memos die
+//! at request boundaries, so a cluster re-annotated in a later request is
+//! charged again. `cumulative_cost_seconds` is therefore an upper bound
+//! that tightens to the uninterrupted monitor's cost as requests coarsen.
+//!
+//! # Checkpoint format
+//!
+//! [`SessionRegistry::checkpoint`] emits a `KGSN` v1 record
+//! ([`kg_stats::codec`]): the full [`SessionSpec`], the monitor-state
+//! payload (`KGMS`), the RNG cursor, the insert-batch log, the merged
+//! tombstones, and stream counters. The label store is *not* serialized —
+//! restore re-materializes it from the oracle spec and replays the batch
+//! log, which is byte-deterministic. Decoders reject unknown versions,
+//! truncated payloads, and structurally inconsistent records with typed
+//! [`CodecError`]s; they never panic on hostile input.
+
+use crate::config::EvalConfig;
+use crate::dynamic::monitor::audit_sharded;
+use crate::dynamic::reservoir::{OfferMode, ReservoirEvaluator};
+use crate::dynamic::state::{MonitorState, StratifiedState};
+use crate::dynamic::stratified::StratifiedIncremental;
+use crate::dynamic::IncrementalEvaluator;
+use crate::executor::TrialExecutor;
+use crate::framework::Evaluator;
+use crate::sharded::{ShardDesign, ShardReplayReport, ShardedReplay};
+use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
+use kg_annotate::cost::CostModel;
+use kg_annotate::dense::DenseAnnotator;
+use kg_annotate::label_store::LabelStore;
+use kg_annotate::lease::DenseArenaPool;
+use kg_annotate::oracle::{LabelOracle, RemOracle};
+use kg_model::implicit::ImplicitKg;
+use kg_model::retract::{KgEvent, Retraction};
+use kg_model::update::UpdateBatch;
+use kg_model::KgError;
+use kg_sampling::PopulationIndex;
+use kg_stats::codec::{CodecError, Decoder, Encoder};
+use kg_stats::error::StatsError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Magic bytes of a serialized session record.
+const MAGIC: [u8; 4] = *b"KGSN";
+/// Current session record version.
+const VERSION: u16 = 1;
+
+const TAG_RESERVOIR: u8 = 0;
+const TAG_STRATIFIED: u8 = 1;
+const TAG_HASH: u8 = 0;
+const TAG_DENSE: u8 = 1;
+const TAG_PER_ITEM: u8 = 0;
+const TAG_BATCHED: u8 = 1;
+
+/// Which incremental evaluator a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvaluatorKind {
+    /// Algorithm 1 — weighted reservoir over the insertion stream.
+    Reservoir {
+        /// Reservoir size `|R|`.
+        capacity: usize,
+    },
+    /// Algorithm 2 — one stratum per update batch.
+    Stratified,
+}
+
+/// Which annotation engine backs a session's requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Oracle-backed hash-map engine ([`SimulatedAnnotator`]).
+    #[default]
+    Hash,
+    /// Dense arena engine ([`DenseAnnotator`]), grown in lock-step with
+    /// the session's evolving population.
+    Dense,
+}
+
+/// Immutable description of a tenant session — everything needed to
+/// rebuild its evaluator and label store from scratch.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Evaluator strategy.
+    pub kind: EvaluatorKind,
+    /// Annotation engine.
+    pub engine: Engine,
+    /// Reservoir offer path (ignored by [`EvaluatorKind::Stratified`]).
+    pub offer_mode: OfferMode,
+    /// Second-stage sample size per cluster visit.
+    pub m: usize,
+    /// Evaluation loop configuration.
+    pub config: EvalConfig,
+    /// Seed of the session's sampling RNG.
+    pub seed: u64,
+    /// True accuracy of the session's [`RemOracle`].
+    pub oracle_accuracy: f64,
+    /// Label seed of the session's [`RemOracle`].
+    pub oracle_seed: u64,
+    /// Cluster sizes of the base KG.
+    pub base_sizes: Vec<u32>,
+}
+
+/// What a session reports back for an estimate read or after a batch of
+/// events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateReport {
+    /// Current accuracy estimate `μ̂`.
+    pub mean: f64,
+    /// Variance of the estimator.
+    pub var_of_mean: f64,
+    /// Independent sampling units behind the estimate.
+    pub units: usize,
+    /// Margin of error at the session's configured `α`.
+    pub moe: f64,
+    /// Whether the sampling design has left its exactness regime (see
+    /// [`IncrementalEvaluator::saturated`]).
+    pub saturated: bool,
+    /// Live (non-tombstoned) triples in the session's population.
+    pub live_triples: u64,
+    /// Events absorbed since registration.
+    pub events_applied: u64,
+    /// Simulated human seconds spent so far. Upper bound across request
+    /// boundaries — see the module docs.
+    pub cumulative_cost_seconds: f64,
+}
+
+/// Typed failures of the session layer.
+#[derive(Debug)]
+pub enum SessionError {
+    /// No session with the given id.
+    UnknownSession(u64),
+    /// The spec failed validation.
+    InvalidSpec(&'static str),
+    /// An event referenced triples outside the session's live population.
+    InvalidEvent(&'static str),
+    /// A checkpoint payload failed to decode.
+    Codec(CodecError),
+    /// A statistical precondition failed (degenerate population, bad α).
+    Stats(StatsError),
+    /// A population-shape precondition failed.
+    Kg(KgError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            SessionError::InvalidSpec(what) => write!(f, "invalid session spec: {what}"),
+            SessionError::InvalidEvent(what) => write!(f, "invalid event: {what}"),
+            SessionError::Codec(e) => write!(f, "checkpoint codec: {e}"),
+            SessionError::Stats(e) => write!(f, "stats: {e}"),
+            SessionError::Kg(e) => write!(f, "population: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<CodecError> for SessionError {
+    fn from(e: CodecError) -> Self {
+        SessionError::Codec(e)
+    }
+}
+
+impl From<StatsError> for SessionError {
+    fn from(e: StatsError) -> Self {
+        SessionError::Stats(e)
+    }
+}
+
+impl From<KgError> for SessionError {
+    fn from(e: KgError) -> Self {
+        SessionError::Kg(e)
+    }
+}
+
+/// Either incremental evaluator, rebuilt around extracted state for the
+/// duration of one request.
+#[allow(clippy::large_enum_variant)] // transient per-request handle
+enum Monitor {
+    Reservoir(ReservoirEvaluator),
+    Stratified(StratifiedIncremental),
+}
+
+impl Monitor {
+    fn from_state(state: MonitorState, spec: &SessionSpec) -> Self {
+        match state {
+            MonitorState::Reservoir(rs) => {
+                let capacity_spec = matches!(spec.kind, EvaluatorKind::Reservoir { .. });
+                debug_assert!(
+                    capacity_spec,
+                    "state/spec kind mismatch is rejected at restore"
+                );
+                Monitor::Reservoir(ReservoirEvaluator::from_state(
+                    rs,
+                    spec.m,
+                    spec.config,
+                    spec.offer_mode,
+                ))
+            }
+            MonitorState::Stratified(ss) => {
+                Monitor::Stratified(StratifiedIncremental::from_state(ss, spec.m, spec.config))
+            }
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn IncrementalEvaluator {
+        match self {
+            Monitor::Reservoir(e) => e,
+            Monitor::Stratified(e) => e,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn IncrementalEvaluator {
+        match self {
+            Monitor::Reservoir(e) => e,
+            Monitor::Stratified(e) => e,
+        }
+    }
+
+    fn into_state(self) -> MonitorState {
+        match self {
+            Monitor::Reservoir(e) => e.into_state(),
+            Monitor::Stratified(e) => e.into_state(),
+        }
+    }
+}
+
+/// Cheap, structurally invalid stand-in used while a request temporarily
+/// owns the real state. Never observable: every taker writes the real
+/// state back before returning.
+fn placeholder_state() -> MonitorState {
+    MonitorState::Stratified(StratifiedState {
+        strata: Vec::new(),
+        next_cluster_id: 0,
+    })
+}
+
+/// One tenant session: spec + owned mutable stream state.
+struct Session {
+    spec: SessionSpec,
+    oracle: RemOracle,
+    state: MonitorState,
+    rng: StdRng,
+    /// Gross (insert-only) label record of the evolved population.
+    /// Tombstones live in `merged_dead`, never in the store, so dense
+    /// replays of earlier batches stay byte-stable.
+    store: Arc<LabelStore>,
+    /// Delta sizes of every insert batch applied, in order.
+    batch_log: Vec<Vec<u32>>,
+    /// Union of all retracted raw coordinates, per cluster.
+    merged_dead: BTreeMap<u32, BTreeSet<u32>>,
+    events_applied: u64,
+    cost_seconds: f64,
+}
+
+impl Session {
+    fn dead_total(&self) -> u64 {
+        self.merged_dead.values().map(|s| s.len() as u64).sum()
+    }
+
+    /// All tombstones accumulated so far as one retraction, re-applied to
+    /// each request's fresh annotator. The union reproduces the live
+    /// coordinate view of the uninterrupted stream exactly: per-cluster
+    /// dead-offset sets are order-independent.
+    fn merged_retraction(&self) -> Option<Retraction> {
+        if self.merged_dead.is_empty() {
+            return None;
+        }
+        let entries = self
+            .merged_dead
+            .iter()
+            .map(|(c, dead)| (*c, dead.iter().copied().collect::<Vec<u32>>()))
+            .collect();
+        Some(Retraction::new(entries).expect("merged tombstones are non-empty and deduplicated"))
+    }
+
+    /// Raw (at-insertion) size of a cluster in the session's gross
+    /// population, or `None` past the current extent.
+    fn raw_size(&self, cluster: usize) -> Option<u64> {
+        if cluster < self.store.num_clusters() {
+            Some(self.store.cluster_size(cluster) as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Reject events that address triples outside the session's gross
+    /// population or re-kill already-dead triples, *before* any state is
+    /// mutated. Tracks inserts pending earlier in the same request so a
+    /// later event may retract from a cluster minted by an earlier one.
+    fn validate_events(&self, events: &[KgEvent]) -> Result<(), SessionError> {
+        let mut pending_sizes: Vec<u32> = Vec::new();
+        let mut dead = self.merged_dead.clone();
+        let base_clusters = self.store.num_clusters();
+        for event in events {
+            if let Some(r) = event.retracted() {
+                for (cluster, offsets) in r.entries() {
+                    let c = *cluster as usize;
+                    let raw = self.raw_size(c).or_else(|| {
+                        pending_sizes
+                            .get(c.checked_sub(base_clusters)?)
+                            .map(|&s| s as u64)
+                    });
+                    let Some(raw) = raw else {
+                        return Err(SessionError::InvalidEvent(
+                            "retraction targets a cluster past the population extent",
+                        ));
+                    };
+                    let set = dead.entry(*cluster).or_default();
+                    for &off in offsets.iter() {
+                        if u64::from(off) >= raw {
+                            return Err(SessionError::InvalidEvent(
+                                "retraction offset exceeds the cluster's raw size",
+                            ));
+                        }
+                        if !set.insert(off) {
+                            return Err(SessionError::InvalidEvent("triple is already retracted"));
+                        }
+                    }
+                }
+            }
+            if let Some(batch) = event.inserted() {
+                pending_sizes.extend_from_slice(batch.delta_sizes());
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a request's events through a fresh annotator, then fold the
+    /// request back into owned state.
+    fn apply_events(&mut self, events: &[KgEvent]) -> Result<EstimateReport, SessionError> {
+        self.validate_events(events)?;
+        let state = mem::replace(&mut self.state, placeholder_state());
+        let mut monitor = Monitor::from_state(state, &self.spec);
+        let merged = self.merged_retraction();
+        match self.spec.engine {
+            Engine::Hash => {
+                let oracle = self.oracle;
+                let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+                if let Some(r) = &merged {
+                    annotator.retract(r);
+                }
+                for event in events {
+                    monitor
+                        .as_dyn_mut()
+                        .apply_event(event, &mut annotator, &mut self.rng);
+                }
+                self.cost_seconds += annotator.seconds();
+                for event in events {
+                    if let Some(batch) = event.inserted() {
+                        Arc::make_mut(&mut self.store).extend_with_batch(batch, &oracle);
+                    }
+                }
+            }
+            Engine::Dense => {
+                let oracle: Arc<dyn LabelOracle + Send + Sync> = Arc::new(self.oracle);
+                let mut annotator =
+                    DenseAnnotator::growable(self.store.clone(), CostModel::default(), oracle);
+                if let Some(r) = &merged {
+                    annotator.retract(r);
+                }
+                for event in events {
+                    monitor
+                        .as_dyn_mut()
+                        .apply_event(event, &mut annotator, &mut self.rng);
+                }
+                self.cost_seconds += annotator.seconds();
+                // Growth went through copy-on-write; adopt the grown store.
+                self.store = annotator.store().clone();
+            }
+        }
+        for event in events {
+            if let Some(r) = event.retracted() {
+                for (cluster, offsets) in r.entries() {
+                    self.merged_dead
+                        .entry(*cluster)
+                        .or_default()
+                        .extend(offsets.iter().copied());
+                }
+            }
+            if let Some(batch) = event.inserted() {
+                self.batch_log.push(batch.delta_sizes().to_vec());
+            }
+            self.events_applied += 1;
+        }
+        self.state = monitor.into_state();
+        Ok(self.report())
+    }
+
+    /// Current estimate without touching the stream.
+    fn report(&mut self) -> EstimateReport {
+        let state = mem::replace(&mut self.state, placeholder_state());
+        let monitor = Monitor::from_state(state, &self.spec);
+        let estimate = monitor.as_dyn().estimate();
+        let saturated = monitor.as_dyn().saturated();
+        self.state = monitor.into_state();
+        EstimateReport {
+            mean: estimate.mean,
+            var_of_mean: estimate.var_of_mean,
+            units: estimate.units,
+            moe: estimate
+                .moe(self.spec.config.alpha)
+                .expect("alpha is validated at registration"),
+            saturated,
+            live_triples: self.store.total_triples() - self.dead_total(),
+            events_applied: self.events_applied,
+            cumulative_cost_seconds: self.cost_seconds,
+        }
+    }
+
+    /// Serialize the session as a `KGSN` v1 record.
+    fn checkpoint(&self) -> Vec<u8> {
+        let mut e = Encoder::with_header(MAGIC, VERSION);
+        put_spec(&mut e, &self.spec);
+        self.state.snapshot_into(&mut e);
+        for w in self.rng.state() {
+            e.put_u64(w);
+        }
+        e.put_usize(self.batch_log.len());
+        for sizes in &self.batch_log {
+            e.put_u32_slice(sizes);
+        }
+        e.put_usize(self.merged_dead.len());
+        for (cluster, dead) in &self.merged_dead {
+            e.put_u32(*cluster);
+            let offsets: Vec<u32> = dead.iter().copied().collect();
+            e.put_u32_slice(&offsets);
+        }
+        e.put_u64(self.events_applied);
+        e.put_f64(self.cost_seconds);
+        e.finish()
+    }
+}
+
+fn put_spec(e: &mut Encoder, spec: &SessionSpec) {
+    match spec.kind {
+        EvaluatorKind::Reservoir { capacity } => {
+            e.put_u8(TAG_RESERVOIR);
+            e.put_usize(capacity);
+        }
+        EvaluatorKind::Stratified => e.put_u8(TAG_STRATIFIED),
+    }
+    e.put_u8(match spec.engine {
+        Engine::Hash => TAG_HASH,
+        Engine::Dense => TAG_DENSE,
+    });
+    e.put_u8(match spec.offer_mode {
+        OfferMode::PerItem => TAG_PER_ITEM,
+        OfferMode::Batched => TAG_BATCHED,
+    });
+    e.put_usize(spec.m);
+    e.put_f64(spec.config.alpha);
+    e.put_f64(spec.config.target_moe);
+    e.put_usize(spec.config.batch_size);
+    e.put_usize(spec.config.min_units);
+    e.put_usize(spec.config.max_units);
+    e.put_u64(spec.seed);
+    e.put_f64(spec.oracle_accuracy);
+    e.put_u64(spec.oracle_seed);
+    e.put_u32_slice(&spec.base_sizes);
+}
+
+fn get_spec(d: &mut Decoder<'_>) -> Result<SessionSpec, CodecError> {
+    let kind = match d.get_u8("session.kind")? {
+        TAG_RESERVOIR => EvaluatorKind::Reservoir {
+            capacity: d.get_usize("session.capacity")?,
+        },
+        TAG_STRATIFIED => EvaluatorKind::Stratified,
+        _ => {
+            return Err(CodecError::Invalid {
+                what: "session.kind tag",
+            })
+        }
+    };
+    let engine = match d.get_u8("session.engine")? {
+        TAG_HASH => Engine::Hash,
+        TAG_DENSE => Engine::Dense,
+        _ => {
+            return Err(CodecError::Invalid {
+                what: "session.engine tag",
+            })
+        }
+    };
+    let offer_mode = match d.get_u8("session.offer_mode")? {
+        TAG_PER_ITEM => OfferMode::PerItem,
+        TAG_BATCHED => OfferMode::Batched,
+        _ => {
+            return Err(CodecError::Invalid {
+                what: "session.offer_mode tag",
+            })
+        }
+    };
+    let m = d.get_usize("session.m")?;
+    let config = EvalConfig {
+        alpha: d.get_f64("session.alpha")?,
+        target_moe: d.get_f64("session.target_moe")?,
+        batch_size: d.get_usize("session.batch_size")?,
+        min_units: d.get_usize("session.min_units")?,
+        max_units: d.get_usize("session.max_units")?,
+    };
+    let seed = d.get_u64("session.seed")?;
+    let oracle_accuracy = d.get_f64("session.oracle_accuracy")?;
+    let oracle_seed = d.get_u64("session.oracle_seed")?;
+    let base_sizes = d.get_u32_vec("session.base_sizes")?;
+    Ok(SessionSpec {
+        kind,
+        engine,
+        offer_mode,
+        m,
+        config,
+        seed,
+        oracle_accuracy,
+        oracle_seed,
+        base_sizes,
+    })
+}
+
+/// Decoded `KGSN` record, structurally validated but not yet bound to a
+/// rebuilt label store.
+struct SessionRecord {
+    spec: SessionSpec,
+    state: MonitorState,
+    rng: [u64; 4],
+    batch_log: Vec<Vec<u32>>,
+    merged_dead: BTreeMap<u32, BTreeSet<u32>>,
+    events_applied: u64,
+    cost_seconds: f64,
+}
+
+impl SessionRecord {
+    fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let version = d.expect_header(MAGIC)?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                magic: MAGIC,
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let spec = get_spec(&mut d)?;
+        let state = MonitorState::restore_from(&mut d)?;
+        match (&spec.kind, &state) {
+            (EvaluatorKind::Reservoir { .. }, MonitorState::Reservoir(_))
+            | (EvaluatorKind::Stratified, MonitorState::Stratified(_)) => {}
+            _ => {
+                return Err(CodecError::Invalid {
+                    what: "session state does not match the spec's evaluator kind",
+                })
+            }
+        }
+        let mut rng = [0u64; 4];
+        for w in &mut rng {
+            *w = d.get_u64("session.rng")?;
+        }
+        let num_batches = d.get_len(12, "session.batch_log")?;
+        let mut batch_log = Vec::with_capacity(num_batches);
+        let mut delta_clusters = 0usize;
+        for _ in 0..num_batches {
+            let sizes = d.get_u32_vec("session.batch_sizes")?;
+            if sizes.is_empty() || sizes.contains(&0) {
+                return Err(CodecError::Invalid {
+                    what: "session batch log entries must be non-empty positive sizes",
+                });
+            }
+            delta_clusters =
+                delta_clusters
+                    .checked_add(sizes.len())
+                    .ok_or(CodecError::Invalid {
+                        what: "session batch log cluster count overflows",
+                    })?;
+            batch_log.push(sizes);
+        }
+        let extent =
+            spec.base_sizes
+                .len()
+                .checked_add(delta_clusters)
+                .ok_or(CodecError::Invalid {
+                    what: "session population extent overflows",
+                })?;
+        let state_extent = match &state {
+            MonitorState::Reservoir(rs) => rs.pps.len(),
+            MonitorState::Stratified(ss) => ss.next_cluster_id as usize,
+        };
+        if state_extent != extent {
+            return Err(CodecError::Invalid {
+                what: "session state extent disagrees with base + batch log",
+            });
+        }
+        let num_dead = d.get_len(16, "session.merged_dead")?;
+        let mut merged_dead: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        let mut prev_cluster: Option<u32> = None;
+        for _ in 0..num_dead {
+            let cluster = d.get_u32("session.dead_cluster")?;
+            if prev_cluster.is_some_and(|p| p >= cluster) {
+                return Err(CodecError::Invalid {
+                    what: "session tombstone clusters must be strictly increasing",
+                });
+            }
+            prev_cluster = Some(cluster);
+            if cluster as usize >= extent {
+                return Err(CodecError::Invalid {
+                    what: "session tombstone cluster past the population extent",
+                });
+            }
+            let offsets = d.get_u32_vec("session.dead_offsets")?;
+            if offsets.is_empty() || offsets.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(CodecError::Invalid {
+                    what: "session tombstone offsets must be strictly increasing",
+                });
+            }
+            merged_dead.insert(cluster, offsets.into_iter().collect());
+        }
+        let events_applied = d.get_u64("session.events_applied")?;
+        let cost_seconds = d.get_f64("session.cost_seconds")?;
+        if !cost_seconds.is_finite() || cost_seconds < 0.0 {
+            return Err(CodecError::Invalid {
+                what: "session cost must be finite and non-negative",
+            });
+        }
+        d.finish()?;
+        Ok(SessionRecord {
+            spec,
+            state,
+            rng,
+            batch_log,
+            merged_dead,
+            events_applied,
+            cost_seconds,
+        })
+    }
+}
+
+fn validate_spec(spec: &SessionSpec) -> Result<(), SessionError> {
+    if spec.base_sizes.is_empty() {
+        return Err(SessionError::InvalidSpec("base KG must have clusters"));
+    }
+    if spec.m == 0 {
+        return Err(SessionError::InvalidSpec("m must be at least 1"));
+    }
+    if let EvaluatorKind::Reservoir { capacity } = spec.kind {
+        if capacity == 0 {
+            return Err(SessionError::InvalidSpec(
+                "reservoir capacity must be at least 1",
+            ));
+        }
+    }
+    if !(0.0..=1.0).contains(&spec.oracle_accuracy) {
+        return Err(SessionError::InvalidSpec(
+            "oracle accuracy must lie in [0, 1]",
+        ));
+    }
+    if !(spec.config.alpha > 0.0 && spec.config.alpha < 1.0) {
+        return Err(SessionError::InvalidSpec("alpha must lie in (0, 1)"));
+    }
+    if !(spec.config.target_moe > 0.0 && spec.config.target_moe.is_finite()) {
+        return Err(SessionError::InvalidSpec("target MoE must be positive"));
+    }
+    if spec.config.batch_size == 0 {
+        return Err(SessionError::InvalidSpec("batch size must be at least 1"));
+    }
+    Ok(())
+}
+
+/// Interned per-base-KG shared machinery: one materialized label store and
+/// one dense arena pool, shared by every tenant registering the same
+/// `(base sizes, oracle)` — a thousand identical registrations build the
+/// store once.
+struct CatalogEntry {
+    store: Arc<LabelStore>,
+    pool: DenseArenaPool,
+}
+
+type CatalogKey = (Vec<u32>, u64, u64);
+
+/// Registry of tenant monitor sessions sharing one [`TrialExecutor`] and
+/// per-base-KG [`DenseArenaPool`]s.
+///
+/// All methods take `&self`; sessions are independently locked, so
+/// requests against different tenants proceed concurrently and the
+/// per-tenant estimate stream is byte-identical to driving that tenant
+/// alone (see `tests/session_stress.rs`).
+pub struct SessionRegistry {
+    executor: TrialExecutor,
+    catalog: Mutex<BTreeMap<CatalogKey, Arc<CatalogEntry>>>,
+    sessions: Mutex<BTreeMap<u64, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionRegistry {
+    /// Registry with a default-sized shared executor.
+    pub fn new() -> Self {
+        Self::with_executor(TrialExecutor::new())
+    }
+
+    /// Registry around an explicitly sized shared executor; audits use its
+    /// worker budget for shard parallelism.
+    pub fn with_executor(executor: TrialExecutor) -> Self {
+        SessionRegistry {
+            executor,
+            catalog: Mutex::new(BTreeMap::new()),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// The shared trial executor (for callers fanning out replays of
+    /// registered sessions).
+    pub fn executor(&self) -> &TrialExecutor {
+        &self.executor
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// Whether the registry holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids of all live sessions, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        self.sessions.lock().unwrap().keys().copied().collect()
+    }
+
+    /// Drop a session, returning whether it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        self.sessions.lock().unwrap().remove(&id).is_some()
+    }
+
+    fn catalog_entry(
+        &self,
+        spec: &SessionSpec,
+        base: &ImplicitKg,
+        oracle: &RemOracle,
+    ) -> Arc<CatalogEntry> {
+        let key = (
+            spec.base_sizes.clone(),
+            spec.oracle_accuracy.to_bits(),
+            spec.oracle_seed,
+        );
+        let mut catalog = self.catalog.lock().unwrap();
+        catalog
+            .entry(key)
+            .or_insert_with(|| {
+                let store = Arc::new(LabelStore::materialize(base, oracle));
+                let pool = DenseArenaPool::new(store.clone(), CostModel::default());
+                Arc::new(CatalogEntry { store, pool })
+            })
+            .clone()
+    }
+
+    fn session(&self, id: u64) -> Result<Arc<Mutex<Session>>, SessionError> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or(SessionError::UnknownSession(id))
+    }
+
+    fn insert(&self, session: Session) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .unwrap()
+            .insert(id, Arc::new(Mutex::new(session)));
+        id
+    }
+
+    /// Evaluate the base KG under the spec and return the initial monitor
+    /// state. The base evaluation never grows the population, so the
+    /// dense path safely leases an arena from the shared catalog pool.
+    fn evaluate_base(
+        spec: &SessionSpec,
+        base: &ImplicitKg,
+        oracle: &RemOracle,
+        annotator: &mut dyn Annotator,
+        rng: &mut StdRng,
+    ) -> Result<MonitorState, SessionError> {
+        match spec.kind {
+            EvaluatorKind::Reservoir { capacity } => {
+                Ok(ReservoirEvaluator::evaluate_base_with_mode(
+                    base,
+                    capacity,
+                    spec.m,
+                    spec.config,
+                    spec.offer_mode,
+                    annotator,
+                    rng,
+                )
+                .into_state())
+            }
+            EvaluatorKind::Stratified => {
+                let index = Arc::new(PopulationIndex::from_population(base)?);
+                let report = Evaluator::twcs(spec.m).run_with_annotator(
+                    index,
+                    oracle,
+                    annotator,
+                    &spec.config,
+                    rng,
+                )?;
+                Ok(
+                    StratifiedIncremental::from_base(base, report.estimate, spec.m, spec.config)
+                        .into_state(),
+                )
+            }
+        }
+    }
+
+    /// Register a new tenant session: evaluate its base KG and return the
+    /// session id.
+    pub fn register(&self, spec: SessionSpec) -> Result<u64, SessionError> {
+        validate_spec(&spec)?;
+        let oracle = RemOracle::new(spec.oracle_accuracy, spec.oracle_seed);
+        let base = ImplicitKg::new(spec.base_sizes.clone())?;
+        let entry = self.catalog_entry(&spec, &base, &oracle);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let (state, cost_seconds) = match spec.engine {
+            Engine::Hash => {
+                let mut annotator = SimulatedAnnotator::new(&oracle, CostModel::default());
+                let state = Self::evaluate_base(&spec, &base, &oracle, &mut annotator, &mut rng)?;
+                (state, annotator.seconds())
+            }
+            Engine::Dense => {
+                let mut lease = entry.pool.checkout();
+                let annotator = lease.arena_mut();
+                let state = Self::evaluate_base(&spec, &base, &oracle, annotator, &mut rng)?;
+                (state, annotator.seconds())
+            }
+        };
+        Ok(self.insert(Session {
+            spec,
+            oracle,
+            state,
+            rng,
+            store: entry.store.clone(),
+            batch_log: Vec::new(),
+            merged_dead: BTreeMap::new(),
+            events_applied: 0,
+            cost_seconds,
+        }))
+    }
+
+    /// Restore a session from a `KGSN` checkpoint into this registry
+    /// (typically a fresh process) and return its new id. The label store
+    /// is re-materialized from the oracle spec and batch log; the
+    /// estimate stream continues byte-identically to the uninterrupted
+    /// session.
+    pub fn restore(&self, bytes: &[u8]) -> Result<u64, SessionError> {
+        let record = SessionRecord::decode(bytes)?;
+        validate_spec(&record.spec)?;
+        let oracle = RemOracle::new(record.spec.oracle_accuracy, record.spec.oracle_seed);
+        let base = ImplicitKg::new(record.spec.base_sizes.clone())?;
+        let entry = self.catalog_entry(&record.spec, &base, &oracle);
+        let mut store = entry.store.clone();
+        for sizes in &record.batch_log {
+            let batch = UpdateBatch::from_sizes(sizes.clone())?;
+            Arc::make_mut(&mut store).extend_with_batch(&batch, &oracle);
+        }
+        for (cluster, dead) in &record.merged_dead {
+            let raw = store.cluster_size(*cluster as usize) as u64;
+            if dead.iter().any(|&off| u64::from(off) >= raw) {
+                return Err(SessionError::Codec(CodecError::Invalid {
+                    what: "session tombstone offset exceeds its cluster's raw size",
+                }));
+            }
+        }
+        Ok(self.insert(Session {
+            spec: record.spec,
+            oracle,
+            state: record.state,
+            rng: StdRng::from_state(record.rng),
+            store,
+            batch_log: record.batch_log,
+            merged_dead: record.merged_dead,
+            events_applied: record.events_applied,
+            cost_seconds: record.cost_seconds,
+        }))
+    }
+
+    /// Apply a request of interleaved events (inserts, retractions,
+    /// revisions) to a session and return the post-request estimate.
+    pub fn apply_events(
+        &self,
+        id: u64,
+        events: &[KgEvent],
+    ) -> Result<EstimateReport, SessionError> {
+        let session = self.session(id)?;
+        let mut session = session.lock().unwrap();
+        session.apply_events(events)
+    }
+
+    /// Apply pure insertion batches — the `POST /kg/{id}/batch` shape.
+    pub fn apply_batches(
+        &self,
+        id: u64,
+        batches: &[UpdateBatch],
+    ) -> Result<EstimateReport, SessionError> {
+        let events: Vec<KgEvent> = batches.iter().cloned().map(KgEvent::Insert).collect();
+        self.apply_events(id, &events)
+    }
+
+    /// Current estimate of a session, without consuming any RNG.
+    pub fn estimate(&self, id: u64) -> Result<EstimateReport, SessionError> {
+        let session = self.session(id)?;
+        let mut session = session.lock().unwrap();
+        Ok(session.report())
+    }
+
+    /// Serialize a session as a `KGSN` v1 checkpoint. The session stays
+    /// live; restoring the bytes elsewhere resumes its exact estimate
+    /// stream.
+    pub fn checkpoint(&self, id: u64) -> Result<Vec<u8>, SessionError> {
+        let session = self.session(id)?;
+        let session = session.lock().unwrap();
+        Ok(session.checkpoint())
+    }
+
+    /// Full-fidelity sharded audit of the session's **gross inserted**
+    /// population (base plus every insert batch; audits pre-date the
+    /// tombstone view — the monitor estimate is the live-view quantity).
+    /// Shard parallelism follows the registry executor's worker budget,
+    /// and the report is bitwise invariant to it.
+    pub fn audit(&self, id: u64, units: u64, seed: u64) -> Result<ShardReplayReport, SessionError> {
+        let session = self.session(id)?;
+        let session = session.lock().unwrap();
+        let sizes: Vec<u32> = (0..session.store.num_clusters())
+            .map(|c| session.store.cluster_size(c) as u32)
+            .collect();
+        let population = ImplicitKg::new(sizes)?;
+        let m = session.spec.m;
+        let oracle = session.oracle;
+        let replay = ShardedReplay::new().with_shard_workers(self.executor.workers().max(1));
+        drop(session);
+        Ok(audit_sharded(
+            &population,
+            ShardDesign::TwoStage { m },
+            &oracle,
+            CostModel::default(),
+            &replay,
+            units,
+            seed,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs_spec() -> SessionSpec {
+        SessionSpec {
+            kind: EvaluatorKind::Reservoir { capacity: 40 },
+            engine: Engine::Hash,
+            offer_mode: OfferMode::Batched,
+            m: 5,
+            config: EvalConfig::default(),
+            seed: 72019,
+            oracle_accuracy: 0.9,
+            oracle_seed: 11,
+            base_sizes: (0..400).map(|i| 1 + (i % 9)).collect(),
+        }
+    }
+
+    fn ss_spec() -> SessionSpec {
+        SessionSpec {
+            kind: EvaluatorKind::Stratified,
+            engine: Engine::Hash,
+            offer_mode: OfferMode::Batched,
+            ..rs_spec()
+        }
+    }
+
+    fn stream() -> Vec<KgEvent> {
+        vec![
+            KgEvent::Insert(UpdateBatch::from_sizes(vec![3; 60]).unwrap()),
+            KgEvent::Retract(Retraction::new(vec![(2, vec![0]), (401, vec![1, 2])]).unwrap()),
+            KgEvent::Revise(
+                Retraction::new(vec![(405, vec![0, 1, 2])]).unwrap(),
+                UpdateBatch::from_sizes(vec![5; 30]).unwrap(),
+            ),
+            KgEvent::Insert(UpdateBatch::from_sizes(vec![2; 45]).unwrap()),
+        ]
+    }
+
+    fn bits(r: &EstimateReport) -> (u64, u64, usize, bool) {
+        (
+            r.mean.to_bits(),
+            r.var_of_mean.to_bits(),
+            r.units,
+            r.saturated,
+        )
+    }
+
+    #[test]
+    fn registration_is_deterministic_and_catalog_is_shared() {
+        let registry = SessionRegistry::new();
+        let a = registry.register(rs_spec()).unwrap();
+        let b = registry.register(rs_spec()).unwrap();
+        assert_eq!(registry.len(), 2);
+        let ra = registry.estimate(a).unwrap();
+        let rb = registry.estimate(b).unwrap();
+        assert_eq!(bits(&ra), bits(&rb), "same spec must evaluate identically");
+        assert_eq!(
+            registry.catalog.lock().unwrap().len(),
+            1,
+            "one interned base store"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_byte_identically_under_churn() {
+        for spec in [rs_spec(), ss_spec()] {
+            let events = stream();
+            // Uninterrupted: one session sees all four events,
+            // partitioned one per request.
+            let full = SessionRegistry::new();
+            let id = full.register(spec.clone()).unwrap();
+            let mut want = Vec::new();
+            for event in &events {
+                want.push(bits(
+                    &full.apply_events(id, std::slice::from_ref(event)).unwrap(),
+                ));
+            }
+            // Interrupted after two events, restored into a fresh registry.
+            let first = SessionRegistry::new();
+            let id1 = first.register(spec.clone()).unwrap();
+            let mut got = Vec::new();
+            for event in &events[..2] {
+                got.push(bits(
+                    &first
+                        .apply_events(id1, std::slice::from_ref(event))
+                        .unwrap(),
+                ));
+            }
+            let snapshot = first.checkpoint(id1).unwrap();
+            drop(first);
+            let second = SessionRegistry::new();
+            let id2 = second.restore(&snapshot).unwrap();
+            for event in &events[2..] {
+                got.push(bits(
+                    &second
+                        .apply_events(id2, std::slice::from_ref(event))
+                        .unwrap(),
+                ));
+            }
+            assert_eq!(got, want, "restored stream diverged ({:?})", spec.kind);
+            // The restored session checkpoints byte-identically to a
+            // fresh checkpoint of the uninterrupted session only after
+            // costs agree — compare the estimate surface instead.
+            assert_eq!(
+                bits(&second.estimate(id2).unwrap()),
+                bits(&full.estimate(id).unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn dense_engine_checkpoint_matches_hash_engine() {
+        let hash = rs_spec();
+        let dense = SessionSpec {
+            engine: Engine::Dense,
+            ..hash.clone()
+        };
+        let registry = SessionRegistry::new();
+        let hid = registry.register(hash).unwrap();
+        let did = registry.register(dense).unwrap();
+        for event in stream() {
+            let h = registry
+                .apply_events(hid, std::slice::from_ref(&event))
+                .unwrap();
+            let d = registry.apply_events(did, &[event]).unwrap();
+            assert_eq!(bits(&h), bits(&d), "engines must agree byte-for-byte");
+        }
+        // And a dense restore keeps agreeing.
+        let snapshot = registry.checkpoint(did).unwrap();
+        let rid = registry.restore(&snapshot).unwrap();
+        let extra = KgEvent::Insert(UpdateBatch::from_sizes(vec![4; 20]).unwrap());
+        let d = registry
+            .apply_events(did, std::slice::from_ref(&extra))
+            .unwrap();
+        let r = registry
+            .apply_events(rid, std::slice::from_ref(&extra))
+            .unwrap();
+        let h = registry.apply_events(hid, &[extra]).unwrap();
+        assert_eq!(bits(&d), bits(&r));
+        assert_eq!(bits(&d), bits(&h));
+    }
+
+    #[test]
+    fn request_partitioning_does_not_change_estimates() {
+        let events = stream();
+        let one_shot = SessionRegistry::new();
+        let a = one_shot.register(rs_spec()).unwrap();
+        let all = one_shot.apply_events(a, &events).unwrap();
+        let split = SessionRegistry::new();
+        let b = split.register(rs_spec()).unwrap();
+        let mut last = None;
+        for event in &events {
+            last = Some(split.apply_events(b, std::slice::from_ref(event)).unwrap());
+        }
+        assert_eq!(bits(&all), bits(&last.unwrap()));
+    }
+
+    #[test]
+    fn invalid_events_are_rejected_before_any_mutation() {
+        let registry = SessionRegistry::new();
+        let id = registry.register(rs_spec()).unwrap();
+        let before = registry.estimate(id).unwrap();
+        let past_extent = KgEvent::Retract(Retraction::new(vec![(9999, vec![0])]).unwrap());
+        assert!(matches!(
+            registry.apply_events(id, &[past_extent]),
+            Err(SessionError::InvalidEvent(_))
+        ));
+        let off_range = KgEvent::Retract(Retraction::new(vec![(0, vec![500])]).unwrap());
+        assert!(matches!(
+            registry.apply_events(id, &[off_range]),
+            Err(SessionError::InvalidEvent(_))
+        ));
+        let double_kill = vec![
+            KgEvent::Retract(Retraction::new(vec![(2, vec![0])]).unwrap()),
+            KgEvent::Retract(Retraction::new(vec![(2, vec![0])]).unwrap()),
+        ];
+        assert!(matches!(
+            registry.apply_events(id, &double_kill),
+            Err(SessionError::InvalidEvent(_))
+        ));
+        assert_eq!(bits(&before), bits(&registry.estimate(id).unwrap()));
+        assert_eq!(registry.estimate(id).unwrap().events_applied, 0);
+    }
+
+    #[test]
+    fn corrupted_checkpoints_return_typed_errors() {
+        let registry = SessionRegistry::new();
+        let id = registry.register(rs_spec()).unwrap();
+        registry.apply_events(id, &stream()).unwrap();
+        let bytes = registry.checkpoint(id).unwrap();
+        // Every truncation fails cleanly.
+        for cut in 0..bytes.len() {
+            assert!(
+                registry.restore(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not restore"
+            );
+        }
+        // Wrong version.
+        let mut wrong = bytes.clone();
+        wrong[4] = 0xEE;
+        assert!(matches!(
+            registry.restore(&wrong),
+            Err(SessionError::Codec(CodecError::UnsupportedVersion { .. }))
+        ));
+        // Wrong magic.
+        let mut magic = bytes.clone();
+        magic[0] = b'X';
+        assert!(matches!(
+            registry.restore(&magic),
+            Err(SessionError::Codec(CodecError::BadMagic { .. }))
+        ));
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(registry.restore(&long).is_err());
+    }
+
+    #[test]
+    fn audit_is_worker_invariant() {
+        let narrow = SessionRegistry::with_executor(TrialExecutor::new().with_workers(1));
+        let wide = SessionRegistry::with_executor(TrialExecutor::new().with_workers(4));
+        let a = narrow.register(rs_spec()).unwrap();
+        let b = wide.register(rs_spec()).unwrap();
+        let batch = UpdateBatch::from_sizes(vec![3; 60]).unwrap();
+        narrow
+            .apply_batches(a, std::slice::from_ref(&batch))
+            .unwrap();
+        wide.apply_batches(b, std::slice::from_ref(&batch)).unwrap();
+        let ra = narrow.audit(a, 600, 0xA0D1).unwrap();
+        let rb = wide.audit(b, 600, 0xA0D1).unwrap();
+        assert_eq!(ra.estimate.mean.to_bits(), rb.estimate.mean.to_bits());
+        assert_eq!(
+            ra.estimate.var_of_mean.to_bits(),
+            rb.estimate.var_of_mean.to_bits()
+        );
+        assert_eq!(ra.labeled, rb.labeled);
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        let registry = SessionRegistry::new();
+        let mut bad = rs_spec();
+        bad.base_sizes.clear();
+        assert!(matches!(
+            registry.register(bad),
+            Err(SessionError::InvalidSpec(_))
+        ));
+        let mut bad = rs_spec();
+        bad.m = 0;
+        assert!(matches!(
+            registry.register(bad),
+            Err(SessionError::InvalidSpec(_))
+        ));
+        let mut bad = rs_spec();
+        bad.kind = EvaluatorKind::Reservoir { capacity: 0 };
+        assert!(matches!(
+            registry.register(bad),
+            Err(SessionError::InvalidSpec(_))
+        ));
+        let mut bad = rs_spec();
+        bad.oracle_accuracy = 1.5;
+        assert!(matches!(
+            registry.register(bad),
+            Err(SessionError::InvalidSpec(_))
+        ));
+        let mut bad = rs_spec();
+        bad.config.alpha = 0.0;
+        assert!(matches!(
+            registry.register(bad),
+            Err(SessionError::InvalidSpec(_))
+        ));
+        assert!(registry.is_empty());
+        assert!(matches!(
+            registry.estimate(77),
+            Err(SessionError::UnknownSession(77))
+        ));
+    }
+}

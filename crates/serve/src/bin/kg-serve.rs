@@ -1,0 +1,61 @@
+//! kg-serve binary: bind, announce, serve.
+//!
+//! ```text
+//! kg-serve [--addr 127.0.0.1:0] [--workers N]
+//! ```
+//!
+//! Prints `LISTENING <addr>` to stdout once bound (harnesses scrape the
+//! ephemeral port from it), then serves until killed.
+
+use kg_eval::session::SessionRegistry;
+use kg_eval::TrialExecutor;
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::exit;
+use std::sync::Arc;
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => usage("--addr needs a value"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => workers = Some(v),
+                None => usage("--workers needs an integer"),
+            },
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let executor = match workers {
+        Some(n) => TrialExecutor::new().with_workers(n),
+        None => TrialExecutor::new(),
+    };
+    let registry = Arc::new(SessionRegistry::with_executor(executor));
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("kg-serve: cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    let local = listener
+        .local_addr()
+        .expect("bound listener has an address");
+    println!("LISTENING {local}");
+    std::io::stdout().flush().expect("stdout");
+    kg_serve::serve(listener, registry);
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("kg-serve: {problem}");
+    }
+    eprintln!("usage: kg-serve [--addr HOST:PORT] [--workers N]");
+    exit(if problem.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,211 @@
+//! Hand-rolled HTTP/1.1 subset over std TCP: request parsing with strict
+//! limits, and `Connection: close` responses. Enough for the kg-serve
+//! API; deliberately nothing more (no keep-alive, no chunked encoding,
+//! no TLS).
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum bytes of request line + headers.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum request body (a restore payload for a large session).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Decoded path segments (`/kg/7/estimate` → `["kg", "7", "estimate"]`).
+    pub segments: Vec<String>,
+    /// Query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value under `key`.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed before sending a complete request line.
+    Closed,
+    /// Transport failure.
+    Io(io::Error),
+    /// The request violated the supported subset; respond 400 with this
+    /// message.
+    Bad(&'static str),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one request. The connection serves exactly one exchange
+/// (`Connection: close`), so nothing after the body is consumed.
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut head = 0usize;
+    let mut line = String::new();
+    if stream.read_line(&mut line)? == 0 {
+        return Err(HttpError::Closed);
+    }
+    head += line.len();
+    if head > MAX_HEAD {
+        return Err(HttpError::Bad("request line too long"));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Bad("missing method"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Bad("missing target"))?
+        .to_string();
+    match parts.next() {
+        Some("HTTP/1.1") | Some("HTTP/1.0") => {}
+        _ => return Err(HttpError::Bad("unsupported HTTP version")),
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if stream.read_line(&mut header)? == 0 {
+            return Err(HttpError::Bad("connection closed mid-headers"));
+        }
+        head += header.len();
+        if head > MAX_HEAD {
+            return Err(HttpError::Bad("headers too long"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Bad("bad content-length"))?;
+                if content_length > MAX_BODY {
+                    return Err(HttpError::Bad("body too large"));
+                }
+            }
+            if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(HttpError::Bad("chunked bodies unsupported"));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    let segments = path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    let query = query_text
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method,
+        segments,
+        query,
+        body,
+    })
+}
+
+/// Standard reason phrase for the statuses the API uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Write one JSON response and close the exchange.
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+        status,
+        reason(status),
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_target_query_and_body() {
+        let req =
+            parse("POST /kg/7/batch?units=300&seed=9 HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.segments, vec!["kg", "7", "batch"]);
+        assert_eq!(req.query_value("units"), Some("300"));
+        assert_eq!(req.query_value("seed"), Some("9"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_the_unsupported_subset() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        assert!(matches!(parse("GET /\r\n\r\n"), Err(HttpError::Bad(_))));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Err(HttpError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "{\"error\":\"x\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("content-length: 13\r\n"));
+        assert!(text.contains("connection: close"));
+        assert!(text.ends_with("{\"error\":\"x\"}"));
+    }
+}

@@ -1,0 +1,65 @@
+//! kg-serve: a KG accuracy-monitoring service over session-scoped
+//! incremental evaluators (`kg_eval::session`).
+//!
+//! Hand-rolled std-only HTTP/1.1 + JSON — the build environment is
+//! offline, so no web framework and no serde. One exchange per
+//! connection (`Connection: close`), one thread per connection, all
+//! tenants multiplexed over a shared [`SessionRegistry`].
+//!
+//! The binary (`kg-serve`) binds a listener and prints
+//! `LISTENING <addr>` on stdout so harnesses can scrape the ephemeral
+//! port. The serving loop is exposed as [`serve`] so benches and tests
+//! can run the exact production path in-process.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod json;
+
+use kg_eval::session::SessionRegistry;
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+/// Handle one connection: read a single request, dispatch, respond,
+/// close. Parse failures answer 400; a half-open peer is dropped
+/// silently.
+pub fn handle_connection(registry: &SessionRegistry, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let (status, body) = match http::read_request(&mut reader) {
+        Ok(request) => api::handle(registry, &request),
+        Err(http::HttpError::Closed) => return,
+        Err(http::HttpError::Io(_)) => return,
+        Err(http::HttpError::Bad(what)) => (
+            400,
+            json::Json::Obj(vec![(
+                "error".to_string(),
+                json::Json::Str(what.to_string()),
+            )]),
+        ),
+    };
+    let _ = http::write_response(&mut writer, status, &body.to_string());
+    let _ = writer.flush();
+}
+
+/// Accept loop: one thread per connection over a shared registry. Runs
+/// until the listener errors (or forever); callers wanting a bounded
+/// lifetime should drop the listener from another thread or run this in
+/// a dedicated thread.
+pub fn serve(listener: TcpListener, registry: Arc<SessionRegistry>) {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let registry = Arc::clone(&registry);
+                thread::spawn(move || handle_connection(&registry, stream));
+            }
+            Err(_) => continue,
+        }
+    }
+}

@@ -32,6 +32,11 @@
 //!   samplers.
 //! * [`histogram`] — fixed-width histograms and empirical quantiles for
 //!   dataset characterization and report tables.
+//! * [`codec`] — hand-rolled versioned binary codec (magic + version header,
+//!   length-prefixed sequences, exact u64 float bit patterns) backing the
+//!   `snapshot()/restore()` pairs on [`WeightedReservoirExpJ`],
+//!   [`GrowablePps`], and [`RunningMoments`], so monitor state survives
+//!   process restarts bitwise.
 //!
 //! Everything is deterministic given a seeded RNG and has no global state.
 
@@ -40,6 +45,7 @@
 
 pub mod alias;
 pub mod ci;
+pub mod codec;
 pub mod distr;
 pub mod error;
 pub mod fastset;
@@ -53,6 +59,7 @@ pub mod stratify;
 
 pub use alias::AliasTable;
 pub use ci::{ConfidenceInterval, PointEstimate};
+pub use codec::{CodecError, Decoder, Encoder};
 pub use error::StatsError;
 pub use histogram::Histogram;
 pub use moments::RunningMoments;

@@ -3,6 +3,8 @@
 //! inside estimators and to summarize repeated experiment trials
 //! (mean ± std over 1000 runs, §7.1.5).
 
+use crate::codec::{CodecError, Decoder, Encoder};
+
 /// Streaming count / mean / variance accumulator.
 ///
 /// `push` is O(1) and stable; `merge` combines two accumulators as if their
@@ -106,6 +108,58 @@ impl RunningMoments {
     pub fn std_error(&self) -> f64 {
         self.variance_of_mean().sqrt()
     }
+
+    /// Serialize into a standalone `KGRM` v1 record (see [`crate::codec`]).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::with_header(Self::MAGIC, Self::VERSION);
+        self.snapshot_into(&mut e);
+        e.finish()
+    }
+
+    /// Restore from a standalone `KGRM` record. Bitwise inverse of
+    /// [`Self::snapshot`]; typed error on corrupt/truncated/unknown-version
+    /// input.
+    pub fn restore(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let version = d.expect_header(Self::MAGIC)?;
+        if version != Self::VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                magic: Self::MAGIC,
+                found: version,
+                supported: Self::VERSION,
+            });
+        }
+        let m = Self::restore_from(&mut d)?;
+        d.finish()?;
+        Ok(m)
+    }
+
+    /// Record magic for standalone snapshots.
+    pub const MAGIC: [u8; 4] = *b"KGRM";
+    /// Current snapshot format version.
+    pub const VERSION: u16 = 1;
+
+    /// Append the headerless field payload (for embedding in composite
+    /// records like `MonitorState`).
+    pub fn snapshot_into(&self, e: &mut Encoder) {
+        e.put_u64(self.count);
+        e.put_f64(self.mean);
+        e.put_f64(self.m2);
+    }
+
+    /// Decode the headerless field payload written by
+    /// [`Self::snapshot_into`].
+    pub fn restore_from(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let count = d.get_u64("moments count")?;
+        let mean = d.get_f64("moments mean")?;
+        let m2 = d.get_f64("moments m2")?;
+        if mean.is_nan() || m2.is_nan() {
+            return Err(CodecError::Invalid {
+                what: "moments mean/m2 must not be NaN",
+            });
+        }
+        Ok(Self { count, mean, m2 })
+    }
 }
 
 impl Extend<f64> for RunningMoments {
@@ -192,6 +246,24 @@ mod tests {
         let m: RunningMoments = (1..=100).map(|i| i as f64).collect();
         assert_close(m.mean(), 50.5, 1e-12);
         assert_eq!(m.count(), 100);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bitwise() {
+        let mut m = RunningMoments::new();
+        for i in 0..37 {
+            m.push((i as f64).sin() * 3.0 + 0.1);
+        }
+        let bytes = m.snapshot();
+        let r = RunningMoments::restore(&bytes).unwrap();
+        assert_eq!(r.count, m.count);
+        assert_eq!(r.mean.to_bits(), m.mean.to_bits());
+        assert_eq!(r.m2.to_bits(), m.m2.to_bits());
+        assert_eq!(r.snapshot(), bytes);
+        // Truncations are typed errors, never panics.
+        for cut in 0..bytes.len() {
+            assert!(RunningMoments::restore(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! plateau prefix is exact: `partition_point(p <= t)` lands past every
 //! zero-width entry, so a dead item's empty span can never be selected.
 
+use crate::codec::{CodecError, Decoder, Encoder};
 use crate::error::StatsError;
 use rand::Rng;
 use std::sync::Arc;
@@ -494,6 +495,159 @@ impl GrowablePps {
         let base = s.local[0];
         s.first_item + s.local.partition_point(|&p| p - base <= local_t) - 1
     }
+
+    /// Record magic for standalone snapshots.
+    pub const MAGIC: [u8; 4] = *b"KGPP";
+    /// Current snapshot format version.
+    pub const VERSION: u16 = 1;
+
+    /// Serialize into a standalone `KGPP` v1 record (see [`crate::codec`]):
+    /// the head prefix, every `Arc`-shared segment's contents, and the full
+    /// pending-decrement overlay. Restoring materializes fresh `Arc`s over
+    /// the same integers — [`Self::locate`] depends only on contents, so
+    /// the restored sampler is draw-for-draw identical.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::with_header(Self::MAGIC, Self::VERSION);
+        self.snapshot_into(&mut e);
+        e.finish()
+    }
+
+    /// Restore from a standalone `KGPP` record, re-deriving the coarse
+    /// level and validating every structural invariant (monotone prefixes,
+    /// segment chaining, overlay bounds) so a corrupted payload yields a
+    /// typed error rather than a sampler that panics later.
+    pub fn restore(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let version = d.expect_header(Self::MAGIC)?;
+        if version != Self::VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                magic: Self::MAGIC,
+                found: version,
+                supported: Self::VERSION,
+            });
+        }
+        let pps = Self::restore_from(&mut d)?;
+        d.finish()?;
+        Ok(pps)
+    }
+
+    /// Append the headerless field payload (for embedding in composite
+    /// records like `MonitorState`).
+    pub fn snapshot_into(&self, e: &mut Encoder) {
+        e.put_u64_slice(&self.prefix);
+        e.put_usize(self.segments.len());
+        for s in &self.segments {
+            e.put_u64(s.abs_start);
+            e.put_usize(s.first_item);
+            e.put_u64_slice(&s.local);
+        }
+        e.put_usize_slice(&self.dead_items);
+        e.put_u64_slice(&self.dead_cum);
+        e.put_u64(self.total);
+        e.put_usize(self.items);
+    }
+
+    /// Decode the headerless field payload written by
+    /// [`Self::snapshot_into`].
+    pub fn restore_from(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let prefix = d.get_u64_vec("pps head prefix")?;
+        if prefix.first() != Some(&0) {
+            return Err(CodecError::Invalid {
+                what: "pps head prefix must start at 0",
+            });
+        }
+        // Non-decreasing, not strictly increasing: compaction leaves
+        // zero-width plateau entries for fully-dead items.
+        if prefix.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CodecError::Invalid {
+                what: "pps head prefix must be non-decreasing",
+            });
+        }
+        let head_items = prefix.len() - 1;
+        let head_total = *prefix.last().expect("checked non-empty");
+
+        let num_segments = d.get_len(24, "pps segments")?;
+        let mut segments = Vec::with_capacity(num_segments);
+        let mut next_item = head_items;
+        let mut next_start = head_total;
+        for _ in 0..num_segments {
+            let abs_start = d.get_u64("pps segment abs_start")?;
+            let first_item = d.get_usize("pps segment first_item")?;
+            let local = d.get_u64_vec("pps segment local prefix")?;
+            if local.len() < 2 {
+                return Err(CodecError::Invalid {
+                    what: "pps segment must hold at least one item",
+                });
+            }
+            if local.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(CodecError::Invalid {
+                    what: "pps segment prefix must be strictly increasing",
+                });
+            }
+            if abs_start != next_start || first_item != next_item {
+                return Err(CodecError::Invalid {
+                    what: "pps segment chain is inconsistent",
+                });
+            }
+            next_item += local.len() - 1;
+            next_start += local[local.len() - 1] - local[0];
+            segments.push(Segment {
+                abs_start,
+                first_item,
+                local: local.into(),
+            });
+        }
+        let dead_items = d.get_usize_vec("pps dead items")?;
+        let dead_cum = d.get_u64_vec("pps dead cum")?;
+        let total = d.get_u64("pps total")?;
+        let items = d.get_usize("pps items")?;
+        if items != next_item || total != next_start {
+            return Err(CodecError::Invalid {
+                what: "pps totals disagree with prefix contents",
+            });
+        }
+        if dead_cum.len() != dead_items.len() + 1 || dead_cum.first() != Some(&0) {
+            return Err(CodecError::Invalid {
+                what: "pps dead overlay must carry one cumulative entry per item plus base 0",
+            });
+        }
+        if dead_items.windows(2).any(|w| w[0] >= w[1])
+            || dead_items.last().is_some_and(|&i| i >= items)
+        {
+            return Err(CodecError::Invalid {
+                what: "pps dead items must be strictly increasing and in range",
+            });
+        }
+        if dead_cum.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CodecError::Invalid {
+                what: "pps dead cum must be strictly increasing (positive decrements)",
+            });
+        }
+        let mut pps = GrowablePps {
+            prefix,
+            coarse: Vec::new(),
+            segments,
+            total,
+            items,
+            dead_items,
+            dead_cum,
+        };
+        // Every dead span must fit inside its item's gross weight, or
+        // `weight()` would underflow.
+        for k in 0..pps.dead_items.len() {
+            let dead = pps.dead_cum[k + 1] - pps.dead_cum[k];
+            if dead > pps.gross_weight(pps.dead_items[k]) {
+                return Err(CodecError::Invalid {
+                    what: "pps dead weight exceeds item's gross weight",
+                });
+            }
+        }
+        // The coarse level is derived state: rebuild it instead of trusting
+        // (or shipping) it.
+        pps.coarse.push(0);
+        pps.sync_coarse();
+        Ok(pps)
+    }
 }
 
 #[cfg(test)]
@@ -914,6 +1068,98 @@ mod tests {
         for t in 0..pps.total() {
             assert_eq!(pps.locate(t), clean.locate(t), "t {t}");
         }
+    }
+
+    #[test]
+    fn snapshot_restore_is_draw_identical_across_layouts() {
+        // Head + shared segments + dead overlay (partial and full kills):
+        // the restored sampler must be byte-stable under re-snapshot and
+        // draw-for-draw identical to the original.
+        let to_prefix = |sizes: &[u32]| -> Arc<[u64]> {
+            let mut p = vec![0u64];
+            let mut acc = 0u64;
+            for &s in sizes {
+                acc += s as u64;
+                p.push(acc);
+            }
+            p.into()
+        };
+        let head: Vec<u32> = (0..130u32).map(|i| 1 + (i * 13) % 9).collect();
+        let mut pps = GrowablePps::from_sizes(&head).unwrap();
+        pps.extend_shared(to_prefix(&[3; 40])).unwrap();
+        pps.extend_shared(to_prefix(
+            &(0..25u32).map(|i| 1 + i % 5).collect::<Vec<_>>(),
+        ))
+        .unwrap();
+        pps.decrement(7, 2).unwrap();
+        pps.decrement(140, 3).unwrap(); // full kill inside segment A
+        pps.decrement(180, 1).unwrap();
+        let bytes = pps.snapshot();
+        let restored = GrowablePps::restore(&bytes).unwrap();
+        assert_eq!(restored.snapshot(), bytes, "round-trip not byte-stable");
+        assert_eq!(restored.total(), pps.total());
+        assert_eq!(restored.len(), pps.len());
+        assert_eq!(restored.coarse, pps.coarse, "coarse level re-derived");
+        for t in 0..pps.total() {
+            assert_eq!(restored.locate(t), pps.locate(t), "t {t}");
+        }
+        let mut rng_a = StdRng::seed_from_u64(55);
+        let mut rng_b = StdRng::seed_from_u64(55);
+        for _ in 0..3_000 {
+            assert_eq!(pps.sample(&mut rng_a), restored.sample(&mut rng_b));
+        }
+        // A compacted sampler (plateau head entries) round-trips too.
+        let mut compacted = GrowablePps::from_sizes(&[10; 40]).unwrap();
+        for i in 0..11 {
+            compacted.decrement(2 * i, 10).unwrap();
+        }
+        assert_eq!(compacted.dead_weight(), 0, "compaction fired");
+        let bytes = compacted.snapshot();
+        let restored = GrowablePps::restore(&bytes).unwrap();
+        assert_eq!(restored.snapshot(), bytes);
+        for t in 0..compacted.total() {
+            assert_eq!(restored.locate(t), compacted.locate(t), "t {t}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_structural_corruption() {
+        let mut pps = GrowablePps::from_sizes(&[4, 6, 2]).unwrap();
+        pps.extend_shared(vec![0u64, 5, 9].into()).unwrap();
+        pps.decrement(1, 2).unwrap();
+        let bytes = pps.snapshot();
+        // Every truncation is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(GrowablePps::restore(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Wrong magic and wrong version.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            GrowablePps::restore(&bad),
+            Err(CodecError::BadMagic { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            GrowablePps::restore(&bad),
+            Err(CodecError::UnsupportedVersion { .. })
+        ));
+        // A decreasing head prefix (first entries after the 8-byte length
+        // at offset 6) violates monotonicity.
+        let mut bad = bytes.clone();
+        bad[14..22].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            GrowablePps::restore(&bad),
+            Err(CodecError::Invalid { .. })
+        ));
+        // Trailing garbage is rejected.
+        let mut bad = bytes.clone();
+        bad.push(0);
+        assert!(matches!(
+            GrowablePps::restore(&bad),
+            Err(CodecError::TrailingBytes { .. })
+        ));
     }
 
     #[test]

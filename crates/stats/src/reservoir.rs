@@ -16,6 +16,7 @@
 //! [`WeightedReservoir::replacements`] lets callers verify and bound the
 //! incremental re-annotation cost.
 
+use crate::codec::{CodecError, Decoder, Encoder};
 use rand::Rng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -521,6 +522,131 @@ impl<T> WeightedReservoirExpJ<T> {
     }
 }
 
+impl WeightedReservoirExpJ<u32> {
+    /// Record magic for standalone snapshots.
+    pub const MAGIC: [u8; 4] = *b"KGRV";
+    /// Current snapshot format version.
+    pub const VERSION: u16 = 1;
+
+    /// Serialize into a standalone `KGRV` v1 record (see [`crate::codec`]).
+    ///
+    /// Members are written in the heap's internal vec order. Restoring
+    /// re-heapifies that vec, and heapify (`sift_down` over an
+    /// already-valid heap layout) performs zero swaps — so
+    /// snapshot→restore→snapshot is byte-stable and the restored reservoir
+    /// replays the exact pop/push order of the original.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::with_header(Self::MAGIC, Self::VERSION);
+        self.snapshot_into(&mut e);
+        e.finish()
+    }
+
+    /// Restore from a standalone `KGRV` record. Typed error on corrupt,
+    /// truncated, or unknown-version input — never a panic, even for
+    /// hostile payloads (NaN keys would poison the heap's total order and
+    /// are rejected up front).
+    pub fn restore(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let version = d.expect_header(Self::MAGIC)?;
+        if version != Self::VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                magic: Self::MAGIC,
+                found: version,
+                supported: Self::VERSION,
+            });
+        }
+        let r = Self::restore_from(&mut d)?;
+        d.finish()?;
+        Ok(r)
+    }
+
+    /// Append the headerless field payload (for embedding in composite
+    /// records like `MonitorState`).
+    pub fn snapshot_into(&self, e: &mut Encoder) {
+        e.put_usize(self.inner.capacity);
+        e.put_u64(self.inner.replacements);
+        e.put_u64(self.inner.offered);
+        e.put_usize(self.inner.heap.len());
+        for m in self.inner.heap.iter() {
+            e.put_u32(m.0.item);
+            e.put_f64(m.0.key);
+        }
+        match self.skip {
+            Some(s) => {
+                e.put_u8(1);
+                e.put_f64(s);
+            }
+            None => e.put_u8(0),
+        }
+    }
+
+    /// Decode the headerless field payload written by
+    /// [`Self::snapshot_into`].
+    pub fn restore_from(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let capacity = d.get_usize("reservoir capacity")?;
+        if capacity == 0 {
+            return Err(CodecError::Invalid {
+                what: "reservoir capacity must be positive",
+            });
+        }
+        let replacements = d.get_u64("reservoir replacements")?;
+        let offered = d.get_u64("reservoir offered")?;
+        let len = d.get_len(12, "reservoir members")?;
+        if len > capacity {
+            return Err(CodecError::Invalid {
+                what: "reservoir holds more members than its capacity",
+            });
+        }
+        let mut members = Vec::with_capacity(len);
+        for _ in 0..len {
+            let item = d.get_u32("reservoir member item")?;
+            let key = d.get_f64("reservoir member key")?;
+            if !(key > 0.0 && key <= 1.0) {
+                return Err(CodecError::Invalid {
+                    what: "reservoir key must lie in (0, 1]",
+                });
+            }
+            members.push(MinKey(Keyed { item, key }));
+        }
+        let skip = match d.get_u8("reservoir skip flag")? {
+            0 => None,
+            1 => {
+                let s = d.get_f64("reservoir skip")?;
+                if s.is_nan() || s <= 0.0 {
+                    return Err(CodecError::Invalid {
+                        what: "reservoir skip must be positive (or +inf)",
+                    });
+                }
+                Some(s)
+            }
+            _ => {
+                return Err(CodecError::Invalid {
+                    what: "reservoir skip flag must be 0 or 1",
+                })
+            }
+        };
+        if skip.is_some() && len < capacity {
+            return Err(CodecError::Invalid {
+                what: "pending skip requires a full reservoir",
+            });
+        }
+        // Heapify of an already-valid heap layout performs zero swaps, so
+        // a faithful snapshot restores to the identical internal order; a
+        // corrupted-but-decodable member list still heapifies into *some*
+        // valid heap rather than panicking.
+        let heap = BinaryHeap::from(members);
+        Ok(WeightedReservoirExpJ {
+            inner: WeightedReservoir {
+                capacity,
+                heap,
+                replacements,
+                offered,
+            },
+            skip,
+        })
+    }
+}
+
 /// Result of offering an item to a [`WeightedReservoir`].
 #[derive(Debug, Clone)]
 pub enum OfferOutcome<T> {
@@ -967,6 +1093,89 @@ mod tests {
         }
         assert!(accepted_any, "re-armed reservoir never accepted again");
         assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        // Checkpoint a reservoir mid-stream; the restored copy must replay
+        // the rest of the stream bit-for-bit (members, keys, eviction
+        // order, counters) — the serving layer's core invariant.
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut r = WeightedReservoirExpJ::new(8);
+        for i in 0..500u32 {
+            r.offer(&mut rng, i, 1.0 + (i % 13) as f64);
+        }
+        let bytes = r.snapshot();
+        let mut restored = WeightedReservoirExpJ::<u32>::restore(&bytes).unwrap();
+        assert_eq!(restored.snapshot(), bytes, "round-trip not byte-stable");
+
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let mut ev_a = Vec::new();
+        let mut ev_b = Vec::new();
+        for i in 500..3000u32 {
+            let w = 1.0 + (i % 11) as f64;
+            if let OfferOutcome::Replaced(e) = r.offer(&mut rng_a, i, w) {
+                ev_a.push((e.item, e.key.to_bits()));
+            }
+            if let OfferOutcome::Replaced(e) = restored.offer(&mut rng_b, i, w) {
+                ev_b.push((e.item, e.key.to_bits()));
+            }
+        }
+        assert_eq!(ev_a, ev_b, "post-restore eviction streams diverged");
+        assert_eq!(r.replacements(), restored.replacements());
+        let members = |r: &WeightedReservoirExpJ<u32>| {
+            r.iter()
+                .map(|k| (k.item, k.key.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(members(&r), members(&restored));
+    }
+
+    #[test]
+    fn snapshot_restore_mid_fill_reservoir() {
+        // Below capacity: no skip yet, fill phase must resume.
+        let mut rng = StdRng::seed_from_u64(93);
+        let mut r = WeightedReservoirExpJ::new(16);
+        for i in 0..5u32 {
+            r.offer(&mut rng, i, 2.0);
+        }
+        let bytes = r.snapshot();
+        let mut restored = WeightedReservoirExpJ::<u32>::restore(&bytes).unwrap();
+        assert_eq!(restored.snapshot(), bytes);
+        assert_eq!(restored.len(), 5);
+        assert!(restored.offer(&mut rng, 99, 1.0).accepted());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_payloads_with_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let mut r = WeightedReservoirExpJ::new(4);
+        for i in 0..40u32 {
+            r.offer(&mut rng, i, 1.0 + (i % 3) as f64);
+        }
+        let bytes = r.snapshot();
+        // Every truncation errors, never panics.
+        for cut in 0..bytes.len() {
+            assert!(WeightedReservoirExpJ::<u32>::restore(&bytes[..cut]).is_err());
+        }
+        // Wrong version.
+        let mut wrong = bytes.clone();
+        wrong[4] = 0xFF;
+        assert!(matches!(
+            WeightedReservoirExpJ::<u32>::restore(&wrong),
+            Err(CodecError::UnsupportedVersion { .. })
+        ));
+        // NaN key would poison the heap order: must be rejected up front.
+        // Member records start after capacity+replacements+offered+len
+        // (6-byte header + 4×8 bytes); the key is 4 bytes into a record.
+        let key_off = 6 + 32 + 4;
+        let mut nan = bytes.clone();
+        nan[key_off..key_off + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            WeightedReservoirExpJ::<u32>::restore(&nan),
+            Err(CodecError::Invalid { .. })
+        ));
     }
 
     #[test]
