@@ -2,7 +2,7 @@
 //! runtime, writing the tracked benchmark JSON.
 //!
 //! Usage:
-//!   bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios | --serve] [--quick] [--seed N] [--out PATH]
+//!   bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios | --serve | --resilience] [--quick] [--seed N] [--out PATH]
 //!
 //! Default mode times the hot *static* sampling designs (SRS/WCS/TWCS
 //! trial loops) and writes `BENCH_throughput.json`. `--streaming` instead
@@ -28,7 +28,12 @@
 //! real TCP — thousands of tenant monitors registered and driven through
 //! churn scripts, with served estimates byte-checked against in-process
 //! evaluation and checkpoint/restore round-trips — and writes
-//! `BENCH_serve.json` (schema `kg-bench-serve/v1`).
+//! `BENCH_serve.json` (schema `kg-bench-serve/v1`). `--resilience` runs
+//! the deterministic chaos harness — seeded connection faults, abrupt
+//! process kills, spill-file sabotage, and a final drain→restart cycle
+//! over a tenant fleet, with every served estimate byte-checked against
+//! a fault-free replay — and writes `BENCH_resilience.json` (schema
+//! `kg-bench-resilience/v1`).
 //!
 //! `--quick` shrinks scales and trial counts (CI); the default output path
 //! is `BENCH_<mode>.json` in the working directory. All artifacts are
@@ -37,7 +42,7 @@
 //! --bin bench-report`.
 
 use kg_bench::artifact::write_atomic;
-use kg_bench::{churn, parallel, scenarios, serve, skeleton, streaming, throughput};
+use kg_bench::{chaos, churn, parallel, scenarios, serve, skeleton, streaming, throughput};
 
 enum Mode {
     Throughput,
@@ -47,6 +52,7 @@ enum Mode {
     Churn,
     Scenarios,
     Serve,
+    Resilience,
 }
 
 fn main() {
@@ -63,6 +69,7 @@ fn main() {
             "--churn" => mode = Mode::Churn,
             "--scenarios" => mode = Mode::Scenarios,
             "--serve" => mode = Mode::Serve,
+            "--resilience" => mode = Mode::Resilience,
             "--quick" => quick = true,
             "--seed" => {
                 seed = Some(
@@ -76,7 +83,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios | --serve] [--quick] [--seed N] [--out PATH]"
+                    "bench-report [--streaming | --parallel | --skeleton | --churn | --scenarios | --serve | --resilience] [--quick] [--seed N] [--out PATH]"
                 );
                 return;
             }
@@ -175,6 +182,21 @@ fn main() {
                 serve::render_table(&report),
                 serve::to_json(&report),
                 out.unwrap_or_else(|| String::from("BENCH_serve.json")),
+            )
+        }
+        Mode::Resilience => {
+            let mut opts = chaos::ChaosOpts {
+                quick,
+                ..Default::default()
+            };
+            if let Some(s) = seed {
+                opts.seed = s;
+            }
+            let report = chaos::run(&opts);
+            (
+                chaos::render_table(&report),
+                chaos::to_json(&report),
+                out.unwrap_or_else(|| String::from("BENCH_resilience.json")),
             )
         }
         Mode::Throughput => {

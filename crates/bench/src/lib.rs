@@ -13,6 +13,7 @@
 
 pub mod ablation;
 pub mod artifact;
+pub mod chaos;
 pub mod churn;
 pub mod fig1;
 pub mod fig3;

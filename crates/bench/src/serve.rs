@@ -103,9 +103,9 @@ pub struct ServeReport {
     pub restore_match: bool,
 }
 
-const FAMILIES: usize = 8;
+pub(crate) const FAMILIES: usize = 8;
 
-fn spec_for(seed: u64, tenant: usize) -> SessionSpec {
+pub(crate) fn spec_for(seed: u64, tenant: usize) -> SessionSpec {
     let f = tenant % FAMILIES;
     let kind = if f.is_multiple_of(2) {
         EvaluatorKind::Reservoir {
@@ -143,7 +143,7 @@ fn spec_for(seed: u64, tenant: usize) -> SessionSpec {
 /// The deterministic per-tenant traffic script: insert, retract, revise.
 /// Retraction targets are distinct clusters (base > 3), each at offset 0
 /// of a cluster whose size is ≥ 1, so the script is always valid.
-fn script_for(tenant: usize) -> Vec<KgEvent> {
+pub(crate) fn script_for(tenant: usize) -> Vec<KgEvent> {
     let base = (96 + 8 * (tenant % FAMILIES)) as u32;
     vec![
         KgEvent::Insert(UpdateBatch::from_sizes(vec![3; 6 + tenant % 4]).expect("sizes")),
@@ -174,7 +174,7 @@ fn entries_json(r: &Retraction) -> String {
     parts.join(",")
 }
 
-fn event_json(event: &KgEvent) -> String {
+pub(crate) fn event_json(event: &KgEvent) -> String {
     match event {
         KgEvent::Insert(batch) => {
             format!(
@@ -191,12 +191,12 @@ fn event_json(event: &KgEvent) -> String {
     }
 }
 
-fn events_body(events: &[KgEvent]) -> String {
+pub(crate) fn events_body(events: &[KgEvent]) -> String {
     let parts: Vec<String> = events.iter().map(event_json).collect();
     format!(r#"{{"events":[{}]}}"#, parts.join(","))
 }
 
-fn spec_json(spec: &SessionSpec) -> String {
+pub(crate) fn spec_json(spec: &SessionSpec) -> String {
     let kind = match spec.kind {
         EvaluatorKind::Reservoir { capacity } => {
             format!(r#""kind":"reservoir","capacity":{capacity}"#)
@@ -252,14 +252,14 @@ fn ok(addr: &str, method: &str, path: &str, body: &str) -> String {
     body
 }
 
-fn str_field(body: &str, key: &str) -> String {
+pub(crate) fn str_field(body: &str, key: &str) -> String {
     let tag = format!("\"{key}\":\"");
     let start = body.find(&tag).unwrap_or_else(|| panic!("{key} in {body}")) + tag.len();
     let end = body[start..].find('"').expect("closing quote") + start;
     body[start..end].to_string()
 }
 
-fn num_field(body: &str, key: &str) -> String {
+pub(crate) fn num_field(body: &str, key: &str) -> String {
     let tag = format!("\"{key}\":");
     let start = body.find(&tag).unwrap_or_else(|| panic!("{key} in {body}")) + tag.len();
     let end = body[start..].find([',', '}']).expect("field terminator") + start;
@@ -267,7 +267,7 @@ fn num_field(body: &str, key: &str) -> String {
 }
 
 /// The served-estimate fingerprint used for byte comparisons.
-fn served_bits(body: &str) -> (String, String, String) {
+pub(crate) fn served_bits(body: &str) -> (String, String, String) {
     (
         str_field(body, "mean_bits"),
         str_field(body, "var_bits"),

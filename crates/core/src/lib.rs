@@ -40,6 +40,7 @@ pub mod granular;
 pub mod report;
 pub mod session;
 pub mod sharded;
+pub mod spill;
 pub mod static_eval;
 
 pub use config::EvalConfig;
@@ -48,3 +49,4 @@ pub use framework::Evaluator;
 pub use report::EvaluationReport;
 pub use session::{EstimateReport, SessionRegistry, SessionSpec};
 pub use sharded::{ShardDesign, ShardReplayReport, ShardedReplay};
+pub use spill::CheckpointStore;

@@ -37,6 +37,27 @@
 //! log, which is byte-deterministic. Decoders reject unknown versions,
 //! truncated payloads, and structurally inconsistent records with typed
 //! [`CodecError`]s; they never panic on hostile input.
+//!
+//! # Lifecycle: eviction, spill, revival
+//!
+//! A registry built with [`SessionRegistry::with_lifecycle`] owns a
+//! [`CheckpointStore`] and enforces a [`LifecyclePolicy`]: sessions idle
+//! past the TTL, or beyond the LRU cap on in-memory sessions, are
+//! checkpointed to disk and dropped from memory (*spilled*). The next
+//! request against a spilled id transparently revives it — same id, same
+//! RNG cursor, same estimate stream, **byte-identical** to never having
+//! been evicted. Idleness is measured on a logical request-counter
+//! clock, not wall time, so eviction schedules are deterministic under
+//! test harnesses. A structurally corrupt spill record (torn file,
+//! version skew) surfaces as a typed error and the session is dropped —
+//! clients holding their own checkpoint re-register it; the registry
+//! never serves a partially-decoded session.
+//!
+//! `write_through` additionally persists a session after every mutating
+//! request, so an abrupt process kill between requests loses nothing;
+//! [`SessionRegistry::drain_to_store`] checkpoints every live session at
+//! shutdown and [`SessionRegistry::recover_from_store`] re-adopts the
+//! full spilled tenant set (ids preserved) at startup.
 
 use crate::config::EvalConfig;
 use crate::dynamic::monitor::audit_sharded;
@@ -47,6 +68,7 @@ use crate::dynamic::IncrementalEvaluator;
 use crate::executor::TrialExecutor;
 use crate::framework::Evaluator;
 use crate::sharded::{ShardDesign, ShardReplayReport, ShardedReplay};
+use crate::spill::{CheckpointStore, SpillError};
 use kg_annotate::annotator::{Annotator, SimulatedAnnotator};
 use kg_annotate::cost::CostModel;
 use kg_annotate::dense::DenseAnnotator;
@@ -54,7 +76,8 @@ use kg_annotate::label_store::LabelStore;
 use kg_annotate::lease::DenseArenaPool;
 use kg_annotate::oracle::{LabelOracle, RemOracle};
 use kg_model::implicit::ImplicitKg;
-use kg_model::retract::{KgEvent, Retraction};
+use kg_model::retract::{map_live_offset, KgEvent, Retraction};
+use kg_model::triple::TripleRef;
 use kg_model::update::UpdateBatch;
 use kg_model::KgError;
 use kg_sampling::PopulationIndex;
@@ -166,6 +189,10 @@ pub enum SessionError {
     Stats(StatsError),
     /// A population-shape precondition failed.
     Kg(KgError),
+    /// The operation needs a checkpoint store but the registry has none.
+    NoStore,
+    /// The spill layer failed (missing record, filesystem error).
+    Spill(SpillError),
 }
 
 impl fmt::Display for SessionError {
@@ -177,6 +204,8 @@ impl fmt::Display for SessionError {
             SessionError::Codec(e) => write!(f, "checkpoint codec: {e}"),
             SessionError::Stats(e) => write!(f, "stats: {e}"),
             SessionError::Kg(e) => write!(f, "population: {e}"),
+            SessionError::NoStore => write!(f, "registry has no checkpoint store"),
+            SessionError::Spill(e) => write!(f, "spill: {e}"),
         }
     }
 }
@@ -198,6 +227,12 @@ impl From<StatsError> for SessionError {
 impl From<KgError> for SessionError {
     fn from(e: KgError) -> Self {
         SessionError::Kg(e)
+    }
+}
+
+impl From<SpillError> for SessionError {
+    fn from(e: SpillError) -> Self {
+        SessionError::Spill(e)
     }
 }
 
@@ -458,6 +493,67 @@ impl Session {
         e.put_f64(self.cost_seconds);
         e.finish()
     }
+
+    /// Point-in-time **live view** of the session's population: per-cluster
+    /// live sizes (gross minus tombstones), with the mapping back to raw
+    /// storage coordinates. Clusters with no live triples are dropped.
+    fn live_view(&self) -> LiveView {
+        let clusters = self.store.num_clusters();
+        let mut sizes = Vec::with_capacity(clusters);
+        let mut raw_cluster = Vec::with_capacity(clusters);
+        let mut dead: Vec<Arc<[u32]>> = Vec::with_capacity(clusters);
+        let empty: Arc<[u32]> = Arc::from(&[][..]);
+        for c in 0..clusters {
+            let raw = self.store.cluster_size(c) as u64;
+            let dead_set = self.merged_dead.get(&(c as u32));
+            let live = raw - dead_set.map_or(0, |s| s.len() as u64);
+            if live == 0 {
+                continue;
+            }
+            sizes.push(live as u32);
+            raw_cluster.push(c as u32);
+            dead.push(match dead_set {
+                Some(s) => s.iter().copied().collect::<Vec<u32>>().into(),
+                None => empty.clone(),
+            });
+        }
+        LiveView {
+            sizes,
+            raw_cluster,
+            dead,
+        }
+    }
+}
+
+/// A session population with tombstones folded in: live cluster sizes
+/// plus the translation tables back to raw coordinates.
+struct LiveView {
+    /// Live size per live cluster.
+    sizes: Vec<u32>,
+    /// Raw cluster id per live cluster.
+    raw_cluster: Vec<u32>,
+    /// Sorted dead raw offsets per live cluster.
+    dead: Vec<Arc<[u32]>>,
+}
+
+/// Label oracle over a [`LiveView`]: live `(cluster, offset)` coordinates
+/// are translated to raw storage coordinates via the same
+/// [`map_live_offset`] walk both annotation engines use, then the
+/// session's oracle is consulted — so audits see exactly the labels the
+/// monitor estimate is tracking.
+struct LiveViewOracle {
+    inner: RemOracle,
+    raw_cluster: Vec<u32>,
+    dead: Vec<Arc<[u32]>>,
+}
+
+impl LabelOracle for LiveViewOracle {
+    fn label(&self, t: TripleRef) -> bool {
+        let c = t.cluster as usize;
+        let raw_offset = map_live_offset(&self.dead[c], t.offset);
+        self.inner
+            .label(TripleRef::new(self.raw_cluster[c], raw_offset))
+    }
 }
 
 fn put_spec(e: &mut Encoder, spec: &SessionSpec) {
@@ -701,18 +797,99 @@ struct CatalogEntry {
 
 type CatalogKey = (Vec<u32>, u64, u64);
 
+/// Lifecycle policy of a registry with a [`CheckpointStore`]. The default
+/// policy never evicts and never write-through-persists — spill is then
+/// only used by explicit [`SessionRegistry::evict`] /
+/// [`SessionRegistry::drain_to_store`] calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LifecyclePolicy {
+    /// LRU cap on in-memory sessions: when more than `max_live` sessions
+    /// are resident, the least-recently-used idle ones are evicted to the
+    /// store.
+    pub max_live: Option<usize>,
+    /// Idle TTL in logical clock ticks (one tick per registry operation):
+    /// a session untouched for more than `idle_ttl` ticks is evicted.
+    pub idle_ttl: Option<u64>,
+    /// Persist every session to the store after each successful mutating
+    /// request (and at registration), so an abrupt process kill between
+    /// requests loses no acknowledged state.
+    pub write_through: bool,
+}
+
+/// Lifecycle counters of a registry (all monotonic except `live` and
+/// `spilled`, which are point-in-time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Sessions currently resident in memory.
+    pub live: usize,
+    /// Sessions currently evicted to the spill store.
+    pub spilled: usize,
+    /// Evictions performed (TTL, LRU, or explicit).
+    pub evictions: u64,
+    /// Spilled sessions revived by a request.
+    pub revivals: u64,
+    /// Sessions dropped because their spill record failed to decode.
+    pub corrupt_dropped: u64,
+    /// Failed store writes (eviction kept the session live; write-through
+    /// returned success without persistence).
+    pub persist_failures: u64,
+}
+
+/// A session slot: resident, or evicted to the spill store.
+enum Slot {
+    Live(LiveSlot),
+    Spilled,
+}
+
+struct LiveSlot {
+    session: Arc<Mutex<Session>>,
+    /// Logical-clock stamp of the last request that touched the session.
+    last_used: u64,
+    /// Requests currently holding the session (eviction skips these).
+    in_use: u32,
+}
+
+/// RAII access to one resident session. While a guard is alive the slot's
+/// `in_use` count is positive, so the eviction sweep never checkpoints a
+/// session out from under an active request.
+struct SessionGuard<'r> {
+    registry: &'r SessionRegistry,
+    id: u64,
+    session: Arc<Mutex<Session>>,
+}
+
+impl Drop for SessionGuard<'_> {
+    fn drop(&mut self) {
+        let mut sessions = self.registry.sessions.lock().unwrap();
+        if let Some(Slot::Live(l)) = sessions.get_mut(&self.id) {
+            l.in_use -= 1;
+        }
+    }
+}
+
 /// Registry of tenant monitor sessions sharing one [`TrialExecutor`] and
 /// per-base-KG [`DenseArenaPool`]s.
 ///
 /// All methods take `&self`; sessions are independently locked, so
 /// requests against different tenants proceed concurrently and the
 /// per-tenant estimate stream is byte-identical to driving that tenant
-/// alone (see `tests/session_stress.rs`).
+/// alone (see `tests/session_stress.rs`). With a [`CheckpointStore`]
+/// attached, idle sessions spill to disk and revive transparently — see
+/// the module docs.
 pub struct SessionRegistry {
     executor: TrialExecutor,
     catalog: Mutex<BTreeMap<CatalogKey, Arc<CatalogEntry>>>,
-    sessions: Mutex<BTreeMap<u64, Arc<Mutex<Session>>>>,
+    sessions: Mutex<BTreeMap<u64, Slot>>,
     next_id: AtomicU64,
+    store: Option<CheckpointStore>,
+    policy: LifecyclePolicy,
+    /// Logical clock: one tick per registry operation. Eviction idleness
+    /// is measured on this, never on wall time.
+    clock: AtomicU64,
+    evictions: AtomicU64,
+    revivals: AtomicU64,
+    corrupt_dropped: AtomicU64,
+    persist_failures: AtomicU64,
 }
 
 impl Default for SessionRegistry {
@@ -735,7 +912,29 @@ impl SessionRegistry {
             catalog: Mutex::new(BTreeMap::new()),
             sessions: Mutex::new(BTreeMap::new()),
             next_id: AtomicU64::new(1),
+            store: None,
+            policy: LifecyclePolicy::default(),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            revivals: AtomicU64::new(0),
+            corrupt_dropped: AtomicU64::new(0),
+            persist_failures: AtomicU64::new(0),
         }
+    }
+
+    /// Registry with a spill store and lifecycle policy attached.
+    pub fn with_lifecycle(
+        executor: TrialExecutor,
+        policy: LifecyclePolicy,
+        store: CheckpointStore,
+    ) -> Self {
+        let mut registry = Self::with_executor(executor);
+        if let Some(floor) = store.id_floor() {
+            registry.next_id = AtomicU64::new(floor.max(1));
+        }
+        registry.store = Some(store);
+        registry.policy = policy;
+        registry
     }
 
     /// The shared trial executor (for callers fanning out replays of
@@ -744,7 +943,12 @@ impl SessionRegistry {
         &self.executor
     }
 
-    /// Number of live sessions.
+    /// The attached spill store, if any.
+    pub fn store(&self) -> Option<&CheckpointStore> {
+        self.store.as_ref()
+    }
+
+    /// Number of sessions (resident + spilled).
     pub fn len(&self) -> usize {
         self.sessions.lock().unwrap().len()
     }
@@ -754,14 +958,48 @@ impl SessionRegistry {
         self.len() == 0
     }
 
-    /// Ids of all live sessions, ascending.
+    /// Ids of all sessions (resident + spilled), ascending.
     pub fn ids(&self) -> Vec<u64> {
         self.sessions.lock().unwrap().keys().copied().collect()
     }
 
-    /// Drop a session, returning whether it existed.
+    /// Whether a session is currently resident (as opposed to spilled or
+    /// unknown).
+    pub fn is_live(&self, id: u64) -> bool {
+        matches!(self.sessions.lock().unwrap().get(&id), Some(Slot::Live(_)))
+    }
+
+    /// Point-in-time lifecycle counters.
+    pub fn stats(&self) -> RegistryStats {
+        let sessions = self.sessions.lock().unwrap();
+        let live = sessions
+            .values()
+            .filter(|s| matches!(s, Slot::Live(_)))
+            .count();
+        let spilled = sessions.len() - live;
+        drop(sessions);
+        RegistryStats {
+            live,
+            spilled,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            revivals: self.revivals.load(Ordering::Relaxed),
+            corrupt_dropped: self.corrupt_dropped.load(Ordering::Relaxed),
+            persist_failures: self.persist_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop a session (resident or spilled, including its spill record),
+    /// returning whether it existed.
     pub fn remove(&self, id: u64) -> bool {
-        self.sessions.lock().unwrap().remove(&id).is_some()
+        let existed = self.sessions.lock().unwrap().remove(&id).is_some();
+        if let Some(store) = &self.store {
+            let _ = store.remove(id);
+        }
+        existed
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn catalog_entry(
@@ -786,22 +1024,261 @@ impl SessionRegistry {
             .clone()
     }
 
-    fn session(&self, id: u64) -> Result<Arc<Mutex<Session>>, SessionError> {
-        self.sessions
-            .lock()
-            .unwrap()
-            .get(&id)
-            .cloned()
-            .ok_or(SessionError::UnknownSession(id))
+    /// Resolve a session for one request, reviving it from spill if
+    /// needed, and pin it against eviction for the guard's lifetime.
+    fn acquire(&self, id: u64) -> Result<SessionGuard<'_>, SessionError> {
+        let now = self.tick();
+        let mut sessions = self.sessions.lock().unwrap();
+        let slot = sessions
+            .get_mut(&id)
+            .ok_or(SessionError::UnknownSession(id))?;
+        let session = match slot {
+            Slot::Live(l) => {
+                l.last_used = now;
+                l.in_use += 1;
+                l.session.clone()
+            }
+            Slot::Spilled => {
+                let store = self
+                    .store
+                    .as_ref()
+                    .expect("spilled slots only exist with a store attached");
+                let bytes = match store.load(id) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        // The record vanished out from under us — the
+                        // session is unrecoverable; forget it.
+                        sessions.remove(&id);
+                        self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                        return Err(e.into());
+                    }
+                };
+                let session = match self.materialize(&bytes) {
+                    Ok(session) => session,
+                    Err(e) => {
+                        // Torn / corrupt / version-skewed record: typed
+                        // error, and the session is dropped rather than
+                        // ever served partially decoded. Clients holding
+                        // their own checkpoint re-register it.
+                        sessions.remove(&id);
+                        let _ = store.remove(id);
+                        self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                };
+                let session = Arc::new(Mutex::new(session));
+                *slot = Slot::Live(LiveSlot {
+                    session: session.clone(),
+                    last_used: now,
+                    in_use: 1,
+                });
+                self.revivals.fetch_add(1, Ordering::Relaxed);
+                session
+            }
+        };
+        Ok(SessionGuard {
+            registry: self,
+            id,
+            session,
+        })
     }
 
     fn insert(&self, session: Session) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.sessions
-            .lock()
-            .unwrap()
-            .insert(id, Arc::new(Mutex::new(session)));
+        let now = self.tick();
+        let mut sessions = self.sessions.lock().unwrap();
+        sessions.insert(
+            id,
+            Slot::Live(LiveSlot {
+                session: Arc::new(Mutex::new(session)),
+                last_used: now,
+                in_use: 0,
+            }),
+        );
+        // Persist the id floor before the id escapes, so a crash and
+        // recovery can never re-mint it even if this session's own spill
+        // record is lost. Loading the counter under the sessions lock
+        // keeps concurrent writes monotonic.
+        if let Some(store) = &self.store {
+            let floor = self.next_id.load(Ordering::Relaxed);
+            if store.record_id_floor(floor).is_err() {
+                self.persist_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         id
+    }
+
+    /// Decode a `KGSN` record and rebuild the full in-memory session
+    /// (label store re-materialized from the catalog + batch-log replay).
+    fn materialize(&self, bytes: &[u8]) -> Result<Session, SessionError> {
+        let record = SessionRecord::decode(bytes)?;
+        validate_spec(&record.spec)?;
+        let oracle = RemOracle::new(record.spec.oracle_accuracy, record.spec.oracle_seed);
+        let base = ImplicitKg::new(record.spec.base_sizes.clone())?;
+        let entry = self.catalog_entry(&record.spec, &base, &oracle);
+        let mut store = entry.store.clone();
+        for sizes in &record.batch_log {
+            let batch = UpdateBatch::from_sizes(sizes.clone())?;
+            Arc::make_mut(&mut store).extend_with_batch(&batch, &oracle);
+        }
+        for (cluster, dead) in &record.merged_dead {
+            let raw = store.cluster_size(*cluster as usize) as u64;
+            if dead.iter().any(|&off| u64::from(off) >= raw) {
+                return Err(SessionError::Codec(CodecError::Invalid {
+                    what: "session tombstone offset exceeds its cluster's raw size",
+                }));
+            }
+        }
+        Ok(Session {
+            spec: record.spec,
+            oracle,
+            state: record.state,
+            rng: StdRng::from_state(record.rng),
+            store,
+            batch_log: record.batch_log,
+            merged_dead: record.merged_dead,
+            events_applied: record.events_applied,
+            cost_seconds: record.cost_seconds,
+        })
+    }
+
+    /// Enforce the lifecycle policy: evict idle-expired sessions, then
+    /// trim the resident set to the LRU cap. Sessions pinned by an active
+    /// request are never evicted; a failed store write keeps the session
+    /// resident (counted in [`RegistryStats::persist_failures`]).
+    fn enforce(&self) {
+        let Some(store) = &self.store else { return };
+        if self.policy.max_live.is_none() && self.policy.idle_ttl.is_none() {
+            return;
+        }
+        let now = self.clock.load(Ordering::Relaxed);
+        let mut sessions = self.sessions.lock().unwrap();
+        let mut victims: Vec<u64> = Vec::new();
+        if let Some(ttl) = self.policy.idle_ttl {
+            for (&id, slot) in sessions.iter() {
+                if let Slot::Live(l) = slot {
+                    if l.in_use == 0 && now.saturating_sub(l.last_used) > ttl {
+                        victims.push(id);
+                    }
+                }
+            }
+        }
+        if let Some(cap) = self.policy.max_live {
+            let resident = sessions
+                .values()
+                .filter(|s| matches!(s, Slot::Live(_)))
+                .count();
+            let excess = resident.saturating_sub(victims.len()).saturating_sub(cap);
+            if excess > 0 {
+                let mut lru: Vec<(u64, u64)> = sessions
+                    .iter()
+                    .filter_map(|(&id, slot)| match slot {
+                        Slot::Live(l) if l.in_use == 0 && !victims.contains(&id) => {
+                            Some((l.last_used, id))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                lru.sort_unstable();
+                victims.extend(lru.into_iter().take(excess).map(|(_, id)| id));
+            }
+        }
+        for id in victims {
+            self.evict_locked(&mut sessions, store, id);
+        }
+    }
+
+    /// Checkpoint a resident, unpinned session to the store and mark the
+    /// slot spilled. Caller holds the sessions lock.
+    fn evict_locked(
+        &self,
+        sessions: &mut BTreeMap<u64, Slot>,
+        store: &CheckpointStore,
+        id: u64,
+    ) -> bool {
+        let Some(slot) = sessions.get_mut(&id) else {
+            return false;
+        };
+        let Slot::Live(l) = slot else { return false };
+        if l.in_use != 0 {
+            return false;
+        }
+        let bytes = l.session.lock().unwrap().checkpoint();
+        if store.save(id, &bytes).is_err() {
+            self.persist_failures.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        *slot = Slot::Spilled;
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Explicitly evict one session to the spill store. Returns `false`
+    /// if the session is already spilled or pinned by an active request.
+    pub fn evict(&self, id: u64) -> Result<bool, SessionError> {
+        let store = self.store.as_ref().ok_or(SessionError::NoStore)?;
+        let mut sessions = self.sessions.lock().unwrap();
+        if !sessions.contains_key(&id) {
+            return Err(SessionError::UnknownSession(id));
+        }
+        Ok(self.evict_locked(&mut sessions, store, id))
+    }
+
+    /// Checkpoint every resident session to the spill store (sessions stay
+    /// resident). The graceful-drain path: call once new requests have
+    /// stopped, then exit; a fresh process recovers the full tenant set
+    /// with [`SessionRegistry::recover_from_store`]. Returns the number of
+    /// sessions persisted.
+    pub fn drain_to_store(&self) -> Result<usize, SessionError> {
+        let store = self.store.as_ref().ok_or(SessionError::NoStore)?;
+        let sessions = self.sessions.lock().unwrap();
+        let mut persisted = 0;
+        for (&id, slot) in sessions.iter() {
+            if let Slot::Live(l) = slot {
+                let bytes = l.session.lock().unwrap().checkpoint();
+                store.save(id, &bytes).map_err(SpillError::from)?;
+                persisted += 1;
+            }
+        }
+        Ok(persisted)
+    }
+
+    /// Adopt every session spilled in the store as a (lazily revived)
+    /// spilled slot, preserving ids; `next_id` advances past the highest
+    /// recovered id and past the store's persisted id floor, so ids of
+    /// sessions whose records were lost or corrupted are never re-minted.
+    /// Returns the number of sessions adopted.
+    pub fn recover_from_store(&self) -> Result<usize, SessionError> {
+        let store = self.store.as_ref().ok_or(SessionError::NoStore)?;
+        let ids = store.ids().map_err(SpillError::from)?;
+        let mut sessions = self.sessions.lock().unwrap();
+        if let Some(floor) = store.id_floor() {
+            let next = self.next_id.load(Ordering::Relaxed).max(floor);
+            self.next_id.store(next, Ordering::Relaxed);
+        }
+        let mut adopted = 0;
+        for id in ids {
+            let next = self.next_id.load(Ordering::Relaxed).max(id + 1);
+            self.next_id.store(next, Ordering::Relaxed);
+            if let std::collections::btree_map::Entry::Vacant(v) = sessions.entry(id) {
+                v.insert(Slot::Spilled);
+                adopted += 1;
+            }
+        }
+        Ok(adopted)
+    }
+
+    /// Persist a session after a successful mutating request when the
+    /// policy asks for write-through.
+    fn persist_write_through(&self, guard: &SessionGuard<'_>) {
+        if !self.policy.write_through {
+            return;
+        }
+        let Some(store) = &self.store else { return };
+        let bytes = guard.session.lock().unwrap().checkpoint();
+        if store.save(guard.id, &bytes).is_err() {
+            self.persist_failures.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Evaluate the base KG under the spec and return the initial monitor
@@ -865,7 +1342,7 @@ impl SessionRegistry {
                 (state, annotator.seconds())
             }
         };
-        Ok(self.insert(Session {
+        let id = self.insert(Session {
             spec,
             oracle,
             state,
@@ -875,7 +1352,14 @@ impl SessionRegistry {
             merged_dead: BTreeMap::new(),
             events_applied: 0,
             cost_seconds,
-        }))
+        });
+        if self.policy.write_through {
+            if let Ok(guard) = self.acquire(id) {
+                self.persist_write_through(&guard);
+            }
+        }
+        self.enforce();
+        Ok(id)
     }
 
     /// Restore a session from a `KGSN` checkpoint into this registry
@@ -884,35 +1368,15 @@ impl SessionRegistry {
     /// estimate stream continues byte-identically to the uninterrupted
     /// session.
     pub fn restore(&self, bytes: &[u8]) -> Result<u64, SessionError> {
-        let record = SessionRecord::decode(bytes)?;
-        validate_spec(&record.spec)?;
-        let oracle = RemOracle::new(record.spec.oracle_accuracy, record.spec.oracle_seed);
-        let base = ImplicitKg::new(record.spec.base_sizes.clone())?;
-        let entry = self.catalog_entry(&record.spec, &base, &oracle);
-        let mut store = entry.store.clone();
-        for sizes in &record.batch_log {
-            let batch = UpdateBatch::from_sizes(sizes.clone())?;
-            Arc::make_mut(&mut store).extend_with_batch(&batch, &oracle);
-        }
-        for (cluster, dead) in &record.merged_dead {
-            let raw = store.cluster_size(*cluster as usize) as u64;
-            if dead.iter().any(|&off| u64::from(off) >= raw) {
-                return Err(SessionError::Codec(CodecError::Invalid {
-                    what: "session tombstone offset exceeds its cluster's raw size",
-                }));
+        let session = self.materialize(bytes)?;
+        let id = self.insert(session);
+        if self.policy.write_through {
+            if let Ok(guard) = self.acquire(id) {
+                self.persist_write_through(&guard);
             }
         }
-        Ok(self.insert(Session {
-            spec: record.spec,
-            oracle,
-            state: record.state,
-            rng: StdRng::from_state(record.rng),
-            store,
-            batch_log: record.batch_log,
-            merged_dead: record.merged_dead,
-            events_applied: record.events_applied,
-            cost_seconds: record.cost_seconds,
-        }))
+        self.enforce();
+        Ok(id)
     }
 
     /// Apply a request of interleaved events (inserts, retractions,
@@ -922,9 +1386,14 @@ impl SessionRegistry {
         id: u64,
         events: &[KgEvent],
     ) -> Result<EstimateReport, SessionError> {
-        let session = self.session(id)?;
-        let mut session = session.lock().unwrap();
-        session.apply_events(events)
+        let guard = self.acquire(id)?;
+        let report = guard.session.lock().unwrap().apply_events(events);
+        if report.is_ok() {
+            self.persist_write_through(&guard);
+        }
+        drop(guard);
+        self.enforce();
+        report
     }
 
     /// Apply pure insertion batches — the `POST /kg/{id}/batch` shape.
@@ -939,37 +1408,47 @@ impl SessionRegistry {
 
     /// Current estimate of a session, without consuming any RNG.
     pub fn estimate(&self, id: u64) -> Result<EstimateReport, SessionError> {
-        let session = self.session(id)?;
-        let mut session = session.lock().unwrap();
-        Ok(session.report())
+        let guard = self.acquire(id)?;
+        let report = guard.session.lock().unwrap().report();
+        drop(guard);
+        self.enforce();
+        Ok(report)
     }
 
     /// Serialize a session as a `KGSN` v1 checkpoint. The session stays
     /// live; restoring the bytes elsewhere resumes its exact estimate
     /// stream.
     pub fn checkpoint(&self, id: u64) -> Result<Vec<u8>, SessionError> {
-        let session = self.session(id)?;
-        let session = session.lock().unwrap();
-        Ok(session.checkpoint())
+        let guard = self.acquire(id)?;
+        let bytes = guard.session.lock().unwrap().checkpoint();
+        drop(guard);
+        self.enforce();
+        Ok(bytes)
     }
 
-    /// Full-fidelity sharded audit of the session's **gross inserted**
-    /// population (base plus every insert batch; audits pre-date the
-    /// tombstone view — the monitor estimate is the live-view quantity).
-    /// Shard parallelism follows the registry executor's worker budget,
-    /// and the report is bitwise invariant to it.
+    /// Full-fidelity sharded audit of the session's **live** population:
+    /// base plus every insert batch, with the merged tombstone map folded
+    /// in, so the audit measures exactly the live-view quantity the
+    /// monitor estimate tracks. Live sample coordinates are mapped back to
+    /// raw storage offsets through the same [`map_live_offset`] walk the
+    /// annotation engines use. Shard parallelism follows the registry
+    /// executor's worker budget, and the report is bitwise invariant to
+    /// it.
     pub fn audit(&self, id: u64, units: u64, seed: u64) -> Result<ShardReplayReport, SessionError> {
-        let session = self.session(id)?;
-        let session = session.lock().unwrap();
-        let sizes: Vec<u32> = (0..session.store.num_clusters())
-            .map(|c| session.store.cluster_size(c) as u32)
-            .collect();
-        let population = ImplicitKg::new(sizes)?;
+        let guard = self.acquire(id)?;
+        let session = guard.session.lock().unwrap();
+        let view = session.live_view();
         let m = session.spec.m;
-        let oracle = session.oracle;
-        let replay = ShardedReplay::new().with_shard_workers(self.executor.workers().max(1));
+        let oracle = LiveViewOracle {
+            inner: session.oracle,
+            raw_cluster: view.raw_cluster,
+            dead: view.dead,
+        };
         drop(session);
-        Ok(audit_sharded(
+        drop(guard);
+        let population = ImplicitKg::new(view.sizes)?;
+        let replay = ShardedReplay::new().with_shard_workers(self.executor.workers().max(1));
+        let report = audit_sharded(
             &population,
             ShardDesign::TwoStage { m },
             &oracle,
@@ -977,7 +1456,9 @@ impl SessionRegistry {
             &replay,
             units,
             seed,
-        )?)
+        )?;
+        self.enforce();
+        Ok(report)
     }
 }
 
@@ -1258,5 +1739,296 @@ mod tests {
             registry.estimate(77),
             Err(SessionError::UnknownSession(77))
         ));
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kg-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn lifecycle(dir: &std::path::Path, policy: LifecyclePolicy) -> SessionRegistry {
+        SessionRegistry::with_lifecycle(
+            TrialExecutor::new().with_workers(2),
+            policy,
+            CheckpointStore::open(dir).unwrap(),
+        )
+    }
+
+    #[test]
+    fn lru_eviction_and_revival_are_byte_identical() {
+        let dir = scratch("lru");
+        let control = SessionRegistry::new();
+        let churned = lifecycle(
+            &dir,
+            LifecyclePolicy {
+                max_live: Some(1),
+                ..LifecyclePolicy::default()
+            },
+        );
+        let ca = control.register(rs_spec()).unwrap();
+        let cb = control.register(ss_spec()).unwrap();
+        let a = churned.register(rs_spec()).unwrap();
+        let b = churned.register(ss_spec()).unwrap();
+        let pre_evict = churned.checkpoint(a).unwrap();
+        for event in stream() {
+            // Interleave tenants so every request revives one session and
+            // evicts the other (max_live = 1).
+            let want_a = control
+                .apply_events(ca, std::slice::from_ref(&event))
+                .unwrap();
+            let want_b = control
+                .apply_events(cb, std::slice::from_ref(&event))
+                .unwrap();
+            let got_a = churned
+                .apply_events(a, std::slice::from_ref(&event))
+                .unwrap();
+            let got_b = churned.apply_events(b, &[event]).unwrap();
+            assert_eq!(
+                bits(&got_a),
+                bits(&want_a),
+                "eviction churn changed tenant A"
+            );
+            assert_eq!(
+                bits(&got_b),
+                bits(&want_b),
+                "eviction churn changed tenant B"
+            );
+        }
+        let stats = churned.stats();
+        assert!(stats.evictions >= 4, "expected churn, got {stats:?}");
+        assert!(stats.revivals >= 4, "expected revivals, got {stats:?}");
+        assert_eq!(stats.corrupt_dropped, 0);
+        assert_eq!(stats.live + stats.spilled, 2);
+        assert_eq!(churned.len(), 2);
+        // A spill round trip leaves checkpoint bytes untouched.
+        drop(pre_evict);
+        assert_eq!(
+            churned.checkpoint(a).unwrap(),
+            control.checkpoint(ca).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn idle_ttl_evicts_only_stale_sessions() {
+        let dir = scratch("ttl");
+        let registry = lifecycle(
+            &dir,
+            LifecyclePolicy {
+                idle_ttl: Some(6),
+                ..LifecyclePolicy::default()
+            },
+        );
+        let hot = registry.register(rs_spec()).unwrap();
+        let cold = registry.register(ss_spec()).unwrap();
+        for _ in 0..10 {
+            registry.estimate(hot).unwrap();
+        }
+        assert!(registry.is_live(hot), "active session must stay resident");
+        assert!(!registry.is_live(cold), "idle session must spill");
+        assert!(registry.store().unwrap().contains(cold));
+        // Touching the cold session revives it transparently.
+        registry.estimate(cold).unwrap();
+        assert!(registry.is_live(cold));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_and_recover_resume_the_full_tenant_set() {
+        let dir = scratch("drain");
+        let events = stream();
+        let control = SessionRegistry::new();
+        let cid = control.register(rs_spec()).unwrap();
+        for event in &events {
+            control
+                .apply_events(cid, std::slice::from_ref(event))
+                .unwrap();
+        }
+        let first = lifecycle(&dir, LifecyclePolicy::default());
+        let a = first.register(rs_spec()).unwrap();
+        let b = first.register(ss_spec()).unwrap();
+        for event in &events[..2] {
+            first.apply_events(a, std::slice::from_ref(event)).unwrap();
+            first.apply_events(b, std::slice::from_ref(event)).unwrap();
+        }
+        assert_eq!(first.drain_to_store().unwrap(), 2);
+        drop(first);
+        // Fresh process over the same spill directory.
+        let second = lifecycle(&dir, LifecyclePolicy::default());
+        assert_eq!(second.recover_from_store().unwrap(), 2);
+        assert_eq!(second.ids(), vec![a, b], "ids survive the restart");
+        assert!(!second.is_live(a) && !second.is_live(b));
+        for event in &events[2..] {
+            second.apply_events(a, std::slice::from_ref(event)).unwrap();
+            second.apply_events(b, std::slice::from_ref(event)).unwrap();
+        }
+        assert_eq!(
+            bits(&second.estimate(a).unwrap()),
+            bits(&control.estimate(cid).unwrap()),
+            "drain/recover diverged from the uninterrupted stream"
+        );
+        // New registrations never collide with recovered ids.
+        let fresh = second.register(rs_spec()).unwrap();
+        assert!(fresh > b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_through_survives_an_abrupt_kill() {
+        let dir = scratch("wt");
+        let events = stream();
+        let control = SessionRegistry::new();
+        let cid = control.register(rs_spec()).unwrap();
+        control.apply_events(cid, &events[..2]).unwrap();
+        let first = lifecycle(
+            &dir,
+            LifecyclePolicy {
+                write_through: true,
+                ..LifecyclePolicy::default()
+            },
+        );
+        let id = first.register(rs_spec()).unwrap();
+        first.apply_events(id, &events[..2]).unwrap();
+        // Abrupt kill: no drain call. The write-through spill must hold
+        // every acknowledged request.
+        drop(first);
+        let second = lifecycle(&dir, LifecyclePolicy::default());
+        assert_eq!(second.recover_from_store().unwrap(), 1);
+        assert_eq!(
+            bits(&second.estimate(id).unwrap()),
+            bits(&control.estimate(cid).unwrap()),
+            "write-through lost an acknowledged request"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_missing_spill_records_fail_typed_and_are_dropped() {
+        let dir = scratch("corrupt");
+        let registry = lifecycle(&dir, LifecyclePolicy::default());
+        let torn = registry.register(rs_spec()).unwrap();
+        let vanished = registry.register(rs_spec()).unwrap();
+        let healthy = registry.register(ss_spec()).unwrap();
+        let healthy_before = bits(&registry.estimate(healthy).unwrap());
+        assert!(registry.evict(torn).unwrap());
+        assert!(registry.evict(vanished).unwrap());
+        // Tear one record mid-file; delete the other outright.
+        let store = registry.store().unwrap();
+        let full = std::fs::read(store.path_for(torn)).unwrap();
+        std::fs::write(store.path_for(torn), &full[..full.len() / 2]).unwrap();
+        std::fs::remove_file(store.path_for(vanished)).unwrap();
+        assert!(matches!(
+            registry.estimate(torn),
+            Err(SessionError::Codec(_))
+        ));
+        assert!(matches!(
+            registry.estimate(vanished),
+            Err(SessionError::Spill(SpillError::Missing(_)))
+        ));
+        // Both are gone (typed error once, then unknown), the torn file is
+        // cleaned up, and the healthy tenant is untouched.
+        assert!(matches!(
+            registry.estimate(torn),
+            Err(SessionError::UnknownSession(_))
+        ));
+        assert!(!store.contains(torn));
+        assert_eq!(registry.stats().corrupt_dropped, 2);
+        assert_eq!(registry.ids(), vec![healthy]);
+        assert_eq!(bits(&registry.estimate(healthy).unwrap()), healthy_before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_evict_requires_a_store_and_skips_pinned_sessions() {
+        let no_store = SessionRegistry::new();
+        let id = no_store.register(rs_spec()).unwrap();
+        assert!(matches!(no_store.evict(id), Err(SessionError::NoStore)));
+        assert!(matches!(
+            no_store.drain_to_store(),
+            Err(SessionError::NoStore)
+        ));
+        let dir = scratch("pinned");
+        let registry = lifecycle(&dir, LifecyclePolicy::default());
+        assert!(matches!(
+            registry.evict(42),
+            Err(SessionError::UnknownSession(42))
+        ));
+        let id = registry.register(rs_spec()).unwrap();
+        let guard = registry.acquire(id).unwrap();
+        assert!(
+            !registry.evict(id).unwrap(),
+            "pinned session must not evict"
+        );
+        drop(guard);
+        assert!(registry.evict(id).unwrap());
+        assert!(!registry.evict(id).unwrap(), "already spilled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn audit_measures_the_live_population() {
+        // Retract every false-labeled base triple: the live population is
+        // then all-true, so a live-view audit must report exactly 1.0.
+        // (The old gross-population audit kept sampling retracted triples
+        // and reported < 1.0 — the bug this pins down.)
+        let mut spec = rs_spec();
+        spec.base_sizes = (0..40).map(|i| 1 + (i % 7)).collect();
+        let registry = SessionRegistry::new();
+        let id = registry.register(spec.clone()).unwrap();
+        let oracle = RemOracle::new(spec.oracle_accuracy, spec.oracle_seed);
+        let mut entries: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (c, &size) in spec.base_sizes.iter().enumerate() {
+            let dead: Vec<u32> = (0..size)
+                .filter(|&off| !oracle.label(TripleRef::new(c as u32, off)))
+                .collect();
+            if !dead.is_empty() {
+                entries.push((c as u32, dead));
+            }
+        }
+        assert!(!entries.is_empty(), "oracle at 0.9 must mislabel something");
+        let retract = KgEvent::Retract(Retraction::new(entries).unwrap());
+        registry.apply_events(id, &[retract]).unwrap();
+        let report = registry.audit(id, 200, 0xBEEF).unwrap();
+        assert_eq!(
+            report.estimate.mean.to_bits(),
+            1.0f64.to_bits(),
+            "audit sampled retracted triples: mean {}",
+            report.estimate.mean
+        );
+    }
+
+    #[test]
+    fn audit_is_stable_across_spill_revival() {
+        let dir = scratch("audit-spill");
+        let control = SessionRegistry::new();
+        let churned = lifecycle(
+            &dir,
+            LifecyclePolicy {
+                max_live: Some(1),
+                ..LifecyclePolicy::default()
+            },
+        );
+        let cid = control.register(rs_spec()).unwrap();
+        let id = churned.register(rs_spec()).unwrap();
+        let other = churned.register(ss_spec()).unwrap();
+        for event in stream() {
+            control
+                .apply_events(cid, std::slice::from_ref(&event))
+                .unwrap();
+            churned
+                .apply_events(id, std::slice::from_ref(&event))
+                .unwrap();
+            churned.apply_events(other, &[event]).unwrap();
+        }
+        let want = control.audit(cid, 400, 0x5EED).unwrap();
+        let got = churned.audit(id, 400, 0x5EED).unwrap();
+        assert_eq!(got.estimate.mean.to_bits(), want.estimate.mean.to_bits());
+        assert_eq!(
+            got.estimate.var_of_mean.to_bits(),
+            want.estimate.var_of_mean.to_bits()
+        );
+        assert_eq!(got.labeled, want.labeled);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,6 +11,10 @@
 //! | `GET /kg/{id}/audit?units=&seed=` | Full-fidelity sharded audit |
 //! | `GET /healthz` | Liveness |
 //!
+//! The server layer (`crate::Server`) additionally answers
+//! `POST /admin/drain` (graceful shutdown) and `GET /admin/stats`
+//! (serving + lifecycle counters) before requests reach this dispatcher.
+//!
 //! Estimate responses carry `mean_bits` / `var_bits` — the exact `f64`
 //! bit patterns in hex — so clients can byte-diff estimate streams
 //! without worrying about decimal round-tripping.
@@ -58,6 +62,18 @@ fn err_json(message: impl Into<String>) -> Json {
 fn status_of(e: &SessionError) -> u16 {
     match e {
         SessionError::UnknownSession(_) => 404,
+        _ => 400,
+    }
+}
+
+/// Status for an operation on an *existing* session id. Here a codec or
+/// spill failure is not a bad request — it means the session's spill
+/// record was torn or lost, the server dropped the session, and the
+/// client should restore from its own checkpoint: 500, then 404.
+fn status_of_session_op(e: &SessionError) -> u16 {
+    match e {
+        SessionError::UnknownSession(_) => 404,
+        SessionError::Codec(_) | SessionError::Spill(_) | SessionError::NoStore => 500,
         _ => 400,
     }
 }
@@ -237,7 +253,7 @@ fn events_from_json(doc: &Json) -> Result<Vec<KgEvent>, String> {
 fn session_result(result: Result<EstimateReport, SessionError>) -> (u16, Json) {
     match result {
         Ok(report) => (200, estimate_json(&report)),
-        Err(e) => (status_of(&e), err_json(e.to_string())),
+        Err(e) => (status_of_session_op(&e), err_json(e.to_string())),
     }
 }
 
@@ -319,7 +335,7 @@ pub fn handle(registry: &SessionRegistry, req: &Request) -> (u16, Json) {
                             ("checkpoint".into(), Json::Str(hex_encode(&bytes))),
                         ]),
                     ),
-                    Err(e) => (status_of(&e), err_json(e.to_string())),
+                    Err(e) => (status_of_session_op(&e), err_json(e.to_string())),
                 },
                 ("GET", "audit") => {
                     let units = req
@@ -332,7 +348,7 @@ pub fn handle(registry: &SessionRegistry, req: &Request) -> (u16, Json) {
                         .unwrap_or(0);
                     match registry.audit(id, units, seed) {
                         Ok(report) => (200, audit_json(&report)),
-                        Err(e) => (status_of(&e), err_json(e.to_string())),
+                        Err(e) => (status_of_session_op(&e), err_json(e.to_string())),
                     }
                 }
                 _ => (404, err_json("no such endpoint")),

@@ -2,8 +2,15 @@
 //! limits, and `Connection: close` responses. Enough for the kg-serve
 //! API; deliberately nothing more (no keep-alive, no chunked encoding,
 //! no TLS).
+//!
+//! Hostile-client hardening lives here too: [`DeadlineStream`] enforces a
+//! *whole-request* read deadline (a slowloris dribbling one byte per
+//! second trips it just as surely as a silent peer), and the size caps
+//! surface as [`HttpError::TooLarge`] so the server can answer 413.
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Maximum bytes of request line + headers.
 const MAX_HEAD: usize = 16 * 1024;
@@ -43,6 +50,15 @@ pub enum HttpError {
     /// The request violated the supported subset; respond 400 with this
     /// message.
     Bad(&'static str),
+    /// The request exceeded a size cap; respond 413 with this message.
+    TooLarge(&'static str),
+}
+
+impl HttpError {
+    /// Whether the failure was a read-deadline expiry (respond 408).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, HttpError::Io(e) if e.kind() == io::ErrorKind::TimedOut)
+    }
 }
 
 impl From<io::Error> for HttpError {
@@ -61,7 +77,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
     }
     head += line.len();
     if head > MAX_HEAD {
-        return Err(HttpError::Bad("request line too long"));
+        return Err(HttpError::TooLarge("request line too long"));
     }
     let mut parts = line.split_whitespace();
     let method = parts
@@ -85,7 +101,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
         }
         head += header.len();
         if head > MAX_HEAD {
-            return Err(HttpError::Bad("headers too long"));
+            return Err(HttpError::TooLarge("headers too long"));
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -98,7 +114,7 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, HttpError> {
                     .parse()
                     .map_err(|_| HttpError::Bad("bad content-length"))?;
                 if content_length > MAX_BODY {
-                    return Err(HttpError::Bad("body too large"));
+                    return Err(HttpError::TooLarge("body too large"));
                 }
             }
             if name.eq_ignore_ascii_case("transfer-encoding") {
@@ -142,21 +158,88 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
 /// Write one JSON response and close the exchange.
 pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{}",
+    write_response_with(stream, status, &[], body)
+}
+
+/// Write one JSON response with extra headers (e.g. `Retry-After` on a
+/// load-shed 503) and close the exchange.
+pub fn write_response_with(
+    stream: &mut impl Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
         status,
         reason(status),
         body.len(),
-        body
-    )?;
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    write!(stream, "{head}\r\n{body}")?;
     stream.flush()
+}
+
+/// A [`TcpStream`] reader with a **whole-exchange** deadline: every read
+/// re-arms the socket timeout to the time remaining, so a slowloris peer
+/// dribbling one byte per timeout window still hits the wall at the
+/// deadline (a fixed per-read timeout never would). Expiry surfaces as
+/// [`io::ErrorKind::TimedOut`].
+pub struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream {
+    /// Wrap `stream`, allowing `budget` from now for the whole exchange.
+    pub fn new(stream: TcpStream, budget: Duration) -> Self {
+        DeadlineStream {
+            stream,
+            deadline: Instant::now() + budget,
+        }
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let now = Instant::now();
+        let Some(remaining) = self
+            .deadline
+            .checked_duration_since(now)
+            .filter(|d| !d.is_zero())
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "read deadline exceeded",
+            ));
+        };
+        self.stream.set_read_timeout(Some(remaining))?;
+        match self.stream.read(buf) {
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "read deadline exceeded",
+                ))
+            }
+            other => other,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -190,12 +273,49 @@ mod tests {
         ));
         assert!(matches!(
             parse("POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n"),
-            Err(HttpError::Bad(_))
+            Err(HttpError::TooLarge(_))
         ));
+        let dribble = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(20 * 1024));
+        assert!(matches!(parse(&dribble), Err(HttpError::TooLarge(_))));
         assert!(matches!(
             parse("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
             Err(HttpError::Bad(_))
         ));
+    }
+
+    #[test]
+    fn deadline_stream_bounds_a_slowloris_dribble() {
+        use std::io::BufReader;
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut peer = TcpStream::connect(addr).unwrap();
+            // One byte every 25ms beats any 100ms *per-read* timeout
+            // forever; the whole-exchange deadline must still fire.
+            for chunk in ["G", "E", "T", " ", "/", " ", "H", "T", "T", "P"] {
+                if peer.write_all(chunk.as_bytes()).is_err() {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            // Never finish the request line; hold the socket open.
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let start = Instant::now();
+        let mut reader = BufReader::new(DeadlineStream::new(stream, Duration::from_millis(100)));
+        let result = read_request(&mut reader);
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(&result, Err(e) if e.is_timeout()),
+            "wanted timeout, got {result:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(450),
+            "deadline did not bound the dribble: {elapsed:?}"
+        );
+        writer.join().unwrap();
     }
 
     #[test]
@@ -207,5 +327,12 @@ mod tests {
         assert!(text.contains("content-length: 13\r\n"));
         assert!(text.contains("connection: close"));
         assert!(text.ends_with("{\"error\":\"x\"}"));
+
+        let mut out = Vec::new();
+        write_response_with(&mut out, 503, &[("retry-after", "1")], "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 }

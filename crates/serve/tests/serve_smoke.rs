@@ -5,21 +5,32 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 
 struct Server {
     child: Child,
     addr: String,
+    lines: std::io::Lines<BufReader<ChildStdout>>,
+    stdin: Option<ChildStdin>,
 }
 
 impl Server {
     fn spawn() -> Server {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_kg-serve"))
+        Server::spawn_with(&[], false)
+    }
+
+    fn spawn_with(extra_args: &[&str], piped_stdin: bool) -> Server {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_kg-serve"));
+        command
             .args(["--addr", "127.0.0.1:0", "--workers", "2"])
-            .stdout(Stdio::piped())
-            .spawn()
-            .expect("spawn kg-serve");
+            .args(extra_args)
+            .stdout(Stdio::piped());
+        if piped_stdin {
+            command.stdin(Stdio::piped());
+        }
+        let mut child = command.spawn().expect("spawn kg-serve");
         let stdout = child.stdout.take().expect("piped stdout");
+        let stdin = child.stdin.take();
         let mut lines = BufReader::new(stdout).lines();
         let line = lines
             .next()
@@ -29,7 +40,35 @@ impl Server {
             .strip_prefix("LISTENING ")
             .unwrap_or_else(|| panic!("unexpected announcement: {line}"))
             .to_string();
-        Server { child, addr }
+        Server {
+            child,
+            addr,
+            lines,
+            stdin,
+        }
+    }
+
+    /// Close the child's stdin pipe (the `--drain-on-stdin-eof` signal).
+    fn close_stdin(&mut self) {
+        self.stdin.take();
+    }
+
+    /// Wait for the `DRAINED <n>` announcement and process exit; returns
+    /// the persisted-session count.
+    fn wait_drained(mut self) -> usize {
+        let drained = loop {
+            let line = self
+                .lines
+                .next()
+                .expect("kg-serve announces the drain before exiting")
+                .expect("readable stdout");
+            if let Some(n) = line.strip_prefix("DRAINED ") {
+                break n.parse().expect("drained count");
+            }
+        };
+        let status = self.child.wait().expect("wait for kg-serve");
+        assert!(status.success(), "drained server must exit cleanly");
+        drained
     }
 
     fn request(&self, method: &str, path: &str, body: &str) -> (u16, String) {
@@ -199,4 +238,59 @@ fn server_survives_hostile_requests() {
     let body = server.ok("GET", "/healthz", "");
     assert!(body.contains("true"));
     server.kill();
+}
+
+#[test]
+fn graceful_drain_and_restart_recover_every_session() {
+    let dir = std::env::temp_dir().join(format!("kg-serve-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let state = dir.to_str().expect("utf8 temp path").to_string();
+
+    // First life: three tenants, some churn, then an HTTP-triggered drain.
+    let first = Server::spawn_with(&["--state-dir", &state], false);
+    let mut ids = Vec::new();
+    for seed in [1, 2, 3] {
+        let body = first.ok(
+            "POST",
+            "/kg",
+            &spec().replace("20190923", &seed.to_string()),
+        );
+        ids.push(num_field(&body, "id"));
+    }
+    for id in &ids {
+        for (endpoint, payload) in &stream()[..2] {
+            first.ok("POST", &format!("/kg/{id}/{endpoint}"), payload);
+        }
+    }
+    let want: Vec<_> = ids
+        .iter()
+        .map(|id| estimate_bits(&first.ok("GET", &format!("/kg/{id}/estimate"), "")))
+        .collect();
+    let body = first.ok("POST", "/admin/drain", "");
+    assert!(body.contains("true"), "{body}");
+    assert_eq!(first.wait_drained(), 3, "drain must checkpoint all tenants");
+
+    // Second life: everything is back, byte-identical, and still serving.
+    let mut second = Server::spawn_with(&["--state-dir", &state, "--drain-on-stdin-eof"], true);
+    let listed = second.ok("GET", "/kg", "");
+    for id in &ids {
+        assert!(
+            listed.contains(id.as_str()),
+            "session {id} missing after restart: {listed}"
+        );
+    }
+    let got: Vec<_> = ids
+        .iter()
+        .map(|id| estimate_bits(&second.ok("GET", &format!("/kg/{id}/estimate"), "")))
+        .collect();
+    assert_eq!(got, want, "restart changed served estimates");
+    // The revived tenants still advance their streams.
+    for id in &ids {
+        let (endpoint, payload) = &stream()[2];
+        second.ok("POST", &format!("/kg/{id}/{endpoint}"), payload);
+    }
+    // Second drain signal: stdin EOF (the process-signal stand-in).
+    second.close_stdin();
+    assert_eq!(second.wait_drained(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
 }

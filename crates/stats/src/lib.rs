@@ -37,6 +37,9 @@
 //!   `snapshot()/restore()` pairs on [`WeightedReservoirExpJ`],
 //!   [`GrowablePps`], and [`RunningMoments`], so monitor state survives
 //!   process restarts bitwise.
+//! * [`atomicfile`] — temp-file + rename writes, shared by benchmark
+//!   artifacts and the session spill store so neither ever exposes a
+//!   torn file to a reader.
 //!
 //! Everything is deterministic given a seeded RNG and has no global state.
 
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 
 pub mod alias;
+pub mod atomicfile;
 pub mod ci;
 pub mod codec;
 pub mod distr;
@@ -58,6 +62,7 @@ pub mod srswor;
 pub mod stratify;
 
 pub use alias::AliasTable;
+pub use atomicfile::write_atomic;
 pub use ci::{ConfidenceInterval, PointEstimate};
 pub use codec::{CodecError, Decoder, Encoder};
 pub use error::StatsError;
